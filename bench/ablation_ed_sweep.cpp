@@ -1,0 +1,58 @@
+// Extension ablation (no paper counterpart): the length Ed of the PLT ramp.
+// The paper fixes Ed = 40/150 ImageNet epochs and 20% of tuning epochs on
+// downstream tasks (Sec. IV-A) without ablating it; this bench sweeps the
+// fraction, including the two interesting endpoints:
+//   0.0  — abrupt removal: alpha jumps to 1 before tuning starts. This is
+//          the "directly removing expanded parts" failure mode the paper
+//          attributes NetAug's information loss to (Sec. II-A).
+//   1.0  — the ramp spans the whole tuning run (no pinned-alpha finetune).
+#include <string>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace nb;
+  const bench::Scale scale = bench::read_scale();
+  bench::print_header(
+      "Ablation — PLT ramp length Ed (extension; paper fixes Ed at 20-27%)",
+      "NetBooster (DAC'23), Sec. III-D / IV-A", scale);
+
+  const int64_t res = data::scaled_resolution(144);
+  const data::ClassificationTask task = data::make_task(
+      "synth-imagenet", res, 0.6f * scale.data_scale, scale.seed);
+
+  const float vanilla = bench::run_vanilla("mbv2-tiny", task, scale);
+  bench::print_row("Vanilla", 51.20, 100.0 * vanilla);
+
+  const float fractions[] = {0.0f, 0.25f, 0.5f, 1.0f};
+  float abrupt_acc = 0.0f;
+  float paper_acc = 0.0f;
+  float best_progressive = 0.0f;
+  for (const float f : fractions) {
+    core::NetBoosterConfig cfg = bench::netbooster_config(scale);
+    cfg.plt_fraction = f;
+    const core::NetBoosterResult r =
+        bench::run_netbooster_full("mbv2-tiny", task, scale, nullptr, &cfg);
+    const std::string label =
+        f == 0.0f ? "Ed = 0 (abrupt removal)"
+                  : "Ed = " + std::to_string(static_cast<int>(100 * f)) +
+                        "% of tuning";
+    bench::print_row(label, f == 0.25f ? 53.70 : 0.0, 100.0 * r.final_acc,
+                     f == 0.25f ? "(paper's operating point)" : "");
+    if (f == 0.0f) abrupt_acc = r.final_acc;
+    if (f == 0.25f) paper_acc = r.final_acc;
+    if (f > 0.0f) {
+      best_progressive = std::max(best_progressive, r.final_acc);
+    }
+  }
+
+  bench::check_ordering(
+      "progressive removal beats abrupt removal (paper's core argument "
+      "against direct dropping)",
+      best_progressive > abrupt_acc);
+  bench::check_ordering("paper's Ed (~25%) beats vanilla",
+                        paper_acc > vanilla);
+
+  bench::print_footer();
+  return 0;
+}

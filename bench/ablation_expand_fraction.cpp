@@ -1,0 +1,53 @@
+// Extension ablation (no paper counterpart): how many blocks to expand. The
+// paper fixes "uniformly expand 50% of blocks" (Sec. IV-A); this bench
+// sweeps the fraction under the uniform placement. Expanding more blocks
+// adds training-time capacity but widens the complexity gap criterion (c)
+// warns about, so the sweep probes the same trade-off Table V does along a
+// different axis.
+#include <string>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace nb;
+  const bench::Scale scale = bench::read_scale();
+  bench::print_header(
+      "Ablation — expanded-block fraction (extension; paper fixes 50%)",
+      "NetBooster (DAC'23), Sec. IV-A expansion strategy", scale);
+
+  const int64_t res = data::scaled_resolution(144);
+  const data::ClassificationTask task = data::make_task(
+      "synth-imagenet", res, 0.6f * scale.data_scale, scale.seed);
+
+  const float vanilla = bench::run_vanilla("mbv2-tiny", task, scale);
+  bench::print_row("Vanilla", 51.20, 100.0 * vanilla);
+
+  float half_acc = 0.0f;
+  int64_t deployed_flops = -1;
+  bool costs_identical = true;
+  for (const float fraction : {0.25f, 0.5f, 0.75f, 1.0f}) {
+    core::ExpansionConfig expansion;
+    expansion.expand_fraction = fraction;
+    core::NetBoosterResult r;
+    r = bench::run_netbooster_full("mbv2-tiny", task, scale, &expansion);
+    bench::print_row(
+        "expand " + std::to_string(static_cast<int>(100 * fraction)) +
+            "% of blocks",
+        fraction == 0.5f ? 53.70 : 0.0, 100.0 * r.final_acc,
+        "(giant " + models::human_count(r.giant_profile.params) + " params)");
+    if (fraction == 0.5f) half_acc = r.final_acc;
+    if (deployed_flops < 0) {
+      deployed_flops = r.final_profile.flops;
+    } else if (r.final_profile.flops != deployed_flops) {
+      costs_identical = false;
+    }
+  }
+
+  bench::check_ordering("paper's 50% beats vanilla", half_acc > vanilla);
+  bench::check_ordering(
+      "contracted cost identical for every fraction (Eq. 3-4 exactness)",
+      costs_identical);
+
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Extension ablation (no paper counterpart): the *shape* of the alpha ramp.
+// The paper increases alpha "uniformly in each iteration" (linear); this
+// bench compares that against a cosine ease-in/out and a 4-jump staircase at
+// the same Ed, checking that the paper's linear choice is at least
+// competitive — i.e., the method is robust to this design detail.
+#include "bench_common.h"
+
+int main() {
+  using namespace nb;
+  const bench::Scale scale = bench::read_scale();
+  bench::print_header(
+      "Ablation — PLT ramp shape (extension; paper uses linear)",
+      "NetBooster (DAC'23), Sec. III-D non-linearity removal", scale);
+
+  const int64_t res = data::scaled_resolution(144);
+  const data::ClassificationTask task = data::make_task(
+      "synth-imagenet", res, 0.6f * scale.data_scale, scale.seed);
+
+  const float vanilla = bench::run_vanilla("mbv2-tiny", task, scale);
+  bench::print_row("Vanilla", 51.20, 100.0 * vanilla);
+
+  float linear_acc = 0.0f;
+  float best_acc = 0.0f;
+  for (const core::RampShape shape :
+       {core::RampShape::linear, core::RampShape::cosine,
+        core::RampShape::step}) {
+    core::NetBoosterConfig cfg = bench::netbooster_config(scale);
+    cfg.ramp_shape = shape;
+    const core::NetBoosterResult r =
+        bench::run_netbooster_full("mbv2-tiny", task, scale, nullptr, &cfg);
+    bench::print_row(std::string("ramp = ") + core::to_string(shape),
+                     shape == core::RampShape::linear ? 53.70 : 0.0,
+                     100.0 * r.final_acc,
+                     shape == core::RampShape::linear ? "(paper's choice)"
+                                                      : "");
+    if (shape == core::RampShape::linear) linear_acc = r.final_acc;
+    best_acc = std::max(best_acc, r.final_acc);
+  }
+
+  bench::check_ordering("linear ramp beats vanilla (paper: +2.5)",
+                        linear_acc > vanilla);
+  bench::check_ordering(
+      "linear is within 2 points of the best shape (robustness)",
+      linear_acc >= best_acc - 0.02f);
+
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Extension ablation: the paper's Constraint 1 (Sec. I, Fig. 1a) argues
+// that *regularization* hurts under-fitting TNNs, and its related-work
+// section extends the claim to heavy data augmentation. Fig. 1(a) tests
+// DropBlock; this bench tests the data-side version with mixup, on a small
+// and a large width of the same architecture. The expected shape: mixup
+// hurts (or fails to help) the tiny width while being benign-to-helpful on
+// the wide one — the classic over/under-fitting crossover.
+#include "bench_common.h"
+#include "train/trainer.h"
+
+namespace {
+
+float run_width(const std::string& model_name,
+                const nb::data::ClassificationTask& task,
+                const nb::bench::Scale& scale, float mixup_alpha) {
+  auto model =
+      nb::models::make_model(model_name, task.num_classes, scale.seed + 3);
+  nb::train::TrainConfig c = nb::bench::pretrain_config(scale);
+  c.epochs = nb::bench::total_epochs(scale);
+  c.mixup_alpha = mixup_alpha;
+  return nb::train::train_classifier(*model, *task.train, *task.test, c)
+      .final_test_acc;
+}
+
+}  // namespace
+
+int main() {
+  using namespace nb;
+  const bench::Scale scale = bench::read_scale();
+  bench::print_header(
+      "Ablation — strong augmentation (mixup) vs model capacity (extension)",
+      "NetBooster (DAC'23), Constraint 1 / Sec. II-B", scale);
+
+  const int64_t res = data::scaled_resolution(144);
+  const data::ClassificationTask task = data::make_task(
+      "synth-imagenet", res, 0.6f * scale.data_scale, scale.seed);
+
+  const float tiny_plain = run_width("mbv2-tiny", task, scale, 0.0f);
+  const float tiny_mixup = run_width("mbv2-tiny", task, scale, 0.4f);
+  bench::print_row("mbv2-tiny, plain", 51.20, 100.0 * tiny_plain);
+  bench::print_row("mbv2-tiny, mixup 0.4", 0.0, 100.0 * tiny_mixup,
+                   "(paper's claim: hurts TNNs)");
+
+  const float wide_plain = run_width("teacher", task, scale, 0.0f);
+  const float wide_mixup = run_width("teacher", task, scale, 0.4f);
+  bench::print_row("4x-wide, plain", 0.0, 100.0 * wide_plain);
+  bench::print_row("4x-wide, mixup 0.4", 0.0, 100.0 * wide_mixup,
+                   "(over-parameterized: benign)");
+
+  const float tiny_delta = tiny_mixup - tiny_plain;
+  const float wide_delta = wide_mixup - wide_plain;
+  bench::check_ordering(
+      "mixup does not help the under-fitting TNN (delta <= +1 point)",
+      tiny_delta <= 0.01f);
+  bench::check_ordering(
+      "mixup hurts the TNN more than the wide model (crossover direction)",
+      tiny_delta < wide_delta + 0.005f);
+
+  bench::print_footer();
+  return 0;
+}

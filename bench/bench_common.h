@@ -1,0 +1,95 @@
+// Shared infrastructure for the table/figure benches: scale profiles
+// (NB_BENCH_SCALE=fast|standard|full), experiment runners for each training
+// method, and paper-vs-measured table printing.
+//
+// Every bench prints the paper's reported numbers next to the measured ones
+// and a PASS/CHECK verdict on the *ordering* the paper claims. Absolute
+// values are not comparable (the substrate is a synthetic CPU-scale
+// simulation — see DESIGN.md), the shape of the result is.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/netbooster.h"
+#include "data/task_registry.h"
+#include "models/registry.h"
+#include "train/trainer.h"
+
+namespace nb::bench {
+
+struct Scale {
+  std::string name = "standard";
+  float data_scale = 0.35f;        // fraction of the task's sample budget
+  int64_t pretrain_epochs = 6;     // stage-1 / vanilla budget
+  int64_t tune_epochs = 4;         // stage-2 budget
+  int64_t detect_epochs = 8;
+  uint64_t seed = 1;
+};
+
+/// Reads NB_BENCH_SCALE (fast | standard | full); default standard.
+Scale read_scale();
+
+/// Single-stage budget: vanilla and the other one-stage baselines train for
+/// pretrain_epochs + tune_epochs.
+int64_t total_epochs(const Scale& s);
+
+train::TrainConfig pretrain_config(const Scale& s);
+train::TrainConfig tune_config(const Scale& s);
+
+/// Budget convention (matches the paper): the deep giant trains for the full
+/// single-stage budget (the paper gives it 160 ImageNet epochs, the same as
+/// its baselines), then PLT+finetune adds ~0.6x on top (the paper adds
+/// 150) — NetBooster sees ~1.6x vanilla's epochs in total, exactly as in the
+/// paper's recipe. Pass equal_budget = true to split the single-stage budget
+/// across the two stages instead (no extra passes over the data); the
+/// ablation_budget bench shows NetBooster's gain shrinking under that
+/// stricter convention at this repository's micro scale.
+core::NetBoosterConfig netbooster_config(const Scale& s,
+                                         bool equal_budget = false);
+
+// ------------------------------------------------------------ method runs
+
+/// Vanilla training at equal total budget; returns final test accuracy.
+float run_vanilla(const std::string& model_name,
+                  const data::ClassificationTask& task, const Scale& s,
+                  float label_smoothing = 0.0f);
+
+/// NetAug baseline at equal budget (base width evaluated).
+float run_netaug(const std::string& model_name,
+                 const data::ClassificationTask& task, const Scale& s);
+
+/// NetBooster: expand -> giant train -> PLT -> contract, on one dataset.
+/// `config_override` replaces the whole recipe (ablation benches tweak
+/// plt_fraction / ramp_shape / budgets); `out_model`, when given, receives
+/// the trained-and-contracted model (the quantization bench deploys it).
+core::NetBoosterResult run_netbooster_full(
+    const std::string& model_name, const data::ClassificationTask& task,
+    const Scale& s, const core::ExpansionConfig* expansion_override = nullptr,
+    const core::NetBoosterConfig* config_override = nullptr,
+    std::shared_ptr<models::MobileNetV2>* out_model = nullptr);
+
+/// KD family. The wide teacher is trained once per (task, scale) and cached
+/// in-process.
+float run_kd(const std::string& model_name,
+             const data::ClassificationTask& task, const Scale& s);
+float run_tfkd(const std::string& model_name,
+               const data::ClassificationTask& task, const Scale& s);
+float run_rco_kd(const std::string& model_name,
+                 const data::ClassificationTask& task, const Scale& s);
+float run_rocket(const std::string& model_name,
+                 const data::ClassificationTask& task, const Scale& s);
+
+// ------------------------------------------------------------- reporting
+
+void print_header(const std::string& title, const std::string& paper_ref,
+                  const Scale& s);
+/// One table row: label, paper value, measured value (percent).
+void print_row(const std::string& label, double paper, double measured,
+               const std::string& extra = "");
+/// Ordering verdict, e.g. check("NetBooster > Vanilla", a > b).
+void check_ordering(const std::string& claim, bool holds);
+void print_footer();
+
+}  // namespace nb::bench

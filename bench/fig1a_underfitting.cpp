@@ -1,0 +1,88 @@
+// Reproduces Fig. 1(a): TNN training suffers from under-fitting, so a
+// regularizer (DropBlock) *hurts* tiny models while NetBooster helps.
+// Accuracy-vs-MFLOPs series over the MobileNetV2 width ladder for
+// {Vanilla, Vanilla+DropBlock, NetBooster}.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "models/profiler.h"
+#include "nn/dropblock.h"
+#include "train/metrics.h"
+
+namespace {
+
+using namespace nb;
+
+// Fig. 1(a) annotations: DropBlock deltas vs vanilla are negative
+// (-0.5/-0.3/-0.3), NetBooster deltas positive (+1.4/+1.3/+2.6 family).
+struct PaperPoint {
+  const char* model;
+  double dropblock_delta;
+  double netbooster_delta;
+};
+constexpr PaperPoint kPaper[] = {
+    {"mbv2-35", -0.5, +1.4},
+    {"mbv2-50", -0.3, +1.3},
+    {"mbv2-100", -0.3, +2.6},
+};
+
+float run_dropblock(const std::string& model_name,
+                    const data::ClassificationTask& task,
+                    const bench::Scale& scale) {
+  auto model = models::make_model(model_name, task.num_classes, scale.seed + 3);
+  model->set_dropblock(std::make_shared<nn::DropBlock2d>(0.2f, 2, scale.seed));
+  train::TrainConfig c = bench::pretrain_config(scale);
+  c.epochs = bench::total_epochs(scale);
+  const float acc =
+      train::train_classifier(*model, *task.train, *task.test, c)
+          .final_test_acc;
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::read_scale();
+  bench::print_header(
+      "Fig. 1(a) — under-fitting: regularization hurts TNNs, NetBooster helps",
+      "NetBooster (DAC'23), Figure 1(a)", scale);
+
+  std::printf("%-12s %10s %12s %12s %12s\n", "model", "MFLOPs", "vanilla(%)",
+              "dropblock(%)", "netbooster(%)");
+
+  int dropblock_hurts = 0;
+  int netbooster_helps = 0;
+  for (const PaperPoint& point : kPaper) {
+    const models::ModelConfig config = models::model_config(point.model, 1);
+    const int64_t res = data::scaled_resolution(config.paper_resolution);
+    const data::ClassificationTask task =
+        data::make_task("synth-imagenet", res, scale.data_scale, scale.seed);
+
+    auto probe = models::make_model(point.model, task.num_classes);
+    const double mflops = models::profile_model(*probe, res).mflops();
+
+    const float vanilla = bench::run_vanilla(point.model, task, scale);
+    const float dropblock = run_dropblock(point.model, task, scale);
+    const core::NetBoosterResult nb_result =
+        bench::run_netbooster_full(point.model, task, scale);
+
+    std::printf("%-12s %10.1f %12.2f %12.2f %12.2f\n", point.model, mflops,
+                100.0 * vanilla, 100.0 * dropblock,
+                100.0 * nb_result.final_acc);
+    std::printf("  paper deltas vs vanilla: dropblock %+0.1f, netbooster %+0.1f"
+                " | measured: %+0.2f, %+0.2f\n",
+                point.dropblock_delta, point.netbooster_delta,
+                100.0 * (dropblock - vanilla),
+                100.0 * (nb_result.final_acc - vanilla));
+    if (dropblock <= vanilla + 0.002f) ++dropblock_hurts;
+    if (nb_result.final_acc > vanilla) ++netbooster_helps;
+  }
+
+  bench::check_ordering(
+      "DropBlock does not help under-fitting TNNs (paper: hurts all 3)",
+      dropblock_hurts >= 2);
+  bench::check_ordering("NetBooster lifts the whole accuracy-MFLOPs curve",
+                        netbooster_helps >= 2);
+  bench::print_footer();
+  return 0;
+}

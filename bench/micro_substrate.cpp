@@ -1,0 +1,148 @@
+// google-benchmark microbenchmarks for the substrate: GEMM, convolution
+// forward/backward, the contraction algebra, and the headline efficiency
+// property — the expanded giant's inference latency vs the contracted
+// (original) model's.
+#include <benchmark/benchmark.h>
+
+#include "core/contraction.h"
+#include "core/expansion.h"
+#include "models/registry.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor_ops.h"
+#include "tensor/threadpool.h"
+
+namespace {
+
+using namespace nb;
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  fill_normal(a, rng, 0.0f, 1.0f);
+  fill_normal(b, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ConvForward(benchmark::State& state) {
+  const int64_t c = state.range(0);
+  nn::Conv2d conv(nn::Conv2dOptions(c, c, 3).same_padding());
+  Rng rng(2);
+  fill_normal(conv.weight().value, rng, 0.0f, 0.1f);
+  Tensor x({4, c, 16, 16});
+  fill_normal(x, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ConvForward)->Arg(8)->Arg(24);
+
+void BM_ConvBackward(benchmark::State& state) {
+  const int64_t c = state.range(0);
+  nn::Conv2d conv(nn::Conv2dOptions(c, c, 3).same_padding());
+  Rng rng(3);
+  fill_normal(conv.weight().value, rng, 0.0f, 0.1f);
+  Tensor x({4, c, 16, 16});
+  fill_normal(x, rng, 0.0f, 1.0f);
+  Tensor y = conv.forward(x);
+  Tensor g(y.shape());
+  fill_normal(g, rng, 0.0f, 0.1f);
+  for (auto _ : state) {
+    conv.zero_grad();
+    Tensor gx = conv.backward(g);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_ConvBackward)->Arg(8)->Arg(24);
+
+void BM_MergeSequential(benchmark::State& state) {
+  const int64_t hidden = state.range(0);
+  Rng rng(4);
+  core::LinearConv a{Tensor({hidden, 16, 1, 1}), Tensor({hidden}), 0};
+  core::LinearConv b{Tensor({32, hidden, 1, 1}), Tensor({32}), 0};
+  fill_normal(a.weight, rng, 0.0f, 0.1f);
+  fill_normal(b.weight, rng, 0.0f, 0.1f);
+  for (auto _ : state) {
+    core::LinearConv merged = core::merge_sequential(a, b);
+    benchmark::DoNotOptimize(merged.weight.data());
+  }
+}
+BENCHMARK(BM_MergeSequential)->Arg(48)->Arg(96)->Arg(192);
+
+// The headline property: giant inference is much slower than the contracted
+// model, and contraction restores vanilla-latency inference.
+void BM_GiantInference(benchmark::State& state) {
+  auto model = models::make_model("mbv2-tiny", 24, 5);
+  core::ExpansionConfig config;
+  Rng rng(6);
+  auto expansion = core::expand_network(*model, config, rng);
+  (void)expansion;
+  model->set_training(false);
+  Tensor x({1, 3, 24, 24});
+  fill_normal(x, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor y = model->forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_GiantInference);
+
+void BM_ContractedInference(benchmark::State& state) {
+  auto model = models::make_model("mbv2-tiny", 24, 5);
+  core::ExpansionConfig config;
+  Rng rng(6);
+  auto expansion = core::expand_network(*model, config, rng);
+  for (nn::PltActivation* act : expansion.plt_activations) act->set_alpha(1.0f);
+  (void)core::contract_network(*model, expansion, false, rng);
+  model->set_training(false);
+  Tensor x({1, 3, 24, 24});
+  fill_normal(x, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor y = model->forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ContractedInference);
+
+void BM_VanillaInference(benchmark::State& state) {
+  auto model = models::make_model("mbv2-tiny", 24, 5);
+  model->set_training(false);
+  Rng rng(6);
+  Tensor x({1, 3, 24, 24});
+  fill_normal(x, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor y = model->forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_VanillaInference);
+
+// Thread-pool scaling on a GEMM-sized parallel_for, independent of the
+// NB_THREADS-configured global pool: arg = worker count (0 = serial).
+void BM_ThreadPoolRowPartition(benchmark::State& state) {
+  const int64_t workers = state.range(0);
+  const int64_t n = 160;
+  Rng rng(7);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  fill_normal(a, rng, 0.0f, 1.0f);
+  fill_normal(b, rng, 0.0f, 1.0f);
+  ThreadPool pool(workers);
+  for (auto _ : state) {
+    c.zero();
+    pool.parallel_for(n, [&](int64_t i0, int64_t i1) {
+      gemm(false, false, i1 - i0, n, n, 1.0f, a.data() + i0 * n, b.data(),
+           0.0f, c.data() + i0 * n);
+    });
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_ThreadPoolRowPartition)->Arg(0)->Arg(1)->Arg(3);
+
+}  // namespace

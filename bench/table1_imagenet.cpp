@@ -1,0 +1,84 @@
+// Reproduces Table I: benchmarking on the large-scale dataset.
+// Four networks x {Vanilla, RocketLaunch, tf-KD, RCO-KD, NetAug, NetBooster}
+// (the KD family only for MobileNetV2-Tiny, as in the paper), with the
+// FLOPs / params columns showing that NetBooster's deployed model costs
+// exactly what vanilla costs.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "models/profiler.h"
+#include "train/metrics.h"
+
+namespace {
+
+struct PaperRow {
+  const char* model;
+  double vanilla, rocket, tfkd, rco, netaug, netbooster;
+};
+
+// Table I as printed in the paper (accuracy %).
+constexpr PaperRow kPaper[] = {
+    {"mbv2-tiny", 51.2, 51.8, 51.9, 52.6, 53.0, 53.7},
+    {"mcunet", 61.4, -1, -1, -1, 62.5, 62.8},
+    {"mbv2-50", 61.4, -1, -1, -1, 62.5, 62.7},
+    {"mbv2-100", 69.6, -1, -1, -1, 70.5, 70.9},
+};
+
+}  // namespace
+
+int main() {
+  using namespace nb;
+  const bench::Scale scale = bench::read_scale();
+  bench::print_header("Table I — benchmarking on the large-scale dataset",
+                      "NetBooster (DAC'23), Table I", scale);
+
+  for (const PaperRow& row : kPaper) {
+    const models::ModelConfig config = models::model_config(row.model, 1);
+    const int64_t res = data::scaled_resolution(config.paper_resolution);
+    const data::ClassificationTask task =
+        data::make_task("synth-imagenet", res, scale.data_scale, scale.seed);
+
+    // Efficiency columns: measured on the deployed (original/contracted) net.
+    auto probe = models::make_model(row.model, task.num_classes);
+    const models::Profile profile = models::profile_model(*probe, res);
+    std::printf("\n%s  (r=%lld px here / r=%lld in paper, %.1f MFLOPs, %s params)\n",
+                row.model, static_cast<long long>(res),
+                static_cast<long long>(config.paper_resolution),
+                profile.mflops(), models::human_count(profile.params).c_str());
+
+    const float vanilla = bench::run_vanilla(row.model, task, scale);
+    bench::print_row("  Vanilla", row.vanilla, 100.0 * vanilla);
+
+    float rocket = -1.0f, tfkd = -1.0f, rco = -1.0f;
+    if (row.rocket > 0) {  // KD family rows exist only for mbv2-tiny
+      rocket = bench::run_rocket(row.model, task, scale);
+      bench::print_row("  RocketLaunch", row.rocket, 100.0 * rocket);
+      tfkd = bench::run_tfkd(row.model, task, scale);
+      bench::print_row("  tf-KD", row.tfkd, 100.0 * tfkd);
+      rco = bench::run_rco_kd(row.model, task, scale);
+      bench::print_row("  RCO-KD", row.rco, 100.0 * rco);
+    }
+
+    const float netaug = bench::run_netaug(row.model, task, scale);
+    bench::print_row("  NetAug", row.netaug, 100.0 * netaug);
+
+    const core::NetBoosterResult nb_result =
+        bench::run_netbooster_full(row.model, task, scale);
+    bench::print_row("  NetBooster", row.netbooster, 100.0 * nb_result.final_acc,
+                     "(giant " + std::to_string(100.0f * nb_result.expanded_acc)
+                         .substr(0, 5) + "%)");
+
+    bench::check_ordering(std::string(row.model) + ": NetBooster > Vanilla",
+                          nb_result.final_acc > vanilla);
+    bench::check_ordering(
+        std::string(row.model) + ": contracted cost == vanilla cost",
+        nb_result.final_profile.flops == profile.flops &&
+            nb_result.final_profile.params == profile.params);
+    bench::check_ordering(
+        std::string(row.model) + ": contraction exact (err < 1e-3)",
+        nb_result.contraction_error < 1e-3f);
+  }
+
+  bench::print_footer();
+  return 0;
+}

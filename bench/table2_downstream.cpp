@@ -1,0 +1,178 @@
+// Reproduces Table II: transfer to the five downstream classification tasks.
+// MobileNetV2-Tiny: {Vanilla, NetBooster}; MobileNetV2-35: {Vanilla,
+// Vanilla+KD, NetBooster, NetBooster+KD}. Pretraining on the ImageNet
+// stand-in happens once per (model, method) and the snapshot is reused for
+// every downstream task, exactly like the paper's "ImageNet pretrained deep
+// giant as the starting point".
+#include <cstdio>
+#include <map>
+
+#include "baselines/kd.h"
+#include "bench_common.h"
+#include "nn/serialize.h"
+#include "train/metrics.h"
+
+namespace {
+
+using namespace nb;
+
+// Paper Table II accuracy (%): [cifar, cars, flowers, food, pets].
+const std::map<std::string, std::vector<double>> kPaper = {
+    {"tiny/vanilla", {74.07, 76.18, 90.01, 75.43, 78.30}},
+    {"tiny/netbooster", {75.46, 80.93, 90.53, 75.96, 78.90}},
+    {"35/vanilla", {76.08, 78.36, 90.63, 76.80, 80.64}},
+    {"35/vanilla+kd", {76.38, 77.47, 91.41, 77.02, 82.44}},
+    {"35/netbooster", {76.66, 80.91, 91.16, 77.26, 80.92}},
+    {"35/netbooster+kd", {77.15, 83.36, 92.68, 77.81, 83.37}},
+};
+
+/// Pretrains a vanilla model once; returns its state snapshot.
+std::map<std::string, Tensor> pretrain_vanilla(
+    const std::string& model_name, const data::ClassificationTask& pretask,
+    const bench::Scale& scale) {
+  auto model = models::make_model(model_name, pretask.num_classes, scale.seed + 3);
+  (void)train::train_classifier(*model, *pretask.train, *pretask.test,
+                                bench::pretrain_config(scale));
+  return nn::state_dict(*model);
+}
+
+/// Finetunes a vanilla-pretrained model on one downstream task.
+float vanilla_transfer(const std::string& model_name,
+                       const std::map<std::string, Tensor>& snapshot,
+                       const data::ClassificationTask& pretask,
+                       const data::ClassificationTask& task,
+                       const bench::Scale& scale, bool with_kd) {
+  auto model = models::make_model(model_name, pretask.num_classes, scale.seed + 3);
+  nn::load_state_dict(*model, snapshot);
+  Rng rng(scale.seed + 31, 3);
+  model->reset_classifier(task.num_classes, rng);
+
+  train::LossFn loss_fn = nullptr;
+  if (with_kd) {
+    auto teacher = models::make_model("teacher", task.num_classes, scale.seed + 7);
+    train::TrainConfig tc = bench::pretrain_config(scale);
+    (void)train::train_classifier(*teacher, *task.train, *task.test, tc);
+    loss_fn = baselines::make_kd_loss(teacher, {});
+  }
+  return train::train_classifier(*model, *task.train, *task.test,
+                                 bench::tune_config(scale), loss_fn)
+      .final_test_acc;
+}
+
+/// NetBooster transfer: giant pretrained once (snapshot passed in), then
+/// PLT + contraction on the downstream task, optionally with KD on top.
+float netbooster_transfer(const std::string& model_name,
+                          const std::map<std::string, Tensor>& giant_snapshot,
+                          const data::ClassificationTask& pretask,
+                          const data::ClassificationTask& task,
+                          const bench::Scale& scale, bool with_kd) {
+  auto model = models::make_model(model_name, pretask.num_classes, scale.seed + 3);
+  core::NetBoosterConfig config = bench::netbooster_config(scale);
+  core::NetBooster nb(model, config);  // same seed -> same giant structure
+  nn::load_state_dict(nb.model(), giant_snapshot);
+  nb.prepare_transfer(task.num_classes);
+
+  train::LossFn loss_fn = nullptr;
+  if (with_kd) {
+    auto teacher = models::make_model("teacher", task.num_classes, scale.seed + 7);
+    (void)train::train_classifier(*teacher, *task.train, *task.test,
+                                  bench::pretrain_config(scale));
+    loss_fn = baselines::make_kd_loss(teacher, {});
+  }
+  return nb.tune_and_contract(*task.train, *task.test, loss_fn);
+}
+
+/// Pretrains the NetBooster giant once; returns its state snapshot.
+std::map<std::string, Tensor> pretrain_giant(
+    const std::string& model_name, const data::ClassificationTask& pretask,
+    const bench::Scale& scale) {
+  auto model = models::make_model(model_name, pretask.num_classes, scale.seed + 3);
+  core::NetBoosterConfig config = bench::netbooster_config(scale);
+  core::NetBooster nb(model, config);
+  nb.train_giant(*pretask.train, *pretask.test);
+  return nn::state_dict(nb.model());
+}
+
+void print_series(const std::string& label, const std::vector<double>& paper,
+                  const std::vector<float>& measured) {
+  for (size_t i = 0; i < measured.size(); ++i) {
+    bench::print_row(
+        "  " + label + " / " + data::downstream_task_names()[i], paper[i],
+        100.0 * measured[i]);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::read_scale();
+  bench::print_header("Table II — downstream image classification",
+                      "NetBooster (DAC'23), Table II", scale);
+
+  const data::ClassificationTask pretask = data::make_task(
+      "synth-imagenet", data::scaled_resolution(160), scale.data_scale,
+      scale.seed);
+
+  std::vector<data::ClassificationTask> tasks;
+  for (const std::string& name : data::downstream_task_names()) {
+    tasks.push_back(data::make_task(name, 0, scale.data_scale, scale.seed));
+  }
+
+  auto run_group = [&](const std::string& model_name, const std::string& tag,
+                       bool kd_rows) {
+    std::printf("\n%s:\n", model_name.c_str());
+    const auto vanilla_snapshot = pretrain_vanilla(model_name, pretask, scale);
+    const auto giant_snapshot = pretrain_giant(model_name, pretask, scale);
+
+    std::vector<float> vanilla, vanilla_kd, booster, booster_kd;
+    for (const auto& task : tasks) {
+      vanilla.push_back(vanilla_transfer(model_name, vanilla_snapshot, pretask,
+                                         task, scale, false));
+      if (kd_rows) {
+        vanilla_kd.push_back(vanilla_transfer(model_name, vanilla_snapshot,
+                                              pretask, task, scale, true));
+      }
+      booster.push_back(netbooster_transfer(model_name, giant_snapshot,
+                                            pretask, task, scale, false));
+      if (kd_rows) {
+        booster_kd.push_back(netbooster_transfer(model_name, giant_snapshot,
+                                                 pretask, task, scale, true));
+      }
+    }
+
+    print_series("Vanilla", kPaper.at(tag + "/vanilla"), vanilla);
+    if (kd_rows) {
+      print_series("Vanilla+KD", kPaper.at(tag + "/vanilla+kd"), vanilla_kd);
+    }
+    print_series("NetBooster", kPaper.at(tag + "/netbooster"), booster);
+    if (kd_rows) {
+      print_series("NetBooster+KD", kPaper.at(tag + "/netbooster+kd"),
+                   booster_kd);
+    }
+
+    int wins = 0;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      if (booster[i] >= vanilla[i]) ++wins;
+    }
+    bench::check_ordering(
+        model_name + ": NetBooster >= Vanilla on most downstream tasks (" +
+            std::to_string(wins) + "/5)",
+        wins >= 3);
+    if (kd_rows) {
+      int kd_wins = 0;
+      for (size_t i = 0; i < tasks.size(); ++i) {
+        if (booster_kd[i] >= booster[i]) ++kd_wins;
+      }
+      bench::check_ordering(
+          model_name + ": KD stacks on top of NetBooster (" +
+              std::to_string(kd_wins) + "/5)",
+          kd_wins >= 3);
+    }
+  };
+
+  run_group("mbv2-tiny", "tiny", /*kd_rows=*/false);
+  run_group("mbv2-35", "35", /*kd_rows=*/true);
+
+  bench::print_footer();
+  return 0;
+}

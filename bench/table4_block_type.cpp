@@ -1,0 +1,66 @@
+// Reproduces Table IV: ablation on what kind of block to insert (Q1).
+// MobileNetV2-Tiny on the ImageNet stand-in; rows are the vanilla reference
+// plus the three inserted-block types, reporting both the deep giant's
+// accuracy ("Expanded Acc.") and the post-PLT contracted accuracy
+// ("Final Acc.").
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+struct PaperRow {
+  nb::core::BlockType type;
+  double expanded, final_acc;
+};
+
+constexpr double kPaperVanilla = 51.20;
+const PaperRow kPaper[] = {
+    {nb::core::BlockType::inverted_residual, 54.90, 53.70},
+    {nb::core::BlockType::basic, 54.52, 53.41},
+    {nb::core::BlockType::bottleneck, 55.23, 53.62},
+};
+
+}  // namespace
+
+int main() {
+  using namespace nb;
+  const bench::Scale scale = bench::read_scale();
+  bench::print_header("Table IV — ablation: what kind of block to insert (Q1)",
+                      "NetBooster (DAC'23), Table IV", scale);
+
+  const int64_t res = data::scaled_resolution(144);
+  const data::ClassificationTask task =
+      data::make_task("synth-imagenet", res, scale.data_scale, scale.seed);
+
+  const float vanilla = bench::run_vanilla("mbv2-tiny", task, scale);
+  bench::print_row("Vanilla", kPaperVanilla, 100.0 * vanilla);
+
+  float ir_final = 0.0f;
+  float best_other = 0.0f;
+  for (const PaperRow& row : kPaper) {
+    core::ExpansionConfig expansion;
+    expansion.block_type = row.type;
+    const core::NetBoosterResult r =
+        bench::run_netbooster_full("mbv2-tiny", task, scale, &expansion);
+    bench::print_row(std::string(core::to_string(row.type)) + " (expanded)",
+                     row.expanded, 100.0 * r.expanded_acc);
+    bench::print_row(std::string(core::to_string(row.type)) + " (final)",
+                     row.final_acc, 100.0 * r.final_acc);
+    if (row.type == core::BlockType::inverted_residual) {
+      ir_final = r.final_acc;
+    } else {
+      best_other = std::max(best_other, r.final_acc);
+    }
+    bench::check_ordering(
+        std::string(core::to_string(row.type)) + ": final > vanilla",
+        r.final_acc > vanilla);
+  }
+
+  bench::check_ordering(
+      "inverted residual competitive with other block types (within 2%)",
+      ir_final >= best_other - 0.02f);
+
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Table VI: ablation on the expansion ratio (Q3). The paper
+// reports that the common ratios 4-6 work best, with quality degrading at 8
+// (too large a complexity gap for effective feature inheritance) and at 2
+// (not enough added capacity) — and that the *contracted* cost is identical
+// for every ratio (remark after Eq. 4).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "models/profiler.h"
+
+namespace {
+
+struct PaperRow {
+  int64_t ratio;
+  double final_acc;
+};
+
+constexpr double kPaperVanilla = 51.20;
+constexpr PaperRow kPaper[] = {{2, 52.94}, {4, 53.52}, {6, 53.70}, {8, 52.56}};
+
+}  // namespace
+
+int main() {
+  using namespace nb;
+  const bench::Scale scale = bench::read_scale();
+  bench::print_header("Table VI — ablation: expansion ratio (Q3)",
+                      "NetBooster (DAC'23), Table VI", scale);
+
+  const int64_t res = data::scaled_resolution(144);
+  const data::ClassificationTask task =
+      data::make_task("synth-imagenet", res, scale.data_scale, scale.seed);
+
+  const float vanilla = bench::run_vanilla("mbv2-tiny", task, scale);
+  bench::print_row("Vanilla", kPaperVanilla, 100.0 * vanilla);
+
+  int64_t deployed_flops = -1;
+  bool all_above_vanilla = true;
+  bool costs_identical = true;
+  for (const PaperRow& row : kPaper) {
+    core::ExpansionConfig expansion;
+    expansion.expansion_ratio = row.ratio;
+    const core::NetBoosterResult r =
+        bench::run_netbooster_full("mbv2-tiny", task, scale, &expansion);
+    bench::print_row("ratio " + std::to_string(row.ratio), row.final_acc,
+                     100.0 * r.final_acc,
+                     "(giant " + std::to_string(r.giant_profile.mflops())
+                         .substr(0, 5) + " MFLOPs)");
+    all_above_vanilla = all_above_vanilla && r.final_acc > vanilla;
+    if (deployed_flops < 0) {
+      deployed_flops = r.final_profile.flops;
+    } else if (r.final_profile.flops != deployed_flops) {
+      costs_identical = false;
+    }
+  }
+
+  bench::check_ordering(
+      "every ratio in {2,4,6,8} improves over vanilla (paper: all do)",
+      all_above_vanilla);
+  bench::check_ordering(
+      "contracted cost identical for every ratio (paper remark after Eq. 4)",
+      costs_identical);
+
+  bench::print_footer();
+  return 0;
+}

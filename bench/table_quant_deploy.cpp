@@ -1,0 +1,72 @@
+// Extension experiment (no paper counterpart): does NetBooster's accuracy
+// gain survive int8 post-training quantization? The paper's motivation is
+// IoT deployment (MCUNet-class devices), where deployed TNNs are int8; a
+// training method whose gains evaporate under PTQ would be useless there.
+// This bench trains vanilla and NetBooster models, runs both through the
+// fold-BN -> per-channel int8 weights -> calibrated int8 activations
+// pipeline (src/quant), and compares fp32 vs int8 accuracy and weight bytes.
+#include "bench_common.h"
+#include "quant/qmodel.h"
+#include "train/metrics.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace nb;
+  const bench::Scale scale = bench::read_scale();
+  bench::print_header(
+      "Deployment — int8 PTQ of the contracted TNN (extension)",
+      "NetBooster (DAC'23) motivation: IoT deployment; MCUNet-style PTQ",
+      scale);
+
+  const int64_t res = data::scaled_resolution(144);
+  const data::ClassificationTask task = data::make_task(
+      "synth-imagenet", res, 0.6f * scale.data_scale, scale.seed);
+
+  // Vanilla TNN, trained then quantized.
+  auto vanilla_model =
+      models::make_model("mbv2-tiny", task.num_classes, scale.seed + 3);
+  train::TrainConfig vc = bench::pretrain_config(scale);
+  vc.epochs = bench::total_epochs(scale);
+  (void)train::train_classifier(*vanilla_model, *task.train, *task.test, vc);
+  const float vanilla_fp32 = train::evaluate(*vanilla_model, *task.test);
+
+  quant::DeployConfig deploy;
+  deploy.calib_batches = 4;
+  const quant::DeployReport vr =
+      quant::quantize_for_deployment(*vanilla_model, *task.train, deploy);
+  const float vanilla_int8 = train::evaluate(*vanilla_model, *task.test);
+
+  // NetBooster TNN (expanded -> tuned -> contracted), then quantized.
+  std::shared_ptr<models::MobileNetV2> nb_model;
+  const core::NetBoosterResult r = bench::run_netbooster_full(
+      "mbv2-tiny", task, scale, nullptr, nullptr, &nb_model);
+  const float booster_fp32 = r.final_acc;
+  const quant::DeployReport br =
+      quant::quantize_for_deployment(*nb_model, *task.train, deploy);
+  const float booster_int8 = train::evaluate(*nb_model, *task.test);
+
+  bench::print_row("Vanilla fp32", 51.20, 100.0 * vanilla_fp32);
+  bench::print_row("Vanilla int8", 0.0, 100.0 * vanilla_int8,
+                   "(" + models::human_count(vr.quant_weight_bytes) +
+                       "B weights vs " +
+                       models::human_count(vr.fp32_weight_bytes) + "B fp32)");
+  bench::print_row("NetBooster fp32", 53.70, 100.0 * booster_fp32);
+  bench::print_row("NetBooster int8", 0.0, 100.0 * booster_int8,
+                   "(" + models::human_count(br.quant_weight_bytes) +
+                       "B weights)");
+
+  bench::check_ordering("NetBooster int8 > vanilla int8 (gain survives PTQ)",
+                        booster_int8 > vanilla_int8);
+  bench::check_ordering(
+      "int8 costs vanilla < 3 points of fp32 accuracy",
+      vanilla_fp32 - vanilla_int8 < 0.03f);
+  bench::check_ordering(
+      "int8 costs NetBooster < 3 points of fp32 accuracy",
+      booster_fp32 - booster_int8 < 0.03f);
+  bench::check_ordering(
+      "identical deployed weight bytes (same architecture after contraction)",
+      vr.quant_weight_bytes == br.quant_weight_bytes);
+
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// The knowledge-distillation baseline family of Table I:
+//   - KD (Hinton et al.): CE + T^2*KL against a fixed wide teacher;
+//   - tf-KD (Yuan et al., CVPR'20): teacher-free KD with a manually designed
+//     smoothed teacher distribution;
+//   - RCO-KD (Jin et al., ICCV'19): route-constrained optimization — the
+//     student distills against a *sequence* of teacher checkpoints saved
+//     along the teacher's own training route (easy-to-hard);
+//   - Rocket Launching (Zhou et al., AAAI'18): light net and booster net
+//     share a backbone and are trained jointly with a hint loss; the light
+//     net is deployed.
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "models/mobilenetv2.h"
+#include "nn/serialize.h"
+#include "train/trainer.h"
+
+namespace nb::baselines {
+
+struct KdConfig {
+  float temperature = 4.0f;
+  /// loss = (1 - alpha) * CE + alpha * T^2 * KL.
+  float alpha = 0.7f;
+};
+
+/// Criterion closing over a frozen teacher (eval-mode forwards).
+train::LossFn make_kd_loss(std::shared_ptr<nn::Module> teacher,
+                           const KdConfig& config);
+
+/// tf-KD's manual teacher: probability `correct_prob` on the label, the rest
+/// spread uniformly, sharpened by `temperature`.
+train::LossFn make_tfkd_loss(int64_t num_classes, const KdConfig& config,
+                             float correct_prob = 0.9f);
+
+/// Trains the teacher while snapshotting `route_length` evenly spaced
+/// checkpoints (including the final one) — the RCO route.
+std::vector<std::map<std::string, Tensor>> train_teacher_route(
+    models::MobileNetV2& teacher, const data::ClassificationDataset& train_set,
+    const data::ClassificationDataset& test_set,
+    const train::TrainConfig& config, int64_t route_length);
+
+/// RCO-KD: the student's KD target steps through the teacher route in equal
+/// epoch chunks.
+train::TrainHistory train_rco_kd(
+    models::MobileNetV2& student, models::MobileNetV2& teacher,
+    const std::vector<std::map<std::string, Tensor>>& route,
+    const data::ClassificationDataset& train_set,
+    const data::ClassificationDataset& test_set,
+    const train::TrainConfig& config, const KdConfig& kd);
+
+struct RocketConfig {
+  /// Booster head widening factor over the light head.
+  float booster_width = 2.0f;
+  /// Weight of the hint (logit-matching) loss.
+  float hint_weight = 0.5f;
+  uint64_t seed = 41;
+};
+
+/// Rocket Launching: joint training of the light model plus a wider booster
+/// branch sharing the light model's trunk; returns the light net's history.
+/// After training the light model (passed in) is the deployable network.
+train::TrainHistory train_rocket(models::MobileNetV2& light,
+                                 const data::ClassificationDataset& train_set,
+                                 const data::ClassificationDataset& test_set,
+                                 const train::TrainConfig& config,
+                                 const RocketConfig& rocket);
+
+}  // namespace nb::baselines

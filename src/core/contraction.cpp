@@ -1,0 +1,249 @@
+#include "core/contraction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace nb::core {
+
+Tensor apply_linear_conv(const LinearConv& conv, const Tensor& x) {
+  NB_CHECK(x.dim() == 4 && x.size(1) == conv.cin(),
+           "apply_linear_conv input mismatch");
+  const int64_t n = x.size(0), h = x.size(2), w = x.size(3);
+  const int64_t k = conv.kernel(), p = conv.padding;
+  const int64_t oh = h + 2 * p - k + 1;
+  const int64_t ow = w + 2 * p - k + 1;
+  NB_CHECK(oh > 0 && ow > 0, "apply_linear_conv empty output");
+  Tensor y({n, conv.cout(), oh, ow});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t o = 0; o < conv.cout(); ++o) {
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          double acc = conv.bias.at(o);
+          for (int64_t m = 0; m < conv.cin(); ++m) {
+            for (int64_t ki = 0; ki < k; ++ki) {
+              const int64_t iy = oy + ki - p;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kj = 0; kj < k; ++kj) {
+                const int64_t ix = ox + kj - p;
+                if (ix < 0 || ix >= w) continue;
+                acc += static_cast<double>(conv.weight.at(o, m, ki, kj)) *
+                       x.at(i, m, iy, ix);
+              }
+            }
+          }
+          y.at(i, o, oy, ox) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor expand_grouped_weight(const Tensor& weight, int64_t groups) {
+  NB_CHECK(weight.dim() == 4, "conv weight expected");
+  if (groups == 1) return weight.clone();
+  const int64_t cout = weight.size(0);
+  const int64_t cin_g = weight.size(1);
+  const int64_t k = weight.size(2);
+  const int64_t cin = cin_g * groups;
+  const int64_t cout_g = cout / groups;
+  Tensor full({cout, cin, k, k});
+  for (int64_t o = 0; o < cout; ++o) {
+    const int64_t g = o / cout_g;
+    for (int64_t m = 0; m < cin_g; ++m) {
+      for (int64_t ki = 0; ki < k; ++ki) {
+        for (int64_t kj = 0; kj < k; ++kj) {
+          full.at(o, g * cin_g + m, ki, kj) = weight.at(o, m, ki, kj);
+        }
+      }
+    }
+  }
+  return full;
+}
+
+LinearConv fold_conv_bn(nn::Conv2d& conv, nn::BatchNorm2d* bn) {
+  const auto& opts = conv.options();
+  NB_CHECK(opts.stride == 1, "contraction requires stride-1 convs");
+  LinearConv out;
+  out.weight = expand_grouped_weight(conv.weight().value, opts.groups);
+  out.bias = Tensor({opts.out_channels});
+  out.padding = opts.padding;
+  if (conv.has_bias()) out.bias.copy_from(conv.bias().value);
+
+  if (bn != nullptr) {
+    NB_CHECK(bn->channels() == opts.out_channels, "BN/conv channel mismatch");
+    const nn::BnAffine affine = nn::bn_to_affine(*bn);
+    for (int64_t o = 0; o < opts.out_channels; ++o) {
+      const float s = affine.scale[static_cast<size_t>(o)];
+      float* w = out.weight.data() + o * out.weight.numel() / opts.out_channels;
+      const int64_t per_out = out.weight.numel() / opts.out_channels;
+      for (int64_t j = 0; j < per_out; ++j) w[j] *= s;
+      out.bias.at(o) =
+          s * out.bias.at(o) + affine.shift[static_cast<size_t>(o)];
+    }
+  }
+  return out;
+}
+
+LinearConv merge_sequential(const LinearConv& first, const LinearConv& second) {
+  NB_CHECK(second.cin() == first.cout(),
+           "merge_sequential channel mismatch");
+  const int64_t c1 = first.cin();
+  const int64_t c2 = first.cout();
+  const int64_t c3 = second.cout();
+  const int64_t k1 = first.kernel();
+  const int64_t k2 = second.kernel();
+  const int64_t k = k1 + k2 - 1;  // paper Eq. 4: k = k1 + k2 - 1
+
+  LinearConv merged;
+  merged.weight = Tensor({c3, c1, k, k});
+  merged.bias = Tensor({c3});
+  merged.padding = first.padding + second.padding;
+
+  // Eq. 4: K[i,j,m,o] = sum_{s,t,n} K1[i-s, j-t, m, n] * K2[s, t, n, o].
+  for (int64_t o = 0; o < c3; ++o) {
+    for (int64_t n = 0; n < c2; ++n) {
+      for (int64_t s = 0; s < k2; ++s) {
+        for (int64_t t = 0; t < k2; ++t) {
+          const float w2 = second.weight.at(o, n, s, t);
+          if (w2 == 0.0f) continue;
+          for (int64_t m = 0; m < c1; ++m) {
+            for (int64_t u = 0; u < k1; ++u) {
+              for (int64_t v = 0; v < k1; ++v) {
+                merged.weight.at(o, m, u + s, v + t) +=
+                    w2 * first.weight.at(n, m, u, v);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  // Constant input bias b1 flows through the second conv's taps.
+  for (int64_t o = 0; o < c3; ++o) {
+    double acc = second.bias.at(o);
+    for (int64_t n = 0; n < c2; ++n) {
+      double taps = 0.0;
+      for (int64_t s = 0; s < k2; ++s) {
+        for (int64_t t = 0; t < k2; ++t) taps += second.weight.at(o, n, s, t);
+      }
+      acc += taps * first.bias.at(n);
+    }
+    merged.bias.at(o) = static_cast<float>(acc);
+  }
+  return merged;
+}
+
+void add_identity(LinearConv& conv) {
+  NB_CHECK(conv.cin() == conv.cout(), "identity merge needs cin == cout");
+  NB_CHECK(conv.kernel() % 2 == 1, "identity merge needs an odd kernel");
+  const int64_t center = conv.kernel() / 2;
+  for (int64_t c = 0; c < conv.cout(); ++c) {
+    conv.weight.at(c, c, center, center) += 1.0f;
+  }
+}
+
+void add_parallel(LinearConv& a, const LinearConv& b) {
+  NB_CHECK(a.cin() == b.cin() && a.cout() == b.cout(),
+           "parallel merge shape mismatch");
+  NB_CHECK(b.kernel() <= a.kernel() &&
+               (a.kernel() - b.kernel()) % 2 == 0,
+           "parallel merge kernel mismatch");
+  const int64_t off = (a.kernel() - b.kernel()) / 2;
+  for (int64_t o = 0; o < a.cout(); ++o) {
+    for (int64_t m = 0; m < a.cin(); ++m) {
+      for (int64_t ki = 0; ki < b.kernel(); ++ki) {
+        for (int64_t kj = 0; kj < b.kernel(); ++kj) {
+          a.weight.at(o, m, ki + off, kj + off) += b.weight.at(o, m, ki, kj);
+        }
+      }
+    }
+    a.bias.at(o) += b.bias.at(o);
+  }
+}
+
+std::shared_ptr<nn::Conv2d> contract_expanded(ExpandedConv& block) {
+  NB_CHECK(block.fully_linearized(),
+           "contract_expanded before PLT finished (alpha < 1 somewhere)");
+  const auto& units = block.units();
+  NB_CHECK(!units.empty(), "empty expanded block");
+
+  LinearConv merged;
+  bool have = false;
+  for (const auto& unit : units) {
+    nn::Conv2d* conv = nullptr;
+    // The unit's conv slot always holds a plain Conv2d inside inserted blocks.
+    conv = dynamic_cast<nn::Conv2d*>(unit->conv_slot().get());
+    NB_CHECK(conv != nullptr, "expanded unit does not hold a Conv2d");
+    LinearConv folded = fold_conv_bn(*conv, unit->bn());
+    merged = have ? merge_sequential(merged, folded) : std::move(folded);
+    have = true;
+  }
+
+  if (block.has_identity_shortcut()) {
+    add_identity(merged);
+  } else if (nn::ConvBnAct* proj = block.projection_shortcut()) {
+    nn::Conv2d* conv = dynamic_cast<nn::Conv2d*>(proj->conv_slot().get());
+    NB_CHECK(conv != nullptr, "projection shortcut does not hold a Conv2d");
+    LinearConv folded = fold_conv_bn(*conv, proj->bn());
+    add_parallel(merged, folded);
+  }
+
+  auto contracted = std::make_shared<nn::Conv2d>(
+      nn::Conv2dOptions(merged.cin(), merged.cout(), merged.kernel())
+          .with_padding(merged.padding)
+          .with_bias(true));
+  contracted->weight().value.copy_from(merged.weight);
+  contracted->bias().value.copy_from(merged.bias);
+  return contracted;
+}
+
+ContractionReport contract_network(models::MobileNetV2& model,
+                                   ExpansionResult& expansion, bool verify,
+                                   Rng& rng) {
+  ContractionReport report;
+  const bool was_training = model.training();
+  model.set_training(false);
+
+  for (ExpansionRecord& record : expansion.records) {
+    ExpandedConv& block = *record.expanded;
+    auto contracted = contract_expanded(block);
+
+    if (verify) {
+      Tensor probe({2, block.cin(), 6, 6});
+      fill_normal(probe, rng, 0.0f, 1.0f);
+      const Tensor giant_out = block.forward(probe);
+      const Tensor merged_out = contracted->forward(probe);
+      report.max_error =
+          std::max(report.max_error, max_abs_diff(giant_out, merged_out));
+    }
+
+    // Absorb the merged bias into the host BN's running mean so the final
+    // conv is bias-free, exactly matching the original TNN structure. In
+    // train mode a pre-BN constant shift cancels anyway; in eval mode the
+    // adjusted running mean reproduces it exactly.
+    nn::BatchNorm2d* host_bn = record.host_unit->bn();
+    if (host_bn != nullptr) {
+      for (int64_t c = 0; c < host_bn->channels(); ++c) {
+        host_bn->running_mean().at(c) -= contracted->bias().value.at(c);
+      }
+      auto bias_free = std::make_shared<nn::Conv2d>(
+          nn::Conv2dOptions(block.cin(), block.cout(), contracted->options().kernel)
+              .with_padding(contracted->options().padding));
+      bias_free->weight().value.copy_from(contracted->weight().value);
+      contracted = bias_free;
+    }
+
+    record.host_unit->swap_conv(contracted);
+    ++report.contracted;
+  }
+
+  expansion.records.clear();
+  expansion.plt_activations.clear();
+  model.set_training(was_training);
+  return report;
+}
+
+}  // namespace nb::core

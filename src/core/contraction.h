@@ -1,0 +1,71 @@
+// Step 2b of NetBooster: contraction of a linearized expanded block back into
+// the original single convolution (paper Sec. III-D, Eq. 3-4). The pipeline
+// is: fold every BN into its conv (exact in eval mode), compose the now
+// purely linear conv chain into one kernel, merge residual shortcuts by
+// adding the (possibly projected) identity, and splice the resulting single
+// Conv2d back into the host block. With the default 1x1 inserted kernels the
+// contraction is exact everywhere, not just in expectation — the property
+// tests enforce agreement to float tolerance.
+#pragma once
+
+#include <memory>
+
+#include "core/expansion.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+
+namespace nb::core {
+
+/// A stride-1 convolution in plain (weight, bias, padding) form with
+/// groups = 1 (grouped/depthwise kernels are expanded to full form first).
+struct LinearConv {
+  Tensor weight;  // [cout, cin, k, k]
+  Tensor bias;    // [cout]
+  int64_t padding = 0;
+
+  int64_t cout() const { return weight.size(0); }
+  int64_t cin() const { return weight.size(1); }
+  int64_t kernel() const { return weight.size(2); }
+};
+
+/// Applies a LinearConv to an NCHW input (reference semantics used by the
+/// equivalence tests; not a training path).
+Tensor apply_linear_conv(const LinearConv& conv, const Tensor& x);
+
+/// Expands a grouped conv weight [cout, cin/g, k, k] to full [cout, cin, k, k].
+Tensor expand_grouped_weight(const Tensor& weight, int64_t groups);
+
+/// Folds an eval-mode BN into the conv: w' = s*w, b' = s*b + shift.
+/// Pass bn = nullptr for a bare conv. Requires stride 1.
+LinearConv fold_conv_bn(nn::Conv2d& conv, nn::BatchNorm2d* bn);
+
+/// Eq. 3-4: the single conv equivalent to second(first(x)). Kernel size is
+/// k1 + k2 - 1; biases compose as b = W2 * b1 + b2 (summed over taps).
+LinearConv merge_sequential(const LinearConv& first, const LinearConv& second);
+
+/// Residual merge: conv' = conv + identity (requires cin == cout, odd k).
+void add_identity(LinearConv& conv);
+
+/// Parallel-branch merge: a += b, embedding the smaller kernel centrally.
+void add_parallel(LinearConv& a, const LinearConv& b);
+
+/// Contracts a fully linearized ExpandedConv into one Conv2d (with bias).
+/// Throws if any internal PLT activation has alpha < 1.
+std::shared_ptr<nn::Conv2d> contract_expanded(ExpandedConv& block);
+
+struct ContractionReport {
+  int64_t contracted = 0;
+  /// Max |giant - contracted| across verification probes (0 if !verify).
+  float max_error = 0.0f;
+};
+
+/// Contracts every recorded expansion site in the model, absorbing each
+/// merged bias into the host BN's running mean so the final convolution is
+/// bias-free — i.e. the model returns to exactly the original TNN structure.
+/// When `verify` is set, each site is checked on a random probe input before
+/// and after the splice.
+ContractionReport contract_network(models::MobileNetV2& model,
+                                   ExpansionResult& expansion, bool verify,
+                                   Rng& rng);
+
+}  // namespace nb::core

@@ -1,0 +1,251 @@
+#include "core/expansion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace nb::core {
+
+const char* to_string(BlockType t) {
+  switch (t) {
+    case BlockType::inverted_residual: return "inverted-residual";
+    case BlockType::basic: return "basic";
+    case BlockType::bottleneck: return "bottleneck";
+  }
+  return "?";
+}
+
+const char* to_string(Placement p) {
+  switch (p) {
+    case Placement::uniform: return "uniform";
+    case Placement::first: return "first";
+    case Placement::middle: return "middle";
+    case Placement::last: return "last";
+  }
+  return "?";
+}
+
+namespace {
+
+std::shared_ptr<nn::ConvBnAct> linear_unit(const nn::Conv2dOptions& opts) {
+  return std::make_shared<nn::ConvBnAct>(opts, nn::ModulePtr(nullptr));
+}
+
+std::shared_ptr<nn::ConvBnAct> plt_unit(const nn::Conv2dOptions& opts,
+                                        nn::ActKind act_kind) {
+  return std::make_shared<nn::ConvBnAct>(
+      opts, std::make_shared<nn::PltActivation>(act_kind, 0.0f));
+}
+
+}  // namespace
+
+ExpandedConv::ExpandedConv(int64_t cin, int64_t cout,
+                           const ExpansionConfig& config,
+                           nn::ActKind act_kind, Rng& rng,
+                           const Tensor* original_weight)
+    : cin_(cin), cout_(cout), config_(config) {
+  NB_CHECK(config.expansion_ratio >= 1, "expansion ratio >= 1");
+  const int64_t k = config.dw_kernel;
+  NB_CHECK(k % 2 == 1, "inserted kernel must be odd");
+
+  switch (config.block_type) {
+    case BlockType::inverted_residual: {
+      // pw (cin -> r*cin) -> dw kxk -> pw (-> cout), as in Fig. 2.
+      const int64_t hidden = cin * config.expansion_ratio;
+      units_.push_back(plt_unit(nn::Conv2dOptions(cin, hidden, 1), act_kind));
+      units_.push_back(plt_unit(nn::Conv2dOptions(hidden, hidden, k)
+                                    .same_padding()
+                                    .with_groups(hidden),
+                                act_kind));
+      units_.push_back(linear_unit(nn::Conv2dOptions(hidden, cout, 1)));
+      break;
+    }
+    case BlockType::basic: {
+      // Two full convs + residual (ResNet basic). The paper eliminates this
+      // for k=3 because of the receptive-field blowup; with k=1 it remains
+      // structurally consistent, which is how the Table IV ablation runs it.
+      const int64_t mid = std::max<int64_t>(cout, cin);
+      units_.push_back(
+          plt_unit(nn::Conv2dOptions(cin, mid, k).same_padding(), act_kind));
+      units_.push_back(
+          linear_unit(nn::Conv2dOptions(mid, cout, k).same_padding()));
+      break;
+    }
+    case BlockType::bottleneck: {
+      // reduce -> kxk -> expand + residual (ResNet bottleneck).
+      const int64_t mid = std::max<int64_t>(4, cout / 2);
+      units_.push_back(plt_unit(nn::Conv2dOptions(cin, mid, 1), act_kind));
+      units_.push_back(
+          plt_unit(nn::Conv2dOptions(mid, mid, k).same_padding(), act_kind));
+      units_.push_back(linear_unit(nn::Conv2dOptions(mid, cout, 1)));
+      break;
+    }
+  }
+
+  for (auto& unit : units_) nn::init_parameters(*unit, rng);
+
+  if (config.preserve_function) {
+    // Function-preserving insertion: a bare linear conv shortcut carries the
+    // replaced layer's weights, and the deep branch starts silent by zeroing
+    // its final BN gamma — block(x) == W0 x exactly, in both BN modes.
+    shortcut_ = nn::ConvBnAct::conv_only(nn::Conv2dOptions(cin, cout, 1),
+                                         nn::ActKind::identity);
+    auto* conv = shortcut_->conv2d();
+    if (original_weight != nullptr) {
+      NB_CHECK(original_weight->numel() == conv->weight().value.numel(),
+               "original weight shape mismatch for function preservation");
+      conv->weight().value.copy_from(*original_weight);
+    } else {
+      nn::kaiming_normal_fan_out(conv->weight().value, rng);
+    }
+    units_.back()->bn()->gamma().value.zero();
+  } else {
+    // Paper wiring: identity residual when shapes allow, a linear projection
+    // for basic/bottleneck inserts otherwise (both are contractible).
+    if (cin == cout) {
+      identity_shortcut_ = true;
+    } else if (config.block_type != BlockType::inverted_residual) {
+      shortcut_ = linear_unit(nn::Conv2dOptions(cin, cout, 1));
+      nn::init_parameters(*shortcut_, rng);
+    }
+  }
+}
+
+Tensor ExpandedConv::forward(const Tensor& x) {
+  input_ = x;
+  Tensor y = x;
+  for (auto& unit : units_) y = unit->forward(y);
+  if (identity_shortcut_) {
+    y.add_(x);
+  } else if (shortcut_) {
+    y.add_(shortcut_->forward(x));
+  }
+  return y;
+}
+
+Tensor ExpandedConv::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = units_.rbegin(); it != units_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  if (identity_shortcut_) {
+    g.add_(grad_out);
+  } else if (shortcut_) {
+    g.add_(shortcut_->backward(grad_out));
+  }
+  return g;
+}
+
+std::vector<std::pair<std::string, nn::Module*>> ExpandedConv::named_children() {
+  std::vector<std::pair<std::string, nn::Module*>> out;
+  for (size_t i = 0; i < units_.size(); ++i) {
+    out.emplace_back("unit" + std::to_string(i), units_[i].get());
+  }
+  if (shortcut_) out.emplace_back("shortcut", shortcut_.get());
+  return out;
+}
+
+std::vector<nn::PltActivation*> ExpandedConv::plt_activations() {
+  std::vector<nn::PltActivation*> acts;
+  for (auto& unit : units_) {
+    if (auto* plt = dynamic_cast<nn::PltActivation*>(unit->act())) {
+      acts.push_back(plt);
+    }
+  }
+  return acts;
+}
+
+bool ExpandedConv::fully_linearized() {
+  for (nn::PltActivation* act : plt_activations()) {
+    if (!act->is_linearized()) return false;
+  }
+  return true;
+}
+
+std::vector<int64_t> select_expansion_sites(int64_t num_candidates,
+                                            Placement placement,
+                                            int64_t count) {
+  NB_CHECK(num_candidates > 0, "no expansion candidates");
+  count = std::clamp<int64_t>(count, 0, num_candidates);
+  std::vector<int64_t> sites;
+  sites.reserve(static_cast<size_t>(count));
+  switch (placement) {
+    case Placement::first:
+      for (int64_t i = 0; i < count; ++i) sites.push_back(i);
+      break;
+    case Placement::last:
+      for (int64_t i = num_candidates - count; i < num_candidates; ++i) {
+        sites.push_back(i);
+      }
+      break;
+    case Placement::middle: {
+      const int64_t start = (num_candidates - count) / 2;
+      for (int64_t i = 0; i < count; ++i) sites.push_back(start + i);
+      break;
+    }
+    case Placement::uniform:
+      // Evenly spread sites so every region of the TNN has adjacent layers
+      // to inherit the expanded features (paper Q2 answer).
+      for (int64_t i = 0; i < count; ++i) {
+        const int64_t idx = static_cast<int64_t>(
+            std::floor((static_cast<double>(i) + 0.5) * num_candidates / count));
+        sites.push_back(std::min(idx, num_candidates - 1));
+      }
+      break;
+  }
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+  return sites;
+}
+
+ExpansionResult expand_network(models::MobileNetV2& model,
+                               const ExpansionConfig& config, Rng& rng) {
+  ExpansionResult result;
+  // Candidates: trunk blocks that have a pw-expand stage.
+  std::vector<int64_t> candidate_indices;
+  auto blocks = model.residual_blocks();
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i]->has_expand()) {
+      candidate_indices.push_back(static_cast<int64_t>(i));
+    }
+  }
+  NB_CHECK(!candidate_indices.empty(), "model has no expandable blocks");
+
+  int64_t count = config.expand_count;
+  if (count < 0) {
+    NB_CHECK(config.expand_fraction > 0.0f && config.expand_fraction <= 1.0f,
+             "expand_fraction must be in (0, 1]");
+    count = static_cast<int64_t>(std::lround(
+        config.expand_fraction * static_cast<double>(candidate_indices.size())));
+    count = std::max<int64_t>(count, 1);
+  }
+  const std::vector<int64_t> sites = select_expansion_sites(
+      static_cast<int64_t>(candidate_indices.size()), config.placement, count);
+
+  for (int64_t site : sites) {
+    const int64_t block_idx = candidate_indices[static_cast<size_t>(site)];
+    nn::InvertedResidual* host = blocks[static_cast<size_t>(block_idx)];
+    nn::ConvBnAct& unit = host->expand_unit();
+    nn::Conv2d* pw = unit.conv2d();
+    NB_CHECK(pw != nullptr, "host expand unit already replaced");
+    NB_CHECK(pw->is_pointwise(), "expansion target must be pointwise");
+    const auto& opts = pw->options();
+
+    auto expanded = std::make_shared<ExpandedConv>(
+        opts.in_channels, opts.out_channels, config, model.config().act, rng,
+        &pw->weight().value);
+    unit.swap_conv(expanded);
+
+    ExpansionRecord record;
+    record.block_index = block_idx;
+    record.host_unit = &unit;
+    record.expanded = expanded;
+    for (nn::PltActivation* act : expanded->plt_activations()) {
+      result.plt_activations.push_back(act);
+    }
+    result.records.push_back(std::move(record));
+  }
+  return result;
+}
+
+}  // namespace nb::core

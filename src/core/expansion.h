@@ -1,0 +1,124 @@
+// Step 1 of NetBooster: Network Expansion (paper Sec. III-C). Selected host
+// blocks get their first pointwise convolution replaced by a multi-layer
+// inserted block — by default an inverted residual block with expansion
+// ratio 6 and a 1x1 depthwise kernel, so the receptive field of the expanded
+// unit equals that of the replaced layer (structural-consistency criterion a)
+// and the whole insert can later be contracted back to one pointwise layer.
+//
+// The three design questions of Sec. III-C are all exposed as knobs so the
+// ablation benches (Tables IV, V, VI) can sweep them:
+//   Q1 what block  -> ExpansionConfig::block_type
+//   Q2 where       -> ExpansionConfig::placement (+ count/fraction)
+//   Q3 ratio       -> ExpansionConfig::expansion_ratio
+#pragma once
+
+#include <memory>
+
+#include "models/mobilenetv2.h"
+#include "nn/activations.h"
+#include "nn/blocks.h"
+#include "tensor/rng.h"
+
+namespace nb::core {
+
+/// Q1: the kind of block inserted in place of the pointwise layer.
+enum class BlockType { inverted_residual, basic, bottleneck };
+
+/// Q2: which host blocks to expand.
+enum class Placement { uniform, first, middle, last };
+
+const char* to_string(BlockType t);
+const char* to_string(Placement p);
+
+struct ExpansionConfig {
+  BlockType block_type = BlockType::inverted_residual;
+  Placement placement = Placement::uniform;
+  /// Fraction of candidate blocks to expand (paper default: 50%).
+  float expand_fraction = 0.5f;
+  /// When >= 0, expands exactly this many blocks instead (Table V uses 8).
+  int64_t expand_count = -1;
+  /// Q3: inner width ratio of the inserted block (paper default: 6).
+  int64_t expansion_ratio = 6;
+  /// Spatial kernel of the inserted block's middle conv. Must stay 1 to keep
+  /// the receptive field of the replaced pointwise layer (criterion a).
+  int64_t dw_kernel = 1;
+  /// Function-preserving insertion: the block carries the replaced conv's
+  /// weights on a linear shortcut and zero-initializes the deep branch's
+  /// final BN gamma, so at insertion time the giant computes exactly what
+  /// the TNN computed (Net2Net-style zero-init residual). The deep branch
+  /// then grows in during training. Without this, the giant starts from
+  /// scratch (the paper's setting — affordable at 160 ImageNet epochs, not
+  /// at this repository's micro budgets; see DESIGN.md).
+  bool preserve_function = true;
+  uint64_t seed = 19;
+};
+
+/// Drop-in replacement for a pointwise Conv2d(cin -> cout): a chain of
+/// conv+BN units with PLT activations between them, plus an optional linear
+/// shortcut. After PLT drives every activation to the identity, contract()
+/// folds the whole thing back into a single 1x1 convolution.
+class ExpandedConv : public nn::Module {
+ public:
+  /// `original_weight`, when given with config.preserve_function, is the
+  /// replaced pointwise conv's [cout, cin, 1, 1] kernel, carried on the
+  /// shortcut so the insertion is function preserving.
+  ExpandedConv(int64_t cin, int64_t cout, const ExpansionConfig& config,
+               nn::ActKind act_kind, Rng& rng,
+               const Tensor* original_weight = nullptr);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "ExpandedConv"; }
+  std::vector<std::pair<std::string, Module*>> named_children() override;
+
+  int64_t cin() const { return cin_; }
+  int64_t cout() const { return cout_; }
+  const ExpansionConfig& config() const { return config_; }
+
+  /// The conv+BN chain in forward order.
+  const std::vector<std::shared_ptr<nn::ConvBnAct>>& units() const {
+    return units_;
+  }
+  /// Identity shortcut around the chain (only when cin == cout).
+  bool has_identity_shortcut() const { return identity_shortcut_; }
+  /// Projection shortcut (basic/bottleneck inserts with cin != cout).
+  nn::ConvBnAct* projection_shortcut() { return shortcut_.get(); }
+
+  /// The PLT activations inside this block (ramped by the scheduler).
+  std::vector<nn::PltActivation*> plt_activations();
+  /// True once every internal activation is an exact identity.
+  bool fully_linearized();
+
+ private:
+  int64_t cin_;
+  int64_t cout_;
+  ExpansionConfig config_;
+  std::vector<std::shared_ptr<nn::ConvBnAct>> units_;
+  std::shared_ptr<nn::ConvBnAct> shortcut_;
+  bool identity_shortcut_ = false;
+  Tensor input_;  // cached for the shortcut backward
+};
+
+/// Record of one surgery site so contraction can find its way back.
+struct ExpansionRecord {
+  int64_t block_index = 0;             // index into model.blocks()
+  nn::ConvBnAct* host_unit = nullptr;  // unit whose conv slot was swapped
+  std::shared_ptr<ExpandedConv> expanded;
+};
+
+struct ExpansionResult {
+  std::vector<ExpansionRecord> records;
+  std::vector<nn::PltActivation*> plt_activations;
+};
+
+/// Q2 selection: which of `num_candidates` blocks to expand.
+std::vector<int64_t> select_expansion_sites(int64_t num_candidates,
+                                            Placement placement,
+                                            int64_t count);
+
+/// Applies Network Expansion in place; returns the surgery records. Only
+/// blocks with a pw-expand stage (expand_ratio > 1) are candidates.
+ExpansionResult expand_network(models::MobileNetV2& model,
+                               const ExpansionConfig& config, Rng& rng);
+
+}  // namespace nb::core

@@ -1,0 +1,73 @@
+#include "core/netbooster.h"
+
+#include <cmath>
+
+#include "train/metrics.h"
+
+namespace nb::core {
+
+NetBooster::NetBooster(std::shared_ptr<models::MobileNetV2> model,
+                       const NetBoosterConfig& config)
+    : model_(std::move(model)), config_(config), rng_(config.seed, 13) {
+  NB_CHECK(model_ != nullptr, "NetBooster requires a model");
+  expansion_ = expand_network(*model_, config_.expansion, rng_);
+}
+
+float NetBooster::train_giant(const data::ClassificationDataset& train_set,
+                              const data::ClassificationDataset& test_set) {
+  NB_CHECK(!contracted_, "giant already contracted");
+  result_.giant_profile = models::profile_model(*model_, train_set.resolution());
+  result_.giant_history =
+      train::train_classifier(*model_, train_set, test_set, config_.giant);
+  result_.expanded_acc = result_.giant_history.final_test_acc;
+  return result_.expanded_acc;
+}
+
+void NetBooster::prepare_transfer(int64_t num_classes) {
+  NB_CHECK(!contracted_, "transfer must be prepared before contraction");
+  model_->reset_classifier(num_classes, rng_);
+}
+
+float NetBooster::tune_and_contract(
+    const data::ClassificationDataset& train_set,
+    const data::ClassificationDataset& test_set, train::LossFn loss_fn) {
+  NB_CHECK(!contracted_, "tune_and_contract called twice");
+
+  const int64_t steps_per_epoch =
+      (train_set.size() + config_.tune.batch_size - 1) /
+      config_.tune.batch_size;
+  const int64_t ed_epochs = static_cast<int64_t>(
+      std::lround(config_.plt_fraction * static_cast<double>(config_.tune.epochs)));
+  PltScheduler scheduler(expansion_.plt_activations,
+                         ed_epochs * steps_per_epoch, config_.ramp_shape);
+
+  result_.tune_history = train::train_classifier(
+      *model_, train_set, test_set, config_.tune, std::move(loss_fn),
+      [&scheduler](int64_t step, int64_t) { scheduler.on_step(step); });
+
+  scheduler.finish();  // exact even if the ramp ended mid-epoch
+  // Refresh BN statistics under the final (alpha = 1) weights: contraction
+  // folds the running stats into the merged kernels, so they must describe
+  // the network that is actually being contracted.
+  train::recalibrate_batchnorm(*model_, train_set);
+  const ContractionReport report = contract_network(
+      *model_, expansion_, config_.verify_contraction, rng_);
+  result_.contraction_error = report.max_error;
+  contracted_ = true;
+
+  result_.final_profile = models::profile_model(*model_, test_set.resolution());
+  result_.final_acc = train::evaluate(*model_, test_set);
+  return result_.final_acc;
+}
+
+NetBoosterResult run_netbooster(std::shared_ptr<models::MobileNetV2> model,
+                                const data::ClassificationDataset& train_set,
+                                const data::ClassificationDataset& test_set,
+                                const NetBoosterConfig& config) {
+  NetBooster nb(std::move(model), config);
+  nb.train_giant(train_set, test_set);
+  nb.tune_and_contract(train_set, test_set);
+  return nb.result();
+}
+
+}  // namespace nb::core

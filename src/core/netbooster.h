@@ -1,0 +1,98 @@
+// The NetBooster training pipeline (paper Sec. III-B): Network Expansion on
+// the large-scale dataset, then Progressive Linearization Tuning on the
+// target dataset, then exact contraction back to the original TNN.
+//
+//   NetBooster nb(model, config);
+//   nb.train_giant(imagenet.train, imagenet.test);     // step 1
+//   nb.prepare_transfer(task.num_classes);             // optional, Table II
+//   nb.tune_and_contract(task.train, task.test);       // step 2 (PLT) + merge
+//
+// After tune_and_contract the model is structurally the original TNN again
+// (verified numerically when verify_contraction is set), so its inference
+// cost equals vanilla — the central efficiency claim of Table I.
+#pragma once
+
+#include <memory>
+
+#include "core/contraction.h"
+#include "core/expansion.h"
+#include "core/plt.h"
+#include "models/profiler.h"
+#include "train/trainer.h"
+
+namespace nb::core {
+
+struct NetBoosterConfig {
+  ExpansionConfig expansion;
+  /// Stage-1 recipe (deep giant on the large dataset).
+  train::TrainConfig giant;
+  /// Stage-2 recipe (PLT + finetune on the target dataset).
+  train::TrainConfig tune;
+  /// Ed as a fraction of stage-2 epochs (paper: 40/150 on ImageNet, 20% on
+  /// downstream tasks). 0 means abrupt removal (alpha jumps straight to 1 —
+  /// the NetAug-style information-loss mode the ablation benches probe).
+  float plt_fraction = 0.25f;
+  /// Alpha trajectory over the ramp (paper: linear, "uniformly increased in
+  /// each iteration"); cosine/step are schedule ablations.
+  RampShape ramp_shape = RampShape::linear;
+  bool verify_contraction = true;
+  uint64_t seed = 23;
+};
+
+struct NetBoosterResult {
+  /// Deep giant accuracy after stage 1 ("Expanded Acc." in Tables IV/V).
+  float expanded_acc = 0.0f;
+  /// Contracted TNN accuracy after stage 2 ("Final Acc.").
+  float final_acc = 0.0f;
+  models::Profile giant_profile;
+  models::Profile final_profile;
+  float contraction_error = 0.0f;
+  train::TrainHistory giant_history;
+  train::TrainHistory tune_history;
+};
+
+class NetBooster {
+ public:
+  /// Expands `model` in place according to the config (stage-1 surgery
+  /// happens immediately so the caller can inspect/profile the giant).
+  NetBooster(std::shared_ptr<models::MobileNetV2> model,
+             const NetBoosterConfig& config);
+
+  /// Stage 1: trains the deep giant; returns its test accuracy.
+  float train_giant(const data::ClassificationDataset& train_set,
+                    const data::ClassificationDataset& test_set);
+
+  /// Swaps the classification head for a downstream task (Table II / III
+  /// flow); call between the two stages.
+  void prepare_transfer(int64_t num_classes);
+
+  /// Stage 2: ramps alpha over Ed epochs while finetuning, pins alpha at 1,
+  /// contracts every expanded block and returns the final test accuracy of
+  /// the recovered TNN. `loss_fn` lets callers add KD on top (Table II).
+  float tune_and_contract(const data::ClassificationDataset& train_set,
+                          const data::ClassificationDataset& test_set,
+                          train::LossFn loss_fn = nullptr);
+
+  models::MobileNetV2& model() { return *model_; }
+  std::shared_ptr<models::MobileNetV2> model_ptr() { return model_; }
+  const ExpansionResult& expansion() const { return expansion_; }
+  const NetBoosterResult& result() const { return result_; }
+  bool contracted() const { return contracted_; }
+
+ private:
+  std::shared_ptr<models::MobileNetV2> model_;
+  NetBoosterConfig config_;
+  ExpansionResult expansion_;
+  NetBoosterResult result_;
+  Rng rng_;
+  bool contracted_ = false;
+};
+
+/// One-call flow for the "large-scale dataset" benchmark (Table I): stage 1
+/// and stage 2 both run on the same dataset.
+NetBoosterResult run_netbooster(std::shared_ptr<models::MobileNetV2> model,
+                                const data::ClassificationDataset& train_set,
+                                const data::ClassificationDataset& test_set,
+                                const NetBoosterConfig& config);
+
+}  // namespace nb::core

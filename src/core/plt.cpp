@@ -1,0 +1,74 @@
+#include "core/plt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor.h"
+
+namespace nb::core {
+
+const char* to_string(RampShape shape) {
+  switch (shape) {
+    case RampShape::linear:
+      return "linear";
+    case RampShape::cosine:
+      return "cosine";
+    case RampShape::step:
+      return "step";
+  }
+  return "?";
+}
+
+RampShape ramp_shape_from_string(const std::string& name) {
+  if (name == "linear") return RampShape::linear;
+  if (name == "cosine") return RampShape::cosine;
+  if (name == "step") return RampShape::step;
+  NB_CHECK(false, "unknown ramp shape '" + name + "'");
+  return RampShape::linear;  // unreachable
+}
+
+float ramp_alpha(RampShape shape, float t, int64_t num_steps) {
+  t = std::clamp(t, 0.0f, 1.0f);
+  switch (shape) {
+    case RampShape::linear:
+      return t;
+    case RampShape::cosine:
+      // Smooth ease-in/ease-out: 0.5 * (1 - cos(pi t)).
+      return 0.5f * (1.0f - std::cos(3.14159265358979323846f * t));
+    case RampShape::step: {
+      NB_CHECK(num_steps >= 1, "ramp_alpha: step shape needs >= 1 steps");
+      // num_steps discrete jumps, landing exactly on 1 at t = 1.
+      const float level =
+          std::floor(t * static_cast<float>(num_steps)) /
+          static_cast<float>(num_steps);
+      return t >= 1.0f ? 1.0f : level;
+    }
+  }
+  return t;
+}
+
+PltScheduler::PltScheduler(std::vector<nn::PltActivation*> activations,
+                           int64_t ramp_steps, RampShape shape)
+    : activations_(std::move(activations)),
+      ramp_steps_(ramp_steps),
+      shape_(shape) {
+  NB_CHECK(ramp_steps_ >= 0, "negative PLT ramp");
+  apply(ramp_steps_ == 0 ? 1.0f : 0.0f);
+}
+
+void PltScheduler::on_step(int64_t step) {
+  const float t = ramp_steps_ == 0
+                      ? 1.0f
+                      : static_cast<float>(step) /
+                            static_cast<float>(ramp_steps_);
+  apply(ramp_alpha(shape_, t));
+}
+
+void PltScheduler::finish() { apply(1.0f); }
+
+void PltScheduler::apply(float alpha) {
+  alpha_ = alpha;
+  for (nn::PltActivation* act : activations_) act->set_alpha(alpha);
+}
+
+}  // namespace nb::core

@@ -1,0 +1,60 @@
+// Step 2a of NetBooster: Progressive Linearization Tuning (paper Sec. III-D).
+// The scheduler owns the list of PLT activations produced by Network
+// Expansion and ramps their slope alpha from 0 to 1 across Ed epochs of the
+// tuning run; afterwards alpha stays pinned at 1 so the expanded blocks are
+// exactly linear and contraction is lossless.
+//
+// The paper ramps "uniformly in each iteration" (RampShape::linear). The
+// other shapes exist for the schedule ablation bench: cosine eases in/out of
+// the ramp, step removes non-linearity in a few discrete jumps, and a ramp of
+// 0 steps reproduces NetAug-style *abrupt* removal — the information-loss
+// mode the paper's PLT is designed to avoid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/activations.h"
+
+namespace nb::core {
+
+enum class RampShape { linear, cosine, step };
+
+const char* to_string(RampShape shape);
+RampShape ramp_shape_from_string(const std::string& name);
+
+/// alpha value of the given shape at progress t in [0, 1]; monotone
+/// non-decreasing with value 0 at t=0 and 1 at t>=1.
+float ramp_alpha(RampShape shape, float t, int64_t num_steps = 4);
+
+class PltScheduler {
+ public:
+  /// `ramp_steps` = Ed_epochs * steps_per_epoch (paper: Ed = 40 ImageNet
+  /// epochs; 20% of tuning epochs on downstream tasks). A ramp of 0 steps
+  /// pins alpha at 1 immediately (abrupt removal).
+  PltScheduler(std::vector<nn::PltActivation*> activations, int64_t ramp_steps,
+               RampShape shape = RampShape::linear);
+
+  /// Sets alpha = ramp(step / ramp_steps) on every managed activation.
+  /// Intended as the trainer's IterationHook.
+  void on_step(int64_t step);
+
+  float alpha() const { return alpha_; }
+  bool done() const { return alpha_ >= 1.0f; }
+  int64_t ramp_steps() const { return ramp_steps_; }
+  RampShape shape() const { return shape_; }
+
+  /// Forces alpha = 1 (used before standalone contraction in tests).
+  void finish();
+
+ private:
+  void apply(float alpha);
+
+  std::vector<nn::PltActivation*> activations_;
+  int64_t ramp_steps_;
+  RampShape shape_;
+  float alpha_ = 0.0f;
+};
+
+}  // namespace nb::core

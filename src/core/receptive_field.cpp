@@ -1,0 +1,30 @@
+#include "core/receptive_field.h"
+
+#include "nn/conv2d.h"
+#include "nn/pooling.h"
+
+namespace nb::core {
+
+ReceptiveField receptive_field_of(nn::Module& m) {
+  ReceptiveField rf;
+  m.apply([&rf](nn::Module& mod) {
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&mod)) {
+      rf.size += (conv->options().kernel - 1) * rf.jump;
+      rf.jump *= conv->options().stride;
+    }
+  });
+  return rf;
+}
+
+bool preserves_receptive_field(ExpandedConv& block) {
+  ReceptiveField rf;
+  for (const auto& unit : block.units()) {
+    auto* conv = dynamic_cast<nn::Conv2d*>(unit->conv_slot().get());
+    NB_CHECK(conv != nullptr, "expanded unit does not hold a Conv2d");
+    rf.size += (conv->options().kernel - 1) * rf.jump;
+    rf.jump *= conv->options().stride;
+  }
+  return rf.size == 1 && rf.jump == 1;
+}
+
+}  // namespace nb::core

@@ -1,0 +1,26 @@
+// Receptive-field bookkeeping for the structural-consistency criterion
+// (paper Sec. III-C, criterion a): an inserted block must have the same
+// receptive field as the pointwise layer it replaces, otherwise contraction
+// to the original kernel size is impossible.
+#pragma once
+
+#include "core/expansion.h"
+#include "nn/module.h"
+
+namespace nb::core {
+
+struct ReceptiveField {
+  int64_t size = 1;  // input pixels covered by one output pixel
+  int64_t jump = 1;  // stride product
+};
+
+/// Receptive field of a linear chain of conv layers walked in pre-order.
+/// Residual shortcuts (kernel 1) do not widen the field, so this is exact
+/// for the block structures used in this library.
+ReceptiveField receptive_field_of(nn::Module& m);
+
+/// True iff the inserted block sees exactly the same input pixels as the
+/// pointwise layer it replaced (receptive field 1x1).
+bool preserves_receptive_field(ExpandedConv& block);
+
+}  // namespace nb::core

@@ -1,0 +1,61 @@
+#include "data/augment.h"
+
+#include <algorithm>
+
+namespace nb::data {
+
+void hflip_(Tensor& chw) {
+  NB_CHECK(chw.dim() == 3, "hflip_ expects CHW");
+  const int64_t c = chw.size(0), h = chw.size(1), w = chw.size(2);
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t y = 0; y < h; ++y) {
+      float* row = chw.data() + (ch * h + y) * w;
+      std::reverse(row, row + w);
+    }
+  }
+}
+
+void shift_(Tensor& chw, int64_t dy, int64_t dx) {
+  NB_CHECK(chw.dim() == 3, "shift_ expects CHW");
+  const int64_t c = chw.size(0), h = chw.size(1), w = chw.size(2);
+  Tensor src = chw.clone();
+  chw.zero();
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t y = 0; y < h; ++y) {
+      const int64_t sy = y - dy;
+      if (sy < 0 || sy >= h) continue;
+      for (int64_t x = 0; x < w; ++x) {
+        const int64_t sx = x - dx;
+        if (sx < 0 || sx >= w) continue;
+        chw.at(ch, y, x) = src.at(ch, sy, sx);
+      }
+    }
+  }
+}
+
+void cutout_(Tensor& chw, int64_t size, Rng& rng) {
+  NB_CHECK(chw.dim() == 3, "cutout_ expects CHW");
+  const int64_t c = chw.size(0), h = chw.size(1), w = chw.size(2);
+  const int64_t cy = rng.randint(h);
+  const int64_t cx = rng.randint(w);
+  const int64_t y0 = std::max<int64_t>(0, cy - size / 2);
+  const int64_t y1 = std::min(h, cy + (size + 1) / 2);
+  const int64_t x0 = std::max<int64_t>(0, cx - size / 2);
+  const int64_t x1 = std::min(w, cx + (size + 1) / 2);
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t y = y0; y < y1; ++y) {
+      for (int64_t x = x0; x < x1; ++x) chw.at(ch, y, x) = 0.0f;
+    }
+  }
+}
+
+void augment_standard_(Tensor& chw, Rng& rng, int64_t max_shift) {
+  if (rng.bernoulli(0.5f)) hflip_(chw);
+  if (max_shift > 0) {
+    const int64_t dy = rng.randint(2 * max_shift + 1) - max_shift;
+    const int64_t dx = rng.randint(2 * max_shift + 1) - max_shift;
+    if (dy != 0 || dx != 0) shift_(chw, dy, dx);
+  }
+}
+
+}  // namespace nb::data

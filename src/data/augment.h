@@ -1,0 +1,24 @@
+// Light train-time augmentation applied by the DataLoader: horizontal flip
+// and pad-and-crop shift. The paper's point (Fig. 1a) is that *heavy*
+// augmentation/regularization hurts TNNs, so the default recipe keeps this
+// mild; DropBlock is a separate layer used only in the Fig. 1a bench.
+#pragma once
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace nb::data {
+
+/// Mirrors a [C, H, W] image left-right in place.
+void hflip_(Tensor& chw);
+
+/// Shifts by (dy, dx) pixels with zero fill, in place.
+void shift_(Tensor& chw, int64_t dy, int64_t dx);
+
+/// Zeroes a random square of side `size` (cutout), in place.
+void cutout_(Tensor& chw, int64_t size, Rng& rng);
+
+/// Standard train-time policy: 50% flip, shift in [-max_shift, max_shift].
+void augment_standard_(Tensor& chw, Rng& rng, int64_t max_shift = 2);
+
+}  // namespace nb::data

@@ -1,0 +1,64 @@
+#include "data/dataloader.h"
+
+#include <numeric>
+
+namespace nb::data {
+
+DataLoader::DataLoader(const ClassificationDataset& dataset,
+                       int64_t batch_size, bool shuffle, bool augment,
+                       uint64_t seed)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      augment_(augment),
+      rng_(seed, 5),
+      order_(static_cast<size_t>(dataset.size())) {
+  NB_CHECK(batch_size > 0, "batch size must be positive");
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+int64_t DataLoader::num_batches() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::start_epoch() {
+  if (shuffle_) rng_.shuffle(order_);
+  cursor_ = 0;
+}
+
+bool DataLoader::next(Batch& out) {
+  if (cursor_ >= dataset_.size()) return false;
+  const int64_t n = std::min(batch_size_, dataset_.size() - cursor_);
+  const int64_t c = dataset_.channels();
+  const int64_t r = dataset_.resolution();
+  out.images = Tensor({n, c, r, r});
+  out.labels.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t idx = order_[static_cast<size_t>(cursor_ + i)];
+    Tensor img = dataset_.image(idx);
+    if (augment_) augment_standard_(img, rng_);
+    std::copy(img.data(), img.data() + img.numel(),
+              out.images.data() + i * img.numel());
+    out.labels[static_cast<size_t>(i)] = dataset_.label(idx);
+  }
+  cursor_ += n;
+  return true;
+}
+
+Batch full_batch(const ClassificationDataset& dataset) {
+  const int64_t n = dataset.size();
+  const int64_t c = dataset.channels();
+  const int64_t r = dataset.resolution();
+  Batch b;
+  b.images = Tensor({n, c, r, r});
+  b.labels.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const Tensor img = dataset.image(i);
+    std::copy(img.data(), img.data() + img.numel(),
+              b.images.data() + i * img.numel());
+    b.labels[static_cast<size_t>(i)] = dataset.label(i);
+  }
+  return b;
+}
+
+}  // namespace nb::data

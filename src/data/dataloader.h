@@ -1,0 +1,46 @@
+// Mini-batch iterator over a ClassificationDataset with shuffling and
+// optional train-time augmentation.
+#pragma once
+
+#include <memory>
+
+#include "data/augment.h"
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace nb::data {
+
+struct Batch {
+  Tensor images;                 // [B, C, H, W]
+  std::vector<int64_t> labels;   // B entries
+};
+
+class DataLoader {
+ public:
+  DataLoader(const ClassificationDataset& dataset, int64_t batch_size,
+             bool shuffle, bool augment, uint64_t seed = 11);
+
+  /// Number of batches per epoch (last partial batch included).
+  int64_t num_batches() const;
+  int64_t batch_size() const { return batch_size_; }
+
+  /// Reshuffles (if enabled) and resets the cursor.
+  void start_epoch();
+
+  /// Fills `out`; returns false when the epoch is exhausted.
+  bool next(Batch& out);
+
+ private:
+  const ClassificationDataset& dataset_;
+  int64_t batch_size_;
+  bool shuffle_;
+  bool augment_;
+  Rng rng_;
+  std::vector<int64_t> order_;
+  int64_t cursor_ = 0;
+};
+
+/// Materializes the whole dataset as one batch (for evaluation).
+Batch full_batch(const ClassificationDataset& dataset);
+
+}  // namespace nb::data

@@ -1,0 +1,53 @@
+// Dataset interfaces. All data in this repository is generated procedurally
+// (see DESIGN.md "Substitutions"): classification datasets stand in for
+// ImageNet and the five downstream sets, the detection dataset for Pascal
+// VOC. Generators are deterministic in their seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace nb::data {
+
+/// A classification dataset fully materialized in memory.
+class ClassificationDataset {
+ public:
+  virtual ~ClassificationDataset() = default;
+
+  virtual int64_t size() const = 0;
+  virtual int64_t num_classes() const = 0;
+  virtual int64_t resolution() const = 0;
+  virtual int64_t channels() const { return 3; }
+
+  /// Image `idx` as a [C, H, W] tensor view-copy and its label.
+  virtual Tensor image(int64_t idx) const = 0;
+  virtual int64_t label(int64_t idx) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// One ground-truth detection box in normalized [0,1] image coordinates.
+struct GtBox {
+  float cx = 0.0f;
+  float cy = 0.0f;
+  float w = 0.0f;
+  float h = 0.0f;
+  int64_t cls = 0;
+};
+
+/// A detection dataset: images plus per-image box lists.
+class DetectionDataset {
+ public:
+  virtual ~DetectionDataset() = default;
+
+  virtual int64_t size() const = 0;
+  virtual int64_t num_classes() const = 0;
+  virtual int64_t resolution() const = 0;
+  virtual Tensor image(int64_t idx) const = 0;
+  virtual const std::vector<GtBox>& boxes(int64_t idx) const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace nb::data

@@ -1,0 +1,172 @@
+#include "data/mix_augment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nb::data {
+
+namespace {
+
+// Marsaglia-Tsang gamma sampler for shape >= 0; alpha < 1 handled via the
+// boost Gamma(a) = Gamma(a+1) * U^(1/a).
+float sample_gamma(float shape, Rng& rng) {
+  if (shape < 1.0f) {
+    const float u = std::max(rng.uniform(), 1e-12f);
+    return sample_gamma(shape + 1.0f, rng) *
+           std::pow(u, 1.0f / std::max(shape, 1e-6f));
+  }
+  const float d = shape - 1.0f / 3.0f;
+  const float c = 1.0f / std::sqrt(9.0f * d);
+  for (;;) {
+    float x = rng.normal();
+    float v = 1.0f + c * x;
+    if (v <= 0.0f) continue;
+    v = v * v * v;
+    const float u = std::max(rng.uniform(), 1e-12f);
+    if (std::log(u) < 0.5f * x * x + d - d * v + d * std::log(v)) {
+      return d * v;
+    }
+  }
+}
+
+std::vector<int64_t> random_permutation(int64_t n, Rng& rng) {
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+  rng.shuffle(perm);
+  return perm;
+}
+
+}  // namespace
+
+float sample_beta(float alpha, Rng& rng) {
+  NB_CHECK(alpha > 0.0f, "sample_beta: alpha must be positive");
+  const float x = sample_gamma(alpha, rng);
+  const float y = sample_gamma(alpha, rng);
+  const float denom = x + y;
+  return denom > 0.0f ? x / denom : 0.5f;
+}
+
+MixResult mixup_batch(Tensor& images, const std::vector<int64_t>& labels,
+                      float alpha, Rng& rng) {
+  NB_CHECK(images.dim() == 4, "mixup_batch expects NCHW");
+  const int64_t b = images.size(0);
+  NB_CHECK(static_cast<int64_t>(labels.size()) == b,
+           "mixup_batch: labels/images size mismatch");
+  MixResult result;
+  result.labels_b = labels;
+  if (b < 2 || alpha <= 0.0f) {
+    return result;  // lam = 1, nothing mixed
+  }
+  const float lam = sample_beta(alpha, rng);
+  const std::vector<int64_t> perm = random_permutation(b, rng);
+  const Tensor source = images.clone();
+  const int64_t stride = images.numel() / b;
+  for (int64_t i = 0; i < b; ++i) {
+    const int64_t j = perm[static_cast<size_t>(i)];
+    float* dst = images.data() + i * stride;
+    const float* src = source.data() + j * stride;
+    for (int64_t t = 0; t < stride; ++t) {
+      dst[t] = lam * dst[t] + (1.0f - lam) * src[t];
+    }
+    result.labels_b[static_cast<size_t>(i)] = labels[static_cast<size_t>(j)];
+  }
+  result.lam = lam;
+  return result;
+}
+
+MixResult cutmix_batch(Tensor& images, const std::vector<int64_t>& labels,
+                       float alpha, Rng& rng) {
+  NB_CHECK(images.dim() == 4, "cutmix_batch expects NCHW");
+  const int64_t b = images.size(0);
+  const int64_t c = images.size(1);
+  const int64_t h = images.size(2);
+  const int64_t w = images.size(3);
+  NB_CHECK(static_cast<int64_t>(labels.size()) == b,
+           "cutmix_batch: labels/images size mismatch");
+  MixResult result;
+  result.labels_b = labels;
+  if (b < 2 || alpha <= 0.0f) {
+    return result;
+  }
+  const float lam_raw = sample_beta(alpha, rng);
+  // One shared box per batch (the reference implementation's convention).
+  const float cut_ratio = std::sqrt(1.0f - lam_raw);
+  const int64_t cut_h = static_cast<int64_t>(static_cast<float>(h) * cut_ratio);
+  const int64_t cut_w = static_cast<int64_t>(static_cast<float>(w) * cut_ratio);
+  const int64_t cy = rng.randint(h);
+  const int64_t cx = rng.randint(w);
+  const int64_t y0 = std::clamp<int64_t>(cy - cut_h / 2, 0, h);
+  const int64_t y1 = std::clamp<int64_t>(cy + (cut_h + 1) / 2, 0, h);
+  const int64_t x0 = std::clamp<int64_t>(cx - cut_w / 2, 0, w);
+  const int64_t x1 = std::clamp<int64_t>(cx + (cut_w + 1) / 2, 0, w);
+
+  const std::vector<int64_t> perm = random_permutation(b, rng);
+  const Tensor source = images.clone();
+  for (int64_t i = 0; i < b; ++i) {
+    const int64_t j = perm[static_cast<size_t>(i)];
+    for (int64_t ch = 0; ch < c; ++ch) {
+      for (int64_t y = y0; y < y1; ++y) {
+        for (int64_t x = x0; x < x1; ++x) {
+          images.at(i, ch, y, x) = source.at(j, ch, y, x);
+        }
+      }
+    }
+    result.labels_b[static_cast<size_t>(i)] = labels[static_cast<size_t>(j)];
+  }
+  // lam corrected to the exact surviving-area fraction of the original.
+  const float pasted =
+      static_cast<float>((y1 - y0) * (x1 - x0)) / static_cast<float>(h * w);
+  result.lam = 1.0f - pasted;
+  return result;
+}
+
+void random_erase_(Tensor& chw, Rng& rng, float p, float min_area,
+                   float max_area) {
+  NB_CHECK(chw.dim() == 3, "random_erase_ expects CHW");
+  if (!rng.bernoulli(p)) {
+    return;
+  }
+  const int64_t c = chw.size(0);
+  const int64_t h = chw.size(1);
+  const int64_t w = chw.size(2);
+  const float area = rng.uniform(min_area, max_area) *
+                     static_cast<float>(h * w);
+  // Aspect ratio in [1/3, 3].
+  const float aspect = std::exp(rng.uniform(std::log(1.0f / 3.0f),
+                                            std::log(3.0f)));
+  int64_t eh = static_cast<int64_t>(std::round(std::sqrt(area * aspect)));
+  int64_t ew = static_cast<int64_t>(std::round(std::sqrt(area / aspect)));
+  eh = std::clamp<int64_t>(eh, 1, h);
+  ew = std::clamp<int64_t>(ew, 1, w);
+  const int64_t y0 = rng.randint(h - eh + 1);
+  const int64_t x0 = rng.randint(w - ew + 1);
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t y = y0; y < y0 + eh; ++y) {
+      for (int64_t x = x0; x < x0 + ew; ++x) {
+        chw.at(ch, y, x) = rng.normal();
+      }
+    }
+  }
+}
+
+nn::LossResult mixed_cross_entropy(const Tensor& logits,
+                                   const std::vector<int64_t>& labels_a,
+                                   const std::vector<int64_t>& labels_b,
+                                   float lam, float label_smoothing) {
+  NB_CHECK(labels_a.size() == labels_b.size(),
+           "mixed_cross_entropy: label list size mismatch");
+  const nn::LossResult a =
+      nn::softmax_cross_entropy(logits, labels_a, label_smoothing);
+  if (lam >= 1.0f) {
+    return a;
+  }
+  const nn::LossResult b =
+      nn::softmax_cross_entropy(logits, labels_b, label_smoothing);
+  nn::LossResult out;
+  out.loss = lam * a.loss + (1.0f - lam) * b.loss;
+  out.grad = a.grad.scale(lam);
+  out.grad.add_scaled_(b.grad, 1.0f - lam);
+  return out;
+}
+
+}  // namespace nb::data

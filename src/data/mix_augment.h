@@ -1,0 +1,54 @@
+// Batch-level "strong" augmentations: mixup (Zhang et al., 2018), CutMix
+// (Yun et al., 2019), and random erasing. Fig. 1(a)'s point is that heavy
+// augmentation helps over-parameterized networks but *hurts* under-fitting
+// TNNs; the fig1a bench uses these to reproduce that crossover, and the
+// trainer exposes them through TrainConfig so any experiment can opt in.
+//
+// Both mixup and CutMix blend each image with a permuted partner and train
+// on the convex combination of the two labels; mixed_cross_entropy computes
+//   lam * CE(logits, y_a) + (1 - lam) * CE(logits, y_b)
+// with the matching analytic gradient.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/losses.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace nb::data {
+
+/// Result of a batch mix: partner labels plus the mixing coefficient.
+struct MixResult {
+  /// labels_b[i] is the label of the partner blended into image i.
+  std::vector<int64_t> labels_b;
+  /// Weight of the original image/label (1.0 means "no mixing happened").
+  float lam = 1.0f;
+};
+
+/// Samples lam ~ Beta(alpha, alpha) via two gamma draws.
+float sample_beta(float alpha, Rng& rng);
+
+/// mixup: images = lam*images + (1-lam)*images[perm]. Mutates `images`
+/// ([B,C,H,W]) in place and returns the partner labels and lam.
+MixResult mixup_batch(Tensor& images, const std::vector<int64_t>& labels,
+                      float alpha, Rng& rng);
+
+/// CutMix: pastes a random box from the permuted partner into each image;
+/// lam is corrected to the actual surviving area fraction.
+MixResult cutmix_batch(Tensor& images, const std::vector<int64_t>& labels,
+                       float alpha, Rng& rng);
+
+/// Random erasing: with probability p, replaces a random rectangle (area in
+/// [min_area, max_area] of the image) with noise. Per-image, in place.
+void random_erase_(Tensor& chw, Rng& rng, float p = 0.5f,
+                   float min_area = 0.05f, float max_area = 0.2f);
+
+/// lam-weighted two-target cross entropy for mixed batches.
+nn::LossResult mixed_cross_entropy(const Tensor& logits,
+                                   const std::vector<int64_t>& labels_a,
+                                   const std::vector<int64_t>& labels_b,
+                                   float lam, float label_smoothing = 0.0f);
+
+}  // namespace nb::data

@@ -1,0 +1,233 @@
+#include "data/synth_classification.h"
+
+#include <cmath>
+
+namespace nb::data {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+/// Texture intensity in [-1, 1] at rotated coordinates.
+float texture_value(TextureFamily family, float freq, float theta, float u,
+                    float v, float phase) {
+  const float c = std::cos(theta), s = std::sin(theta);
+  const float ru = c * u + s * v;
+  const float rv = -s * u + c * v;
+  switch (family) {
+    case TextureFamily::grating:
+      return std::sin(2.0f * kPi * freq * ru + phase);
+    case TextureFamily::checker: {
+      const float a = std::sin(2.0f * kPi * freq * ru + phase);
+      const float b = std::sin(2.0f * kPi * freq * rv + phase * 0.5f);
+      return a * b > 0.0f ? 1.0f : -1.0f;
+    }
+    case TextureFamily::radial: {
+      const float r = std::sqrt(ru * ru + rv * rv);
+      const float ang = std::atan2(rv, ru);
+      return std::sin(2.0f * kPi * freq * r + phase) *
+             std::cos(freq * ang);
+    }
+    case TextureFamily::blob: {
+      const float a = std::sin(2.0f * kPi * freq * ru + phase);
+      const float b = std::sin(2.0f * kPi * freq * 0.73f * rv + 1.3f * phase);
+      const float m = 0.5f * (a + b);
+      return std::tanh(2.5f * m);
+    }
+  }
+  return 0.0f;
+}
+
+/// Signed membership of a point in a shape centered at the origin with unit
+/// nominal radius; > 0 means inside.
+float shape_mask(ShapeKind shape, float u, float v) {
+  switch (shape) {
+    case ShapeKind::disc:
+      return 1.0f - (u * u + v * v);
+    case ShapeKind::square:
+      return 1.0f - std::max(std::fabs(u), std::fabs(v));
+    case ShapeKind::triangle: {
+      // Upward triangle: inside when below the two slanted edges and above
+      // the base.
+      const float base = v + 0.8f;
+      const float left = 0.9f - (-u * 1.6f + v);
+      const float right = 0.9f - (u * 1.6f + v);
+      return std::min(base, std::min(left, right));
+    }
+    case ShapeKind::annulus: {
+      const float r = std::sqrt(u * u + v * v);
+      return 0.35f - std::fabs(r - 0.65f);
+    }
+    case ShapeKind::cross: {
+      const float arm_h = 0.35f - std::fabs(v);
+      const float arm_v = 0.35f - std::fabs(u);
+      const float in_h = std::min(arm_h, 1.0f - std::fabs(u));
+      const float in_v = std::min(arm_v, 1.0f - std::fabs(v));
+      return std::max(in_h, in_v);
+    }
+    case ShapeKind::stripe:
+      return 0.3f - std::fabs(u + 0.4f * v);
+  }
+  return -1.0f;
+}
+
+}  // namespace
+
+std::vector<ClassSpec> SynthClassification::build_class_table(
+    const SynthConfig& config) {
+  std::vector<ClassSpec> table;
+  table.reserve(static_cast<size_t>(config.num_classes));
+  // One deterministic RNG drives the whole table so tasks with the same seed
+  // and offset agree exactly across train/test splits.
+  Rng rng(config.seed * 0x9e3779b97f4a7c15ULL + 17, 3);
+
+  // Fine-grained tasks share a single shape/background and separate classes
+  // only by small frequency / orientation increments of the foreground
+  // texture; coarse tasks vary every factor.
+  ClassSpec shared;
+  shared.bg_family = static_cast<TextureFamily>((config.vocab_offset + 1) % 4);
+  shared.bg_freq = 1.5f + 0.5f * rng.uniform();
+  shared.bg_theta = rng.uniform(0.0f, kPi);
+  shared.shape = static_cast<ShapeKind>((config.vocab_offset + 2) % 6);
+  shared.fg_family = static_cast<TextureFamily>(config.vocab_offset % 4);
+
+  for (int64_t c = 0; c < config.num_classes; ++c) {
+    ClassSpec spec;
+    const int64_t key = c + config.vocab_offset;
+    if (config.fine_grained >= 0.5f) {
+      spec = shared;
+      // Classes are adjacent points in (frequency, orientation) space.
+      spec.fg_freq = 2.0f + 0.28f * static_cast<float>(c % 8);
+      spec.fg_theta = 0.19f * static_cast<float>(c / 8);
+      spec.palette[0] = 0.8f + 0.2f * rng.uniform();
+      spec.palette[1] = 0.8f + 0.2f * rng.uniform();
+      spec.palette[2] = 0.8f + 0.2f * rng.uniform();
+    } else {
+      spec.bg_family = static_cast<TextureFamily>(key % 4);
+      spec.bg_freq = 1.2f + 0.45f * static_cast<float>((key / 4) % 3);
+      spec.bg_theta = 0.35f * static_cast<float>(key % 5);
+      spec.shape = static_cast<ShapeKind>((key / 2) % 6);
+      spec.fg_family = static_cast<TextureFamily>((key + 2) % 4);
+      spec.fg_freq = 2.2f + 0.4f * static_cast<float>(key % 4);
+      spec.fg_theta = 0.5f * static_cast<float>((key / 3) % 4);
+      spec.palette[0] = 0.55f + 0.45f * rng.uniform();
+      spec.palette[1] = 0.55f + 0.45f * rng.uniform();
+      spec.palette[2] = 0.55f + 0.45f * rng.uniform();
+      spec.has_accent = (key % 3) == 0;
+      spec.accent_shape = static_cast<ShapeKind>((key + 3) % 6);
+    }
+    table.push_back(spec);
+  }
+  return table;
+}
+
+Tensor SynthClassification::render_sample(const ClassSpec& spec,
+                                          int64_t resolution, float nuisance,
+                                          Rng& rng) {
+  const int64_t r = resolution;
+  Tensor img({3, r, r});
+
+  // Per-sample nuisance parameters.
+  const float dx = nuisance * rng.uniform(-0.25f, 0.25f);
+  const float dy = nuisance * rng.uniform(-0.25f, 0.25f);
+  const float scale = 1.0f + nuisance * rng.uniform(-0.2f, 0.2f);
+  const float bg_phase = nuisance * rng.uniform(0.0f, 2.0f * kPi);
+  const float fg_phase = nuisance * rng.uniform(0.0f, 2.0f * kPi);
+  const float brightness = nuisance * rng.uniform(-0.15f, 0.15f);
+  const bool flip = nuisance > 0.0f && rng.bernoulli(0.5f);
+  const float noise_sigma = 0.08f * nuisance;
+  const float ax = nuisance * rng.uniform(-0.3f, 0.3f);
+  const float ay = nuisance * rng.uniform(-0.3f, 0.3f);
+
+  for (int64_t y = 0; y < r; ++y) {
+    for (int64_t x = 0; x < r; ++x) {
+      const int64_t px = flip ? (r - 1 - x) : x;
+      const float u = 2.0f * static_cast<float>(px) / static_cast<float>(r - 1) - 1.0f;
+      const float v = 2.0f * static_cast<float>(y) / static_cast<float>(r - 1) - 1.0f;
+
+      const float bg =
+          texture_value(spec.bg_family, spec.bg_freq, spec.bg_theta, u, v, bg_phase);
+
+      // Foreground shape occupies ~55% of the frame, jittered.
+      const float su = (u - dx) / (0.55f * scale);
+      const float sv = (v - dy) / (0.55f * scale);
+      const bool inside = shape_mask(spec.shape, su, sv) > 0.0f;
+
+      float fg = 0.0f;
+      if (inside) {
+        fg = texture_value(spec.fg_family, spec.fg_freq, spec.fg_theta, su, sv,
+                           fg_phase);
+      }
+      bool accent = false;
+      if (spec.has_accent) {
+        const float au = (u - 0.55f - 0.3f * ax) / 0.18f;
+        const float av = (v + 0.55f - 0.3f * ay) / 0.18f;
+        accent = shape_mask(spec.accent_shape, au, av) > 0.0f;
+      }
+
+      for (int64_t ch = 0; ch < 3; ++ch) {
+        float val = 0.35f * bg;
+        if (inside) {
+          val = 0.15f * bg + 0.75f * fg * spec.palette[ch];
+        }
+        if (accent) val = (ch == 0) ? 0.9f : -0.6f;
+        val += brightness;
+        if (noise_sigma > 0.0f) val += rng.normal(0.0f, noise_sigma);
+        img.at(ch, y, x) = val;
+      }
+    }
+  }
+  return img;
+}
+
+SynthClassification::SynthClassification(const SynthConfig& config,
+                                         const std::string& split)
+    : config_(config), split_(split) {
+  NB_CHECK(split == "train" || split == "test", "split must be train|test");
+  NB_CHECK(config.num_classes > 1, "need at least two classes");
+  NB_CHECK(config.resolution >= 8, "resolution too small");
+  class_table_ = build_class_table(config);
+
+  const int64_t per_class =
+      split == "train" ? config.train_per_class : config.test_per_class;
+  const int64_t n = per_class * config.num_classes;
+  images_ = Tensor({n, 3, config.resolution, config.resolution});
+  labels_.resize(static_cast<size_t>(n));
+
+  // Train and test draw from disjoint RNG streams of the same generator.
+  const uint64_t stream = split == "train" ? 101 : 202;
+  int64_t idx = 0;
+  for (int64_t c = 0; c < config.num_classes; ++c) {
+    Rng rng(config.seed * 1315423911ULL + static_cast<uint64_t>(c) * 2654435761ULL,
+            stream);
+    for (int64_t i = 0; i < per_class; ++i, ++idx) {
+      const Tensor img = render_sample(class_table_[static_cast<size_t>(c)],
+                                       config.resolution, config.nuisance, rng);
+      std::copy(img.data(), img.data() + img.numel(),
+                images_.data() + idx * img.numel());
+      labels_[static_cast<size_t>(idx)] = c;
+    }
+  }
+}
+
+Tensor SynthClassification::image(int64_t idx) const {
+  NB_CHECK(idx >= 0 && idx < size(), "image index out of range");
+  const int64_t r = config_.resolution;
+  Tensor out({3, r, r});
+  const int64_t sz = out.numel();
+  std::copy(images_.data() + idx * sz, images_.data() + (idx + 1) * sz,
+            out.data());
+  return out;
+}
+
+int64_t SynthClassification::label(int64_t idx) const {
+  NB_CHECK(idx >= 0 && idx < size(), "label index out of range");
+  return labels_[static_cast<size_t>(idx)];
+}
+
+const ClassSpec& SynthClassification::class_spec(int64_t cls) const {
+  NB_CHECK(cls >= 0 && cls < num_classes(), "class index out of range");
+  return class_table_[static_cast<size_t>(cls)];
+}
+
+}  // namespace nb::data

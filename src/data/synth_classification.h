@@ -1,0 +1,83 @@
+// Procedural class-conditional image generator. Classes are conjunctions of
+// latent factors drawn from a shared "feature vocabulary" (texture family,
+// spatial frequency, orientation, foreground shape, palette); samples add
+// heavy nuisance (translation, scale, phase, flips, noise, brightness). The
+// shared vocabulary is what makes pretrain->finetune transfer meaningful:
+// downstream tasks recombine the same low-level factors into new classes.
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace nb::data {
+
+enum class TextureFamily : int { grating = 0, checker, radial, blob };
+enum class ShapeKind : int { disc = 0, square, triangle, annulus, cross, stripe };
+
+/// Latent description of one class.
+struct ClassSpec {
+  TextureFamily bg_family = TextureFamily::grating;
+  float bg_freq = 2.0f;
+  float bg_theta = 0.0f;
+  ShapeKind shape = ShapeKind::disc;
+  TextureFamily fg_family = TextureFamily::checker;
+  float fg_freq = 3.0f;
+  float fg_theta = 0.0f;
+  float palette[3] = {1.0f, 1.0f, 1.0f};
+  bool has_accent = false;
+  ShapeKind accent_shape = ShapeKind::square;
+};
+
+/// Generator configuration; see data/task_registry.h for the named presets.
+struct SynthConfig {
+  std::string name = "synth";
+  int64_t num_classes = 24;
+  int64_t train_per_class = 100;
+  int64_t test_per_class = 25;
+  int64_t resolution = 24;
+  uint64_t seed = 1;
+  /// 0 = coarse classes (factors differ a lot), 1 = fine-grained (classes
+  /// share shape/background and differ only in small texture detail).
+  float fine_grained = 0.0f;
+  /// Rotates the class-factor table so different tasks use disjoint
+  /// combinations of the shared vocabulary.
+  int64_t vocab_offset = 0;
+  /// Nuisance strength in [0, 1]; higher = harder dataset.
+  float nuisance = 1.0f;
+};
+
+class SynthClassification : public ClassificationDataset {
+ public:
+  /// split: "train" or "test" (affects sample seeds and count).
+  SynthClassification(const SynthConfig& config, const std::string& split);
+
+  int64_t size() const override { return labels_.size(); }
+  int64_t num_classes() const override { return config_.num_classes; }
+  int64_t resolution() const override { return config_.resolution; }
+  Tensor image(int64_t idx) const override;
+  int64_t label(int64_t idx) const override;
+  std::string name() const override { return config_.name + "/" + split_; }
+
+  const SynthConfig& config() const { return config_; }
+  /// The latent spec of a class (exposed for tests).
+  const ClassSpec& class_spec(int64_t cls) const;
+
+  /// Renders a single sample image without materializing a dataset (used by
+  /// tests and the quickstart example).
+  static Tensor render_sample(const ClassSpec& spec, int64_t resolution,
+                              float nuisance, Rng& rng);
+
+  /// Builds the latent class table for a config (shared by train/test).
+  static std::vector<ClassSpec> build_class_table(const SynthConfig& config);
+
+ private:
+  SynthConfig config_;
+  std::string split_;
+  std::vector<ClassSpec> class_table_;
+  Tensor images_;  // [N, C, r, r]
+  std::vector<int64_t> labels_;
+};
+
+}  // namespace nb::data

@@ -1,0 +1,118 @@
+#include "data/synth_detection.h"
+
+#include <cmath>
+
+namespace nb::data {
+
+namespace {
+
+// The four detection classes map to distinct (shape, texture) pairs so the
+// classifier branch has real work to do.
+ShapeKind class_shape(int64_t cls) {
+  switch (cls % 4) {
+    case 0: return ShapeKind::disc;
+    case 1: return ShapeKind::square;
+    case 2: return ShapeKind::triangle;
+    default: return ShapeKind::annulus;
+  }
+}
+
+}  // namespace
+
+SynthDetection::SynthDetection(const DetectionConfig& config,
+                               const std::string& split)
+    : config_(config), split_(split) {
+  NB_CHECK(split == "train" || split == "test", "split must be train|test");
+  const int64_t n =
+      split == "train" ? config.num_images : std::max<int64_t>(config.num_images / 3, 20);
+  const int64_t r = config.resolution;
+  images_ = Tensor({n, 3, r, r});
+  boxes_.resize(static_cast<size_t>(n));
+
+  const uint64_t stream = split == "train" ? 77 : 88;
+  Rng rng(config.seed * 0x2545f4914f6cdd1dULL + 3, stream);
+
+  for (int64_t i = 0; i < n; ++i) {
+    float* img = images_.data() + i * 3 * r * r;
+    // Background: low-frequency grating.
+    const float bg_theta = rng.uniform(0.0f, 3.14159f);
+    const float bg_freq = rng.uniform(0.8f, 1.4f);
+    const float bg_phase = rng.uniform(0.0f, 6.28318f);
+    for (int64_t y = 0; y < r; ++y) {
+      for (int64_t x = 0; x < r; ++x) {
+        const float u = 2.0f * x / static_cast<float>(r - 1) - 1.0f;
+        const float v = 2.0f * y / static_cast<float>(r - 1) - 1.0f;
+        const float c = std::cos(bg_theta), s = std::sin(bg_theta);
+        const float val =
+            0.25f * std::sin(6.28318f * bg_freq * (c * u + s * v) + bg_phase);
+        for (int64_t ch = 0; ch < 3; ++ch) {
+          img[(ch * r + y) * r + x] = val + 0.05f * rng.normal();
+        }
+      }
+    }
+
+    const int64_t objects = 1 + rng.randint(config.max_objects);
+    for (int64_t o = 0; o < objects; ++o) {
+      GtBox box;
+      box.cls = rng.randint(config.num_classes);
+      box.w = rng.uniform(0.25f, 0.5f);
+      box.h = rng.uniform(0.25f, 0.5f);
+      box.cx = rng.uniform(box.w / 2, 1.0f - box.w / 2);
+      box.cy = rng.uniform(box.h / 2, 1.0f - box.h / 2);
+
+      const ShapeKind shape = class_shape(box.cls);
+      const float freq = 2.5f + 0.7f * static_cast<float>(box.cls);
+      const float phase = rng.uniform(0.0f, 6.28318f);
+      // Per-class palette.
+      const float pal[3] = {box.cls == 0 || box.cls == 3 ? 0.9f : 0.3f,
+                            box.cls == 1 ? 0.9f : 0.4f,
+                            box.cls == 2 ? 0.9f : 0.35f};
+
+      const int64_t x0 = static_cast<int64_t>((box.cx - box.w / 2) * r);
+      const int64_t x1 = static_cast<int64_t>((box.cx + box.w / 2) * r);
+      const int64_t y0 = static_cast<int64_t>((box.cy - box.h / 2) * r);
+      const int64_t y1 = static_cast<int64_t>((box.cy + box.h / 2) * r);
+      for (int64_t y = std::max<int64_t>(y0, 0); y < std::min(y1, r); ++y) {
+        for (int64_t x = std::max<int64_t>(x0, 0); x < std::min(x1, r); ++x) {
+          // Local coordinates in [-1, 1] within the box.
+          const float lu = 2.0f * (x - x0) / std::max<float>(1.0f, static_cast<float>(x1 - x0)) - 1.0f;
+          const float lv = 2.0f * (y - y0) / std::max<float>(1.0f, static_cast<float>(y1 - y0)) - 1.0f;
+          float inside = 0.0f;
+          switch (shape) {
+            case ShapeKind::disc: inside = 1.0f - (lu * lu + lv * lv); break;
+            case ShapeKind::square: inside = 0.9f - std::max(std::fabs(lu), std::fabs(lv)); break;
+            case ShapeKind::triangle: inside = std::min(lv + 0.8f, std::min(0.9f + lu * 1.4f - lv, 0.9f - lu * 1.4f - lv)); break;
+            default: {
+              const float rad = std::sqrt(lu * lu + lv * lv);
+              inside = 0.3f - std::fabs(rad - 0.6f);
+              break;
+            }
+          }
+          if (inside <= 0.0f) continue;
+          const float tex = std::sin(6.28318f * freq * lu + phase) *
+                            std::cos(6.28318f * freq * lv);
+          for (int64_t ch = 0; ch < 3; ++ch) {
+            img[(ch * r + y) * r + x] = 0.65f * tex * pal[ch] + 0.25f;
+          }
+        }
+      }
+      boxes_[static_cast<size_t>(i)].push_back(box);
+    }
+  }
+}
+
+Tensor SynthDetection::image(int64_t idx) const {
+  NB_CHECK(idx >= 0 && idx < size(), "detection image index out of range");
+  const int64_t r = config_.resolution;
+  Tensor out({3, r, r});
+  std::copy(images_.data() + idx * out.numel(),
+            images_.data() + (idx + 1) * out.numel(), out.data());
+  return out;
+}
+
+const std::vector<GtBox>& SynthDetection::boxes(int64_t idx) const {
+  NB_CHECK(idx >= 0 && idx < size(), "detection box index out of range");
+  return boxes_[static_cast<size_t>(idx)];
+}
+
+}  // namespace nb::data

@@ -1,0 +1,39 @@
+// Synthetic detection dataset standing in for Pascal VOC (Table III):
+// images contain 1..3 textured shapes on a textured background; ground truth
+// is the normalized bounding box and the shape class.
+#pragma once
+
+#include "data/dataset.h"
+#include "data/synth_classification.h"
+#include "tensor/rng.h"
+
+namespace nb::data {
+
+struct DetectionConfig {
+  std::string name = "synth-voc";
+  int64_t num_images = 300;
+  int64_t num_classes = 4;
+  int64_t resolution = 32;
+  int64_t max_objects = 3;
+  uint64_t seed = 5;
+};
+
+class SynthDetection : public DetectionDataset {
+ public:
+  SynthDetection(const DetectionConfig& config, const std::string& split);
+
+  int64_t size() const override { return static_cast<int64_t>(boxes_.size()); }
+  int64_t num_classes() const override { return config_.num_classes; }
+  int64_t resolution() const override { return config_.resolution; }
+  Tensor image(int64_t idx) const override;
+  const std::vector<GtBox>& boxes(int64_t idx) const override;
+  std::string name() const override { return config_.name + "/" + split_; }
+
+ private:
+  DetectionConfig config_;
+  std::string split_;
+  Tensor images_;
+  std::vector<std::vector<GtBox>> boxes_;
+};
+
+}  // namespace nb::data

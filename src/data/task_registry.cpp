@@ -1,0 +1,110 @@
+#include "data/task_registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nb::data {
+
+namespace {
+
+SynthConfig base_config_for(const std::string& name, uint64_t seed) {
+  SynthConfig c;
+  c.name = name;
+  c.seed = seed;
+  if (name == "synth-imagenet") {
+    // The pretrain corpus: many coarse classes, heavy nuisance -> tiny models
+    // under-fit it, which is the regime Constraint 1 is about. Nuisance 1.4
+    // is calibrated so MobileNetV2-Tiny saturates ~12 points below a 3x
+    // wider model at equal budget (the capacity-bound regime the paper's
+    // claims live in).
+    c.num_classes = 24;
+    c.train_per_class = 90;
+    c.test_per_class = 25;
+    c.resolution = 24;
+    c.fine_grained = 0.0f;
+    c.vocab_offset = 0;
+    c.nuisance = 1.4f;
+  } else if (name == "cifar") {
+    c.num_classes = 16;
+    c.train_per_class = 60;
+    c.test_per_class = 25;
+    c.resolution = 24;
+    c.fine_grained = 0.0f;
+    c.vocab_offset = 5;
+    c.nuisance = 0.9f;
+  } else if (name == "cars") {
+    // Fine-grained: classes share shape/background, differ in small texture
+    // detail. Transfer quality matters most here (paper: +4.75%).
+    c.num_classes = 12;
+    c.train_per_class = 40;
+    c.test_per_class = 25;
+    c.resolution = 24;
+    c.fine_grained = 1.0f;
+    c.vocab_offset = 1;
+    c.nuisance = 0.8f;
+  } else if (name == "flowers") {
+    // Nearly saturated task (paper vanilla already at 90%).
+    c.num_classes = 8;
+    c.train_per_class = 50;
+    c.test_per_class = 25;
+    c.resolution = 24;
+    c.fine_grained = 0.0f;
+    c.vocab_offset = 9;
+    c.nuisance = 0.5f;
+  } else if (name == "food") {
+    c.num_classes = 14;
+    c.train_per_class = 50;
+    c.test_per_class = 25;
+    c.resolution = 24;
+    c.fine_grained = 0.0f;
+    c.vocab_offset = 13;
+    c.nuisance = 0.85f;
+  } else if (name == "pets") {
+    c.num_classes = 10;
+    c.train_per_class = 45;
+    c.test_per_class = 25;
+    c.resolution = 24;
+    c.fine_grained = 1.0f;
+    c.vocab_offset = 21;
+    c.nuisance = 0.7f;
+  } else {
+    NB_CHECK(false, "unknown task: " + name);
+  }
+  return c;
+}
+
+}  // namespace
+
+ClassificationTask make_task(const std::string& name, int64_t resolution,
+                             float scale, uint64_t seed) {
+  NB_CHECK(scale > 0.0f && scale <= 1.0f, "task scale in (0, 1]");
+  SynthConfig c = base_config_for(name, seed);
+  if (resolution > 0) c.resolution = resolution;
+  c.train_per_class = std::max<int64_t>(
+      4, static_cast<int64_t>(std::lround(c.train_per_class * scale)));
+  c.test_per_class = std::max<int64_t>(
+      4, static_cast<int64_t>(std::lround(c.test_per_class * scale)));
+
+  ClassificationTask task;
+  task.name = name;
+  task.train = std::make_shared<SynthClassification>(c, "train");
+  task.test = std::make_shared<SynthClassification>(c, "test");
+  task.num_classes = c.num_classes;
+  return task;
+}
+
+const std::vector<std::string>& downstream_task_names() {
+  static const std::vector<std::string> names = {"cifar", "cars", "flowers",
+                                                 "food", "pets"};
+  return names;
+}
+
+int64_t scaled_resolution(int64_t paper_resolution) {
+  // Paper ladder: 144 / 160 / 176 / 224  ->  20 / 24 / 26 / 32 pixels.
+  if (paper_resolution <= 144) return 20;
+  if (paper_resolution <= 160) return 24;
+  if (paper_resolution <= 176) return 26;
+  return 32;
+}
+
+}  // namespace nb::data

@@ -1,0 +1,37 @@
+// Named dataset presets mirroring the paper's seven datasets: the pretrain
+// corpus ("synth-imagenet") and five downstream classification tasks whose
+// difficulty profile follows the paper's Table II (fine-grained "cars" shows
+// the largest transfer gains; "flowers" is nearly saturated), plus the
+// detection task. Train/test pairs share latent class tables.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synth_classification.h"
+
+namespace nb::data {
+
+struct ClassificationTask {
+  std::string name;
+  std::shared_ptr<SynthClassification> train;
+  std::shared_ptr<SynthClassification> test;
+  int64_t num_classes = 0;
+};
+
+/// Names: "synth-imagenet", "cifar", "cars", "flowers", "food", "pets".
+/// `resolution` scales the paper's input-resolution knob (e.g. paper r=144 ->
+/// 20 px, r=160 -> 24 px, r=224 -> 32 px here); pass 0 for the task default.
+/// `scale` in (0, 1] shrinks sample counts for fast test runs.
+ClassificationTask make_task(const std::string& name, int64_t resolution = 0,
+                             float scale = 1.0f, uint64_t seed = 1);
+
+/// All five downstream task names in Table II order.
+const std::vector<std::string>& downstream_task_names();
+
+/// Maps a paper resolution (e.g. 144/160/176/224) to this repo's pixel
+/// budget, keeping the relative ladder of the paper's configurations.
+int64_t scaled_resolution(int64_t paper_resolution);
+
+}  // namespace nb::data

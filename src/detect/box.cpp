@@ -1,0 +1,50 @@
+#include "detect/box.h"
+
+#include <algorithm>
+
+namespace nb::detect {
+
+float Box::area() const {
+  const float w = std::max(0.0f, x2 - x1);
+  const float h = std::max(0.0f, y2 - y1);
+  return w * h;
+}
+
+Box Box::from_cxcywh(float cx, float cy, float w, float h) {
+  Box b;
+  b.x1 = cx - w / 2.0f;
+  b.y1 = cy - h / 2.0f;
+  b.x2 = cx + w / 2.0f;
+  b.y2 = cy + h / 2.0f;
+  return b;
+}
+
+float iou(const Box& a, const Box& b) {
+  const float ix1 = std::max(a.x1, b.x1);
+  const float iy1 = std::max(a.y1, b.y1);
+  const float ix2 = std::min(a.x2, b.x2);
+  const float iy2 = std::min(a.y2, b.y2);
+  const float iw = std::max(0.0f, ix2 - ix1);
+  const float ih = std::max(0.0f, iy2 - iy1);
+  const float inter = iw * ih;
+  const float uni = a.area() + b.area() - inter;
+  return uni > 0.0f ? inter / uni : 0.0f;
+}
+
+std::vector<Box> nms(std::vector<Box> boxes, float iou_threshold) {
+  std::sort(boxes.begin(), boxes.end(),
+            [](const Box& a, const Box& b) { return a.score > b.score; });
+  std::vector<Box> kept;
+  std::vector<bool> suppressed(boxes.size(), false);
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    if (suppressed[i]) continue;
+    kept.push_back(boxes[i]);
+    for (size_t j = i + 1; j < boxes.size(); ++j) {
+      if (suppressed[j] || boxes[j].cls != boxes[i].cls) continue;
+      if (iou(boxes[i], boxes[j]) >= iou_threshold) suppressed[j] = true;
+    }
+  }
+  return kept;
+}
+
+}  // namespace nb::detect

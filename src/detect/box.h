@@ -1,0 +1,26 @@
+// Axis-aligned boxes, IoU and non-maximum suppression for the detection
+// substrate (Table III / Pascal-VOC stand-in).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nb::detect {
+
+/// Box in normalized corner coordinates with a confidence and a class.
+struct Box {
+  float x1 = 0.0f, y1 = 0.0f, x2 = 0.0f, y2 = 0.0f;
+  float score = 0.0f;
+  int64_t cls = 0;
+
+  float area() const;
+  static Box from_cxcywh(float cx, float cy, float w, float h);
+};
+
+/// Intersection over union of two boxes.
+float iou(const Box& a, const Box& b);
+
+/// Greedy per-class NMS; boxes need not be pre-sorted.
+std::vector<Box> nms(std::vector<Box> boxes, float iou_threshold);
+
+}  // namespace nb::detect

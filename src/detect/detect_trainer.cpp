@@ -1,0 +1,107 @@
+#include "detect/detect_trainer.h"
+
+#include <cstdio>
+#include <numeric>
+
+#include "optim/lr_schedule.h"
+#include "optim/sgd.h"
+#include "detect/ap_eval.h"
+#include "tensor/tensor_ops.h"
+
+namespace nb::detect {
+
+namespace {
+
+struct DetBatch {
+  Tensor images;
+  std::vector<std::vector<data::GtBox>> targets;
+};
+
+DetBatch gather(const data::DetectionDataset& ds,
+                const std::vector<int64_t>& order, int64_t begin, int64_t end) {
+  DetBatch b;
+  const int64_t n = end - begin;
+  const int64_t r = ds.resolution();
+  b.images = Tensor({n, 3, r, r});
+  b.targets.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t idx = order[static_cast<size_t>(begin + i)];
+    const Tensor img = ds.image(idx);
+    std::copy(img.data(), img.data() + img.numel(),
+              b.images.data() + i * img.numel());
+    b.targets[static_cast<size_t>(i)] = ds.boxes(idx);
+  }
+  return b;
+}
+
+}  // namespace
+
+float evaluate_ap50(TinyDetector& detector,
+                    const data::DetectionDataset& dataset,
+                    int64_t batch_size) {
+  detector.set_training(false);
+  std::vector<int64_t> order(static_cast<size_t>(dataset.size()));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::vector<Box>> all_preds;
+  std::vector<std::vector<data::GtBox>> all_gts;
+  for (int64_t begin = 0; begin < dataset.size(); begin += batch_size) {
+    const int64_t end = std::min(dataset.size(), begin + batch_size);
+    DetBatch batch = gather(dataset, order, begin, end);
+    const Tensor head_out = detector.forward(batch.images);
+    auto preds = detector.decode(head_out);
+    for (auto& p : preds) all_preds.push_back(std::move(p));
+    for (auto& t : batch.targets) all_gts.push_back(std::move(t));
+  }
+  return ap50(all_preds, all_gts, detector.config().num_classes);
+}
+
+float train_detector(TinyDetector& detector,
+                     const data::DetectionDataset& train_set,
+                     const data::DetectionDataset& test_set,
+                     const DetectTrainConfig& config,
+                     const std::function<void(int64_t, int64_t)>& on_iteration) {
+  optim::Sgd sgd(detector.parameters(),
+                 {config.lr, config.momentum, config.weight_decay, false});
+  const int64_t steps_per_epoch =
+      (train_set.size() + config.batch_size - 1) / config.batch_size;
+  const int64_t total_steps = steps_per_epoch * config.epochs;
+  optim::CosineLr schedule(config.lr, total_steps);
+  Rng rng(config.seed, 33);
+
+  std::vector<int64_t> order(static_cast<size_t>(train_set.size()));
+  std::iota(order.begin(), order.end(), 0);
+
+  int64_t step = 0;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    detector.set_training(true);
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    for (int64_t begin = 0; begin < train_set.size(); begin += config.batch_size) {
+      const int64_t end = std::min(train_set.size(), begin + config.batch_size);
+      DetBatch batch = gather(train_set, order, begin, end);
+      sgd.set_lr(schedule.lr_at(step));
+      detector.backbone().zero_grad();
+      for (nn::Parameter* p : detector.parameters()) p->zero_grad();
+      const Tensor head_out = detector.forward(batch.images);
+      nn::LossResult loss = detector.loss(head_out, batch.targets);
+      detector.backward(loss.grad);
+      optim::clip_grad_norm(detector.parameters(), 5.0f);
+      sgd.step();
+      loss_sum += loss.loss;
+      ++batches;
+      ++step;
+      if (on_iteration) on_iteration(step, total_steps);
+    }
+    if (config.verbose) {
+      std::printf("  det epoch %2lld | loss %.4f\n",
+                  static_cast<long long>(epoch),
+                  loss_sum / std::max<int64_t>(batches, 1));
+      std::fflush(stdout);
+    }
+  }
+  detector.recalibrate(train_set);
+  return evaluate_ap50(detector, test_set);
+}
+
+}  // namespace nb::detect

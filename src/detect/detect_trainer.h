@@ -1,0 +1,36 @@
+// Training loop and evaluation for TinyDetector. Accepts the same
+// IterationHook as the classification trainer so NetBooster's PLT scheduler
+// can ramp during detection finetuning (the Table III flow).
+#pragma once
+
+#include <functional>
+
+#include "data/synth_detection.h"
+#include "detect/detection_model.h"
+
+namespace nb::detect {
+
+struct DetectTrainConfig {
+  int64_t epochs = 12;
+  int64_t batch_size = 16;
+  float lr = 0.02f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+  uint64_t seed = 17;
+  bool verbose = false;
+};
+
+/// Mean AP at IoU 0.5 over the dataset.
+float evaluate_ap50(TinyDetector& detector,
+                    const data::DetectionDataset& dataset,
+                    int64_t batch_size = 16);
+
+/// Trains the detector; returns the final AP50 on `test_set`.
+float train_detector(TinyDetector& detector,
+                     const data::DetectionDataset& train_set,
+                     const data::DetectionDataset& test_set,
+                     const DetectTrainConfig& config,
+                     const std::function<void(int64_t, int64_t)>& on_iteration =
+                         nullptr);
+
+}  // namespace nb::detect

@@ -1,0 +1,290 @@
+#include "detect/detection_model.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace nb::detect {
+
+namespace {
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+/// Huber (smooth-L1) with delta = 1: bounded gradient keeps the log-scale
+/// size regression from blowing up early in training.
+float huber(float d) {
+  const float a = std::fabs(d);
+  return a <= 1.0f ? 0.5f * d * d : a - 0.5f;
+}
+float huber_grad(float d) { return d > 1.0f ? 1.0f : (d < -1.0f ? -1.0f : d); }
+}  // namespace
+
+TinyDetector::TinyDetector(std::shared_ptr<models::MobileNetV2> backbone,
+                           const DetectorConfig& config, Rng& rng)
+    : backbone_(std::move(backbone)), config_(config) {
+  NB_CHECK(backbone_ != nullptr, "detector needs a backbone");
+  NB_CHECK(!config_.anchors.empty(), "detector needs anchors");
+  config_.backbone_blocks =
+      std::min<int64_t>(config_.backbone_blocks, backbone_->blocks().size());
+  const int64_t feat =
+      config_.backbone_blocks >= 0
+          ? backbone_->trunk_channels(config_.backbone_blocks)
+          : backbone_->feature_channels();
+  neck_ = std::make_shared<nn::ConvBnAct>(
+      nn::Conv2dOptions(feat, 64, 3).same_padding(), nn::ActKind::relu6);
+  const int64_t out_c =
+      num_anchors() * (5 + config_.num_classes);
+  pred_ = std::make_shared<nn::Conv2d>(
+      nn::Conv2dOptions(64, out_c, 1).with_bias(true));
+  nn::init_parameters(*neck_, rng);
+  nn::init_parameters(*pred_, rng);
+}
+
+Tensor TinyDetector::forward(const Tensor& images) {
+  Tensor f = config_.backbone_blocks >= 0
+                 ? backbone_->forward_trunk(images, config_.backbone_blocks)
+                 : backbone_->forward_features(images);
+  f = neck_->forward(f);
+  return pred_->forward(f);
+}
+
+void TinyDetector::backward(const Tensor& grad_head_out) {
+  Tensor g = pred_->backward(grad_head_out);
+  g = neck_->backward(g);
+  if (config_.backbone_blocks >= 0) {
+    backbone_->backward_trunk(g);
+  } else {
+    backbone_->backward_features(g);
+  }
+}
+
+nn::LossResult TinyDetector::loss(
+    const Tensor& head_out,
+    const std::vector<std::vector<data::GtBox>>& targets) {
+  const int64_t n = head_out.size(0);
+  const int64_t gh = head_out.size(2);
+  const int64_t gw = head_out.size(3);
+  const int64_t a_count = num_anchors();
+  const int64_t k = config_.num_classes;
+  const int64_t fields = 5 + k;
+  NB_CHECK(head_out.size(1) == a_count * fields, "head channel mismatch");
+  NB_CHECK(static_cast<int64_t>(targets.size()) == n, "target count mismatch");
+
+  nn::LossResult result;
+  result.grad = Tensor(head_out.shape());
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  const float noobj_weight = 0.5f;
+
+  auto idx = [&](int64_t i, int64_t a, int64_t f, int64_t y,
+                 int64_t x) -> int64_t {
+    return ((i * a_count * fields + a * fields + f) * gh + y) * gw + x;
+  };
+
+  // Positive assignment map: for each (i, a, y, x) the matched gt or -1.
+  std::vector<int64_t> assigned(
+      static_cast<size_t>(n * a_count * gh * gw), -1);
+  auto aidx = [&](int64_t i, int64_t a, int64_t y, int64_t x) -> size_t {
+    return static_cast<size_t>(((i * a_count + a) * gh + y) * gw + x);
+  };
+
+  for (int64_t i = 0; i < n; ++i) {
+    const auto& gts = targets[static_cast<size_t>(i)];
+    for (size_t t = 0; t < gts.size(); ++t) {
+      const data::GtBox& gt = gts[t];
+      const int64_t cx = std::min<int64_t>(gw - 1, static_cast<int64_t>(gt.cx * gw));
+      const int64_t cy = std::min<int64_t>(gh - 1, static_cast<int64_t>(gt.cy * gh));
+      // Best anchor by shape IoU.
+      int64_t best_a = 0;
+      float best_iou = -1.0f;
+      for (int64_t a = 0; a < a_count; ++a) {
+        const auto [aw, ah] = config_.anchors[static_cast<size_t>(a)];
+        const float iw = std::min(aw, gt.w);
+        const float ih = std::min(ah, gt.h);
+        const float inter = iw * ih;
+        const float uni = aw * ah + gt.w * gt.h - inter;
+        const float v = uni > 0.0f ? inter / uni : 0.0f;
+        if (v > best_iou) {
+          best_iou = v;
+          best_a = a;
+        }
+      }
+      assigned[aidx(i, best_a, cy, cx)] = static_cast<int64_t>(t);
+    }
+  }
+
+  for (int64_t i = 0; i < n; ++i) {
+    const auto& gts = targets[static_cast<size_t>(i)];
+    for (int64_t a = 0; a < a_count; ++a) {
+      const auto [aw, ah] = config_.anchors[static_cast<size_t>(a)];
+      for (int64_t y = 0; y < gh; ++y) {
+        for (int64_t x = 0; x < gw; ++x) {
+          const int64_t t = assigned[aidx(i, a, y, x)];
+          const float obj_logit = head_out.at(idx(i, a, 4, y, x));
+          const float obj_p = sigmoid(obj_logit);
+          if (t < 0) {
+            // Negative: push objectness to 0.
+            loss += -noobj_weight * std::log(std::max(1.0f - obj_p, 1e-7f));
+            result.grad.at(idx(i, a, 4, y, x)) =
+                config_.w_obj * noobj_weight * obj_p * inv_n;
+            continue;
+          }
+          const data::GtBox& gt = gts[static_cast<size_t>(t)];
+
+          // Box regression (sigmoid-offset centers, log-scale sizes).
+          const float tx = head_out.at(idx(i, a, 0, y, x));
+          const float ty = head_out.at(idx(i, a, 1, y, x));
+          const float tw = head_out.at(idx(i, a, 2, y, x));
+          const float th = head_out.at(idx(i, a, 3, y, x));
+          const float px = sigmoid(tx);
+          const float py = sigmoid(ty);
+          const float gx = gt.cx * gw - static_cast<float>(x);
+          const float gy = gt.cy * gh - static_cast<float>(y);
+          const float gw_t = std::log(std::max(gt.w / aw, 1e-4f));
+          const float gh_t = std::log(std::max(gt.h / ah, 1e-4f));
+
+          loss += config_.w_box * (huber(px - gx) + huber(py - gy) +
+                                   huber(tw - gw_t) + huber(th - gh_t));
+          result.grad.at(idx(i, a, 0, y, x)) =
+              config_.w_box * huber_grad(px - gx) * px * (1.0f - px) * inv_n;
+          result.grad.at(idx(i, a, 1, y, x)) =
+              config_.w_box * huber_grad(py - gy) * py * (1.0f - py) * inv_n;
+          result.grad.at(idx(i, a, 2, y, x)) =
+              config_.w_box * huber_grad(tw - gw_t) * inv_n;
+          result.grad.at(idx(i, a, 3, y, x)) =
+              config_.w_box * huber_grad(th - gh_t) * inv_n;
+
+          // Objectness target 1.
+          loss += -config_.w_obj * std::log(std::max(obj_p, 1e-7f));
+          result.grad.at(idx(i, a, 4, y, x)) =
+              config_.w_obj * (obj_p - 1.0f) * inv_n;
+
+          // Classification: softmax CE over the K class logits.
+          float mx = head_out.at(idx(i, a, 5, y, x));
+          for (int64_t c = 1; c < k; ++c) {
+            mx = std::max(mx, head_out.at(idx(i, a, 5 + c, y, x)));
+          }
+          double denom = 0.0;
+          for (int64_t c = 0; c < k; ++c) {
+            denom += std::exp(head_out.at(idx(i, a, 5 + c, y, x)) - mx);
+          }
+          for (int64_t c = 0; c < k; ++c) {
+            const float p = static_cast<float>(
+                std::exp(head_out.at(idx(i, a, 5 + c, y, x)) - mx) / denom);
+            const float target = c == gt.cls ? 1.0f : 0.0f;
+            if (c == gt.cls) loss += -config_.w_cls * std::log(std::max(p, 1e-7f));
+            result.grad.at(idx(i, a, 5 + c, y, x)) =
+                config_.w_cls * (p - target) * inv_n;
+          }
+        }
+      }
+    }
+  }
+  result.loss = static_cast<float>(loss) * inv_n;
+  return result;
+}
+
+std::vector<std::vector<Box>> TinyDetector::decode(const Tensor& head_out,
+                                                   float score_threshold,
+                                                   float nms_iou) {
+  const int64_t n = head_out.size(0);
+  const int64_t gh = head_out.size(2);
+  const int64_t gw = head_out.size(3);
+  const int64_t a_count = num_anchors();
+  const int64_t k = config_.num_classes;
+  const int64_t fields = 5 + k;
+
+  auto get = [&](int64_t i, int64_t a, int64_t f, int64_t y, int64_t x) {
+    return head_out.at(((i * a_count * fields + a * fields + f) * gh + y) * gw + x);
+  };
+
+  std::vector<std::vector<Box>> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<Box> boxes;
+    for (int64_t a = 0; a < a_count; ++a) {
+      const auto [aw, ah] = config_.anchors[static_cast<size_t>(a)];
+      for (int64_t y = 0; y < gh; ++y) {
+        for (int64_t x = 0; x < gw; ++x) {
+          const float obj = sigmoid(get(i, a, 4, y, x));
+          if (obj < score_threshold) continue;
+          // Class softmax.
+          float mx = get(i, a, 5, y, x);
+          for (int64_t c = 1; c < k; ++c) mx = std::max(mx, get(i, a, 5 + c, y, x));
+          double denom = 0.0;
+          for (int64_t c = 0; c < k; ++c) denom += std::exp(get(i, a, 5 + c, y, x) - mx);
+          int64_t best_c = 0;
+          float best_p = 0.0f;
+          for (int64_t c = 0; c < k; ++c) {
+            const float p = static_cast<float>(std::exp(get(i, a, 5 + c, y, x) - mx) / denom);
+            if (p > best_p) {
+              best_p = p;
+              best_c = c;
+            }
+          }
+          const float score = obj * best_p;
+          if (score < score_threshold) continue;
+          const float cx = (static_cast<float>(x) + sigmoid(get(i, a, 0, y, x))) /
+                           static_cast<float>(gw);
+          const float cy = (static_cast<float>(y) + sigmoid(get(i, a, 1, y, x))) /
+                           static_cast<float>(gh);
+          const float bw = std::min(1.5f, aw * std::exp(get(i, a, 2, y, x)));
+          const float bh = std::min(1.5f, ah * std::exp(get(i, a, 3, y, x)));
+          Box b = Box::from_cxcywh(cx, cy, bw, bh);
+          b.score = score;
+          b.cls = best_c;
+          boxes.push_back(b);
+        }
+      }
+    }
+    out[static_cast<size_t>(i)] = nms(std::move(boxes), nms_iou);
+  }
+  return out;
+}
+
+std::vector<nn::Parameter*> TinyDetector::parameters() {
+  // Only the layers the head actually reads; blocks past the tap would get
+  // zero gradients and should not be decayed either.
+  std::vector<nn::Parameter*> params =
+      config_.backbone_blocks >= 0
+          ? backbone_->trunk_parameters(config_.backbone_blocks)
+          : backbone_->parameters();
+  for (nn::Parameter* p : neck_->parameters()) params.push_back(p);
+  for (nn::Parameter* p : pred_->parameters()) params.push_back(p);
+  return params;
+}
+
+void TinyDetector::set_training(bool training) {
+  backbone_->set_training(training);
+  neck_->set_training(training);
+  pred_->set_training(training);
+}
+
+void TinyDetector::recalibrate(const data::DetectionDataset& dataset,
+                               int64_t batch_size, int64_t max_batches) {
+  std::vector<nn::BatchNorm2d*> bns;
+  const auto collect = [&bns](nn::Module& m) {
+    if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&m)) bns.push_back(bn);
+  };
+  backbone_->apply(collect);
+  neck_->apply(collect);
+  if (bns.empty()) return;
+
+  set_training(true);
+  const int64_t r = dataset.resolution();
+  int64_t done = 0;
+  for (int64_t begin = 0; begin < dataset.size() && done < max_batches;
+       begin += batch_size, ++done) {
+    const int64_t end = std::min(dataset.size(), begin + batch_size);
+    Tensor images({end - begin, 3, r, r});
+    for (int64_t i = begin; i < end; ++i) {
+      const Tensor img = dataset.image(i);
+      std::copy(img.data(), img.data() + img.numel(),
+                images.data() + (i - begin) * img.numel());
+    }
+    const float m = 1.0f / static_cast<float>(done + 1);
+    for (nn::BatchNorm2d* bn : bns) bn->set_momentum(m);
+    (void)forward(images);
+  }
+  for (nn::BatchNorm2d* bn : bns) bn->set_momentum(0.1f);
+}
+
+}  // namespace nb::detect

@@ -1,0 +1,71 @@
+// Tiny single-scale anchor detector on the MobileNetV2 backbone: a YOLO-style
+// head predicts (tx, ty, tw, th, objectness, class scores) per anchor per
+// grid cell. The backbone is where NetBooster / NetAug / vanilla pretraining
+// differ; the head is shared across methods, so Table III isolates the
+// backbone's feature quality — exactly the paper's intent.
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "detect/box.h"
+#include "models/mobilenetv2.h"
+#include "nn/losses.h"
+
+namespace nb::detect {
+
+struct DetectorConfig {
+  int64_t num_classes = 4;
+  /// Anchor sizes (normalized w, h) — two square-ish priors.
+  std::vector<std::pair<float, float>> anchors = {{0.30f, 0.30f},
+                                                  {0.45f, 0.45f}};
+  float iou_match_threshold = 0.5f;
+  /// Loss weights: box regression, objectness, classification.
+  float w_box = 5.0f;
+  float w_obj = 1.0f;
+  float w_cls = 1.0f;
+  /// Backbone tap: the head reads the feature map after this many trunk
+  /// blocks (stem included). Classifier-level features are nearly position
+  /// invariant at this input scale, so the head must tap an intermediate,
+  /// higher-resolution map — the standard pyramid-tap detectors use.
+  int64_t backbone_blocks = 4;
+};
+
+class TinyDetector {
+ public:
+  TinyDetector(std::shared_ptr<models::MobileNetV2> backbone,
+               const DetectorConfig& config, Rng& rng);
+
+  /// Raw head output [N, A*(5+K), gh, gw].
+  Tensor forward(const Tensor& images);
+  /// Backprop through head and backbone.
+  void backward(const Tensor& grad_head_out);
+
+  /// Detection loss and its gradient with respect to the head output.
+  nn::LossResult loss(const Tensor& head_out,
+                      const std::vector<std::vector<data::GtBox>>& targets);
+
+  /// Decoded, NMS-filtered boxes for each image in the batch.
+  std::vector<std::vector<Box>> decode(const Tensor& head_out,
+                                       float score_threshold = 0.05f,
+                                       float nms_iou = 0.45f);
+
+  std::vector<nn::Parameter*> parameters();
+  void set_training(bool training);
+
+  /// BN recalibration over training images (same momentum-1/i scheme as
+  /// train::recalibrate_batchnorm); run before evaluation.
+  void recalibrate(const data::DetectionDataset& dataset,
+                   int64_t batch_size = 16, int64_t max_batches = 8);
+  models::MobileNetV2& backbone() { return *backbone_; }
+  const DetectorConfig& config() const { return config_; }
+  int64_t num_anchors() const { return static_cast<int64_t>(config_.anchors.size()); }
+
+ private:
+  std::shared_ptr<models::MobileNetV2> backbone_;
+  DetectorConfig config_;
+  std::shared_ptr<nn::ConvBnAct> neck_;
+  std::shared_ptr<nn::Conv2d> pred_;
+};
+
+}  // namespace nb::detect

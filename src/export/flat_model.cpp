@@ -1,0 +1,319 @@
+#include "export/flat_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "quant/quantize.h"
+
+namespace nb::exporter {
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'B', 'F', 'M'};
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  NB_CHECK(static_cast<bool>(in), "flat model: truncated file");
+  return value;
+}
+
+template <typename T>
+void write_vec(std::ofstream& out, const std::vector<T>& v) {
+  write_pod<int64_t>(out, static_cast<int64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::ifstream& in) {
+  const int64_t n = read_pod<int64_t>(in);
+  NB_CHECK(n >= 0 && n < (int64_t{1} << 32), "flat model: bad vector length");
+  std::vector<T> v(static_cast<size_t>(n));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+  NB_CHECK(static_cast<bool>(in), "flat model: truncated vector");
+  return v;
+}
+
+/// Fake-quantizes an activation tensor the same way QuantConv2d does.
+void quantize_activation_(Tensor& x, float scale, int bits) {
+  if (scale > 0.0f) {
+    quant::fake_quant_(x, scale, bits);
+  }
+}
+
+void apply_act_(Tensor& x, FlatAct act) {
+  float* p = x.data();
+  const int64_t n = x.numel();
+  switch (act) {
+    case FlatAct::identity:
+      return;
+    case FlatAct::relu:
+      for (int64_t i = 0; i < n; ++i) p[i] = std::max(p[i], 0.0f);
+      return;
+    case FlatAct::relu6:
+      for (int64_t i = 0; i < n; ++i) p[i] = std::clamp(p[i], 0.0f, 6.0f);
+      return;
+  }
+}
+
+/// Direct grouped convolution on dequantized weights (reference runtime;
+/// clarity over speed).
+Tensor run_conv(const FlatConv& op, const Tensor& x) {
+  NB_CHECK(x.dim() == 4, "flat conv: input must be NCHW");
+  NB_CHECK(x.size(1) == op.cin, "flat conv: channel mismatch");
+  const int64_t n = x.size(0);
+  const int64_t in_h = x.size(2);
+  const int64_t in_w = x.size(3);
+  const int64_t out_h = (in_h + 2 * op.pad - op.kernel) / op.stride + 1;
+  const int64_t out_w = (in_w + 2 * op.pad - op.kernel) / op.stride + 1;
+  const int64_t cin_g = op.cin / op.groups;
+  const int64_t cout_g = op.cout / op.groups;
+
+  Tensor y({n, op.cout, out_h, out_w});
+  const float* xp = x.data();
+  float* yp = y.data();
+  for (int64_t img = 0; img < n; ++img) {
+    for (int64_t o = 0; o < op.cout; ++o) {
+      const int64_t g = o / cout_g;
+      const float scale = op.weight_scales[static_cast<size_t>(o)];
+      const float b =
+          op.has_bias ? op.bias[static_cast<size_t>(o)] : 0.0f;
+      const int8_t* w =
+          op.weights.data() + o * cin_g * op.kernel * op.kernel;
+      for (int64_t oy = 0; oy < out_h; ++oy) {
+        for (int64_t ox = 0; ox < out_w; ++ox) {
+          // Integer-exact accumulation of (level * input) then one rescale,
+          // mirroring an int8 MAC pipeline with int32 accumulators.
+          float acc = 0.0f;
+          for (int64_t ic = 0; ic < cin_g; ++ic) {
+            const int64_t channel = g * cin_g + ic;
+            const float* xplane =
+                xp + (img * op.cin + channel) * in_h * in_w;
+            const int8_t* wk = w + ic * op.kernel * op.kernel;
+            for (int64_t ky = 0; ky < op.kernel; ++ky) {
+              const int64_t iy = oy * op.stride + ky - op.pad;
+              if (iy < 0 || iy >= in_h) continue;
+              for (int64_t kx = 0; kx < op.kernel; ++kx) {
+                const int64_t ix = ox * op.stride + kx - op.pad;
+                if (ix < 0 || ix >= in_w) continue;
+                acc += static_cast<float>(wk[ky * op.kernel + kx]) *
+                       xplane[iy * in_w + ix];
+              }
+            }
+          }
+          yp[((img * op.cout + o) * out_h + oy) * out_w + ox] =
+              acc * scale + b;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor run_gap(const Tensor& x) {
+  const int64_t n = x.size(0);
+  const int64_t c = x.size(1);
+  const int64_t hw = x.size(2) * x.size(3);
+  Tensor y({n, c});
+  const float* xp = x.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      double s = 0.0;
+      const float* plane = xp + (i * c + ch) * hw;
+      for (int64_t t = 0; t < hw; ++t) s += plane[t];
+      y.at(i, ch) = static_cast<float>(s / static_cast<double>(hw));
+    }
+  }
+  return y;
+}
+
+Tensor run_linear(const FlatLinear& op, const Tensor& x) {
+  NB_CHECK(x.dim() == 2 && x.size(1) == op.in,
+           "flat linear: input shape mismatch");
+  const int64_t n = x.size(0);
+  Tensor y({n, op.out});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t o = 0; o < op.out; ++o) {
+      const int8_t* w = op.weights.data() + o * op.in;
+      const float scale = op.weight_scales[static_cast<size_t>(o)];
+      double acc = 0.0;
+      for (int64_t k = 0; k < op.in; ++k) {
+        acc += static_cast<double>(w[k]) * x.at(i, k);
+      }
+      y.at(i, o) = static_cast<float>(acc) * scale +
+                   op.bias[static_cast<size_t>(o)];
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+void FlatModel::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  NB_CHECK(static_cast<bool>(out), "flat model: cannot open " + path);
+  out.write(kMagic, 4);
+  write_pod<uint32_t>(out, kFlatVersion);
+  write_pod<int64_t>(out, input_res_);
+  write_pod<int64_t>(out, input_channels_);
+  write_pod<uint32_t>(out, static_cast<uint32_t>(ops_.size()));
+  for (const FlatOp& op : ops_) {
+    write_pod<uint8_t>(out, static_cast<uint8_t>(op.kind));
+    if (op.kind == OpKind::conv) {
+      const FlatConv& c = op.conv;
+      write_pod<uint8_t>(out, static_cast<uint8_t>(c.act));
+      write_pod<int64_t>(out, c.stride);
+      write_pod<int64_t>(out, c.pad);
+      write_pod<int64_t>(out, c.groups);
+      write_pod<int64_t>(out, c.cout);
+      write_pod<int64_t>(out, c.cin);
+      write_pod<int64_t>(out, c.kernel);
+      write_pod<uint8_t>(out, c.weight_bits);
+      write_vec(out, c.weights);
+      write_vec(out, c.weight_scales);
+      write_pod<uint8_t>(out, c.has_bias ? 1 : 0);
+      if (c.has_bias) write_vec(out, c.bias);
+      write_pod<float>(out, c.act_scale);
+      write_pod<uint8_t>(out, c.act_bits);
+    } else if (op.kind == OpKind::linear) {
+      const FlatLinear& l = op.linear;
+      write_pod<int64_t>(out, l.in);
+      write_pod<int64_t>(out, l.out);
+      write_pod<uint8_t>(out, l.weight_bits);
+      write_vec(out, l.weights);
+      write_vec(out, l.weight_scales);
+      write_vec(out, l.bias);
+      write_pod<float>(out, l.act_scale);
+      write_pod<uint8_t>(out, l.act_bits);
+    }
+  }
+  NB_CHECK(static_cast<bool>(out), "flat model: write failed for " + path);
+}
+
+FlatModel FlatModel::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  NB_CHECK(static_cast<bool>(in), "flat model: cannot open " + path);
+  char magic[4] = {};
+  in.read(magic, 4);
+  NB_CHECK(static_cast<bool>(in) && std::memcmp(magic, kMagic, 4) == 0,
+           "flat model: bad magic (not an NBFM file)");
+  const auto version = read_pod<uint32_t>(in);
+  NB_CHECK(version == kFlatVersion, "flat model: unsupported version " +
+                                        std::to_string(version));
+  FlatModel model;
+  model.input_res_ = read_pod<int64_t>(in);
+  model.input_channels_ = read_pod<int64_t>(in);
+  const auto op_count = read_pod<uint32_t>(in);
+  NB_CHECK(op_count < 100000, "flat model: implausible op count");
+  for (uint32_t i = 0; i < op_count; ++i) {
+    FlatOp op;
+    op.kind = static_cast<OpKind>(read_pod<uint8_t>(in));
+    switch (op.kind) {
+      case OpKind::save:
+      case OpKind::add_saved:
+      case OpKind::gap:
+        break;
+      case OpKind::conv: {
+        FlatConv& c = op.conv;
+        c.act = static_cast<FlatAct>(read_pod<uint8_t>(in));
+        c.stride = read_pod<int64_t>(in);
+        c.pad = read_pod<int64_t>(in);
+        c.groups = read_pod<int64_t>(in);
+        c.cout = read_pod<int64_t>(in);
+        c.cin = read_pod<int64_t>(in);
+        c.kernel = read_pod<int64_t>(in);
+        c.weight_bits = read_pod<uint8_t>(in);
+        c.weights = read_vec<int8_t>(in);
+        c.weight_scales = read_vec<float>(in);
+        c.has_bias = read_pod<uint8_t>(in) != 0;
+        if (c.has_bias) c.bias = read_vec<float>(in);
+        c.act_scale = read_pod<float>(in);
+        c.act_bits = read_pod<uint8_t>(in);
+        NB_CHECK(static_cast<int64_t>(c.weights.size()) ==
+                     c.cout * (c.cin / c.groups) * c.kernel * c.kernel,
+                 "flat model: conv weight count mismatch");
+        NB_CHECK(static_cast<int64_t>(c.weight_scales.size()) == c.cout,
+                 "flat model: conv scale count mismatch");
+        break;
+      }
+      case OpKind::linear: {
+        FlatLinear& l = op.linear;
+        l.in = read_pod<int64_t>(in);
+        l.out = read_pod<int64_t>(in);
+        l.weight_bits = read_pod<uint8_t>(in);
+        l.weights = read_vec<int8_t>(in);
+        l.weight_scales = read_vec<float>(in);
+        l.bias = read_vec<float>(in);
+        l.act_scale = read_pod<float>(in);
+        l.act_bits = read_pod<uint8_t>(in);
+        NB_CHECK(static_cast<int64_t>(l.weights.size()) == l.in * l.out,
+                 "flat model: linear weight count mismatch");
+        break;
+      }
+      default:
+        NB_CHECK(false, "flat model: unknown op kind");
+    }
+    model.ops_.push_back(std::move(op));
+  }
+  return model;
+}
+
+Tensor FlatModel::forward(const Tensor& input) const {
+  NB_CHECK(!ops_.empty(), "flat model: empty program");
+  Tensor x = input.clone();
+  std::vector<Tensor> saved;
+  for (const FlatOp& op : ops_) {
+    switch (op.kind) {
+      case OpKind::save:
+        saved.push_back(x.clone());
+        break;
+      case OpKind::add_saved:
+        NB_CHECK(!saved.empty(), "flat model: ADD without SAVE");
+        x.add_(saved.back());
+        saved.pop_back();
+        break;
+      case OpKind::conv: {
+        quantize_activation_(x, op.conv.act_scale, op.conv.act_bits);
+        x = run_conv(op.conv, x);
+        apply_act_(x, op.conv.act);
+        break;
+      }
+      case OpKind::gap:
+        x = run_gap(x);
+        break;
+      case OpKind::linear:
+        quantize_activation_(x, op.linear.act_scale, op.linear.act_bits);
+        x = run_linear(op.linear, x);
+        break;
+    }
+  }
+  return x;
+}
+
+int64_t FlatModel::weight_bytes() const {
+  int64_t bytes = 0;
+  for (const FlatOp& op : ops_) {
+    if (op.kind == OpKind::conv) {
+      bytes += static_cast<int64_t>(op.conv.weights.size()) +
+               static_cast<int64_t>(op.conv.weight_scales.size()) * 4 +
+               static_cast<int64_t>(op.conv.bias.size()) * 4 + 4;
+    } else if (op.kind == OpKind::linear) {
+      bytes += static_cast<int64_t>(op.linear.weights.size()) +
+               static_cast<int64_t>(op.linear.weight_scales.size()) * 4 +
+               static_cast<int64_t>(op.linear.bias.size()) * 4 + 4;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace nb::exporter

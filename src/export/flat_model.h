@@ -1,0 +1,112 @@
+// Deployable model artifact: a single binary file holding the contracted,
+// int8-quantized TNN as a flat instruction list, plus a self-contained
+// reference runtime to execute it. This is the artifact an MCU toolchain
+// would consume — real int8 weight storage (not fake-quant floats), explicit
+// execution order, no dependency on the training stack: the runtime needs
+// only nb_tensor.
+//
+//   writer:  models::MobileNetV2 (after quant::quantize_for_deployment)
+//            --> write_flat_model(model, path)
+//   runtime: FlatModel::load(path);  model.forward(nchw) -> logits
+//
+// Format (little-endian):
+//   magic "NBFM" | u32 version | i64 input_res | i64 input_channels |
+//   u32 op_count | op records...
+// Op records:
+//   kSave                      -- push current activation (residual source)
+//   kAddSaved                  -- pop and add (residual join)
+//   kConv: u8 act | i64 stride,pad,groups,cout,cin,k | u8 weight_bits |
+//          i8 weights[cout*cin/g*k*k] | f32 weight_scales[cout] |
+//          u8 has_bias | f32 bias[cout] | f32 act_scale | u8 act_bits
+//   kGap                       -- global average pool to [N, C]
+//   kLinear: i64 in,out | u8 weight_bits | i8 weights[out*in] |
+//            f32 weight_scales[out] | f32 bias[out] | f32 act_scale |
+//            u8 act_bits
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace nb::exporter {
+
+constexpr uint32_t kFlatVersion = 1;
+
+enum class OpKind : uint8_t {
+  save = 0,
+  add_saved = 1,
+  conv = 2,
+  gap = 3,
+  linear = 4,
+};
+
+/// Activation applied after a conv/linear op.
+enum class FlatAct : uint8_t { identity = 0, relu = 1, relu6 = 2 };
+
+struct FlatConv {
+  FlatAct act = FlatAct::identity;
+  int64_t stride = 1;
+  int64_t pad = 0;
+  int64_t groups = 1;
+  int64_t cout = 0;
+  int64_t cin = 0;  // full input channels (not per group)
+  int64_t kernel = 1;
+  uint8_t weight_bits = 8;
+  std::vector<int8_t> weights;       // [cout, cin/groups, k, k]
+  std::vector<float> weight_scales;  // per output channel
+  bool has_bias = false;
+  std::vector<float> bias;  // [cout] when has_bias
+  float act_scale = 0.0f;   // input-activation quantization scale
+  uint8_t act_bits = 8;
+};
+
+struct FlatLinear {
+  int64_t in = 0;
+  int64_t out = 0;
+  uint8_t weight_bits = 8;
+  std::vector<int8_t> weights;  // [out, in]
+  std::vector<float> weight_scales;
+  std::vector<float> bias;  // [out]
+  float act_scale = 0.0f;
+  uint8_t act_bits = 8;
+};
+
+struct FlatOp {
+  OpKind kind = OpKind::save;
+  FlatConv conv;      // when kind == conv
+  FlatLinear linear;  // when kind == linear
+};
+
+/// A loaded (or about-to-be-written) flat model.
+class FlatModel {
+ public:
+  static FlatModel load(const std::string& path);
+
+  /// Reference inference: dequantizes weights, re-quantizes activations at
+  /// each conv exactly as the training-side fake-quant pipeline does, and
+  /// runs direct convolution. Input is [N, C, H, W]; returns logits.
+  Tensor forward(const Tensor& input) const;
+
+  const std::vector<FlatOp>& ops() const { return ops_; }
+  int64_t input_resolution() const { return input_res_; }
+  int64_t input_channels() const { return input_channels_; }
+  /// Total serialized weight payload in bytes (int8 weights + f32 scales).
+  int64_t weight_bytes() const;
+
+  // Writer-side mutators (used by write_flat_model).
+  void set_input(int64_t resolution, int64_t channels) {
+    input_res_ = resolution;
+    input_channels_ = channels;
+  }
+  void push(FlatOp op) { ops_.push_back(std::move(op)); }
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<FlatOp> ops_;
+  int64_t input_res_ = 0;
+  int64_t input_channels_ = 3;
+};
+
+}  // namespace nb::exporter

@@ -1,0 +1,159 @@
+#include "export/flat_writer.h"
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/blocks.h"
+#include "quant/qlayers.h"
+
+namespace nb::exporter {
+
+namespace {
+
+FlatAct act_of(nn::Module* act_module) {
+  if (act_module == nullptr) {
+    return FlatAct::identity;
+  }
+  auto* act = dynamic_cast<nn::Activation*>(act_module);
+  NB_CHECK(act != nullptr,
+           "flat export: unsupported activation module " +
+               act_module->type_name());
+  switch (act->kind()) {
+    case nn::ActKind::identity:
+      return FlatAct::identity;
+    case nn::ActKind::relu:
+      return FlatAct::relu;
+    case nn::ActKind::relu6:
+      return FlatAct::relu6;
+  }
+  NB_CHECK(false, "flat export: unhandled activation kind");
+  return FlatAct::identity;
+}
+
+/// Converts fake-quantized float weights back to integer levels. The floats
+/// are exact multiples of the per-channel scale (up to float rounding), so
+/// round() recovers the level.
+std::vector<int8_t> to_levels(const Tensor& weights,
+                              const std::vector<float>& scales, int bits) {
+  const int64_t cout = weights.size(0);
+  const int64_t stride = weights.numel() / cout;
+  const float qmax = static_cast<float>(quant::qmax_for_bits(bits));
+  std::vector<int8_t> out(static_cast<size_t>(weights.numel()));
+  const float* w = weights.data();
+  for (int64_t o = 0; o < cout; ++o) {
+    const float inv =
+        1.0f / scales[static_cast<size_t>(scales.size() == 1 ? 0 : o)];
+    for (int64_t i = 0; i < stride; ++i) {
+      const float level = std::round(w[o * stride + i] * inv);
+      NB_CHECK(std::fabs(level) <= qmax + 0.5f,
+               "flat export: weight level out of range (was the model "
+               "quantized?)");
+      out[static_cast<size_t>(o * stride + i)] =
+          static_cast<int8_t>(std::lround(level));
+    }
+  }
+  return out;
+}
+
+FlatConv conv_record(quant::QuantConv2d& q, nn::Module* act_module) {
+  NB_CHECK(q.frozen(), "flat export: QuantConv2d not frozen (calibrate + "
+                       "freeze first)");
+  const nn::Conv2dOptions& opts = q.inner().options();
+  FlatConv record;
+  record.act = act_of(act_module);
+  record.stride = opts.stride;
+  record.pad = opts.padding;
+  record.groups = opts.groups;
+  record.cout = opts.out_channels;
+  record.cin = opts.in_channels;
+  record.kernel = opts.kernel;
+  record.weight_bits = static_cast<uint8_t>(q.spec().weight_bits);
+  record.act_bits = static_cast<uint8_t>(q.spec().act_bits);
+  NB_CHECK(q.spec().weight_bits <= 8,
+           "flat export: weight levels wider than int8 do not fit the "
+           "format");
+  record.weight_scales = q.weight_scales();
+  if (record.weight_scales.size() == 1) {
+    // Per-tensor quantization: replicate so the file is always per-channel.
+    record.weight_scales.assign(static_cast<size_t>(record.cout),
+                                q.weight_scales()[0]);
+  }
+  record.weights = to_levels(q.inner().weight().value, record.weight_scales,
+                             q.spec().weight_bits);
+  record.act_scale = q.act_scale();
+  return record;
+}
+
+}  // namespace
+
+FlatModel to_flat_model(models::MobileNetV2& model,
+                        int64_t input_resolution) {
+  NB_CHECK(!model.config().use_se,
+           "flat export: Squeeze-Excitation models are not supported");
+  FlatModel flat;
+  flat.set_input(input_resolution, 3);
+
+  const auto emit_unit = [&flat](nn::ConvBnAct& unit) {
+    NB_CHECK(!unit.has_bn(),
+             "flat export: unit still has BN (quantize_for_deployment "
+             "folds it)");
+    auto* q = dynamic_cast<quant::QuantConv2d*>(unit.conv_slot().get());
+    NB_CHECK(q != nullptr,
+             "flat export: conv slot is not a QuantConv2d (quantize first)");
+    FlatOp op;
+    op.kind = OpKind::conv;
+    op.conv = conv_record(*q, unit.act());
+    if (q->bias().defined()) {
+      op.conv.has_bias = true;
+      op.conv.bias.assign(q->bias().data(),
+                          q->bias().data() + q->bias().numel());
+    }
+    flat.push(std::move(op));
+  };
+
+  emit_unit(model.stem());
+  for (nn::InvertedResidual* block : model.residual_blocks()) {
+    if (block->use_residual()) {
+      flat.push(FlatOp{OpKind::save, {}, {}});
+    }
+    if (block->has_expand()) {
+      emit_unit(block->expand_unit());
+    }
+    emit_unit(block->dw_unit());
+    emit_unit(block->project_unit());
+    if (block->use_residual()) {
+      flat.push(FlatOp{OpKind::add_saved, {}, {}});
+    }
+  }
+  emit_unit(model.head());
+  flat.push(FlatOp{OpKind::gap, {}, {}});
+
+  auto* qfc = dynamic_cast<quant::QuantLinear*>(model.classifier_slot().get());
+  NB_CHECK(qfc != nullptr && qfc->frozen(),
+           "flat export: classifier is not a frozen QuantLinear");
+  FlatOp fc;
+  fc.kind = OpKind::linear;
+  fc.linear.in = qfc->inner().in_features();
+  fc.linear.out = qfc->inner().out_features();
+  fc.linear.weight_bits = static_cast<uint8_t>(qfc->spec().weight_bits);
+  fc.linear.act_bits = static_cast<uint8_t>(qfc->spec().act_bits);
+  std::vector<float> scales = qfc->weight_scales();
+  if (scales.size() == 1) {
+    scales.assign(static_cast<size_t>(fc.linear.out), scales[0]);
+  }
+  fc.linear.weight_scales = scales;
+  fc.linear.weights = to_levels(qfc->inner().weight().value, scales,
+                                qfc->spec().weight_bits);
+  const Tensor& b = qfc->inner().bias().value;
+  fc.linear.bias.assign(b.data(), b.data() + b.numel());
+  fc.linear.act_scale = qfc->act_scale();
+  flat.push(std::move(fc));
+  return flat;
+}
+
+void write_flat_model(models::MobileNetV2& model, const std::string& path,
+                      int64_t input_resolution) {
+  to_flat_model(model, input_resolution).save(path);
+}
+
+}  // namespace nb::exporter

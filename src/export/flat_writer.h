@@ -1,0 +1,25 @@
+// Builds the flat deployment artifact from a quantized MobileNetV2-family
+// model. The model must have been through quant::quantize_for_deployment
+// (every conv slot a frozen QuantConv2d, classifier a frozen QuantLinear);
+// the writer re-expresses it as a linear instruction list with explicit
+// residual save/add markers and stores weights as true int8 levels.
+#pragma once
+
+#include <string>
+
+#include "export/flat_model.h"
+#include "models/mobilenetv2.h"
+
+namespace nb::exporter {
+
+/// In-memory conversion. Throws if the model is not fully quantized, still
+/// expanded, or uses features the format does not carry (Squeeze-Excitation).
+/// `input_resolution` is recorded in the artifact header (informational).
+FlatModel to_flat_model(models::MobileNetV2& model,
+                        int64_t input_resolution = 0);
+
+/// to_flat_model + FlatModel::save.
+void write_flat_model(models::MobileNetV2& model, const std::string& path,
+                      int64_t input_resolution = 0);
+
+}  // namespace nb::exporter

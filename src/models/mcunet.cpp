@@ -1,0 +1,25 @@
+#include "models/mcunet.h"
+
+namespace nb::models {
+
+ModelConfig mcunet_config(int64_t num_classes, int64_t paper_resolution) {
+  ModelConfig c;
+  c.name = "mcunet";
+  c.width_mult = 1.0f;
+  c.num_classes = num_classes;
+  c.paper_resolution = paper_resolution;
+  c.stem_channels = 12;
+  c.head_channels = 80;
+  // Heterogeneous kernels and expansions, the signature of the NAS result.
+  c.stages = {
+      {1, 8, 1, 1, 3},
+      {4, 12, 1, 2, 5},
+      {5, 16, 2, 2, 3},
+      {4, 24, 2, 2, 7},
+      {6, 32, 1, 1, 5},
+      {6, 40, 1, 2, 3},
+  };
+  return c;
+}
+
+}  // namespace nb::models

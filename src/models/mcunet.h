@@ -1,0 +1,14 @@
+// MCUNet-style architecture (Lin et al., 2020): a hardware-friendly MBConv
+// network found by NAS. We use a fixed representative stage table with the
+// hallmarks of the searched family — mixed kernel sizes (3/5/7) and varying
+// expansion ratios — on top of the same InvertedResidual machinery.
+#pragma once
+
+#include "models/mobilenetv2.h"
+
+namespace nb::models {
+
+/// Stage table standing in for the MCUNet search result (see DESIGN.md).
+ModelConfig mcunet_config(int64_t num_classes, int64_t paper_resolution = 176);
+
+}  // namespace nb::models

@@ -1,0 +1,179 @@
+#include "models/mobilenetv2.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace nb::models {
+
+int64_t make_divisible(float value, int64_t divisor) {
+  const int64_t rounded =
+      std::max<int64_t>(divisor, static_cast<int64_t>(value + divisor / 2.0f) /
+                                     divisor * divisor);
+  // Do not shrink by more than 10% (torchvision rule).
+  if (static_cast<float>(rounded) < 0.9f * value) return rounded + divisor;
+  return rounded;
+}
+
+MobileNetV2::MobileNetV2(const ModelConfig& config) : config_(config) {
+  NB_CHECK(!config.stages.empty(), "model needs at least one stage");
+  const int64_t stem_c =
+      make_divisible(config.stem_channels * config.width_mult);
+  stem_ = std::make_shared<nn::ConvBnAct>(
+      nn::Conv2dOptions(3, stem_c, 3).with_stride(1).same_padding(),
+      config.act);
+
+  blocks_ = std::make_shared<nn::Sequential>();
+  int64_t cin = stem_c;
+  for (const Stage& stage : config.stages) {
+    const int64_t cout = make_divisible(stage.c * config.width_mult);
+    for (int64_t i = 0; i < stage.n; ++i) {
+      const int64_t stride = (i == 0) ? stage.s : 1;
+      blocks_->emplace<nn::InvertedResidual>(cin, cout, stride, stage.t,
+                                             stage.k, config.act,
+                                             config.use_se,
+                                             config.se_reduction);
+      cin = cout;
+    }
+  }
+
+  feature_channels_ = make_divisible(config.head_channels * config.width_mult);
+  head_ = std::make_shared<nn::ConvBnAct>(
+      nn::Conv2dOptions(cin, feature_channels_, 1), config.act);
+  pool_ = std::make_shared<nn::GlobalAvgPool>();
+  classifier_ = std::make_shared<nn::Linear>(feature_channels_,
+                                             config.num_classes, true);
+}
+
+Tensor MobileNetV2::forward_features(const Tensor& x) {
+  Tensor y = stem_->forward(x);
+  y = blocks_->forward(y);
+  if (dropblock_) y = dropblock_->forward(y);
+  return head_->forward(y);
+}
+
+Tensor MobileNetV2::backward_features(const Tensor& grad_out) {
+  Tensor g = head_->backward(grad_out);
+  if (dropblock_) g = dropblock_->backward(g);
+  g = blocks_->backward(g);
+  return stem_->backward(g);
+}
+
+Tensor MobileNetV2::forward_trunk(const Tensor& x, int64_t num_blocks) {
+  NB_CHECK(num_blocks >= 0 && num_blocks <= blocks_->size(),
+           "trunk tap out of range");
+  trunk_blocks_used_ = num_blocks;
+  Tensor y = stem_->forward(x);
+  for (int64_t i = 0; i < num_blocks; ++i) y = blocks_->at(i)->forward(y);
+  return y;
+}
+
+Tensor MobileNetV2::backward_trunk(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (int64_t i = trunk_blocks_used_ - 1; i >= 0; --i) {
+    g = blocks_->at(i)->backward(g);
+  }
+  return stem_->backward(g);
+}
+
+int64_t MobileNetV2::trunk_channels(int64_t num_blocks) {
+  NB_CHECK(num_blocks >= 0 && num_blocks <= blocks_->size(),
+           "trunk tap out of range");
+  if (num_blocks == 0) {
+    return dynamic_cast<nn::Conv2d*>(stem_->conv_slot().get())
+        ->options()
+        .out_channels;
+  }
+  auto* block = dynamic_cast<nn::InvertedResidual*>(
+      blocks_->at(num_blocks - 1).get());
+  NB_CHECK(block != nullptr, "trunk holds a non-InvertedResidual module");
+  return block->cout();
+}
+
+std::vector<nn::Parameter*> MobileNetV2::trunk_parameters(int64_t num_blocks) {
+  std::vector<nn::Parameter*> params = stem_->parameters();
+  for (int64_t i = 0; i < num_blocks; ++i) {
+    for (nn::Parameter* p : blocks_->at(i)->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+void MobileNetV2::set_dropblock(std::shared_ptr<nn::Module> dropblock) {
+  dropblock_ = std::move(dropblock);
+  if (dropblock_) dropblock_->set_training(training());
+}
+
+Tensor MobileNetV2::forward(const Tensor& x) {
+  Tensor y = forward_features(x);
+  y = pool_->forward(y);
+  return classifier_->forward(y);
+}
+
+Tensor MobileNetV2::backward(const Tensor& grad_out) {
+  Tensor g = classifier_->backward(grad_out);
+  g = pool_->backward(g);
+  return backward_features(g);
+}
+
+std::vector<std::pair<std::string, nn::Module*>> MobileNetV2::named_children() {
+  std::vector<std::pair<std::string, nn::Module*>> out = {
+      {"stem", stem_.get()},
+      {"blocks", blocks_.get()},
+      {"head", head_.get()},
+      {"pool", pool_.get()},
+      {"classifier", classifier_.get()}};
+  if (dropblock_) out.emplace_back("dropblock", dropblock_.get());
+  return out;
+}
+
+std::vector<nn::InvertedResidual*> MobileNetV2::residual_blocks() {
+  std::vector<nn::InvertedResidual*> out;
+  for (int64_t i = 0; i < blocks_->size(); ++i) {
+    auto* block = dynamic_cast<nn::InvertedResidual*>(blocks_->at(i).get());
+    NB_CHECK(block != nullptr, "trunk holds a non-InvertedResidual module");
+    out.push_back(block);
+  }
+  return out;
+}
+
+nn::Linear& MobileNetV2::classifier() {
+  auto* linear = dynamic_cast<nn::Linear*>(classifier_.get());
+  NB_CHECK(linear != nullptr,
+           "classifier slot does not hold a Linear (wrapped or replaced?)");
+  return *linear;
+}
+
+void MobileNetV2::reset_classifier(int64_t num_classes, Rng& rng) {
+  config_.num_classes = num_classes;
+  auto linear = std::make_shared<nn::Linear>(feature_channels_, num_classes,
+                                             true);
+  linear->set_training(training());
+  fill_normal(linear->weight().value, rng, 0.0f, 0.01f);
+  linear->bias().value.zero();
+  classifier_ = std::move(linear);
+}
+
+ModelConfig mobilenet_v2_config(const std::string& name, float width_mult,
+                                int64_t num_classes,
+                                int64_t paper_resolution) {
+  ModelConfig c;
+  c.name = name;
+  c.width_mult = width_mult;
+  c.num_classes = num_classes;
+  c.paper_resolution = paper_resolution;
+  c.stem_channels = 16;
+  c.head_channels = 96;
+  // Scaled-down analogue of the torchvision stage table
+  // (1,16,1,1)(6,24,2,2)(6,32,3,2)(6,64,4,2)(6,96,3,1)(6,160,3,2)(6,320,1,1):
+  // same expansion/stride pattern, fewer repeats, smaller widths.
+  c.stages = {
+      {1, 12, 1, 1, 3},
+      {6, 16, 2, 2, 3},
+      {6, 24, 2, 2, 3},
+      {6, 32, 2, 1, 3},
+      {6, 48, 1, 2, 3},
+  };
+  return c;
+}
+
+}  // namespace nb::models

@@ -1,0 +1,116 @@
+// MobileNetV2 (Sandler et al., 2018) scaled for the synthetic substrate. The
+// structure is faithful — pw-expand / dw kxk / pw-project inverted residual
+// blocks with the residual rule (stride 1 and cin == cout), ReLU6, BN, width
+// multiplier — while stage widths/depths are sized for 20-32 px inputs so
+// training fits the CPU budget (see DESIGN.md "Substitutions"). MCUNet-style
+// models reuse this class with a different stage table (mixed kernel sizes
+// and expansion ratios).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/blocks.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "tensor/rng.h"
+
+namespace nb::models {
+
+/// One stage: `n` inverted residual blocks of `c` output channels, expansion
+/// `t`, kernel `k`; the first block in the stage uses stride `s`.
+struct Stage {
+  int64_t t = 6;
+  int64_t c = 24;
+  int64_t n = 1;
+  int64_t s = 1;
+  int64_t k = 3;
+};
+
+struct ModelConfig {
+  std::string name = "mbv2";
+  float width_mult = 1.0f;
+  int64_t stem_channels = 16;
+  int64_t head_channels = 96;
+  std::vector<Stage> stages;
+  int64_t num_classes = 24;
+  nn::ActKind act = nn::ActKind::relu6;
+  /// Attach Squeeze-Excitation to every block (the MCUNet-SE variant).
+  bool use_se = false;
+  int64_t se_reduction = 4;
+  /// The paper resolution this configuration corresponds to (for reports).
+  int64_t paper_resolution = 160;
+};
+
+/// Applies the width multiplier with divisor-8 rounding (torchvision rule,
+/// divisor 4 here because the channel counts are small).
+int64_t make_divisible(float value, int64_t divisor = 4);
+
+class MobileNetV2 : public nn::Module {
+ public:
+  explicit MobileNetV2(const ModelConfig& config);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "MobileNetV2"; }
+  std::vector<std::pair<std::string, Module*>> named_children() override;
+
+  /// Backbone only: NCHW feature map after the head conv (used by the
+  /// detection model, which attaches its own head).
+  Tensor forward_features(const Tensor& x);
+  /// Backward through the backbone only; pairs with forward_features.
+  Tensor backward_features(const Tensor& grad_out);
+
+  /// Intermediate tap: stem + the first `num_blocks` trunk blocks. Detection
+  /// heads use this to read a higher-resolution, smaller-receptive-field map
+  /// than the classifier features (which are nearly position-invariant).
+  Tensor forward_trunk(const Tensor& x, int64_t num_blocks);
+  /// Backward through the layers used by the last forward_trunk call.
+  Tensor backward_trunk(const Tensor& grad_out);
+  /// Output channels of forward_trunk(x, num_blocks).
+  int64_t trunk_channels(int64_t num_blocks);
+  /// Parameters of stem + the first `num_blocks` blocks only.
+  std::vector<nn::Parameter*> trunk_parameters(int64_t num_blocks);
+
+  const ModelConfig& config() const { return config_; }
+  /// The inverted residual trunk (surgery target for Network Expansion).
+  nn::Sequential& blocks() { return *blocks_; }
+  /// Typed handles to every trunk block, in order.
+  std::vector<nn::InvertedResidual*> residual_blocks();
+  nn::ConvBnAct& stem() { return *stem_; }
+  nn::ConvBnAct& head() { return *head_; }
+  /// Typed classifier access; throws if the slot was replaced by a wrapper
+  /// that is not a Linear (e.g. after quantization).
+  nn::Linear& classifier();
+  /// The classifier slot itself (quantization swaps a QuantLinear in).
+  nn::ModulePtr& classifier_slot() { return classifier_; }
+  int64_t feature_channels() const { return feature_channels_; }
+
+  /// Replaces the classification head (transfer to a downstream task with a
+  /// different class count); backbone weights are untouched.
+  void reset_classifier(int64_t num_classes, Rng& rng);
+
+  /// Installs a DropBlock regularizer between the trunk and the head conv
+  /// (train-mode only). Used by the Fig. 1(a) bench to show regularization
+  /// hurting under-fitting TNNs; pass nullptr to remove.
+  void set_dropblock(std::shared_ptr<nn::Module> dropblock);
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<nn::ConvBnAct> stem_;
+  std::shared_ptr<nn::Sequential> blocks_;
+  std::shared_ptr<nn::ConvBnAct> head_;
+  std::shared_ptr<nn::GlobalAvgPool> pool_;
+  nn::ModulePtr classifier_;
+  std::shared_ptr<nn::Module> dropblock_;  // optional, Fig. 1(a) bench
+  int64_t feature_channels_ = 0;
+  int64_t trunk_blocks_used_ = 0;
+};
+
+/// Canonical scaled-down MobileNetV2 config for a given width multiplier.
+ModelConfig mobilenet_v2_config(const std::string& name, float width_mult,
+                                int64_t num_classes, int64_t paper_resolution);
+
+}  // namespace nb::models

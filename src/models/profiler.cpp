@@ -1,0 +1,93 @@
+#include "models/profiler.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "util/table.h"
+
+namespace nb::models {
+
+Profile profile_model(nn::Module& m, int64_t resolution, int64_t channels) {
+  const bool was_training = m.training();
+  m.set_training(false);
+  Tensor dummy({1, channels, resolution, resolution});
+  (void)m.forward(dummy);
+  m.set_training(was_training);
+
+  Profile p;
+  m.apply([&p](nn::Module& mod) {
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&mod)) {
+      NB_CHECK(conv->last_input_h() > 0, "conv did not see the dummy input");
+      p.flops += conv->flops(conv->last_input_h(), conv->last_input_w());
+    } else if (auto* fc = dynamic_cast<nn::Linear*>(&mod)) {
+      p.flops += fc->flops();
+    }
+  });
+  p.params = m.param_count();
+  return p;
+}
+
+namespace {
+
+int64_t local_param_count(nn::Module& m) {
+  int64_t n = 0;
+  for (auto& [name, p] : m.local_params()) {
+    (void)name;
+    n += p->value.numel();
+  }
+  return n;
+}
+
+void summarize_into(nn::Module& m, const std::string& path,
+                    util::Table& table) {
+  const int64_t params = local_param_count(m);
+  int64_t flops = 0;
+  if (auto* conv = dynamic_cast<nn::Conv2d*>(&m)) {
+    if (conv->last_input_h() > 0) {
+      flops = conv->flops(conv->last_input_h(), conv->last_input_w());
+    }
+  } else if (auto* fc = dynamic_cast<nn::Linear*>(&m)) {
+    flops = fc->flops();
+  }
+  if (params > 0 || flops > 0) {
+    table.add_row({path.empty() ? "(root)" : path, m.type_name(),
+                   util::format_count(params),
+                   flops > 0 ? human_count(flops) : "-"});
+  }
+  for (auto& [name, child] : m.named_children()) {
+    summarize_into(*child, path.empty() ? name : path + "." + name, table);
+  }
+}
+
+}  // namespace
+
+std::string summarize_model(nn::Module& m, int64_t resolution,
+                            int64_t channels) {
+  const Profile total = profile_model(m, resolution, channels);
+  util::Table table({"layer", "type", "params", "flops"});
+  summarize_into(m, "", table);
+  std::ostringstream os;
+  os << table.render();
+  os << "total: " << human_count(total.params) << " params, "
+     << human_count(total.flops) << " FLOPs @ " << resolution << "x"
+     << resolution << "\n";
+  return os.str();
+}
+
+std::string human_count(int64_t value) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(value >= 100'000'000 ? 0 : 1);
+  if (value >= 1'000'000) {
+    os << static_cast<double>(value) / 1.0e6 << "M";
+  } else if (value >= 1'000) {
+    os << static_cast<double>(value) / 1.0e3 << "K";
+  } else {
+    os << value;
+  }
+  return os.str();
+}
+
+}  // namespace nb::models

@@ -1,0 +1,35 @@
+// FLOPs / parameter profiler. Runs one dummy eval-mode forward so every
+// Conv2d records the spatial size it saw, then walks the module tree summing
+// conv and linear costs. Works unchanged on expanded (deep giant) and
+// contracted models — which is how the benches verify that contraction
+// restores the original inference cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/module.h"
+
+namespace nb::models {
+
+struct Profile {
+  int64_t flops = 0;   // 2 * MACs, conv + linear
+  int64_t params = 0;  // trainable scalars
+
+  double mflops() const { return static_cast<double>(flops) / 1.0e6; }
+  double mparams() const { return static_cast<double>(params) / 1.0e6; }
+};
+
+/// Profiles `m` for [1, channels, resolution, resolution] inputs.
+Profile profile_model(nn::Module& m, int64_t resolution, int64_t channels = 3);
+
+/// Formats like "23.5M".
+std::string human_count(int64_t value);
+
+/// Human-readable per-layer table (hierarchical path, type, parameter count,
+/// FLOPs for conv/linear layers) with a totals footer. Layers with no
+/// parameters and no cost (activations, pooling) are omitted.
+std::string summarize_model(nn::Module& m, int64_t resolution,
+                            int64_t channels = 3);
+
+}  // namespace nb::models

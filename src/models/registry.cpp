@@ -1,0 +1,58 @@
+#include "models/registry.h"
+
+#include "models/mcunet.h"
+#include "nn/init.h"
+
+namespace nb::models {
+
+ModelConfig model_config(const std::string& name, int64_t num_classes) {
+  if (name == "mbv2-tiny") {
+    // NetAug's MobileNetV2-Tiny: aggressively shrunk width and depth.
+    ModelConfig c = mobilenet_v2_config(name, 0.35f, num_classes, 144);
+    c.stages = {
+        {1, 12, 1, 1, 3},
+        {6, 16, 1, 2, 3},
+        {6, 24, 1, 2, 3},
+        {6, 32, 1, 1, 3},
+        {6, 48, 1, 2, 3},
+    };
+    c.head_channels = 64;
+    return c;
+  }
+  if (name == "mbv2-35") return mobilenet_v2_config(name, 0.35f, num_classes, 160);
+  if (name == "mbv2-50") return mobilenet_v2_config(name, 0.50f, num_classes, 160);
+  if (name == "mbv2-100") return mobilenet_v2_config(name, 1.00f, num_classes, 160);
+  if (name == "mcunet") return mcunet_config(num_classes);
+  if (name == "mcunet-se") {
+    // MCUNet stage table with Squeeze-Excitation on every block; exercises
+    // that NetBooster's surgery coexists with channel attention.
+    ModelConfig c = mcunet_config(num_classes);
+    c.name = name;
+    c.use_se = true;
+    return c;
+  }
+  if (name == "teacher") {
+    // Wide teacher standing in for Assemble-ResNet50 (KD baselines).
+    ModelConfig c = mobilenet_v2_config(name, 2.0f, num_classes, 160);
+    c.head_channels = 160;
+    return c;
+  }
+  NB_CHECK(false, "unknown model: " + name);
+  return {};
+}
+
+std::shared_ptr<MobileNetV2> make_model(const std::string& name,
+                                        int64_t num_classes, uint64_t seed) {
+  auto model = std::make_shared<MobileNetV2>(model_config(name, num_classes));
+  Rng rng(seed, 9);
+  nn::init_parameters(*model, rng);
+  return model;
+}
+
+const std::vector<std::string>& table1_model_names() {
+  static const std::vector<std::string> names = {"mbv2-tiny", "mcunet",
+                                                 "mbv2-50", "mbv2-100"};
+  return names;
+}
+
+}  // namespace nb::models

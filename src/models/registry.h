@@ -1,0 +1,24 @@
+// Named model constructors for the four networks in Table I plus the wide
+// teacher used by the KD baselines.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/mobilenetv2.h"
+
+namespace nb::models {
+
+/// Names: "mbv2-tiny", "mbv2-35", "mbv2-50", "mbv2-100", "mcunet",
+/// "teacher" (4x-wide MobileNetV2 standing in for Assemble-ResNet50).
+std::shared_ptr<MobileNetV2> make_model(const std::string& name,
+                                        int64_t num_classes, uint64_t seed = 3);
+
+/// The config a name resolves to (without building the model).
+ModelConfig model_config(const std::string& name, int64_t num_classes);
+
+/// Table I row order.
+const std::vector<std::string>& table1_model_names();
+
+}  // namespace nb::models

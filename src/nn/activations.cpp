@@ -1,0 +1,106 @@
+#include "nn/activations.h"
+
+namespace nb::nn {
+
+const char* to_string(ActKind kind) {
+  switch (kind) {
+    case ActKind::relu: return "relu";
+    case ActKind::relu6: return "relu6";
+    case ActKind::identity: return "identity";
+  }
+  return "?";
+}
+
+Tensor Activation::forward(const Tensor& x) {
+  input_ = x;
+  if (kind_ == ActKind::identity) return x;
+  Tensor y = x.clone();
+  float* p = y.data();
+  const int64_t n = y.numel();
+  if (kind_ == ActKind::relu) {
+    for (int64_t i = 0; i < n; ++i) p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+  } else {  // relu6
+    for (int64_t i = 0; i < n; ++i) {
+      p[i] = p[i] > 0.0f ? (p[i] < 6.0f ? p[i] : 6.0f) : 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor Activation::backward(const Tensor& grad_out) {
+  NB_CHECK(input_.defined(), "Activation::backward before forward");
+  if (kind_ == ActKind::identity) return grad_out;
+  Tensor g = grad_out.clone();
+  float* gp = g.data();
+  const float* xp = input_.data();
+  const int64_t n = g.numel();
+  if (kind_ == ActKind::relu) {
+    for (int64_t i = 0; i < n; ++i) {
+      if (xp[i] <= 0.0f) gp[i] = 0.0f;
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      if (xp[i] <= 0.0f || xp[i] >= 6.0f) gp[i] = 0.0f;
+    }
+  }
+  return g;
+}
+
+PltActivation::PltActivation(ActKind kind, float alpha)
+    : kind_(kind), alpha_(Tensor({1})) {
+  NB_CHECK(kind != ActKind::identity, "PltActivation over identity is vacuous");
+  set_alpha(alpha);
+}
+
+std::vector<std::pair<std::string, Tensor*>> PltActivation::local_buffers() {
+  return {{"alpha", &alpha_}};
+}
+
+void PltActivation::set_alpha(float a) {
+  NB_CHECK(a >= 0.0f && a <= 1.0f, "PLT alpha must lie in [0, 1]");
+  alpha_.at(0) = a;
+}
+
+Tensor PltActivation::forward(const Tensor& x) {
+  input_ = x;
+  const float a = alpha();
+  Tensor y = x.clone();
+  float* p = y.data();
+  const int64_t n = y.numel();
+  if (kind_ == ActKind::relu) {
+    // y = max(a*x, x): for x < 0 this is a*x (since a <= 1), else x.
+    for (int64_t i = 0; i < n; ++i) {
+      if (p[i] < 0.0f) p[i] *= a;
+    }
+  } else {  // relu6 with linearized upper clamp
+    for (int64_t i = 0; i < n; ++i) {
+      if (p[i] < 0.0f) {
+        p[i] *= a;
+      } else if (p[i] > 6.0f) {
+        p[i] = 6.0f + a * (p[i] - 6.0f);
+      }
+    }
+  }
+  return y;
+}
+
+Tensor PltActivation::backward(const Tensor& grad_out) {
+  NB_CHECK(input_.defined(), "PltActivation::backward before forward");
+  const float a = alpha();
+  Tensor g = grad_out.clone();
+  float* gp = g.data();
+  const float* xp = input_.data();
+  const int64_t n = g.numel();
+  if (kind_ == ActKind::relu) {
+    for (int64_t i = 0; i < n; ++i) {
+      if (xp[i] < 0.0f) gp[i] *= a;
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      if (xp[i] < 0.0f || xp[i] > 6.0f) gp[i] *= a;
+    }
+  }
+  return g;
+}
+
+}  // namespace nb::nn

@@ -1,0 +1,58 @@
+// Activation layers. PltActivation implements the paper's Eq. 2:
+//   y = max(alpha * x, x),   alpha in [0, 1],
+// which is exactly ReLU at alpha = 0 and the identity at alpha = 1; the PLT
+// scheduler ramps alpha during Progressive Linearization Tuning. The ReLU6
+// variant also linearizes the upper clamp (y = 6 + alpha*(x-6) for x > 6) so
+// that alpha = 1 is the identity there too, as the paper's "extended to other
+// activation functions like ReLU6" remark requires.
+#pragma once
+
+#include "nn/module.h"
+
+namespace nb::nn {
+
+enum class ActKind { relu, relu6, identity };
+
+const char* to_string(ActKind kind);
+
+/// Plain (non-decaying) activation.
+class Activation : public Module {
+ public:
+  explicit Activation(ActKind kind) : kind_(kind) {}
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "Activation"; }
+
+  ActKind kind() const { return kind_; }
+
+ private:
+  ActKind kind_;
+  Tensor input_;
+};
+
+/// Activation with a tunable linearization slope (paper Eq. 2).
+class PltActivation : public Module {
+ public:
+  explicit PltActivation(ActKind kind, float alpha = 0.0f);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "PltActivation"; }
+
+  /// Exposes alpha as a buffer so checkpoints round-trip mid-PLT state.
+  std::vector<std::pair<std::string, Tensor*>> local_buffers() override;
+
+  float alpha() const { return alpha_.at(0); }
+  void set_alpha(float a);
+  ActKind kind() const { return kind_; }
+  /// True once alpha == 1 (the layer is an exact identity).
+  bool is_linearized() const { return alpha() >= 1.0f; }
+
+ private:
+  ActKind kind_;
+  Tensor alpha_;  // scalar stored as a [1] buffer
+  Tensor input_;
+};
+
+}  // namespace nb::nn

@@ -1,0 +1,138 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+namespace nb::nn {
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_(Tensor::ones({channels}), /*decay_flag=*/false),
+      beta_(Tensor::zeros({channels}), /*decay_flag=*/false),
+      running_mean_(Tensor::zeros({channels})),
+      running_var_(Tensor::ones({channels})) {
+  NB_CHECK(channels > 0, "BatchNorm2d channels");
+}
+
+std::vector<std::pair<std::string, Parameter*>> BatchNorm2d::local_params() {
+  return {{"gamma", &gamma_}, {"beta", &beta_}};
+}
+
+std::vector<std::pair<std::string, Tensor*>> BatchNorm2d::local_buffers() {
+  return {{"running_mean", &running_mean_}, {"running_var", &running_var_}};
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x) {
+  NB_CHECK(x.dim() == 4 && x.size(1) == channels_,
+           "BatchNorm2d expects NCHW with matching channels");
+  const int64_t n = x.size(0), h = x.size(2), w = x.size(3);
+  const int64_t plane = h * w;
+  const int64_t count = n * plane;
+  Tensor y(x.shape());
+  forward_was_training_ = training();
+
+  if (training()) {
+    xhat_ = Tensor(x.shape());
+    inv_std_ = Tensor({channels_});
+    count_ = count;
+    for (int64_t c = 0; c < channels_; ++c) {
+      double sum = 0.0, sq = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* p = x.data() + (i * channels_ + c) * plane;
+        for (int64_t j = 0; j < plane; ++j) {
+          sum += p[j];
+          sq += static_cast<double>(p[j]) * p[j];
+        }
+      }
+      const float mean = static_cast<float>(sum / count);
+      const float var = static_cast<float>(sq / count - static_cast<double>(mean) * mean);
+      const float istd = 1.0f / std::sqrt(std::max(var, 0.0f) + eps_);
+      inv_std_.at(c) = istd;
+      const float g = gamma_.value.at(c), b = beta_.value.at(c);
+      for (int64_t i = 0; i < n; ++i) {
+        const float* p = x.data() + (i * channels_ + c) * plane;
+        float* xh = xhat_.data() + (i * channels_ + c) * plane;
+        float* o = y.data() + (i * channels_ + c) * plane;
+        for (int64_t j = 0; j < plane; ++j) {
+          xh[j] = (p[j] - mean) * istd;
+          o[j] = g * xh[j] + b;
+        }
+      }
+      // unbiased variance for running stats, matching torch semantics
+      const float unbiased =
+          count > 1 ? var * static_cast<float>(count) / (count - 1) : var;
+      running_mean_.at(c) =
+          (1.0f - momentum_) * running_mean_.at(c) + momentum_ * mean;
+      running_var_.at(c) =
+          (1.0f - momentum_) * running_var_.at(c) + momentum_ * unbiased;
+    }
+  } else {
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float istd = 1.0f / std::sqrt(running_var_.at(c) + eps_);
+      const float g = gamma_.value.at(c) * istd;
+      const float b = beta_.value.at(c) - running_mean_.at(c) * g;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* p = x.data() + (i * channels_ + c) * plane;
+        float* o = y.data() + (i * channels_ + c) * plane;
+        for (int64_t j = 0; j < plane; ++j) o[j] = g * p[j] + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  NB_CHECK(forward_was_training_,
+           "BatchNorm2d::backward requires a training-mode forward");
+  NB_CHECK(xhat_.defined(), "BatchNorm2d::backward before forward");
+  const int64_t n = grad_out.size(0), h = grad_out.size(2), w = grad_out.size(3);
+  const int64_t plane = h * w;
+  Tensor grad_in(grad_out.shape());
+  const float inv_count = 1.0f / static_cast<float>(count_);
+
+  for (int64_t c = 0; c < channels_; ++c) {
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* g = grad_out.data() + (i * channels_ + c) * plane;
+      const float* xh = xhat_.data() + (i * channels_ + c) * plane;
+      for (int64_t j = 0; j < plane; ++j) {
+        sum_g += g[j];
+        sum_gx += static_cast<double>(g[j]) * xh[j];
+      }
+    }
+    gamma_.grad.at(c) += static_cast<float>(sum_gx);
+    beta_.grad.at(c) += static_cast<float>(sum_g);
+
+    const float gmma = gamma_.value.at(c);
+    const float istd = inv_std_.at(c);
+    const float mean_g = static_cast<float>(sum_g) * inv_count;
+    const float mean_gx = static_cast<float>(sum_gx) * inv_count;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* g = grad_out.data() + (i * channels_ + c) * plane;
+      const float* xh = xhat_.data() + (i * channels_ + c) * plane;
+      float* gi = grad_in.data() + (i * channels_ + c) * plane;
+      for (int64_t j = 0; j < plane; ++j) {
+        gi[j] = gmma * istd * (g[j] - mean_g - xh[j] * mean_gx);
+      }
+    }
+  }
+  return grad_in;
+}
+
+BnAffine bn_to_affine(BatchNorm2d& bn) {
+  BnAffine a;
+  const int64_t c = bn.channels();
+  a.scale.resize(static_cast<size_t>(c));
+  a.shift.resize(static_cast<size_t>(c));
+  for (int64_t i = 0; i < c; ++i) {
+    const float istd = 1.0f / std::sqrt(bn.running_var().at(i) + bn.eps());
+    const float s = bn.gamma().value.at(i) * istd;
+    a.scale[static_cast<size_t>(i)] = s;
+    a.shift[static_cast<size_t>(i)] =
+        bn.beta().value.at(i) - bn.running_mean().at(i) * s;
+  }
+  return a;
+}
+
+}  // namespace nb::nn

@@ -1,0 +1,159 @@
+#include "nn/blocks.h"
+
+#include "nn/se.h"
+
+namespace nb::nn {
+
+ConvBnAct::ConvBnAct(const Conv2dOptions& opts, ActKind act)
+    : conv_(std::make_shared<Conv2d>(opts)),
+      bn_(std::make_shared<BatchNorm2d>(opts.out_channels)) {
+  if (act != ActKind::identity) act_ = std::make_shared<Activation>(act);
+}
+
+ConvBnAct::ConvBnAct(const Conv2dOptions& opts, ModulePtr act_module)
+    : conv_(std::make_shared<Conv2d>(opts)),
+      bn_(std::make_shared<BatchNorm2d>(opts.out_channels)),
+      act_(std::move(act_module)) {}
+
+std::shared_ptr<ConvBnAct> ConvBnAct::conv_only(const Conv2dOptions& opts,
+                                                ActKind act) {
+  auto unit = std::shared_ptr<ConvBnAct>(new ConvBnAct());
+  unit->conv_ = std::make_shared<Conv2d>(opts);
+  if (act != ActKind::identity) {
+    unit->act_ = std::make_shared<Activation>(act);
+  }
+  return unit;
+}
+
+Tensor ConvBnAct::forward(const Tensor& x) {
+  Tensor y = conv_->forward(x);
+  if (bn_) y = bn_->forward(y);
+  if (act_) y = act_->forward(y);
+  return y;
+}
+
+Tensor ConvBnAct::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  if (act_) g = act_->backward(g);
+  if (bn_) g = bn_->backward(g);
+  return conv_->backward(g);
+}
+
+std::vector<std::pair<std::string, Module*>> ConvBnAct::named_children() {
+  std::vector<std::pair<std::string, Module*>> out;
+  out.emplace_back("conv", conv_.get());
+  if (bn_) out.emplace_back("bn", bn_.get());
+  if (act_) out.emplace_back("act", act_.get());
+  return out;
+}
+
+ModulePtr ConvBnAct::swap_conv(ModulePtr m) {
+  NB_CHECK(m != nullptr, "ConvBnAct::swap_conv(nullptr)");
+  m->set_training(training());
+  ModulePtr old = conv_;
+  conv_ = std::move(m);
+  return old;
+}
+
+Conv2d* ConvBnAct::conv2d() { return dynamic_cast<Conv2d*>(conv_.get()); }
+
+std::shared_ptr<BatchNorm2d> ConvBnAct::remove_bn() {
+  std::shared_ptr<BatchNorm2d> out = std::move(bn_);
+  bn_ = nullptr;
+  return out;
+}
+
+InvertedResidual::InvertedResidual(int64_t cin, int64_t cout, int64_t stride,
+                                   int64_t expand_ratio, int64_t kernel,
+                                   ActKind act, bool use_se,
+                                   int64_t se_reduction)
+    : cin_(cin),
+      cout_(cout),
+      stride_(stride),
+      expand_ratio_(expand_ratio),
+      kernel_(kernel),
+      use_residual_(stride == 1 && cin == cout) {
+  NB_CHECK(expand_ratio >= 1, "InvertedResidual expand_ratio >= 1");
+  NB_CHECK(stride == 1 || stride == 2, "InvertedResidual stride in {1,2}");
+  const int64_t hidden = cin * expand_ratio;
+  if (expand_ratio > 1) {
+    expand_ = std::make_shared<ConvBnAct>(Conv2dOptions(cin, hidden, 1), act);
+  }
+  dw_ = std::make_shared<ConvBnAct>(Conv2dOptions(hidden, hidden, kernel)
+                                        .with_stride(stride)
+                                        .same_padding()
+                                        .with_groups(hidden),
+                                    act);
+  if (use_se) {
+    se_ = std::make_shared<SqueezeExcite>(hidden, se_reduction);
+  }
+  project_ = std::make_shared<ConvBnAct>(Conv2dOptions(hidden, cout, 1),
+                                         ActKind::identity);
+}
+
+ConvBnAct& InvertedResidual::expand_unit() {
+  NB_CHECK(expand_ != nullptr, "block has no expand unit (expand_ratio == 1)");
+  return *expand_;
+}
+
+Tensor InvertedResidual::forward(const Tensor& x) {
+  Tensor y = x;
+  if (expand_) y = expand_->forward(y);
+  y = dw_->forward(y);
+  if (se_) y = se_->forward(y);
+  y = project_->forward(y);
+  if (use_residual_) y.add_(x);
+  return y;
+}
+
+Tensor InvertedResidual::backward(const Tensor& grad_out) {
+  Tensor g = project_->backward(grad_out);
+  if (se_) g = se_->backward(g);
+  g = dw_->backward(g);
+  if (expand_) g = expand_->backward(g);
+  if (use_residual_) g.add_(grad_out);
+  return g;
+}
+
+std::vector<std::pair<std::string, Module*>> InvertedResidual::named_children() {
+  std::vector<std::pair<std::string, Module*>> out;
+  if (expand_) out.emplace_back("expand", expand_.get());
+  out.emplace_back("dw", dw_.get());
+  if (se_) out.emplace_back("se", se_.get());
+  out.emplace_back("project", project_.get());
+  return out;
+}
+
+Residual::Residual(ModulePtr body, ModulePtr shortcut)
+    : body_(std::move(body)), shortcut_(std::move(shortcut)) {
+  NB_CHECK(body_ != nullptr, "Residual requires a body");
+}
+
+Tensor Residual::forward(const Tensor& x) {
+  Tensor y = body_->forward(x);
+  if (shortcut_) {
+    y.add_(shortcut_->forward(x));
+  } else {
+    y.add_(x);
+  }
+  return y;
+}
+
+Tensor Residual::backward(const Tensor& grad_out) {
+  Tensor g = body_->backward(grad_out);
+  if (shortcut_) {
+    g.add_(shortcut_->backward(grad_out));
+  } else {
+    g.add_(grad_out);
+  }
+  return g;
+}
+
+std::vector<std::pair<std::string, Module*>> Residual::named_children() {
+  std::vector<std::pair<std::string, Module*>> out;
+  out.emplace_back("body", body_.get());
+  if (shortcut_) out.emplace_back("shortcut", shortcut_.get());
+  return out;
+}
+
+}  // namespace nb::nn

@@ -1,0 +1,117 @@
+// Composite building blocks: the Conv+BN+Act unit used throughout the model
+// zoo, and the MobileNetV2 inverted residual block — the host structure that
+// NetBooster's Network Expansion operates on.
+#pragma once
+
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/module.h"
+
+namespace nb::nn {
+
+/// conv -> [bn] -> [act]. The conv slot holds a Module (not a Conv2d) so that
+/// NetBooster can swap a pointwise convolution for its expanded multi-layer
+/// block and later swap the contracted single layer back in.
+class ConvBnAct : public Module {
+ public:
+  /// Standard unit: Conv2d from options, BN over out_channels, activation.
+  ConvBnAct(const Conv2dOptions& opts, ActKind act);
+  /// Unit with a caller-supplied activation module (PLT activations inside
+  /// NetBooster's inserted blocks); pass nullptr for a linear unit.
+  ConvBnAct(const Conv2dOptions& opts, ModulePtr act_module);
+  /// Unit without BN (detection head output layers).
+  static std::shared_ptr<ConvBnAct> conv_only(const Conv2dOptions& opts,
+                                              ActKind act);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "ConvBnAct"; }
+  std::vector<std::pair<std::string, Module*>> named_children() override;
+
+  /// The conv slot (a Conv2d unless expansion replaced it).
+  ModulePtr& conv_slot() { return conv_; }
+  /// Swaps the conv slot; returns the previous occupant.
+  ModulePtr swap_conv(ModulePtr m);
+  /// Typed access when the slot holds a plain Conv2d (nullptr otherwise).
+  Conv2d* conv2d();
+  BatchNorm2d* bn() { return bn_.get(); }
+  Module* act() { return act_.get(); }
+  bool has_bn() const { return bn_ != nullptr; }
+  /// Detaches and returns the BN (deployment folds it into the conv slot;
+  /// see quant::fold_batchnorms). The unit becomes conv -> act.
+  std::shared_ptr<BatchNorm2d> remove_bn();
+
+ private:
+  ConvBnAct() = default;
+
+  ModulePtr conv_;
+  std::shared_ptr<BatchNorm2d> bn_;
+  ModulePtr act_;
+};
+
+/// MobileNetV2 inverted residual block:
+///   [pw expand (t*cin) + BN + act] -> dw kxk/s + BN + act -> [SE]
+///   -> pw project + BN
+/// with an identity residual iff stride == 1 and cin == cout. When
+/// expand_ratio == 1 the pw-expand stage is omitted (first MNV2 stage).
+/// `use_se` attaches Squeeze-Excitation after the depthwise stage (the
+/// MCUNet-SE variant); SE sits outside the pw-expand conv that NetBooster
+/// replaces, so the expansion/contraction algebra is unaffected.
+class InvertedResidual : public Module {
+ public:
+  InvertedResidual(int64_t cin, int64_t cout, int64_t stride,
+                   int64_t expand_ratio, int64_t kernel = 3,
+                   ActKind act = ActKind::relu6, bool use_se = false,
+                   int64_t se_reduction = 4);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "InvertedResidual"; }
+  std::vector<std::pair<std::string, Module*>> named_children() override;
+
+  bool has_expand() const { return expand_ != nullptr; }
+  ConvBnAct& expand_unit();
+  ConvBnAct& dw_unit() { return *dw_; }
+  ConvBnAct& project_unit() { return *project_; }
+  bool has_se() const { return se_ != nullptr; }
+  Module* se() { return se_.get(); }
+  bool use_residual() const { return use_residual_; }
+  int64_t cin() const { return cin_; }
+  int64_t cout() const { return cout_; }
+  int64_t stride() const { return stride_; }
+  int64_t expand_ratio() const { return expand_ratio_; }
+  int64_t kernel() const { return kernel_; }
+
+ private:
+  int64_t cin_, cout_, stride_, expand_ratio_, kernel_;
+  bool use_residual_;
+  std::shared_ptr<ConvBnAct> expand_;
+  std::shared_ptr<ConvBnAct> dw_;
+  ModulePtr se_;  // optional Squeeze-Excitation (MCUNet-SE variant)
+  std::shared_ptr<ConvBnAct> project_;
+};
+
+/// Elementwise residual wrapper: y = body(x) + x. Used by the inserted
+/// Basic/Bottleneck ablation blocks (with an optional linear projection
+/// shortcut when channel counts differ).
+class Residual : public Module {
+ public:
+  explicit Residual(ModulePtr body, ModulePtr shortcut = nullptr);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "Residual"; }
+  std::vector<std::pair<std::string, Module*>> named_children() override;
+
+  Module& body() { return *body_; }
+  Module* shortcut() { return shortcut_.get(); }
+
+ private:
+  ModulePtr body_;
+  ModulePtr shortcut_;  // nullptr means identity
+};
+
+}  // namespace nb::nn

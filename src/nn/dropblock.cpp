@@ -1,0 +1,61 @@
+#include "nn/dropblock.h"
+
+#include <algorithm>
+
+namespace nb::nn {
+
+DropBlock2d::DropBlock2d(float drop_prob, int64_t block_size, uint64_t seed)
+    : drop_prob_(drop_prob), block_size_(block_size), rng_(seed, 0x9e3779b9) {
+  NB_CHECK(drop_prob >= 0.0f && drop_prob < 1.0f, "drop_prob in [0, 1)");
+  NB_CHECK(block_size >= 1, "block_size >= 1");
+}
+
+Tensor DropBlock2d::forward(const Tensor& x) {
+  if (!training() || drop_prob_ == 0.0f) {
+    masked_ = false;
+    return x;
+  }
+  NB_CHECK(x.dim() == 4, "DropBlock2d expects NCHW");
+  const int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+  const int64_t bs = std::min({block_size_, h, w});
+  const int64_t valid_h = h - bs + 1;
+  const int64_t valid_w = w - bs + 1;
+  // Seed-sampling rate so that the expected dropped fraction is drop_prob.
+  const float gamma = drop_prob_ * static_cast<float>(h * w) /
+                      static_cast<float>(bs * bs) /
+                      static_cast<float>(valid_h * valid_w);
+
+  mask_ = Tensor::ones(x.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      float* m = mask_.data() + (i * c + ch) * h * w;
+      for (int64_t y = 0; y < valid_h; ++y) {
+        for (int64_t z = 0; z < valid_w; ++z) {
+          if (!rng_.bernoulli(gamma)) continue;
+          for (int64_t dy = 0; dy < bs; ++dy) {
+            for (int64_t dz = 0; dz < bs; ++dz) {
+              m[(y + dy) * w + (z + dz)] = 0.0f;
+            }
+          }
+        }
+      }
+      // Renormalize so the expected activation magnitude is preserved.
+      const int64_t plane = h * w;
+      int64_t kept = 0;
+      for (int64_t j = 0; j < plane; ++j) kept += m[j] > 0.0f ? 1 : 0;
+      if (kept > 0) {
+        const float scale = static_cast<float>(plane) / static_cast<float>(kept);
+        for (int64_t j = 0; j < plane; ++j) m[j] *= scale;
+      }
+    }
+  }
+  masked_ = true;
+  return x.mul(mask_);
+}
+
+Tensor DropBlock2d::backward(const Tensor& grad_out) {
+  if (!masked_) return grad_out;
+  return grad_out.mul(mask_);
+}
+
+}  // namespace nb::nn

@@ -1,0 +1,32 @@
+// DropBlock regularization (Ghiasi et al., 2018). Fig. 1(a) of the paper uses
+// DropBlock as the representative regularizer that *hurts* tiny networks:
+// TNNs under-fit, so dropping structured activation blocks lowers accuracy.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/rng.h"
+
+namespace nb::nn {
+
+class DropBlock2d : public Module {
+ public:
+  /// drop_prob: target fraction of units dropped; block_size: square side of
+  /// each dropped region.
+  DropBlock2d(float drop_prob, int64_t block_size, uint64_t seed = 7);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "DropBlock2d"; }
+
+  float drop_prob() const { return drop_prob_; }
+  int64_t block_size() const { return block_size_; }
+
+ private:
+  float drop_prob_;
+  int64_t block_size_;
+  Rng rng_;
+  Tensor mask_;  // scaled keep-mask cached for backward
+  bool masked_ = false;
+};
+
+}  // namespace nb::nn

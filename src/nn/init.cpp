@@ -1,0 +1,36 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "tensor/tensor_ops.h"
+
+namespace nb::nn {
+
+void kaiming_normal_fan_out(Tensor& weight, Rng& rng) {
+  NB_CHECK(weight.dim() == 4, "conv weight expected");
+  const int64_t fan_out = weight.size(0) * weight.size(2) * weight.size(3);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_out));
+  fill_normal(weight, rng, 0.0f, stddev);
+}
+
+void init_parameters(Module& root, Rng& rng) {
+  root.apply([&rng](Module& m) {
+    if (auto* conv = dynamic_cast<Conv2d*>(&m)) {
+      kaiming_normal_fan_out(conv->weight().value, rng);
+      if (conv->has_bias()) conv->bias().value.zero();
+    } else if (auto* fc = dynamic_cast<Linear*>(&m)) {
+      fill_normal(fc->weight().value, rng, 0.0f, 0.01f);
+      if (fc->has_bias()) fc->bias().value.zero();
+    } else if (auto* bn = dynamic_cast<BatchNorm2d*>(&m)) {
+      bn->gamma().value.fill(1.0f);
+      bn->beta().value.zero();
+      bn->running_mean().zero();
+      bn->running_var().fill(1.0f);
+    }
+  });
+}
+
+}  // namespace nb::nn

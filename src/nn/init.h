@@ -1,0 +1,17 @@
+// Weight initialization matching the conventions of the paper's code base
+// family (torchvision MobileNetV2): Kaiming-normal fan-out for convolutions,
+// N(0, 0.01) for linear layers, BN gamma=1 / beta=0.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/rng.h"
+
+namespace nb::nn {
+
+/// Initializes every Conv2d / Linear / BatchNorm2d in the subtree.
+void init_parameters(Module& root, Rng& rng);
+
+/// Kaiming-normal with fan-out mode for a conv weight [cout, cin/g, k, k].
+void kaiming_normal_fan_out(Tensor& weight, Rng& rng);
+
+}  // namespace nb::nn

@@ -1,0 +1,62 @@
+#include "nn/linear.h"
+
+#include "tensor/gemm.h"
+
+namespace nb::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias),
+      weight_(Tensor({out_features, in_features}), /*decay_flag=*/true) {
+  NB_CHECK(in_features > 0 && out_features > 0, "Linear feature counts");
+  if (bias) bias_ = Parameter(Tensor({out_features}), /*decay_flag=*/false);
+}
+
+std::vector<std::pair<std::string, Parameter*>> Linear::local_params() {
+  std::vector<std::pair<std::string, Parameter*>> out;
+  out.emplace_back("weight", &weight_);
+  if (has_bias_) out.emplace_back("bias", &bias_);
+  return out;
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  NB_CHECK(x.dim() == 2 && x.size(1) == in_features_,
+           "Linear expects [N, in], got " + x.shape_str());
+  input_ = x;
+  const int64_t n = x.size(0);
+  Tensor y({n, out_features_});
+  // y = x * W^T
+  gemm(false, true, n, out_features_, in_features_, 1.0f, x.data(),
+       weight_.value.data(), 0.0f, y.data());
+  if (has_bias_) {
+    for (int64_t i = 0; i < n; ++i) {
+      float* row = y.data() + i * out_features_;
+      const float* b = bias_.value.data();
+      for (int64_t j = 0; j < out_features_; ++j) row[j] += b[j];
+    }
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  NB_CHECK(input_.defined(), "Linear::backward before forward");
+  const int64_t n = input_.size(0);
+  // dW += dY^T * X
+  gemm(true, false, out_features_, in_features_, n, 1.0f, grad_out.data(),
+       input_.data(), 1.0f, weight_.grad.data());
+  if (has_bias_) {
+    for (int64_t i = 0; i < n; ++i) {
+      const float* g = grad_out.data() + i * out_features_;
+      float* bg = bias_.grad.data();
+      for (int64_t j = 0; j < out_features_; ++j) bg[j] += g[j];
+    }
+  }
+  // dX = dY * W
+  Tensor grad_in({n, in_features_});
+  gemm(false, false, n, in_features_, out_features_, 1.0f, grad_out.data(),
+       weight_.value.data(), 0.0f, grad_in.data());
+  return grad_in;
+}
+
+}  // namespace nb::nn

@@ -1,0 +1,34 @@
+// Fully connected layer: y = x W^T + b, x is [N, in], W is [out, in].
+#pragma once
+
+#include "nn/module.h"
+
+namespace nb::nn {
+
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, bool bias = true);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "Linear"; }
+
+  std::vector<std::pair<std::string, Parameter*>> local_params() override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+  bool has_bias() const { return has_bias_; }
+  int64_t flops() const { return 2 * in_features_ * out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool has_bias_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor input_;
+};
+
+}  // namespace nb::nn

@@ -1,0 +1,145 @@
+#include "nn/losses.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace nb::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int64_t>& labels,
+                                 float label_smoothing) {
+  NB_CHECK(logits.dim() == 2, "cross entropy expects [N, K] logits");
+  const int64_t n = logits.size(0);
+  const int64_t k = logits.size(1);
+  NB_CHECK(static_cast<int64_t>(labels.size()) == n, "label count mismatch");
+  NB_CHECK(label_smoothing >= 0.0f && label_smoothing < 1.0f,
+           "label smoothing in [0, 1)");
+
+  const Tensor logp = log_softmax_rows(logits);
+  const Tensor p = softmax_rows(logits);
+  const float off = label_smoothing / static_cast<float>(k);
+  const float on = 1.0f - label_smoothing + off;
+
+  LossResult r;
+  r.grad = Tensor(logits.shape());
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t y = labels[static_cast<size_t>(i)];
+    NB_CHECK(y >= 0 && y < k, "label out of range");
+    for (int64_t j = 0; j < k; ++j) {
+      const float target = (j == y) ? on : off;
+      loss -= static_cast<double>(target) * logp.at(i, j);
+      r.grad.at(i, j) = (p.at(i, j) - target) * inv_n;
+    }
+  }
+  r.loss = static_cast<float>(loss) * inv_n;
+  return r;
+}
+
+LossResult soft_cross_entropy(const Tensor& logits, const Tensor& target_probs) {
+  NB_CHECK(logits.dim() == 2 && logits.same_shape(target_probs),
+           "soft_cross_entropy shape mismatch");
+  const int64_t n = logits.size(0);
+  const int64_t k = logits.size(1);
+  const Tensor logp = log_softmax_rows(logits);
+  const Tensor p = softmax_rows(logits);
+  LossResult r;
+  r.grad = Tensor(logits.shape());
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      loss -= static_cast<double>(target_probs.at(i, j)) * logp.at(i, j);
+      r.grad.at(i, j) = (p.at(i, j) - target_probs.at(i, j)) * inv_n;
+    }
+  }
+  r.loss = static_cast<float>(loss) * inv_n;
+  return r;
+}
+
+LossResult kd_kl(const Tensor& student_logits, const Tensor& teacher_logits,
+                 float temperature) {
+  NB_CHECK(student_logits.same_shape(teacher_logits), "kd_kl shape mismatch");
+  NB_CHECK(temperature > 0.0f, "kd_kl temperature must be positive");
+  const int64_t n = student_logits.size(0);
+  const int64_t k = student_logits.size(1);
+  const Tensor pt = softmax_rows(teacher_logits, temperature);
+  const Tensor logps = log_softmax_rows(student_logits, temperature);
+  const Tensor ps = softmax_rows(student_logits, temperature);
+
+  LossResult r;
+  r.grad = Tensor(student_logits.shape());
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  const float t2 = temperature * temperature;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      const float t = pt.at(i, j);
+      if (t > 0.0f) {
+        loss += static_cast<double>(t) * (std::log(t) - logps.at(i, j));
+      }
+      // d(T^2 * KL)/dz_s = T^2 * (ps - pt) * (1/T) = T * (ps - pt)
+      r.grad.at(i, j) = temperature * (ps.at(i, j) - t) * inv_n;
+    }
+  }
+  r.loss = static_cast<float>(loss) * inv_n * t2;
+  return r;
+}
+
+LossResult mse(const Tensor& pred, const Tensor& target) {
+  NB_CHECK(pred.numel() == target.numel(), "mse numel mismatch");
+  LossResult r;
+  r.grad = Tensor(pred.shape());
+  const float* p = pred.data();
+  const float* t = target.data();
+  float* g = r.grad.data();
+  const int64_t n = pred.numel();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = p[i] - t[i];
+    loss += static_cast<double>(d) * d;
+    g[i] = 2.0f * d * inv_n;
+  }
+  r.loss = static_cast<float>(loss) * inv_n;
+  return r;
+}
+
+LossResult sigmoid_bce(const Tensor& logits, const Tensor& targets,
+                       const Tensor* weights) {
+  NB_CHECK(logits.numel() == targets.numel(), "bce numel mismatch");
+  LossResult r;
+  r.grad = Tensor(logits.shape());
+  const float* z = logits.data();
+  const float* t = targets.data();
+  float* g = r.grad.data();
+  const int64_t n = logits.numel();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float w = weights ? weights->data()[i] : 1.0f;
+    // numerically stable: log(1+e^-|z|) + max(z,0) - z*t
+    const float zi = z[i];
+    const float s = 1.0f / (1.0f + std::exp(-zi));
+    loss += w * (std::log1p(std::exp(-std::fabs(zi))) +
+                 (zi > 0.0f ? zi : 0.0f) - zi * t[i]);
+    g[i] = w * (s - t[i]) * inv_n;
+  }
+  r.loss = static_cast<float>(loss) * inv_n;
+  return r;
+}
+
+float accuracy(const Tensor& logits, const std::vector<int64_t>& labels) {
+  const std::vector<int64_t> pred = argmax_rows(logits);
+  NB_CHECK(pred.size() == labels.size(), "accuracy label count mismatch");
+  if (pred.empty()) return 0.0f;
+  int64_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(pred.size());
+}
+
+}  // namespace nb::nn

@@ -1,0 +1,43 @@
+// Loss functions. Each returns the scalar loss together with the analytic
+// gradient with respect to the logits/predictions, so the trainer can seed
+// backward() without a taped graph. All losses are mean-reduced over the
+// batch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace nb::nn {
+
+struct LossResult {
+  float loss = 0.0f;
+  Tensor grad;  // dLoss/dLogits, same shape as the logits
+};
+
+/// Cross entropy with integer labels and optional label smoothing.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int64_t>& labels,
+                                 float label_smoothing = 0.0f);
+
+/// Cross entropy against a full target distribution (rows sum to 1).
+LossResult soft_cross_entropy(const Tensor& logits, const Tensor& target_probs);
+
+/// Hinton knowledge distillation term: T^2 * KL(p_teacher^T || p_student^T),
+/// gradient taken with respect to the student logits only.
+LossResult kd_kl(const Tensor& student_logits, const Tensor& teacher_logits,
+                 float temperature);
+
+/// Mean squared error over all elements.
+LossResult mse(const Tensor& pred, const Tensor& target);
+
+/// Binary cross entropy on sigmoid(logits) against 0/1 targets, with an
+/// optional per-element weight mask. Used by the detection objectness loss.
+LossResult sigmoid_bce(const Tensor& logits, const Tensor& targets,
+                       const Tensor* weights = nullptr);
+
+/// Top-1 accuracy in [0, 1].
+float accuracy(const Tensor& logits, const std::vector<int64_t>& labels);
+
+}  // namespace nb::nn

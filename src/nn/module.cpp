@@ -1,0 +1,75 @@
+#include "nn/module.h"
+
+namespace nb::nn {
+
+void Module::set_training(bool training) {
+  training_ = training;
+  on_set_training(training);
+  for (auto& [name, child] : named_children()) {
+    (void)name;
+    child->set_training(training);
+  }
+}
+
+std::vector<Parameter*> Module::parameters() {
+  std::vector<Parameter*> out;
+  for (auto& [name, p] : named_parameters()) {
+    (void)name;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Parameter*>> Module::named_parameters() {
+  std::vector<std::pair<std::string, Parameter*>> out;
+  collect_params("", out);
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor*>> Module::named_buffers() {
+  std::vector<std::pair<std::string, Tensor*>> out;
+  collect_buffers("", out);
+  return out;
+}
+
+void Module::collect_params(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Parameter*>>& out) {
+  for (auto& [name, p] : local_params()) {
+    out.emplace_back(prefix + name, p);
+  }
+  for (auto& [name, child] : named_children()) {
+    child->collect_params(prefix + name + ".", out);
+  }
+}
+
+void Module::collect_buffers(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Tensor*>>& out) {
+  for (auto& [name, b] : local_buffers()) {
+    out.emplace_back(prefix + name, b);
+  }
+  for (auto& [name, child] : named_children()) {
+    child->collect_buffers(prefix + name + ".", out);
+  }
+}
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+void Module::apply(const std::function<void(Module&)>& fn) {
+  fn(*this);
+  for (auto& [name, child] : named_children()) {
+    (void)name;
+    child->apply(fn);
+  }
+}
+
+int64_t Module::param_count() {
+  int64_t n = 0;
+  for (Parameter* p : parameters()) n += p->value.numel();
+  return n;
+}
+
+}  // namespace nb::nn

@@ -1,0 +1,100 @@
+// Layer abstraction. Every layer implements an explicit forward/backward pair
+// (Caffe-style module backprop rather than taped autograd): forward caches
+// whatever the layer needs, backward consumes the cache and returns the
+// gradient with respect to the layer input. This keeps the training loop
+// fully deterministic and makes each layer's gradient unit-testable with
+// finite differences.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace nb::nn {
+
+/// A trainable tensor with its gradient accumulator.
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+  /// Excluded from weight decay when false (BN affine params, biases).
+  bool decay = true;
+
+  Parameter() = default;
+  explicit Parameter(Tensor v, bool decay_flag = true)
+      : value(std::move(v)), grad(value.shape()), decay(decay_flag) {}
+
+  void zero_grad() { grad.zero(); }
+};
+
+/// Base class for all layers and containers.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Computes the layer output, caching what backward() will need.
+  virtual Tensor forward(const Tensor& x) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter gradients and returns
+  /// dLoss/dInput. Must be called after the matching forward().
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Short type tag, e.g. "Conv2d".
+  virtual std::string type_name() const = 0;
+
+  /// Direct trainable parameters of this module (not of children).
+  virtual std::vector<std::pair<std::string, Parameter*>> local_params() {
+    return {};
+  }
+
+  /// Non-trainable state that must be checkpointed (BN running stats).
+  virtual std::vector<std::pair<std::string, Tensor*>> local_buffers() {
+    return {};
+  }
+
+  /// Direct children, with the names used for state-dict paths.
+  virtual std::vector<std::pair<std::string, Module*>> named_children() {
+    return {};
+  }
+
+  /// Recursively flips train/eval mode.
+  void set_training(bool training);
+  bool training() const { return training_; }
+
+  /// All parameters of this module and its descendants.
+  std::vector<Parameter*> parameters();
+
+  /// All parameters with hierarchical dotted names.
+  std::vector<std::pair<std::string, Parameter*>> named_parameters();
+
+  /// All buffers with hierarchical dotted names.
+  std::vector<std::pair<std::string, Tensor*>> named_buffers();
+
+  /// Zeroes the gradients of every parameter in the subtree.
+  void zero_grad();
+
+  /// Pre-order traversal (this module first, then descendants).
+  void apply(const std::function<void(Module&)>& fn);
+
+  /// Total number of trainable scalars in the subtree.
+  int64_t param_count();
+
+ protected:
+  /// Hook for subclasses that need to react to mode flips (BN, dropout).
+  virtual void on_set_training(bool) {}
+
+ private:
+  void collect_params(const std::string& prefix,
+                      std::vector<std::pair<std::string, Parameter*>>& out);
+  void collect_buffers(const std::string& prefix,
+                       std::vector<std::pair<std::string, Tensor*>>& out);
+
+  bool training_ = true;
+};
+
+using ModulePtr = std::shared_ptr<Module>;
+
+}  // namespace nb::nn

@@ -1,0 +1,114 @@
+#include "nn/pooling.h"
+
+#include <limits>
+
+namespace nb::nn {
+
+Tensor GlobalAvgPool::forward(const Tensor& x) {
+  NB_CHECK(x.dim() == 4, "GlobalAvgPool expects NCHW");
+  in_shape_ = x.shape();
+  const int64_t n = x.size(0), c = x.size(1), plane = x.size(2) * x.size(3);
+  Tensor y({n, c});
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* p = x.data() + (i * c + ch) * plane;
+      double s = 0.0;
+      for (int64_t j = 0; j < plane; ++j) s += p[j];
+      y.at(i, ch) = static_cast<float>(s) * inv;
+    }
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  NB_CHECK(!in_shape_.empty(), "GlobalAvgPool::backward before forward");
+  const int64_t n = in_shape_[0], c = in_shape_[1];
+  const int64_t plane = in_shape_[2] * in_shape_[3];
+  Tensor grad_in(in_shape_);
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float g = grad_out.at(i, ch) * inv;
+      float* p = grad_in.data() + (i * c + ch) * plane;
+      for (int64_t j = 0; j < plane; ++j) p[j] = g;
+    }
+  }
+  return grad_in;
+}
+
+MaxPool2d::MaxPool2d(int64_t kernel, int64_t stride)
+    : kernel_(kernel), stride_(stride) {
+  NB_CHECK(kernel > 0 && stride > 0, "MaxPool2d geometry");
+}
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  NB_CHECK(x.dim() == 4, "MaxPool2d expects NCHW");
+  input_ = x;
+  const int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+  const int64_t oh = (h - kernel_) / stride_ + 1;
+  const int64_t ow = (w - kernel_) / stride_ + 1;
+  NB_CHECK(oh > 0 && ow > 0, "MaxPool2d output empty");
+  Tensor y({n, c, oh, ow});
+  out_shape_ = y.shape();
+  argmax_.assign(static_cast<size_t>(y.numel()), 0);
+  int64_t oi = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* img = x.data() + (i * c + ch) * h * w;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = 0;
+          for (int64_t ki = 0; ki < kernel_; ++ki) {
+            for (int64_t kj = 0; kj < kernel_; ++kj) {
+              const int64_t iy = oy * stride_ + ki;
+              const int64_t ix = ox * stride_ + kj;
+              const float v = img[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = iy * w + ix;
+              }
+            }
+          }
+          y.at(i, ch, oy, ox) = best;
+          argmax_[static_cast<size_t>(oi)] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  NB_CHECK(input_.defined(), "MaxPool2d::backward before forward");
+  const int64_t n = input_.size(0), c = input_.size(1);
+  const int64_t h = input_.size(2), w = input_.size(3);
+  const int64_t plane_out = out_shape_[2] * out_shape_[3];
+  Tensor grad_in(input_.shape());
+  int64_t oi = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      float* gin = grad_in.data() + (i * c + ch) * h * w;
+      const float* g = grad_out.data() + (i * c + ch) * plane_out;
+      for (int64_t j = 0; j < plane_out; ++j, ++oi) {
+        gin[argmax_[static_cast<size_t>(oi)]] += g[j];
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor Flatten::forward(const Tensor& x) {
+  in_shape_ = x.shape();
+  int64_t rest = 1;
+  for (int64_t d = 1; d < x.dim(); ++d) rest *= x.size(d);
+  return x.reshape({x.size(0), rest});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  NB_CHECK(!in_shape_.empty(), "Flatten::backward before forward");
+  return grad_out.reshape(in_shape_);
+}
+
+}  // namespace nb::nn

@@ -1,0 +1,49 @@
+// Pooling and shape utilities: global average pooling (the classifier head of
+// every model in the paper), generic average pooling, max pooling, and
+// Flatten.
+#pragma once
+
+#include "nn/module.h"
+
+namespace nb::nn {
+
+/// NCHW -> [N, C] mean over spatial positions.
+class GlobalAvgPool : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "GlobalAvgPool"; }
+
+ private:
+  std::vector<int64_t> in_shape_;
+};
+
+/// kxk max pooling with stride (used by the detection head's downsampling).
+class MaxPool2d : public Module {
+ public:
+  MaxPool2d(int64_t kernel, int64_t stride);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "MaxPool2d"; }
+
+ private:
+  int64_t kernel_;
+  int64_t stride_;
+  Tensor input_;
+  std::vector<int64_t> argmax_;
+  std::vector<int64_t> out_shape_;
+};
+
+/// [N, C, H, W] -> [N, C*H*W].
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "Flatten"; }
+
+ private:
+  std::vector<int64_t> in_shape_;
+};
+
+}  // namespace nb::nn

@@ -1,0 +1,116 @@
+#include "nn/se.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace nb::nn {
+
+SqueezeExcite::SqueezeExcite(int64_t channels, int64_t reduction)
+    : channels_(channels),
+      hidden_(std::max<int64_t>(1, channels / std::max<int64_t>(1, reduction))),
+      fc1_(std::make_shared<Linear>(channels_, hidden_, /*bias=*/true)),
+      fc2_(std::make_shared<Linear>(hidden_, channels_, /*bias=*/true)) {
+  NB_CHECK(channels > 0, "SqueezeExcite: channels must be positive");
+}
+
+Tensor SqueezeExcite::forward(const Tensor& x) {
+  NB_CHECK(x.dim() == 4, "SqueezeExcite expects NCHW");
+  NB_CHECK(x.size(1) == channels_, "SqueezeExcite channel mismatch");
+  const int64_t n = x.size(0);
+  const int64_t hw = x.size(2) * x.size(3);
+  input_ = x;
+
+  // Squeeze: global average pool to [N, C].
+  pooled_ = Tensor({n, channels_});
+  const float* xp = x.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float* plane = xp + (i * channels_ + c) * hw;
+      double s = 0.0;
+      for (int64_t t = 0; t < hw; ++t) s += plane[t];
+      pooled_.at(i, c) = static_cast<float>(s / static_cast<double>(hw));
+    }
+  }
+
+  // Excite: fc1 -> ReLU -> fc2 -> sigmoid.
+  hidden_pre_ = fc1_->forward(pooled_);
+  Tensor h = hidden_pre_.clone();
+  float* hp = h.data();
+  for (int64_t i = 0; i < h.numel(); ++i) hp[i] = std::max(hp[i], 0.0f);
+  Tensor logits = fc2_->forward(h);
+  gates_ = Tensor({n, channels_});
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    gates_.data()[i] = 1.0f / (1.0f + std::exp(-logits.data()[i]));
+  }
+
+  // Scale: y[i,c,:,:] = x[i,c,:,:] * gate[i,c].
+  Tensor y(x.shape());
+  float* yp = y.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float g = gates_.at(i, c);
+      const float* plane = xp + (i * channels_ + c) * hw;
+      float* out = yp + (i * channels_ + c) * hw;
+      for (int64_t t = 0; t < hw; ++t) out[t] = plane[t] * g;
+    }
+  }
+  return y;
+}
+
+Tensor SqueezeExcite::backward(const Tensor& grad_out) {
+  NB_CHECK(input_.defined(), "SqueezeExcite::backward before forward");
+  const int64_t n = input_.size(0);
+  const int64_t hw = input_.size(2) * input_.size(3);
+  const float* gp = grad_out.data();
+  const float* xp = input_.data();
+
+  // dL/dgate[i,c] = sum_hw dL/dy * x;  dL/dx (path 1) = dL/dy * gate.
+  Tensor grad_gate({n, channels_});
+  Tensor grad_x(input_.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float g = gates_.at(i, c);
+      const float* gplane = gp + (i * channels_ + c) * hw;
+      const float* xplane = xp + (i * channels_ + c) * hw;
+      float* dxplane = grad_x.data() + (i * channels_ + c) * hw;
+      double s = 0.0;
+      for (int64_t t = 0; t < hw; ++t) {
+        s += static_cast<double>(gplane[t]) * xplane[t];
+        dxplane[t] = gplane[t] * g;
+      }
+      grad_gate.at(i, c) = static_cast<float>(s);
+    }
+  }
+
+  // Through sigmoid: dL/dlogits = dL/dgate * g * (1 - g).
+  Tensor grad_logits({n, channels_});
+  for (int64_t i = 0; i < grad_logits.numel(); ++i) {
+    const float g = gates_.data()[i];
+    grad_logits.data()[i] = grad_gate.data()[i] * g * (1.0f - g);
+  }
+
+  // Through fc2, ReLU, fc1.
+  Tensor grad_h = fc2_->backward(grad_logits);
+  for (int64_t i = 0; i < grad_h.numel(); ++i) {
+    if (hidden_pre_.data()[i] <= 0.0f) grad_h.data()[i] = 0.0f;
+  }
+  Tensor grad_pooled = fc1_->backward(grad_h);
+
+  // Through the average pool: each pixel gets grad_pooled / HW (path 2).
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float gpool =
+          grad_pooled.at(i, c) / static_cast<float>(hw);
+      float* dxplane = grad_x.data() + (i * channels_ + c) * hw;
+      for (int64_t t = 0; t < hw; ++t) dxplane[t] += gpool;
+    }
+  }
+  return grad_x;
+}
+
+std::vector<std::pair<std::string, Module*>> SqueezeExcite::named_children() {
+  return {{"fc1", fc1_.get()}, {"fc2", fc2_.get()}};
+}
+
+}  // namespace nb::nn

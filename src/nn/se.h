@@ -1,0 +1,42 @@
+// Squeeze-and-Excitation channel attention (Hu et al., 2018): global average
+// pool -> bottleneck FC -> ReLU -> FC -> sigmoid -> channel-wise rescale.
+// MCUNet-family architectures commonly attach SE to their MBConv blocks; the
+// "mcunet-se" model variant uses this layer. SE sits outside the expanded
+// pointwise convolutions, so NetBooster's expansion/contraction algebra is
+// untouched by it (the inserted blocks themselves stay SE-free).
+#pragma once
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace nb::nn {
+
+class SqueezeExcite : public Module {
+ public:
+  /// `reduction` divides the channel count for the bottleneck (>= 1).
+  explicit SqueezeExcite(int64_t channels, int64_t reduction = 4);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "SqueezeExcite"; }
+  std::vector<std::pair<std::string, Module*>> named_children() override;
+
+  int64_t channels() const { return channels_; }
+  int64_t hidden() const { return hidden_; }
+  Linear& fc1() { return *fc1_; }
+  Linear& fc2() { return *fc2_; }
+
+ private:
+  int64_t channels_;
+  int64_t hidden_;
+  std::shared_ptr<Linear> fc1_;
+  std::shared_ptr<Linear> fc2_;
+
+  // forward caches for backward
+  Tensor input_;      // [N, C, H, W]
+  Tensor pooled_;     // [N, C]
+  Tensor hidden_pre_; // [N, hidden] before ReLU
+  Tensor gates_;      // [N, C] sigmoid outputs
+};
+
+}  // namespace nb::nn

@@ -1,0 +1,53 @@
+#include "nn/sequential.h"
+
+namespace nb::nn {
+
+void Sequential::push_back(ModulePtr m) {
+  NB_CHECK(m != nullptr, "Sequential::push_back(nullptr)");
+  m->set_training(training());
+  mods_.push_back(std::move(m));
+}
+
+ModulePtr& Sequential::at(int64_t i) {
+  NB_CHECK(i >= 0 && i < size(), "Sequential index out of range");
+  return mods_[static_cast<size_t>(i)];
+}
+
+const ModulePtr& Sequential::at(int64_t i) const {
+  NB_CHECK(i >= 0 && i < size(), "Sequential index out of range");
+  return mods_[static_cast<size_t>(i)];
+}
+
+ModulePtr Sequential::replace(int64_t i, ModulePtr m) {
+  NB_CHECK(i >= 0 && i < size(), "Sequential::replace index out of range");
+  NB_CHECK(m != nullptr, "Sequential::replace(nullptr)");
+  m->set_training(training());
+  ModulePtr old = mods_[static_cast<size_t>(i)];
+  mods_[static_cast<size_t>(i)] = std::move(m);
+  return old;
+}
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor y = x;
+  for (ModulePtr& m : mods_) y = m->forward(y);
+  return y;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = mods_.rbegin(); it != mods_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<std::pair<std::string, Module*>> Sequential::named_children() {
+  std::vector<std::pair<std::string, Module*>> out;
+  out.reserve(mods_.size());
+  for (size_t i = 0; i < mods_.size(); ++i) {
+    out.emplace_back(std::to_string(i), mods_[i].get());
+  }
+  return out;
+}
+
+}  // namespace nb::nn

@@ -1,0 +1,42 @@
+// Ordered container of modules. Children are addressable by index so that
+// NetBooster's model surgery (replacing a layer with its expanded block and
+// contracting it back) can splice modules in place.
+#pragma once
+
+#include <memory>
+
+#include "nn/module.h"
+
+namespace nb::nn {
+
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a module; returns a reference for chaining-free construction.
+  void push_back(ModulePtr m);
+
+  /// Constructs a module in place and returns a shared handle to it.
+  template <typename M, typename... Args>
+  std::shared_ptr<M> emplace(Args&&... args) {
+    auto m = std::make_shared<M>(std::forward<Args>(args)...);
+    push_back(m);
+    return m;
+  }
+
+  int64_t size() const { return static_cast<int64_t>(mods_.size()); }
+  ModulePtr& at(int64_t i);
+  const ModulePtr& at(int64_t i) const;
+  /// Replaces the i-th child (model surgery); returns the old module.
+  ModulePtr replace(int64_t i, ModulePtr m);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "Sequential"; }
+  std::vector<std::pair<std::string, Module*>> named_children() override;
+
+ private:
+  std::vector<ModulePtr> mods_;
+};
+
+}  // namespace nb::nn

@@ -1,0 +1,71 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+namespace nb::optim {
+
+Adam::Adam(std::vector<nn::Parameter*> params, const AdamOptions& opts)
+    : params_(std::move(params)), opts_(opts) {
+  NB_CHECK(opts_.lr >= 0.0f, "adam: negative learning rate");
+  NB_CHECK(opts_.beta1 >= 0.0f && opts_.beta1 < 1.0f, "adam: beta1 not in [0,1)");
+  NB_CHECK(opts_.beta2 >= 0.0f && opts_.beta2 < 1.0f, "adam: beta2 not in [0,1)");
+  exp_avg_.reserve(params_.size());
+  exp_avg_sq_.reserve(params_.size());
+  for (nn::Parameter* p : params_) {
+    exp_avg_.emplace_back(p->value.shape());
+    exp_avg_sq_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const float bc1 =
+      1.0f - std::pow(opts_.beta1, static_cast<float>(step_count_));
+  const float bc2 =
+      1.0f - std::pow(opts_.beta2, static_cast<float>(step_count_));
+  const float step_size = opts_.lr / bc1;
+
+  for (size_t idx = 0; idx < params_.size(); ++idx) {
+    nn::Parameter& p = *params_[idx];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* m = exp_avg_[idx].data();
+    float* v = exp_avg_sq_[idx].data();
+    const int64_t n = p.value.numel();
+    const bool decay = p.decay && opts_.weight_decay > 0.0f;
+
+    for (int64_t i = 0; i < n; ++i) {
+      float grad = g[i];
+      if (decay && !opts_.decoupled_decay) {
+        grad += opts_.weight_decay * w[i];
+      }
+      m[i] = opts_.beta1 * m[i] + (1.0f - opts_.beta1) * grad;
+      v[i] = opts_.beta2 * v[i] + (1.0f - opts_.beta2) * grad * grad;
+      const float denom = std::sqrt(v[i] / bc2) + opts_.eps;
+      float update = step_size * m[i] / denom;
+      if (decay && opts_.decoupled_decay) {
+        update += opts_.lr * opts_.weight_decay * w[i];
+      }
+      w[i] -= update;
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (nn::Parameter* p : params_) {
+    p->zero_grad();
+  }
+}
+
+void Adam::rebind(std::vector<nn::Parameter*> params) {
+  params_ = std::move(params);
+  exp_avg_.clear();
+  exp_avg_sq_.clear();
+  for (nn::Parameter* p : params_) {
+    exp_avg_.emplace_back(p->value.shape());
+    exp_avg_sq_.emplace_back(p->value.shape());
+  }
+  step_count_ = 0;
+}
+
+}  // namespace nb::optim

@@ -1,0 +1,53 @@
+// Adam / AdamW (Kingma & Ba 2015; Loshchilov & Hutter 2019). The paper's
+// recipes all use SGD, but downstream finetuning at tiny batch sizes is
+// noticeably more stable under Adam, so the trainer exposes it as an
+// alternative (TrainConfig::optimizer) and the optimizer ablation bench
+// compares the two on the NetBooster tuning stage.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+#include "optim/optimizer.h"
+
+namespace nb::optim {
+
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+  /// true: AdamW decoupled decay (p -= lr*wd*p); false: L2-into-gradient.
+  bool decoupled_decay = true;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<nn::Parameter*> params, const AdamOptions& opts);
+
+  /// One update from the gradients currently stored on the parameters.
+  void step() override;
+  void zero_grad() override;
+
+  float lr() const override { return opts_.lr; }
+  void set_lr(float lr) override { opts_.lr = lr; }
+  const AdamOptions& options() const { return opts_; }
+  int64_t step_count() const { return step_count_; }
+  std::string name() const override {
+    return opts_.decoupled_decay ? "adamw" : "adam";
+  }
+
+  /// Re-binds to a new parameter set (after model surgery); moment state and
+  /// the bias-correction step count reset.
+  void rebind(std::vector<nn::Parameter*> params) override;
+
+ private:
+  std::vector<nn::Parameter*> params_;
+  std::vector<Tensor> exp_avg_;     // first moment m
+  std::vector<Tensor> exp_avg_sq_;  // second moment v
+  AdamOptions opts_;
+  int64_t step_count_ = 0;
+};
+
+}  // namespace nb::optim

@@ -1,0 +1,63 @@
+#include "optim/ema.h"
+
+#include <algorithm>
+
+namespace nb::optim {
+
+EmaWeights::EmaWeights(std::vector<nn::Parameter*> params, float decay)
+    : params_(std::move(params)), decay_(decay) {
+  NB_CHECK(decay_ >= 0.0f && decay_ < 1.0f, "ema: decay must be in [0, 1)");
+  shadow_.reserve(params_.size());
+  for (nn::Parameter* p : params_) {
+    shadow_.push_back(p->value.clone());
+  }
+}
+
+void EmaWeights::update() {
+  NB_CHECK(!swapped_in_, "ema: update() while shadow weights are swapped in");
+  ++updates_;
+  // Warm-up correction: early on the shadow is dominated by the random init,
+  // so use the min of the configured decay and (1+t)/(10+t) (timm's rule).
+  const float t = static_cast<float>(updates_);
+  const float d = std::min(decay_, (1.0f + t) / (10.0f + t));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    float* s = shadow_[i].data();
+    const float* w = params_[i]->value.data();
+    const int64_t n = shadow_[i].numel();
+    for (int64_t j = 0; j < n; ++j) {
+      s[j] = d * s[j] + (1.0f - d) * w[j];
+    }
+  }
+}
+
+void EmaWeights::swap() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    float* s = shadow_[i].data();
+    float* w = params_[i]->value.data();
+    const int64_t n = shadow_[i].numel();
+    for (int64_t j = 0; j < n; ++j) {
+      std::swap(s[j], w[j]);
+    }
+  }
+}
+
+void EmaWeights::swap_in() {
+  NB_CHECK(!swapped_in_, "ema: swap_in() twice");
+  swap();
+  swapped_in_ = true;
+}
+
+void EmaWeights::swap_out() {
+  NB_CHECK(swapped_in_, "ema: swap_out() without swap_in()");
+  swap();
+  swapped_in_ = false;
+}
+
+void EmaWeights::copy_to_model() {
+  NB_CHECK(!swapped_in_, "ema: copy_to_model() while swapped in");
+  for (size_t i = 0; i < params_.size(); ++i) {
+    params_[i]->value.copy_from(shadow_[i]);
+  }
+}
+
+}  // namespace nb::optim

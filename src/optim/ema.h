@@ -1,0 +1,48 @@
+// Exponential moving average of model weights (Polyak averaging). At the
+// micro training budgets this repository runs, per-step weight noise is a
+// real fraction of the signal; evaluating the EMA shadow instead of the raw
+// weights recovers part of what longer schedules give the paper. Usage:
+//
+//   EmaWeights ema(model.parameters(), 0.99f);
+//   ... ema.update() after each optimizer step ...
+//   ema.swap_in();   // model now holds the averaged weights
+//   evaluate(model);
+//   ema.swap_out();  // training weights restored
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace nb::optim {
+
+class EmaWeights {
+ public:
+  /// `decay` is the per-update retention (shadow = decay*shadow + (1-d)*w).
+  EmaWeights(std::vector<nn::Parameter*> params, float decay);
+
+  /// Folds the current weights into the shadow copy.
+  void update();
+
+  /// Exchanges model weights and shadow weights (self-inverse).
+  void swap_in();
+  void swap_out();
+  bool swapped_in() const { return swapped_in_; }
+
+  float decay() const { return decay_; }
+  int64_t updates() const { return updates_; }
+
+  /// Copies the shadow values over the live weights permanently (export).
+  void copy_to_model();
+
+ private:
+  void swap();
+
+  std::vector<nn::Parameter*> params_;
+  std::vector<Tensor> shadow_;
+  float decay_;
+  int64_t updates_ = 0;
+  bool swapped_in_ = false;
+};
+
+}  // namespace nb::optim

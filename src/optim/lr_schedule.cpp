@@ -1,0 +1,45 @@
+#include "optim/lr_schedule.h"
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+
+namespace nb::optim {
+
+CosineLr::CosineLr(float base_lr, int64_t total_steps, float min_lr,
+                   int64_t warmup_steps)
+    : base_lr_(base_lr),
+      min_lr_(min_lr),
+      total_steps_(total_steps),
+      warmup_steps_(warmup_steps) {
+  NB_CHECK(total_steps > 0, "CosineLr total_steps must be positive");
+  NB_CHECK(warmup_steps >= 0 && warmup_steps < total_steps,
+           "CosineLr warmup_steps out of range");
+}
+
+float CosineLr::lr_at(int64_t step) const {
+  if (step < warmup_steps_) {
+    return base_lr_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  const float progress =
+      static_cast<float>(step - warmup_steps_) /
+      static_cast<float>(total_steps_ - warmup_steps_);
+  const float clipped = progress > 1.0f ? 1.0f : progress;
+  const float pi = 3.14159265358979323846f;
+  return min_lr_ + 0.5f * (base_lr_ - min_lr_) * (1.0f + std::cos(pi * clipped));
+}
+
+StepLr::StepLr(float base_lr, int64_t step_every, float gamma)
+    : base_lr_(base_lr), step_every_(step_every), gamma_(gamma) {
+  NB_CHECK(step_every > 0, "StepLr step_every must be positive");
+}
+
+float StepLr::lr_at(int64_t step) const {
+  const int64_t drops = step / step_every_;
+  float lr = base_lr_;
+  for (int64_t i = 0; i < drops; ++i) lr *= gamma_;
+  return lr;
+}
+
+}  // namespace nb::optim

@@ -1,0 +1,53 @@
+// Learning-rate schedules, stepped per iteration. The paper's recipe is
+// cosine annealing with an optional linear warmup.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace nb::optim {
+
+/// Maps an iteration index in [0, total_steps) to a learning rate.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float lr_at(int64_t step) const = 0;
+};
+
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float lr_at(int64_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// Cosine annealing from base_lr to min_lr across total_steps, with
+/// warmup_steps of linear ramp from 0.
+class CosineLr : public LrSchedule {
+ public:
+  CosineLr(float base_lr, int64_t total_steps, float min_lr = 0.0f,
+           int64_t warmup_steps = 0);
+  float lr_at(int64_t step) const override;
+
+ private:
+  float base_lr_;
+  float min_lr_;
+  int64_t total_steps_;
+  int64_t warmup_steps_;
+};
+
+/// Multiplies the base LR by `gamma` at each milestone (given in steps).
+class StepLr : public LrSchedule {
+ public:
+  StepLr(float base_lr, std::int64_t step_every, float gamma);
+  float lr_at(int64_t step) const override;
+
+ private:
+  float base_lr_;
+  int64_t step_every_;
+  float gamma_;
+};
+
+}  // namespace nb::optim

@@ -1,0 +1,55 @@
+#include "optim/optimizer.h"
+
+#include "optim/adam.h"
+#include "optim/rmsprop.h"
+#include "optim/sgd.h"
+
+namespace nb::optim {
+
+const char* to_string(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::sgd:
+      return "sgd";
+    case OptimizerKind::adam:
+      return "adam";
+    case OptimizerKind::rmsprop:
+      return "rmsprop";
+  }
+  return "?";
+}
+
+OptimizerKind optimizer_kind_from_string(const std::string& name) {
+  if (name == "sgd") return OptimizerKind::sgd;
+  if (name == "adam" || name == "adamw") return OptimizerKind::adam;
+  if (name == "rmsprop") return OptimizerKind::rmsprop;
+  NB_CHECK(false, "unknown optimizer '" + name + "'");
+  return OptimizerKind::sgd;  // unreachable
+}
+
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind,
+                                          std::vector<nn::Parameter*> params,
+                                          float lr, float momentum,
+                                          float weight_decay) {
+  switch (kind) {
+    case OptimizerKind::sgd:
+      return std::make_unique<Sgd>(
+          std::move(params), SgdOptions{lr, momentum, weight_decay, false});
+    case OptimizerKind::adam: {
+      AdamOptions opts;
+      opts.lr = lr;
+      opts.weight_decay = weight_decay;
+      return std::make_unique<Adam>(std::move(params), opts);
+    }
+    case OptimizerKind::rmsprop: {
+      RmsPropOptions opts;
+      opts.lr = lr;
+      opts.momentum = momentum;
+      opts.weight_decay = weight_decay;
+      return std::make_unique<RmsProp>(std::move(params), opts);
+    }
+  }
+  NB_CHECK(false, "unhandled optimizer kind");
+  return nullptr;  // unreachable
+}
+
+}  // namespace nb::optim

@@ -1,0 +1,42 @@
+// Common optimizer interface. The trainer talks to this so experiments can
+// swap SGD (the paper's recipe) for Adam/RMSprop via TrainConfig::optimizer
+// without touching the loop; rebind() exists because NetBooster's contraction
+// replaces modules mid-run and the optimizer must drop its stale state.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace nb::optim {
+
+enum class OptimizerKind { sgd, adam, rmsprop };
+
+const char* to_string(OptimizerKind kind);
+/// Parses "sgd" | "adam" | "rmsprop" (throws on anything else).
+OptimizerKind optimizer_kind_from_string(const std::string& name);
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the gradients stored on the parameters.
+  virtual void step() = 0;
+  virtual void zero_grad() = 0;
+  virtual float lr() const = 0;
+  virtual void set_lr(float lr) = 0;
+  /// Re-binds to a new parameter set; internal state resets.
+  virtual void rebind(std::vector<nn::Parameter*> params) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Builds an optimizer of the given kind. `lr` overrides the kind's default;
+/// momentum/weight_decay map onto each algorithm's equivalent knob.
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind,
+                                          std::vector<nn::Parameter*> params,
+                                          float lr, float momentum,
+                                          float weight_decay);
+
+}  // namespace nb::optim

@@ -1,0 +1,62 @@
+#include "optim/rmsprop.h"
+
+#include <cmath>
+
+namespace nb::optim {
+
+RmsProp::RmsProp(std::vector<nn::Parameter*> params,
+                 const RmsPropOptions& opts)
+    : params_(std::move(params)), opts_(opts) {
+  NB_CHECK(opts_.lr >= 0.0f, "rmsprop: negative learning rate");
+  NB_CHECK(opts_.alpha >= 0.0f && opts_.alpha < 1.0f,
+           "rmsprop: alpha not in [0,1)");
+  for (nn::Parameter* p : params_) {
+    square_avg_.emplace_back(p->value.shape());
+    momentum_buf_.emplace_back(p->value.shape());
+  }
+}
+
+void RmsProp::step() {
+  for (size_t idx = 0; idx < params_.size(); ++idx) {
+    nn::Parameter& p = *params_[idx];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* sq = square_avg_[idx].data();
+    float* mom = momentum_buf_[idx].data();
+    const int64_t n = p.value.numel();
+    const bool decay = p.decay && opts_.weight_decay > 0.0f;
+
+    for (int64_t i = 0; i < n; ++i) {
+      float grad = g[i];
+      if (decay) {
+        grad += opts_.weight_decay * w[i];
+      }
+      sq[i] = opts_.alpha * sq[i] + (1.0f - opts_.alpha) * grad * grad;
+      const float update = grad / (std::sqrt(sq[i]) + opts_.eps);
+      if (opts_.momentum > 0.0f) {
+        mom[i] = opts_.momentum * mom[i] + update;
+        w[i] -= opts_.lr * mom[i];
+      } else {
+        w[i] -= opts_.lr * update;
+      }
+    }
+  }
+}
+
+void RmsProp::zero_grad() {
+  for (nn::Parameter* p : params_) {
+    p->zero_grad();
+  }
+}
+
+void RmsProp::rebind(std::vector<nn::Parameter*> params) {
+  params_ = std::move(params);
+  square_avg_.clear();
+  momentum_buf_.clear();
+  for (nn::Parameter* p : params_) {
+    square_avg_.emplace_back(p->value.shape());
+    momentum_buf_.emplace_back(p->value.shape());
+  }
+}
+
+}  // namespace nb::optim

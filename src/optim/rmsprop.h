@@ -1,0 +1,43 @@
+// RMSprop (Tieleman & Hinton 2012), the optimizer several TinyML training
+// stacks default to on MCUs; included so the optimizer ablation can compare
+// SGD / Adam / RMSprop on the NetBooster tuning stage.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+#include "optim/optimizer.h"
+
+namespace nb::optim {
+
+struct RmsPropOptions {
+  float lr = 1e-2f;
+  float alpha = 0.99f;  // squared-gradient EMA decay
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+  float momentum = 0.0f;
+};
+
+class RmsProp : public Optimizer {
+ public:
+  RmsProp(std::vector<nn::Parameter*> params, const RmsPropOptions& opts);
+
+  void step() override;
+  void zero_grad() override;
+
+  float lr() const override { return opts_.lr; }
+  void set_lr(float lr) override { opts_.lr = lr; }
+  const RmsPropOptions& options() const { return opts_; }
+  std::string name() const override { return "rmsprop"; }
+
+  /// Re-binds to a new parameter set; accumulator state resets.
+  void rebind(std::vector<nn::Parameter*> params) override;
+
+ private:
+  std::vector<nn::Parameter*> params_;
+  std::vector<Tensor> square_avg_;
+  std::vector<Tensor> momentum_buf_;
+  RmsPropOptions opts_;
+};
+
+}  // namespace nb::optim

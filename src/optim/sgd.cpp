@@ -1,0 +1,61 @@
+#include "optim/sgd.h"
+
+#include <cmath>
+
+namespace nb::optim {
+
+Sgd::Sgd(std::vector<nn::Parameter*> params, const SgdOptions& opts)
+    : opts_(opts) {
+  rebind(std::move(params));
+}
+
+void Sgd::rebind(std::vector<nn::Parameter*> params) {
+  params_ = std::move(params);
+  velocity_.clear();
+  velocity_.reserve(params_.size());
+  for (nn::Parameter* p : params_) {
+    NB_CHECK(p != nullptr, "null parameter handed to Sgd");
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter& p = *params_[i];
+    Tensor& v = velocity_[i];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* vel = v.data();
+    const int64_t n = p.value.numel();
+    const float wd = p.decay ? opts_.weight_decay : 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      float grad = g[j] + wd * w[j];
+      if (opts_.momentum != 0.0f) {
+        vel[j] = opts_.momentum * vel[j] + grad;
+        grad = opts_.nesterov ? grad + opts_.momentum * vel[j] : vel[j];
+      }
+      w[j] -= opts_.lr * grad;
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (nn::Parameter* p : params_) p->zero_grad();
+}
+
+float clip_grad_norm(const std::vector<nn::Parameter*>& params,
+                     float max_norm) {
+  double sq = 0.0;
+  for (nn::Parameter* p : params) {
+    const float n = p->grad.norm();
+    sq += static_cast<double>(n) * n;
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (nn::Parameter* p : params) p->grad.mul_(scale);
+  }
+  return norm;
+}
+
+}  // namespace nb::optim

@@ -1,0 +1,48 @@
+// SGD with momentum and decoupled-from-BN weight decay, the optimizer used
+// for every experiment in the paper (ImageNet recipe: SGD, momentum, cosine
+// annealing).
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+#include "optim/optimizer.h"
+
+namespace nb::optim {
+
+struct SgdOptions {
+  float lr = 0.1f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  bool nesterov = false;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<nn::Parameter*> params, const SgdOptions& opts);
+
+  /// Applies one update using the gradients currently stored on the params.
+  void step() override;
+  void zero_grad() override;
+
+  float lr() const override { return opts_.lr; }
+  void set_lr(float lr) override { opts_.lr = lr; }
+  const SgdOptions& options() const { return opts_; }
+  std::string name() const override { return "sgd"; }
+
+  /// Re-binds the optimizer to a new parameter set (used after model surgery
+  /// such as contraction, which replaces modules). Momentum state resets.
+  void rebind(std::vector<nn::Parameter*> params) override;
+
+ private:
+  std::vector<nn::Parameter*> params_;
+  std::vector<Tensor> velocity_;
+  SgdOptions opts_;
+};
+
+/// Rescales all gradients so their global L2 norm is at most `max_norm`;
+/// returns the pre-clip norm.
+float clip_grad_norm(const std::vector<nn::Parameter*>& params,
+                     float max_norm);
+
+}  // namespace nb::optim

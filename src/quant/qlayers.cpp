@@ -1,0 +1,150 @@
+#include "quant/qlayers.h"
+
+namespace nb::quant {
+
+namespace {
+
+/// Adds a per-channel bias to an NCHW tensor in place.
+void add_channel_bias_(Tensor& x, const Tensor& bias) {
+  const int64_t n = x.size(0);
+  const int64_t c = x.size(1);
+  const int64_t hw = x.numel() / (n * c);
+  NB_CHECK(bias.numel() == c, "bias length != channels");
+  float* p = x.data();
+  const float* b = bias.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float bv = b[ch];
+      float* plane = p + (i * c + ch) * hw;
+      for (int64_t t = 0; t < hw; ++t) {
+        plane[t] += bv;
+      }
+    }
+  }
+}
+
+float calibrated_scale(const ActObserver& obs, const QuantSpec& spec) {
+  const float absmax = spec.calib == CalibMode::percentile
+                           ? obs.percentile_absmax(spec.percentile)
+                           : obs.absmax();
+  return scale_from_absmax(absmax, spec.act_bits);
+}
+
+}  // namespace
+
+QuantConv2d::QuantConv2d(std::shared_ptr<nn::Conv2d> inner, Tensor bias,
+                         const QuantSpec& spec)
+    : inner_(std::move(inner)), bias_(std::move(bias)), spec_(spec) {
+  NB_CHECK(inner_ != nullptr, "QuantConv2d: null inner conv");
+}
+
+Tensor QuantConv2d::forward(const Tensor& x) {
+  Tensor y;
+  if (!frozen_) {
+    observer_.observe(x);
+    y = inner_->forward(x);
+  } else {
+    Tensor xq = x.clone();
+    fake_quant_(xq, act_scale_, spec_.act_bits);
+    y = inner_->forward(xq);
+  }
+  if (bias_.defined()) {
+    add_channel_bias_(y, bias_);
+  }
+  return y;
+}
+
+Tensor QuantConv2d::backward(const Tensor&) {
+  NB_CHECK(false, "QuantConv2d is inference-only (no backward)");
+  return {};
+}
+
+std::vector<std::pair<std::string, nn::Module*>> QuantConv2d::named_children() {
+  return {{"inner", inner_.get()}};
+}
+
+void QuantConv2d::freeze() {
+  NB_CHECK(!frozen_, "QuantConv2d::freeze() called twice");
+  NB_CHECK(observer_.samples() > 0,
+           "QuantConv2d::freeze() before any calibration forward");
+  Tensor& w = inner_->weight().value;
+  if (spec_.per_channel) {
+    const std::vector<float> absmax = per_channel_absmax(w);
+    weight_scales_.clear();
+    weight_scales_.reserve(absmax.size());
+    for (float m : absmax) {
+      weight_scales_.push_back(scale_from_absmax(m, spec_.weight_bits));
+    }
+    fake_quant_per_channel_(w, weight_scales_, spec_.weight_bits);
+  } else {
+    const float scale = scale_from_absmax(w.abs_max(), spec_.weight_bits);
+    weight_scales_.assign(1, scale);
+    fake_quant_(w, scale, spec_.weight_bits);
+  }
+  act_scale_ = calibrated_scale(observer_, spec_);
+  frozen_ = true;
+}
+
+int64_t QuantConv2d::quantized_weight_bytes() const {
+  const int64_t weights = inner_->weight().value.numel();
+  const int64_t scale_bytes =
+      static_cast<int64_t>(weight_scales_.size()) * 4 + 4;  // + act scale
+  return (weights * spec_.weight_bits + 7) / 8 + scale_bytes +
+         (bias_.defined() ? bias_.numel() * 4 : 0);
+}
+
+QuantLinear::QuantLinear(std::shared_ptr<nn::Linear> inner,
+                         const QuantSpec& spec)
+    : inner_(std::move(inner)), spec_(spec) {
+  NB_CHECK(inner_ != nullptr, "QuantLinear: null inner linear");
+}
+
+Tensor QuantLinear::forward(const Tensor& x) {
+  if (!frozen_) {
+    observer_.observe(x);
+    return inner_->forward(x);
+  }
+  Tensor xq = x.clone();
+  fake_quant_(xq, act_scale_, spec_.act_bits);
+  return inner_->forward(xq);
+}
+
+Tensor QuantLinear::backward(const Tensor&) {
+  NB_CHECK(false, "QuantLinear is inference-only (no backward)");
+  return {};
+}
+
+std::vector<std::pair<std::string, nn::Module*>> QuantLinear::named_children() {
+  return {{"inner", inner_.get()}};
+}
+
+void QuantLinear::freeze() {
+  NB_CHECK(!frozen_, "QuantLinear::freeze() called twice");
+  NB_CHECK(observer_.samples() > 0,
+           "QuantLinear::freeze() before any calibration forward");
+  Tensor& w = inner_->weight().value;
+  if (spec_.per_channel) {
+    const std::vector<float> absmax = per_channel_absmax(w);
+    weight_scales_.clear();
+    weight_scales_.reserve(absmax.size());
+    for (float m : absmax) {
+      weight_scales_.push_back(scale_from_absmax(m, spec_.weight_bits));
+    }
+    fake_quant_per_channel_(w, weight_scales_, spec_.weight_bits);
+  } else {
+    const float scale = scale_from_absmax(w.abs_max(), spec_.weight_bits);
+    weight_scales_.assign(1, scale);
+    fake_quant_(w, scale, spec_.weight_bits);
+  }
+  act_scale_ = calibrated_scale(observer_, spec_);
+  frozen_ = true;
+}
+
+int64_t QuantLinear::quantized_weight_bytes() const {
+  const int64_t weights = inner_->weight().value.numel();
+  const int64_t bias = inner_->has_bias() ? inner_->bias().value.numel() : 0;
+  return (weights * spec_.weight_bits + 7) / 8 +
+         static_cast<int64_t>(weight_scales_.size()) * 4 + 4 + bias * 4;
+}
+
+}  // namespace nb::quant

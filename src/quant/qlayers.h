@@ -1,0 +1,97 @@
+// Inference-only quantized layer wrappers. A QuantConv2d takes over a
+// ConvBnAct's conv slot: it owns the original Conv2d (whose weights have the
+// unit's BN folded in and are then fake-quantized per output channel) plus a
+// float bias from the BN shift, and fake-quantizes its input activation with
+// a calibrated per-tensor scale. Lifecycle:
+//
+//   calibrating:  forward observes the float input range, runs float math
+//   frozen:       forward quantizes input, runs the quantized weights
+//
+// backward() throws by design — quantized models are deployment artifacts,
+// not training graphs.
+#pragma once
+
+#include <memory>
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "quant/quantize.h"
+
+namespace nb::quant {
+
+enum class CalibMode { minmax, percentile };
+
+struct QuantSpec {
+  int weight_bits = 8;
+  int act_bits = 8;
+  /// Per-output-channel weight scales (vs one per-tensor scale).
+  bool per_channel = true;
+  CalibMode calib = CalibMode::percentile;
+  /// Clip fraction for percentile calibration.
+  float percentile = 0.999f;
+};
+
+class QuantConv2d : public nn::Module {
+ public:
+  /// `bias` is the BN-fold shift ([cout]) or an undefined Tensor for none.
+  QuantConv2d(std::shared_ptr<nn::Conv2d> inner, Tensor bias,
+              const QuantSpec& spec);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "QuantConv2d"; }
+  std::vector<std::pair<std::string, Module*>> named_children() override;
+
+  /// Computes weight/activation scales from the observed statistics and
+  /// quantizes the weights in place. forward() then runs quantized.
+  void freeze();
+  bool frozen() const { return frozen_; }
+
+  nn::Conv2d& inner() { return *inner_; }
+  float act_scale() const { return act_scale_; }
+  const std::vector<float>& weight_scales() const { return weight_scales_; }
+  /// The BN-fold bias carried by this wrapper (undefined Tensor for none).
+  const Tensor& bias() const { return bias_; }
+  const QuantSpec& spec() const { return spec_; }
+  const ActObserver& observer() const { return observer_; }
+  /// Serialized size of this layer's weights at the quantized precision.
+  int64_t quantized_weight_bytes() const;
+
+ private:
+  std::shared_ptr<nn::Conv2d> inner_;
+  Tensor bias_;  // undefined when the unit had no BN shift
+  QuantSpec spec_;
+  ActObserver observer_;
+  std::vector<float> weight_scales_;
+  float act_scale_ = 0.0f;
+  bool frozen_ = false;
+};
+
+/// Same lifecycle for the classifier Linear.
+class QuantLinear : public nn::Module {
+ public:
+  QuantLinear(std::shared_ptr<nn::Linear> inner, const QuantSpec& spec);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "QuantLinear"; }
+  std::vector<std::pair<std::string, Module*>> named_children() override;
+
+  void freeze();
+  bool frozen() const { return frozen_; }
+  nn::Linear& inner() { return *inner_; }
+  float act_scale() const { return act_scale_; }
+  const std::vector<float>& weight_scales() const { return weight_scales_; }
+  const QuantSpec& spec() const { return spec_; }
+  int64_t quantized_weight_bytes() const;
+
+ private:
+  std::shared_ptr<nn::Linear> inner_;
+  QuantSpec spec_;
+  ActObserver observer_;
+  std::vector<float> weight_scales_;
+  float act_scale_ = 0.0f;
+  bool frozen_ = false;
+};
+
+}  // namespace nb::quant

@@ -1,0 +1,140 @@
+#include "quant/qmodel.h"
+
+#include <memory>
+
+#include "data/dataloader.h"
+#include "nn/blocks.h"
+
+namespace nb::quant {
+
+namespace {
+
+/// Folds one unit's BN into its Conv2d slot and wraps the conv in a
+/// QuantConv2d carrying the fold bias. Units whose slot is not a plain
+/// Conv2d (e.g. an un-contracted ExpandedConv) are left to the recursive
+/// traversal, which reaches their internal ConvBnAct units anyway.
+bool fold_and_wrap(nn::ConvBnAct& unit, const QuantSpec& spec,
+                   DeployReport* report) {
+  auto conv = std::dynamic_pointer_cast<nn::Conv2d>(unit.conv_slot());
+  if (conv == nullptr) {
+    return false;
+  }
+  Tensor bias;
+  if (unit.has_bn()) {
+    nn::BatchNorm2d* bn = unit.bn();
+    NB_CHECK(!bn->training(),
+             "fold_batchnorms requires eval mode (running stats)");
+    const nn::BnAffine affine = nn::bn_to_affine(*bn);
+    Tensor& w = conv->weight().value;
+    const int64_t cout = w.size(0);
+    NB_CHECK(static_cast<int64_t>(affine.scale.size()) == cout,
+             "BN channel count != conv out channels");
+    const int64_t stride = w.numel() / cout;
+    float* wp = w.data();
+    for (int64_t o = 0; o < cout; ++o) {
+      const float s = affine.scale[static_cast<size_t>(o)];
+      float* row = wp + o * stride;
+      for (int64_t i = 0; i < stride; ++i) {
+        row[i] *= s;
+      }
+    }
+    bias = Tensor({cout});
+    float* bp = bias.data();
+    for (int64_t o = 0; o < cout; ++o) {
+      bp[o] = affine.shift[static_cast<size_t>(o)];
+    }
+    if (conv->has_bias()) {
+      // BN(conv(x) + b) folds b into the shift: b' = scale*b + shift.
+      Tensor& cb = conv->bias().value;
+      for (int64_t o = 0; o < cout; ++o) {
+        bp[o] += affine.scale[static_cast<size_t>(o)] * cb.at(o);
+      }
+      cb.zero();
+    }
+    unit.remove_bn();
+    if (report != nullptr) {
+      ++report->folded_bn;
+    }
+  }
+  if (report != nullptr) {
+    ++report->conv_layers;
+    report->fp32_weight_bytes += conv->weight().value.numel() * 4;
+  }
+  auto wrapper = std::make_shared<QuantConv2d>(conv, std::move(bias), spec);
+  unit.swap_conv(wrapper);
+  return true;
+}
+
+}  // namespace
+
+int64_t fold_batchnorms(models::MobileNetV2& model, const QuantSpec& spec) {
+  DeployReport report;
+  model.apply([&](nn::Module& m) {
+    if (auto* unit = dynamic_cast<nn::ConvBnAct*>(&m)) {
+      fold_and_wrap(*unit, spec, &report);
+    }
+  });
+  return report.folded_bn;
+}
+
+std::vector<QuantConv2d*> quant_convs(models::MobileNetV2& model) {
+  std::vector<QuantConv2d*> out;
+  model.apply([&](nn::Module& m) {
+    if (auto* q = dynamic_cast<QuantConv2d*>(&m)) {
+      out.push_back(q);
+    }
+  });
+  return out;
+}
+
+DeployReport quantize_for_deployment(models::MobileNetV2& model,
+                                     const data::ClassificationDataset& calib,
+                                     const DeployConfig& config) {
+  NB_CHECK(config.calib_batches > 0, "quantize: need calibration batches");
+  model.set_training(false);
+
+  // 1+2: fold BN and install wrappers.
+  DeployReport report;
+  model.apply([&](nn::Module& m) {
+    if (auto* unit = dynamic_cast<nn::ConvBnAct*>(&m)) {
+      fold_and_wrap(*unit, config.spec, &report);
+    }
+  });
+  auto linear =
+      std::dynamic_pointer_cast<nn::Linear>(model.classifier_slot());
+  std::shared_ptr<QuantLinear> qlinear;
+  if (linear != nullptr) {
+    report.fp32_weight_bytes +=
+        linear->weight().value.numel() * 4 +
+        (linear->has_bias() ? linear->bias().value.numel() * 4 : 0);
+    qlinear = std::make_shared<QuantLinear>(linear, config.spec);
+    model.classifier_slot() = qlinear;
+    ++report.linear_layers;
+  }
+
+  // 3: calibration pass (sequential batches; generators are deterministic).
+  data::DataLoader loader(calib, config.batch_size, /*shuffle=*/false,
+                          /*augment=*/false, config.seed);
+  loader.start_epoch();
+  data::Batch batch;
+  int64_t seen = 0;
+  while (seen < config.calib_batches && loader.next(batch)) {
+    (void)model.forward(batch.images);
+    ++seen;
+  }
+  NB_CHECK(seen > 0, "quantize: calibration dataset produced no batches");
+
+  // 4: freeze all wrappers.
+  std::vector<QuantConv2d*> convs = quant_convs(model);
+  for (QuantConv2d* q : convs) {
+    q->freeze();
+    report.quant_weight_bytes += q->quantized_weight_bytes();
+  }
+  if (qlinear != nullptr) {
+    qlinear->freeze();
+    report.quant_weight_bytes += qlinear->quantized_weight_bytes();
+  }
+  return report;
+}
+
+}  // namespace nb::quant

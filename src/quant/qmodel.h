@@ -1,0 +1,57 @@
+// Whole-model post-training quantization: the deployment step after
+// NetBooster contracts the giant back to the TNN. Pipeline (standard int8
+// PTQ as used by TFLite-Micro/MCUNet deployments):
+//
+//   1. eval mode; BN running stats are folded into every convolution
+//      (remove_bn + weight rescale + bias), so inference is conv -> act;
+//   2. every Conv2d / the classifier Linear is wrapped in a Quant* layer;
+//   3. a calibration pass over `calib_batches` batches records activation
+//      ranges;
+//   4. freeze(): weights are fake-quantized per output channel, activation
+//      scales fixed (min-max or clipped percentile).
+//
+// The quantized model is inference-only. table_quant_deploy uses this to show
+// that NetBooster's accuracy gain survives int8 deployment.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/mobilenetv2.h"
+#include "quant/qlayers.h"
+
+namespace nb::quant {
+
+struct DeployConfig {
+  QuantSpec spec;
+  int64_t calib_batches = 8;
+  int64_t batch_size = 32;
+  uint64_t seed = 91;
+};
+
+struct DeployReport {
+  int64_t conv_layers = 0;
+  int64_t linear_layers = 0;
+  int64_t folded_bn = 0;
+  /// Weight bytes before (float32) and after (packed int).
+  int64_t fp32_weight_bytes = 0;
+  int64_t quant_weight_bytes = 0;
+};
+
+/// Folds every eval-mode BN in the model into its conv slot's weights. Each
+/// affected ConvBnAct becomes conv(+bias) -> act, where the fold bias lives
+/// in a still-float (un-frozen) QuantConv2d wrapper — the model computes
+/// exactly what it did before, which the tests verify. Returns the fold
+/// count. The model must be in eval mode (running stats are consumed).
+int64_t fold_batchnorms(models::MobileNetV2& model, const QuantSpec& spec);
+
+/// Full PTQ pipeline (fold, wrap, calibrate, freeze). The model is modified
+/// in place and becomes inference-only.
+DeployReport quantize_for_deployment(models::MobileNetV2& model,
+                                     const data::ClassificationDataset& calib,
+                                     const DeployConfig& config);
+
+/// All Quant* wrappers currently installed in the model.
+std::vector<QuantConv2d*> quant_convs(models::MobileNetV2& model);
+
+}  // namespace nb::quant

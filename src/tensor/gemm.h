@@ -1,0 +1,19 @@
+// Row-major single-precision GEMM. This is the computational core of every
+// convolution (via im2col) and linear layer in the library.
+#pragma once
+
+#include <cstdint>
+
+namespace nb {
+
+/// C[M,N] = alpha * op(A) * op(B) + beta * C, all row-major.
+/// op(A) is A[M,K] (trans_a=false) or A[K,M] transposed (trans_a=true);
+/// likewise for B with shape [K,N] / [N,K].
+void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          float alpha, const float* a, const float* b, float beta, float* c);
+
+/// y[M] = alpha * op(A) * x + beta * y.
+void gemv(bool trans_a, int64_t m, int64_t n, float alpha, const float* a,
+          const float* x, float beta, float* y);
+
+}  // namespace nb

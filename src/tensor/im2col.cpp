@@ -1,0 +1,65 @@
+#include "tensor/im2col.h"
+
+#include <algorithm>
+
+namespace nb {
+
+void im2col(const float* img, int64_t channels, int64_t height, int64_t width,
+            int64_t kh, int64_t kw, int64_t stride_h, int64_t stride_w,
+            int64_t pad_h, int64_t pad_w, float* cols) {
+  const int64_t oh = conv_out_size(height, kh, stride_h, pad_h);
+  const int64_t ow = conv_out_size(width, kw, stride_w, pad_w);
+  const int64_t plane = oh * ow;
+  for (int64_t c = 0; c < channels; ++c) {
+    const float* src = img + c * height * width;
+    for (int64_t ki = 0; ki < kh; ++ki) {
+      for (int64_t kj = 0; kj < kw; ++kj) {
+        float* dst = cols + ((c * kh + ki) * kw + kj) * plane;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t iy = oy * stride_h + ki - pad_h;
+          if (iy < 0 || iy >= height) {
+            std::fill(dst, dst + ow, 0.0f);
+            dst += ow;
+            continue;
+          }
+          const float* srow = src + iy * width;
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t ix = ox * stride_w + kj - pad_w;
+            *dst++ = (ix >= 0 && ix < width) ? srow[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, int64_t channels, int64_t height, int64_t width,
+            int64_t kh, int64_t kw, int64_t stride_h, int64_t stride_w,
+            int64_t pad_h, int64_t pad_w, float* img) {
+  const int64_t oh = conv_out_size(height, kh, stride_h, pad_h);
+  const int64_t ow = conv_out_size(width, kw, stride_w, pad_w);
+  const int64_t plane = oh * ow;
+  for (int64_t c = 0; c < channels; ++c) {
+    float* dst = img + c * height * width;
+    for (int64_t ki = 0; ki < kh; ++ki) {
+      for (int64_t kj = 0; kj < kw; ++kj) {
+        const float* src = cols + ((c * kh + ki) * kw + kj) * plane;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t iy = oy * stride_h + ki - pad_h;
+          if (iy < 0 || iy >= height) {
+            src += ow;
+            continue;
+          }
+          float* drow = dst + iy * width;
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t ix = ox * stride_w + kj - pad_w;
+            if (ix >= 0 && ix < width) drow[ix] += src[ox];
+          }
+          src += ow;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace nb

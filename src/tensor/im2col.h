@@ -1,0 +1,26 @@
+// im2col / col2im lowering used by Conv2d. A convolution over an NCHW input
+// becomes a GEMM between the weight matrix [cout, cin*kh*kw] and the column
+// matrix [cin*kh*kw, oh*ow] built here.
+#pragma once
+
+#include <cstdint>
+
+namespace nb {
+
+/// Expands one image (C,H,W) into columns [C*kh*kw, oh*ow] with zero padding.
+void im2col(const float* img, int64_t channels, int64_t height, int64_t width,
+            int64_t kh, int64_t kw, int64_t stride_h, int64_t stride_w,
+            int64_t pad_h, int64_t pad_w, float* cols);
+
+/// Scatters columns back into an image (accumulating), the adjoint of im2col.
+void col2im(const float* cols, int64_t channels, int64_t height, int64_t width,
+            int64_t kh, int64_t kw, int64_t stride_h, int64_t stride_w,
+            int64_t pad_h, int64_t pad_w, float* img);
+
+/// Output spatial size of a convolution along one axis.
+inline int64_t conv_out_size(int64_t in, int64_t kernel, int64_t stride,
+                             int64_t pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace nb

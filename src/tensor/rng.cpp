@@ -1,0 +1,65 @@
+#include "tensor/rng.h"
+
+#include <cmath>
+
+namespace nb {
+
+Rng::Rng(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+uint32_t Rng::next_u32() {
+  const uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const uint32_t xorshifted =
+      static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+float Rng::uniform() {
+  // 24 high bits -> [0, 1) with full float precision.
+  return static_cast<float>(next_u32() >> 8) * (1.0f / 16777216.0f);
+}
+
+float Rng::uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
+
+float Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  float u1 = uniform();
+  float u2 = uniform();
+  if (u1 < 1e-12f) u1 = 1e-12f;
+  const float mag = std::sqrt(-2.0f * std::log(u1));
+  const float two_pi = 6.28318530717958647692f;
+  spare_ = mag * std::sin(two_pi * u2);
+  has_spare_ = true;
+  return mag * std::cos(two_pi * u2);
+}
+
+float Rng::normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+int64_t Rng::randint(int64_t n) {
+  // Modulo bias is negligible for our n (<< 2^32) but reject anyway.
+  const uint64_t un = static_cast<uint64_t>(n);
+  const uint64_t limit = (0x100000000ULL / un) * un;
+  uint64_t v = next_u32();
+  while (v >= limit) v = next_u32();
+  return static_cast<int64_t>(v % un);
+}
+
+bool Rng::bernoulli(float p) { return uniform() < p; }
+
+Rng Rng::split() {
+  const uint64_t seed =
+      (static_cast<uint64_t>(next_u32()) << 32) | next_u32();
+  const uint64_t stream =
+      (static_cast<uint64_t>(next_u32()) << 32) | next_u32();
+  return Rng(seed, stream | 1u);
+}
+
+}  // namespace nb

@@ -1,0 +1,240 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace nb {
+
+namespace {
+int64_t shape_numel(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    NB_CHECK(d >= 0, "negative dimension in shape");
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)),
+      numel_(shape_numel(shape_)),
+      data_(std::make_shared<std::vector<float>>(numel_, 0.0f)) {}
+
+Tensor::Tensor(std::initializer_list<int64_t> shape)
+    : Tensor(std::vector<int64_t>(shape)) {}
+
+Tensor Tensor::from(std::vector<int64_t> shape, std::vector<float> values) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = shape_numel(t.shape_);
+  NB_CHECK(static_cast<int64_t>(values.size()) == t.numel_,
+           "value count does not match shape");
+  t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+  return t;
+}
+
+Tensor Tensor::zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(std::vector<int64_t> shape) { return full(std::move(shape), 1.0f); }
+
+Tensor Tensor::full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::arange(int64_t n) {
+  Tensor t({n});
+  for (int64_t i = 0; i < n; ++i) t.at(i) = static_cast<float>(i);
+  return t;
+}
+
+int64_t Tensor::size(int64_t d) const {
+  if (d < 0) d += dim();
+  NB_CHECK(d >= 0 && d < dim(), "dimension index out of range");
+  return shape_[static_cast<size_t>(d)];
+}
+
+float* Tensor::data() {
+  NB_CHECK(defined(), "accessing undefined tensor");
+  return data_->data();
+}
+
+const float* Tensor::data() const {
+  NB_CHECK(defined(), "accessing undefined tensor");
+  return data_->data();
+}
+
+float& Tensor::at(int64_t i) { return (*data_)[static_cast<size_t>(i)]; }
+
+float& Tensor::at(int64_t i, int64_t j) {
+  return (*data_)[static_cast<size_t>(i * shape_[1] + j)];
+}
+
+float& Tensor::at(int64_t i, int64_t j, int64_t k) {
+  return (*data_)[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+}
+
+float& Tensor::at(int64_t n, int64_t c, int64_t h, int64_t w) {
+  return (*data_)[static_cast<size_t>(offset_of(n, c, h, w))];
+}
+
+float Tensor::at(int64_t i) const { return (*data_)[static_cast<size_t>(i)]; }
+
+float Tensor::at(int64_t i, int64_t j) const {
+  return (*data_)[static_cast<size_t>(i * shape_[1] + j)];
+}
+
+float Tensor::at(int64_t i, int64_t j, int64_t k) const {
+  return (*data_)[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+}
+
+float Tensor::at(int64_t n, int64_t c, int64_t h, int64_t w) const {
+  return (*data_)[static_cast<size_t>(offset_of(n, c, h, w))];
+}
+
+int64_t Tensor::offset_of(int64_t n, int64_t c, int64_t h, int64_t w) const {
+  return ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+}
+
+Tensor Tensor::clone() const {
+  if (!defined()) return Tensor();
+  Tensor t;
+  t.shape_ = shape_;
+  t.numel_ = numel_;
+  t.data_ = std::make_shared<std::vector<float>>(*data_);
+  return t;
+}
+
+Tensor Tensor::reshape(std::vector<int64_t> new_shape) const {
+  NB_CHECK(shape_numel(new_shape) == numel_, "reshape changes element count");
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.numel_ = numel_;
+  t.data_ = data_;
+  return t;
+}
+
+Tensor Tensor::narrow0(int64_t begin, int64_t end) const {
+  NB_CHECK(dim() >= 1, "narrow0 requires at least one dimension");
+  NB_CHECK(0 <= begin && begin <= end && end <= shape_[0], "narrow0 bounds");
+  std::vector<int64_t> out_shape = shape_;
+  out_shape[0] = end - begin;
+  const int64_t row = numel_ / std::max<int64_t>(shape_[0], 1);
+  Tensor t(out_shape);
+  std::copy(data() + begin * row, data() + end * row, t.data());
+  return t;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_->begin(), data_->end(), value);
+}
+
+void Tensor::add_(const Tensor& other) { add_scaled_(other, 1.0f); }
+
+void Tensor::add_scaled_(const Tensor& other, float alpha) {
+  NB_CHECK(numel_ == other.numel_, "add_scaled_ numel mismatch");
+  float* a = data();
+  const float* b = other.data();
+  for (int64_t i = 0; i < numel_; ++i) a[i] += alpha * b[i];
+}
+
+void Tensor::mul_(float scalar) {
+  float* a = data();
+  for (int64_t i = 0; i < numel_; ++i) a[i] *= scalar;
+}
+
+void Tensor::copy_from(const Tensor& src) {
+  NB_CHECK(numel_ == src.numel_, "copy_from numel mismatch");
+  std::copy(src.data(), src.data() + numel_, data());
+}
+
+Tensor Tensor::add(const Tensor& other) const {
+  Tensor out = clone();
+  out.add_(other);
+  return out;
+}
+
+Tensor Tensor::sub(const Tensor& other) const {
+  Tensor out = clone();
+  out.add_scaled_(other, -1.0f);
+  return out;
+}
+
+Tensor Tensor::mul(const Tensor& other) const {
+  NB_CHECK(numel_ == other.numel_, "mul numel mismatch");
+  Tensor out = clone();
+  float* a = out.data();
+  const float* b = other.data();
+  for (int64_t i = 0; i < numel_; ++i) a[i] *= b[i];
+  return out;
+}
+
+Tensor Tensor::scale(float scalar) const {
+  Tensor out = clone();
+  out.mul_(scalar);
+  return out;
+}
+
+float Tensor::sum() const {
+  const float* a = data();
+  double s = 0.0;
+  for (int64_t i = 0; i < numel_; ++i) s += a[i];
+  return static_cast<float>(s);
+}
+
+float Tensor::mean() const {
+  NB_CHECK(numel_ > 0, "mean of empty tensor");
+  return sum() / static_cast<float>(numel_);
+}
+
+float Tensor::min_value() const {
+  NB_CHECK(numel_ > 0, "min of empty tensor");
+  return *std::min_element(data_->begin(), data_->end());
+}
+
+float Tensor::max_value() const {
+  NB_CHECK(numel_ > 0, "max of empty tensor");
+  return *std::max_element(data_->begin(), data_->end());
+}
+
+float Tensor::abs_max() const {
+  const float* a = data();
+  float m = 0.0f;
+  for (int64_t i = 0; i < numel_; ++i) m = std::max(m, std::fabs(a[i]));
+  return m;
+}
+
+float Tensor::norm() const {
+  const float* a = data();
+  double s = 0.0;
+  for (int64_t i = 0; i < numel_; ++i) s += static_cast<double>(a[i]) * a[i];
+  return static_cast<float>(std::sqrt(s));
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  NB_CHECK(a.numel() == b.numel(), "max_abs_diff numel mismatch");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float m = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::fabs(pa[i] - pb[i]));
+  }
+  return m;
+}
+
+}  // namespace nb

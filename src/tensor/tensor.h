@@ -1,0 +1,114 @@
+// Dense float32 tensor with shared-buffer semantics (cheap copies, explicit
+// clone()). The whole NetBooster substrate is CPU-only and stores activations
+// and weights in NCHW / row-major layout.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nb {
+
+/// Throws std::runtime_error with a file:line prefix when `cond` is false.
+#define NB_CHECK(cond, msg)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      throw std::runtime_error(std::string(__FILE__) + ":" +                 \
+                               std::to_string(__LINE__) + ": " + (msg));     \
+    }                                                                        \
+  } while (false)
+
+/// A dense, contiguous, row-major float32 tensor.
+///
+/// Copying a Tensor shares the underlying buffer (like torch::Tensor); use
+/// clone() for an independent deep copy. All shape arithmetic uses signed
+/// 64-bit indices per the Core Guidelines (ES.107).
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-filled tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape);
+  Tensor(std::initializer_list<int64_t> shape);
+
+  /// Builds a tensor from explicit values; `values.size()` must match shape.
+  static Tensor from(std::vector<int64_t> shape, std::vector<float> values);
+  static Tensor zeros(std::vector<int64_t> shape);
+  static Tensor ones(std::vector<int64_t> shape);
+  static Tensor full(std::vector<int64_t> shape, float value);
+  /// 1-D tensor [0, 1, ..., n-1].
+  static Tensor arange(int64_t n);
+
+  bool defined() const { return data_ != nullptr; }
+  int64_t dim() const { return static_cast<int64_t>(shape_.size()); }
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t size(int64_t d) const;
+  int64_t numel() const { return numel_; }
+
+  float* data();
+  const float* data() const;
+
+  // -- element access (bounds are the caller's responsibility in release) --
+  float& at(int64_t i);
+  float& at(int64_t i, int64_t j);
+  float& at(int64_t i, int64_t j, int64_t k);
+  float& at(int64_t n, int64_t c, int64_t h, int64_t w);
+  float at(int64_t i) const;
+  float at(int64_t i, int64_t j) const;
+  float at(int64_t i, int64_t j, int64_t k) const;
+  float at(int64_t n, int64_t c, int64_t h, int64_t w) const;
+
+  /// Deep copy with its own buffer.
+  Tensor clone() const;
+  /// Shares the buffer under a new shape with the same numel.
+  Tensor reshape(std::vector<int64_t> new_shape) const;
+  /// Copies rows [begin, end) of the leading dimension.
+  Tensor narrow0(int64_t begin, int64_t end) const;
+
+  // -- in-place mutators --
+  void fill(float value);
+  void zero() { fill(0.0f); }
+  /// this += other (same numel; shapes may differ, e.g. across reshapes).
+  void add_(const Tensor& other);
+  /// this += alpha * other (same numel; shapes may differ).
+  void add_scaled_(const Tensor& other, float alpha);
+  void mul_(float scalar);
+  /// Copies values from `src` (same numel, shape may differ).
+  void copy_from(const Tensor& src);
+
+  // -- value-returning arithmetic --
+  Tensor add(const Tensor& other) const;
+  Tensor sub(const Tensor& other) const;
+  Tensor mul(const Tensor& other) const;
+  Tensor scale(float scalar) const;
+
+  // -- reductions --
+  float sum() const;
+  float mean() const;
+  float min_value() const;
+  float max_value() const;
+  float abs_max() const;
+  /// L2 norm of all elements.
+  float norm() const;
+
+  /// Human-readable shape like "[2, 3, 8, 8]".
+  std::string shape_str() const;
+
+  /// True when shapes match elementwise.
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  int64_t offset_of(int64_t n, int64_t c, int64_t h, int64_t w) const;
+
+  std::vector<int64_t> shape_;
+  int64_t numel_ = 0;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+/// Checks two tensors agree within `atol` absolutely; returns max |a-b|.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace nb

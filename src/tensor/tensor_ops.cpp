@@ -1,0 +1,116 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/gemm.h"
+
+namespace nb {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  NB_CHECK(a.dim() == 2 && b.dim() == 2, "matmul requires 2-D tensors");
+  NB_CHECK(a.size(1) == b.size(0), "matmul inner dimension mismatch");
+  Tensor c({a.size(0), b.size(1)});
+  gemm(false, false, a.size(0), b.size(1), a.size(1), 1.0f, a.data(), b.data(),
+       0.0f, c.data());
+  return c;
+}
+
+Tensor softmax_rows(const Tensor& logits, float temperature) {
+  NB_CHECK(logits.dim() == 2, "softmax_rows requires a 2-D tensor");
+  NB_CHECK(temperature > 0.0f, "softmax temperature must be positive");
+  const int64_t rows = logits.size(0);
+  const int64_t cols = logits.size(1);
+  Tensor out({rows, cols});
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* in = logits.data() + i * cols;
+    float* o = out.data() + i * cols;
+    float mx = in[0];
+    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, in[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < cols; ++j) {
+      o[j] = std::exp((in[j] - mx) / temperature);
+      denom += o[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < cols; ++j) o[j] *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& logits, float temperature) {
+  NB_CHECK(logits.dim() == 2, "log_softmax_rows requires a 2-D tensor");
+  const int64_t rows = logits.size(0);
+  const int64_t cols = logits.size(1);
+  Tensor out({rows, cols});
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* in = logits.data() + i * cols;
+    float* o = out.data() + i * cols;
+    float mx = in[0];
+    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, in[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < cols; ++j) denom += std::exp((in[j] - mx) / temperature);
+    const float log_denom = static_cast<float>(std::log(denom));
+    for (int64_t j = 0; j < cols; ++j) {
+      o[j] = (in[j] - mx) / temperature - log_denom;
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> argmax_rows(const Tensor& t) {
+  NB_CHECK(t.dim() == 2, "argmax_rows requires a 2-D tensor");
+  const int64_t rows = t.size(0);
+  const int64_t cols = t.size(1);
+  std::vector<int64_t> idx(static_cast<size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* row = t.data() + i * cols;
+    idx[static_cast<size_t>(i)] =
+        std::max_element(row, row + cols) - row;
+  }
+  return idx;
+}
+
+void fill_uniform(Tensor& t, Rng& rng, float lo, float hi) {
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] = rng.uniform(lo, hi);
+}
+
+void fill_normal(Tensor& t, Rng& rng, float mean, float stddev) {
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] = rng.normal(mean, stddev);
+}
+
+Tensor transpose2d(const Tensor& t) {
+  NB_CHECK(t.dim() == 2, "transpose2d requires a 2-D tensor");
+  const int64_t r = t.size(0);
+  const int64_t c = t.size(1);
+  Tensor out({c, r});
+  for (int64_t i = 0; i < r; ++i) {
+    for (int64_t j = 0; j < c; ++j) out.at(j, i) = t.at(i, j);
+  }
+  return out;
+}
+
+Tensor cat0(const std::vector<Tensor>& parts) {
+  NB_CHECK(!parts.empty(), "cat0 of empty list");
+  std::vector<int64_t> shape = parts.front().shape();
+  int64_t total = 0;
+  for (const Tensor& p : parts) {
+    NB_CHECK(p.dim() == static_cast<int64_t>(shape.size()), "cat0 rank mismatch");
+    for (int64_t d = 1; d < p.dim(); ++d) {
+      NB_CHECK(p.size(d) == shape[static_cast<size_t>(d)], "cat0 trailing dim mismatch");
+    }
+    total += p.size(0);
+  }
+  shape[0] = total;
+  Tensor out(shape);
+  float* dst = out.data();
+  for (const Tensor& p : parts) {
+    std::copy(p.data(), p.data() + p.numel(), dst);
+    dst += p.numel();
+  }
+  return out;
+}
+
+}  // namespace nb

@@ -1,0 +1,37 @@
+// Free functions on Tensor used across the NN stack: matrix products,
+// row-wise softmax family, argmax, and random fills.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace nb {
+
+/// C = A[M,K] * B[K,N] (row-major 2-D tensors).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Row-wise softmax over the last dim of a 2-D tensor; optional temperature.
+Tensor softmax_rows(const Tensor& logits, float temperature = 1.0f);
+
+/// Row-wise log-softmax over the last dim of a 2-D tensor.
+Tensor log_softmax_rows(const Tensor& logits, float temperature = 1.0f);
+
+/// Index of the max element in each row of a 2-D tensor.
+std::vector<int64_t> argmax_rows(const Tensor& t);
+
+/// Fills with U(lo, hi).
+void fill_uniform(Tensor& t, Rng& rng, float lo, float hi);
+
+/// Fills with N(mean, stddev).
+void fill_normal(Tensor& t, Rng& rng, float mean, float stddev);
+
+/// Transposes a 2-D tensor.
+Tensor transpose2d(const Tensor& t);
+
+/// Concatenates 2+ tensors along dim 0 (all other dims must match).
+Tensor cat0(const std::vector<Tensor>& parts);
+
+}  // namespace nb

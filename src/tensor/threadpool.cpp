@@ -1,0 +1,129 @@
+#include "tensor/threadpool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace nb {
+
+ThreadPool::ThreadPool(int64_t num_workers) {
+  workers_.reserve(static_cast<size_t>(std::max<int64_t>(num_workers, 0)));
+  for (int64_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) {
+        return;
+      }
+      task = queue_.back();
+      queue_.pop_back();
+    }
+    try {
+      (*task.fn)(task.begin, task.end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--outstanding_ == 0) {
+        done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    int64_t total, const std::function<void(int64_t, int64_t)>& fn) {
+  if (total <= 0) {
+    return;
+  }
+  const int64_t parts =
+      std::min<int64_t>(total, num_workers() + 1);  // +1: calling thread
+  if (parts <= 1) {
+    fn(0, total);
+    return;
+  }
+  const int64_t chunk = (total + parts - 1) / parts;
+  // Chunks [chunk, 2*chunk), ... go to workers; the caller runs [0, chunk)
+  // itself so a 1-worker pool still overlaps compute with the main thread.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    first_error_ = nullptr;
+    for (int64_t begin = chunk; begin < total; begin += chunk) {
+      queue_.push_back(Task{&fn, begin, std::min(begin + chunk, total)});
+      ++outstanding_;
+    }
+  }
+  wake_.notify_all();
+  try {
+    fn(0, std::min(chunk, total));
+  } catch (...) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return outstanding_ == 0; });
+    throw;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return outstanding_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+namespace {
+
+int64_t pool_size_from_env() {
+  const char* env = std::getenv("NB_THREADS");
+  int64_t threads = 0;
+  if (env != nullptr) {
+    threads = std::strtoll(env, nullptr, 10);
+  }
+  if (threads <= 0) {
+    threads = static_cast<int64_t>(std::thread::hardware_concurrency());
+    threads = std::clamp<int64_t>(threads, 1, 8);
+  }
+  return threads - 1;  // workers; the calling thread is the +1
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(pool_size_from_env());
+  return pool;
+}
+
+void parallel_for(int64_t total, int64_t grain,
+                  const std::function<void(int64_t, int64_t)>& fn) {
+  ThreadPool& pool = ThreadPool::global();
+  if (total < grain || pool.num_workers() == 0) {
+    if (total > 0) {
+      fn(0, total);
+    }
+    return;
+  }
+  pool.parallel_for(total, fn);
+}
+
+}  // namespace nb

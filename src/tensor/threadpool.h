@@ -1,0 +1,62 @@
+// A small persistent thread pool with a deterministic parallel_for. Work is
+// split into one contiguous index range per worker (no stealing), so a
+// parallel loop computes exactly what the serial loop computes as long as the
+// body only writes to its own indices — which keeps training bit-for-bit
+// reproducible regardless of NB_THREADS.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nb {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads; 0 means no workers (pure serial pool).
+  explicit ThreadPool(int64_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int64_t num_workers() const { return static_cast<int64_t>(workers_.size()); }
+
+  /// Runs fn(begin, end) over [0, total) split into contiguous chunks, one
+  /// per worker plus the calling thread; blocks until every chunk finishes.
+  /// Exceptions from the body are rethrown (first one wins).
+  void parallel_for(int64_t total,
+                    const std::function<void(int64_t, int64_t)>& fn);
+
+  /// The process-wide pool, sized by NB_THREADS (default: min(hardware, 8),
+  /// at least 1). NB_THREADS=1 disables worker threads entirely.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    int64_t begin = 0;
+    int64_t end = 0;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::vector<Task> queue_;
+  int64_t outstanding_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// parallel_for over the global pool; falls back to a serial call when the
+/// range is small (< grain) or the pool has no workers.
+void parallel_for(int64_t total, int64_t grain,
+                  const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace nb

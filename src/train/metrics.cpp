@@ -1,0 +1,90 @@
+#include "train/metrics.h"
+
+#include "data/dataloader.h"
+#include "nn/batchnorm.h"
+#include "nn/losses.h"
+
+namespace nb::train {
+
+namespace {
+
+template <typename Fn>
+void for_each_eval_batch(nn::Module& model,
+                         const data::ClassificationDataset& dataset,
+                         int64_t batch_size, Fn&& fn) {
+  const bool was_training = model.training();
+  model.set_training(false);
+  data::DataLoader loader(dataset, batch_size, /*shuffle=*/false,
+                          /*augment=*/false);
+  loader.start_epoch();
+  data::Batch batch;
+  while (loader.next(batch)) {
+    const Tensor logits = model.forward(batch.images);
+    fn(logits, batch.labels);
+  }
+  model.set_training(was_training);
+}
+
+}  // namespace
+
+float evaluate(nn::Module& model, const data::ClassificationDataset& dataset,
+               int64_t batch_size) {
+  int64_t correct = 0;
+  int64_t total = 0;
+  for_each_eval_batch(model, dataset, batch_size,
+                      [&](const Tensor& logits, const std::vector<int64_t>& labels) {
+                        const float acc = nn::accuracy(logits, labels);
+                        correct += static_cast<int64_t>(
+                            acc * static_cast<float>(labels.size()) + 0.5f);
+                        total += static_cast<int64_t>(labels.size());
+                      });
+  return total > 0 ? static_cast<float>(correct) / static_cast<float>(total)
+                   : 0.0f;
+}
+
+void recalibrate_batchnorm(nn::Module& model,
+                           const data::ClassificationDataset& dataset,
+                           int64_t batch_size, int64_t max_batches) {
+  std::vector<nn::BatchNorm2d*> bns;
+  model.apply([&bns](nn::Module& m) {
+    if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&m)) bns.push_back(bn);
+  });
+  if (bns.empty()) return;
+  std::vector<float> saved;
+  saved.reserve(bns.size());
+  for (nn::BatchNorm2d* bn : bns) saved.push_back(bn->momentum());
+
+  const bool was_training = model.training();
+  model.set_training(true);
+  data::DataLoader loader(dataset, batch_size, /*shuffle=*/false,
+                          /*augment=*/false);
+  loader.start_epoch();
+  data::Batch batch;
+  int64_t i = 0;
+  while (i < max_batches && loader.next(batch)) {
+    // momentum 1/(i+1) turns the EMA into a running average, so after the
+    // pass running stats equal the mean batch statistics under the final
+    // weights.
+    const float m = 1.0f / static_cast<float>(i + 1);
+    for (nn::BatchNorm2d* bn : bns) bn->set_momentum(m);
+    (void)model.forward(batch.images);
+    ++i;
+  }
+  for (size_t j = 0; j < bns.size(); ++j) bns[j]->set_momentum(saved[j]);
+  model.set_training(was_training);
+}
+
+float evaluate_loss(nn::Module& model,
+                    const data::ClassificationDataset& dataset,
+                    int64_t batch_size) {
+  double loss_sum = 0.0;
+  int64_t batches = 0;
+  for_each_eval_batch(model, dataset, batch_size,
+                      [&](const Tensor& logits, const std::vector<int64_t>& labels) {
+                        loss_sum += nn::softmax_cross_entropy(logits, labels).loss;
+                        ++batches;
+                      });
+  return batches > 0 ? static_cast<float>(loss_sum / batches) : 0.0f;
+}
+
+}  // namespace nb::train

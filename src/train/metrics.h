@@ -1,0 +1,29 @@
+// Evaluation helpers shared by the trainer, the benches and the examples.
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/module.h"
+
+namespace nb::train {
+
+/// Top-1 test accuracy in [0, 1]; runs eval-mode batched forwards.
+float evaluate(nn::Module& model, const data::ClassificationDataset& dataset,
+               int64_t batch_size = 64);
+
+/// Mean cross-entropy on a dataset (eval mode), for under/over-fit probes.
+float evaluate_loss(nn::Module& model,
+                    const data::ClassificationDataset& dataset,
+                    int64_t batch_size = 64);
+
+/// Recomputes every BatchNorm2d's running statistics as the exact average of
+/// batch statistics over up to `max_batches` training batches. At this
+/// repository's scale (tens of optimizer steps per run) the EMA statistics
+/// lag the fast-moving weights badly, so eval-mode accuracy collapses without
+/// this; it is the same recalibration step deployment pipelines (e.g. NetAug
+/// / once-for-all) run before exporting a model. Called by the trainer before
+/// every evaluation.
+void recalibrate_batchnorm(nn::Module& model,
+                           const data::ClassificationDataset& dataset,
+                           int64_t batch_size = 64, int64_t max_batches = 16);
+
+}  // namespace nb::train

@@ -1,0 +1,152 @@
+#include "train/trainer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "data/dataloader.h"
+#include "data/mix_augment.h"
+#include "optim/ema.h"
+#include "train/metrics.h"
+
+namespace nb::train {
+
+namespace {
+
+/// Evaluates with the EMA shadow weights swapped in (when EMA is active);
+/// BN running stats are recalibrated for whichever weights are live.
+float evaluate_maybe_ema(nn::Module& model,
+                         const data::ClassificationDataset& train_set,
+                         const data::ClassificationDataset& test_set,
+                         optim::EmaWeights* ema) {
+  if (ema != nullptr) {
+    ema->swap_in();
+  }
+  recalibrate_batchnorm(model, train_set);
+  const float acc = evaluate(model, test_set);
+  if (ema != nullptr) {
+    ema->swap_out();
+  }
+  return acc;
+}
+
+}  // namespace
+
+TrainHistory train_classifier(nn::Module& model,
+                              const data::ClassificationDataset& train_set,
+                              const data::ClassificationDataset& test_set,
+                              const TrainConfig& config, LossFn loss_fn,
+                              IterationHook on_iteration) {
+  NB_CHECK(config.epochs > 0, "epochs must be positive");
+  data::DataLoader loader(train_set, config.batch_size, /*shuffle=*/true,
+                          config.augment, config.seed);
+  const int64_t steps_per_epoch = loader.num_batches();
+  const int64_t total_steps = steps_per_epoch * config.epochs;
+
+  std::unique_ptr<optim::Optimizer> optimizer =
+      optim::make_optimizer(config.optimizer, model.parameters(), config.lr,
+                            config.momentum, config.weight_decay);
+  std::unique_ptr<optim::LrSchedule> schedule;
+  if (config.cosine) {
+    schedule = std::make_unique<optim::CosineLr>(
+        config.lr, total_steps, 0.0f, config.warmup_epochs * steps_per_epoch);
+  } else {
+    schedule = std::make_unique<optim::ConstantLr>(config.lr);
+  }
+
+  std::unique_ptr<optim::EmaWeights> ema;
+  if (config.ema_decay > 0.0f) {
+    ema = std::make_unique<optim::EmaWeights>(model.parameters(),
+                                              config.ema_decay);
+  }
+  // Mixing applies only with the built-in criterion: a custom loss_fn (KD,
+  // detection) has no slot for the second label set.
+  const bool can_mix = !loss_fn && (config.mixup_alpha > 0.0f ||
+                                    config.cutmix_alpha > 0.0f);
+  Rng mix_rng(config.seed ^ 0x9e3779b97f4a7c15ULL, 77);
+
+  TrainHistory history;
+  int64_t step = 0;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    model.set_training(true);
+    loader.start_epoch();
+    data::Batch batch;
+    double loss_sum = 0.0;
+    double acc_sum = 0.0;
+    int64_t batches = 0;
+    while (loader.next(batch)) {
+      optimizer->set_lr(schedule->lr_at(step));
+      model.zero_grad();
+
+      data::MixResult mix;
+      bool mixed = false;
+      if (can_mix) {
+        const bool have_both =
+            config.mixup_alpha > 0.0f && config.cutmix_alpha > 0.0f;
+        const bool use_cutmix =
+            config.cutmix_alpha > 0.0f && (!have_both || mix_rng.bernoulli(0.5f));
+        mix = use_cutmix ? data::cutmix_batch(batch.images, batch.labels,
+                                              config.cutmix_alpha, mix_rng)
+                         : data::mixup_batch(batch.images, batch.labels,
+                                             config.mixup_alpha, mix_rng);
+        mixed = mix.lam < 1.0f;
+      }
+
+      const Tensor logits = model.forward(batch.images);
+      nn::LossResult lr_result;
+      if (loss_fn) {
+        lr_result = loss_fn(logits, batch.labels, batch.images);
+      } else if (mixed) {
+        lr_result = data::mixed_cross_entropy(logits, batch.labels,
+                                              mix.labels_b, mix.lam,
+                                              config.label_smoothing);
+      } else {
+        lr_result = nn::softmax_cross_entropy(logits, batch.labels,
+                                              config.label_smoothing);
+      }
+      model.backward(lr_result.grad);
+      if (config.clip_grad_norm > 0.0f) {
+        optim::clip_grad_norm(model.parameters(), config.clip_grad_norm);
+      }
+      optimizer->step();
+      if (ema) {
+        ema->update();
+      }
+      loss_sum += lr_result.loss;
+      acc_sum += nn::accuracy(logits, batch.labels);
+      ++batches;
+      ++step;
+      if (on_iteration) on_iteration(step, total_steps);
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = static_cast<float>(loss_sum / batches);
+    stats.train_acc = static_cast<float>(acc_sum / batches);
+    stats.lr = optimizer->lr();
+    const bool is_last = epoch == config.epochs - 1;
+    if (is_last || (config.eval_every > 0 && epoch % config.eval_every == 0)) {
+      stats.test_acc =
+          evaluate_maybe_ema(model, train_set, test_set, ema.get());
+      history.best_test_acc = std::max(history.best_test_acc, stats.test_acc);
+    } else {
+      stats.test_acc = std::nanf("");
+    }
+    history.epochs.push_back(stats);
+    if (config.verbose) {
+      std::printf(
+          "  epoch %2lld | loss %.4f | train acc %.3f | test acc %.3f | lr %.4f\n",
+          static_cast<long long>(epoch), stats.train_loss, stats.train_acc,
+          stats.test_acc, stats.lr);
+      std::fflush(stdout);
+    }
+  }
+  // Export the averaged weights so the returned model is the evaluated one.
+  if (ema) {
+    ema->copy_to_model();
+    recalibrate_batchnorm(model, train_set);
+  }
+  history.final_test_acc = history.epochs.back().test_acc;
+  return history;
+}
+
+}  // namespace nb::train

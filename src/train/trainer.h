@@ -1,0 +1,77 @@
+// The classification training loop used by every experiment: SGD + momentum,
+// cosine annealing stepped per iteration, light augmentation, cross entropy
+// (optionally label-smoothed), with two extension points:
+//   - loss_fn:  replaces the criterion (KD baselines pass a composite loss);
+//   - on_iteration: called once per optimizer step (the PLT scheduler ramps
+//     its alphas here).
+#pragma once
+
+#include <functional>
+
+#include "data/dataset.h"
+#include "nn/losses.h"
+#include "nn/module.h"
+#include "optim/lr_schedule.h"
+#include "optim/optimizer.h"
+#include "optim/sgd.h"
+
+namespace nb::train {
+
+struct TrainConfig {
+  int64_t epochs = 10;
+  int64_t batch_size = 32;
+  float lr = 0.1f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+  float label_smoothing = 0.0f;
+  bool augment = true;
+  bool cosine = true;
+  int64_t warmup_epochs = 0;
+  uint64_t seed = 11;
+  bool verbose = false;
+  /// Evaluate on the test set every k epochs (always on the last).
+  int64_t eval_every = 1;
+  /// Optimizer algorithm (paper recipe: SGD + momentum + cosine).
+  optim::OptimizerKind optimizer = optim::OptimizerKind::sgd;
+  /// Beta(alpha, alpha) mixup on each batch when > 0. Ignored when a custom
+  /// loss_fn is supplied (the mixed two-label criterion would not apply).
+  float mixup_alpha = 0.0f;
+  /// CutMix when > 0; if both are set, each batch picks one at random.
+  float cutmix_alpha = 0.0f;
+  /// Polyak-average the weights with this decay and evaluate/export the
+  /// averaged model when > 0 (0 disables EMA).
+  float ema_decay = 0.0f;
+  /// When > 0, rescales gradients to this global L2 norm before each step.
+  float clip_grad_norm = 0.0f;
+};
+
+struct EpochStats {
+  int64_t epoch = 0;
+  float train_loss = 0.0f;
+  float train_acc = 0.0f;
+  float test_acc = 0.0f;  // NaN when not evaluated this epoch
+  float lr = 0.0f;
+};
+
+struct TrainHistory {
+  std::vector<EpochStats> epochs;
+  float best_test_acc = 0.0f;
+  float final_test_acc = 0.0f;
+};
+
+/// Criterion: logits + labels -> loss and dLoss/dLogits.
+using LossFn = std::function<nn::LossResult(const Tensor& logits,
+                                            const std::vector<int64_t>& labels,
+                                            const Tensor& images)>;
+
+/// Called after every optimizer step with (step, total_steps).
+using IterationHook = std::function<void(int64_t, int64_t)>;
+
+TrainHistory train_classifier(nn::Module& model,
+                              const data::ClassificationDataset& train_set,
+                              const data::ClassificationDataset& test_set,
+                              const TrainConfig& config,
+                              LossFn loss_fn = nullptr,
+                              IterationHook on_iteration = nullptr);
+
+}  // namespace nb::train

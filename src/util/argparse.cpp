@@ -1,0 +1,229 @@
+#include "util/argparse.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace nb::util {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(const std::string& name, bool default_value,
+                         const std::string& help) {
+  NB_CHECK(options_.find(name) == options_.end(),
+           "duplicate option --" + name);
+  Option opt;
+  opt.kind = Kind::flag;
+  opt.help = help;
+  opt.flag_value = default_value;
+  opt.default_text = default_value ? "true" : "false";
+  options_[name] = opt;
+  declaration_order_.push_back(name);
+}
+
+void ArgParser::add_int(const std::string& name, int64_t default_value,
+                        const std::string& help) {
+  NB_CHECK(options_.find(name) == options_.end(),
+           "duplicate option --" + name);
+  Option opt;
+  opt.kind = Kind::integer;
+  opt.help = help;
+  opt.int_value = default_value;
+  opt.default_text = std::to_string(default_value);
+  options_[name] = opt;
+  declaration_order_.push_back(name);
+}
+
+void ArgParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  NB_CHECK(options_.find(name) == options_.end(),
+           "duplicate option --" + name);
+  Option opt;
+  opt.kind = Kind::real;
+  opt.help = help;
+  opt.double_value = default_value;
+  std::ostringstream os;
+  os << default_value;
+  opt.default_text = os.str();
+  options_[name] = opt;
+  declaration_order_.push_back(name);
+}
+
+void ArgParser::add_string(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  NB_CHECK(options_.find(name) == options_.end(),
+           "duplicate option --" + name);
+  Option opt;
+  opt.kind = Kind::text;
+  opt.help = help;
+  opt.text_value = default_value;
+  opt.default_text = default_value;
+  options_[name] = opt;
+  declaration_order_.push_back(name);
+}
+
+void ArgParser::assign(Option& opt, const std::string& name,
+                       const std::string& value) {
+  switch (opt.kind) {
+    case Kind::flag:
+      if (value == "true" || value == "1") {
+        opt.flag_value = true;
+      } else if (value == "false" || value == "0") {
+        opt.flag_value = false;
+      } else {
+        NB_CHECK(false, "--" + name + " expects true/false, got '" + value +
+                            "'");
+      }
+      break;
+    case Kind::integer: {
+      size_t consumed = 0;
+      int64_t parsed = 0;
+      try {
+        parsed = std::stoll(value, &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      NB_CHECK(consumed == value.size() && !value.empty(),
+               "--" + name + " expects an integer, got '" + value + "'");
+      opt.int_value = parsed;
+      break;
+    }
+    case Kind::real: {
+      size_t consumed = 0;
+      double parsed = 0.0;
+      try {
+        parsed = std::stod(value, &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      NB_CHECK(consumed == value.size() && !value.empty(),
+               "--" + name + " expects a number, got '" + value + "'");
+      opt.double_value = parsed;
+      break;
+    }
+    case Kind::text:
+      opt.text_value = value;
+      break;
+  }
+  opt.was_provided = true;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    args.emplace_back(argv[i]);
+  }
+  return parse(args);
+}
+
+bool ArgParser::parse(const std::vector<std::string>& args) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    NB_CHECK(starts_with(arg, "--"),
+             "expected --option, got '" + arg + "'");
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    auto it = options_.find(name);
+    NB_CHECK(it != options_.end(), "unknown option --" + name);
+    Option& opt = it->second;
+    if (!has_value) {
+      if (opt.kind == Kind::flag) {
+        opt.flag_value = true;  // bare --flag means true
+        opt.was_provided = true;
+        continue;
+      }
+      NB_CHECK(i + 1 < args.size(), "--" + name + " expects a value");
+      value = args[++i];
+    }
+    assign(opt, name, value);
+  }
+  return true;
+}
+
+const ArgParser::Option& ArgParser::find(const std::string& name,
+                                         Kind kind) const {
+  auto it = options_.find(name);
+  NB_CHECK(it != options_.end(), "option --" + name + " was never declared");
+  NB_CHECK(it->second.kind == kind,
+           "option --" + name + " accessed with the wrong type");
+  return it->second;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  return find(name, Kind::flag).flag_value;
+}
+
+int64_t ArgParser::get_int(const std::string& name) const {
+  return find(name, Kind::integer).int_value;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return find(name, Kind::real).double_value;
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return find(name, Kind::text).text_value;
+}
+
+bool ArgParser::provided(const std::string& name) const {
+  auto it = options_.find(name);
+  NB_CHECK(it != options_.end(), "option --" + name + " was never declared");
+  return it->second.was_provided;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [options]\n";
+  if (!description_.empty()) {
+    os << description_ << "\n";
+  }
+  os << "options:\n";
+  for (const std::string& name : declaration_order_) {
+    const Option& opt = options_.at(name);
+    os << "  --" << name;
+    switch (opt.kind) {
+      case Kind::flag:
+        os << " (flag";
+        break;
+      case Kind::integer:
+        os << " <int";
+        break;
+      case Kind::real:
+        os << " <float";
+        break;
+      case Kind::text:
+        os << " <string";
+        break;
+    }
+    os << ", default " << (opt.default_text.empty() ? "\"\"" : opt.default_text)
+       << (opt.kind == Kind::flag ? ")" : ">") << "\n      " << opt.help
+       << "\n";
+  }
+  os << "  --help\n      print this message\n";
+  return os.str();
+}
+
+}  // namespace nb::util

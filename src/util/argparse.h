@@ -1,0 +1,70 @@
+// Minimal command-line parser for the bench and example binaries. Flags are
+// declared up front with a default and a help string; parse() then accepts
+// "--name=value", "--name value", and bare "--name" for booleans. Unknown
+// flags are an error (fail fast rather than silently ignoring a typo'd
+// sweep parameter), and "--help" prints the generated usage text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"  // NB_CHECK
+
+namespace nb::util {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program, std::string description = "");
+
+  /// Declares a flag; the default value doubles as the type witness.
+  void add_flag(const std::string& name, bool default_value,
+                const std::string& help);
+  void add_int(const std::string& name, int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) when --help was given;
+  /// throws on unknown flags or malformed values.
+  bool parse(int argc, const char* const* argv);
+  /// Convenience overload for tests.
+  bool parse(const std::vector<std::string>& args);
+
+  bool get_flag(const std::string& name) const;
+  int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  /// True when the user supplied the flag explicitly (vs the default).
+  bool provided(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { flag, integer, real, text };
+
+  struct Option {
+    Kind kind = Kind::text;
+    std::string help;
+    std::string default_text;
+    bool flag_value = false;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string text_value;
+    bool was_provided = false;
+  };
+
+  const Option& find(const std::string& name, Kind kind) const;
+  void assign(Option& opt, const std::string& name, const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> declaration_order_;
+};
+
+}  // namespace nb::util

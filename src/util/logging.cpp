@@ -1,0 +1,86 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace nb::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{log_level_from_env()};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::debug:
+      return "debug";
+    case LogLevel::info:
+      return "info";
+    case LogLevel::warn:
+      return "warn";
+    case LogLevel::error:
+      return "error";
+    case LogLevel::off:
+      return "off";
+  }
+  return "?";
+}
+
+std::chrono::steady_clock::time_point process_start() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+LogLevel log_level_from_env() {
+  const char* env = std::getenv("NB_LOG_LEVEL");
+  if (env == nullptr) {
+    return LogLevel::info;
+  }
+  if (std::strcmp(env, "debug") == 0) return LogLevel::debug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::info;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::warn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::error;
+  if (std::strcmp(env, "off") == 0) return LogLevel::off;
+  return LogLevel::info;
+}
+
+void log(LogLevel level, const std::string& message) {
+  if (level < g_level.load() || level == LogLevel::off) {
+    return;
+  }
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - process_start())
+                             .count();
+  std::fprintf(stderr, "[%9.3fs] %-5s %s\n", elapsed, level_name(level),
+               message.c_str());
+}
+
+void log_debug(const std::string& message) { log(LogLevel::debug, message); }
+void log_info(const std::string& message) { log(LogLevel::info, message); }
+void log_warn(const std::string& message) { log(LogLevel::warn, message); }
+void log_error(const std::string& message) { log(LogLevel::error, message); }
+
+std::string Stopwatch::pretty() const {
+  const double s = seconds();
+  std::ostringstream os;
+  if (s < 60.0) {
+    os.setf(std::ios::fixed);
+    os.precision(1);
+    os << s << "s";
+    return os.str();
+  }
+  const int64_t minutes = static_cast<int64_t>(s) / 60;
+  const int64_t rest = static_cast<int64_t>(s) % 60;
+  os << minutes << "m" << (rest < 10 ? "0" : "") << rest << "s";
+  return os.str();
+}
+
+}  // namespace nb::util

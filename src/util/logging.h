@@ -1,0 +1,49 @@
+// Leveled stderr logging with elapsed-time stamps, plus a Stopwatch. The
+// training loops and benches log through this so verbosity is controlled in
+// one place (NB_LOG_LEVEL env var or set_log_level()).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace nb::util {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+/// Reads NB_LOG_LEVEL (debug|info|warn|error|off) once; defaults to info.
+LogLevel log_level_from_env();
+
+/// Logs "[ +12.345s] level: message" to stderr when `level` passes the
+/// threshold.
+void log(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+/// Wall-clock stopwatch (monotonic).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  int64_t milliseconds() const {
+    return static_cast<int64_t>(seconds() * 1000.0);
+  }
+  /// "12.3s" or "4m02s" for longer spans.
+  std::string pretty() const;
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace nb::util

@@ -1,0 +1,137 @@
+#include "util/table.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "tensor/tensor.h"  // NB_CHECK
+
+namespace nb::util {
+
+std::string format_fixed(double value, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << value;
+  return os.str();
+}
+
+std::string format_count(int64_t value) {
+  const bool negative = value < 0;
+  uint64_t magnitude =
+      negative ? 0ULL - static_cast<uint64_t>(value) : static_cast<uint64_t>(value);
+  std::string digits = std::to_string(magnitude);
+  std::string out;
+  int since_sep = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since_sep == 3) {
+      out.push_back(',');
+      since_sep = 0;
+    }
+    out.push_back(*it);
+    ++since_sep;
+  }
+  if (negative) {
+    out.push_back('-');
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  NB_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  NB_CHECK(cells.size() == header_.size(),
+           "row has " + std::to_string(cells.size()) + " cells, header has " +
+               std::to_string(header_.size()));
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string Table::render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  const auto pad = [](const std::string& s, size_t w) {
+    std::string out = s;
+    out.resize(w, ' ');
+    return out;
+  };
+  std::ostringstream os;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    os << pad(header_[c], widths[c]) << "  ";
+  }
+  os << "\n" << std::string(total, '-') << "\n";
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      os << std::string(total, '-') << "\n";
+      continue;
+    }
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      os << pad(row.cells[c], widths[c]) << "  ";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    os << (c ? "," : "") << csv_escape(header_[c]);
+  }
+  os << "\n";
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      os << (c ? "," : "") << csv_escape(row.cells[c]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  out << to_csv();
+  return static_cast<bool>(out);
+}
+
+}  // namespace nb::util

@@ -1,0 +1,48 @@
+// Aligned table rendering plus CSV export for the bench binaries. A Table is
+// built row by row (cells are strings; numeric helpers format consistently),
+// rendered with column auto-widths, and optionally written to a CSV file so
+// bench sweeps can be re-plotted without re-running the experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nb::util {
+
+/// Formats a double with `decimals` fractional digits ("3.14").
+std::string format_fixed(double value, int decimals);
+/// Formats a count with thousands separators ("1,234,567").
+std::string format_count(int64_t value);
+/// Escapes a CSV cell per RFC 4180 (quotes fields containing , " or \n).
+std::string csv_escape(const std::string& cell);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal separator before the next row.
+  void add_separator();
+
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+  const std::vector<std::string>& header() const { return header_; }
+
+  /// Renders the aligned text table (two-space column gaps, '-' separators).
+  std::string render() const;
+  /// Serializes header + rows as CSV (separators are skipped).
+  std::string to_csv() const;
+  /// Writes to_csv() to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace nb::util

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/dropblock.h"
+#include "tensor/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace nb::nn {
+namespace {
+
+TEST(Activation, ReluClampsNegative) {
+  Activation relu(ActKind::relu);
+  Tensor x = Tensor::from({4}, {-2.0f, -0.1f, 0.5f, 3.0f}).reshape({1, 1, 2, 2});
+  Tensor y = relu.forward(x);
+  EXPECT_EQ(y.at(0), 0.0f);
+  EXPECT_EQ(y.at(1), 0.0f);
+  EXPECT_EQ(y.at(2), 0.5f);
+  EXPECT_EQ(y.at(3), 3.0f);
+}
+
+TEST(Activation, Relu6ClampsBothSides) {
+  Activation relu6(ActKind::relu6);
+  Tensor x = Tensor::from({4}, {-1.0f, 2.0f, 6.0f, 9.0f}).reshape({1, 1, 2, 2});
+  Tensor y = relu6.forward(x);
+  EXPECT_EQ(y.at(0), 0.0f);
+  EXPECT_EQ(y.at(1), 2.0f);
+  EXPECT_EQ(y.at(2), 6.0f);
+  EXPECT_EQ(y.at(3), 6.0f);
+}
+
+TEST(Activation, IdentityPassesThrough) {
+  Activation id(ActKind::identity);
+  Tensor x = Tensor::from({2}, {-5.0f, 5.0f});
+  Tensor y = id.forward(x);
+  EXPECT_LT(max_abs_diff(x, y), 1e-7f);
+}
+
+TEST(PltActivation, AlphaZeroIsExactRelu) {
+  PltActivation plt(ActKind::relu, 0.0f);
+  Activation relu(ActKind::relu);
+  Rng rng(80);
+  Tensor x({2, 3, 4, 4});
+  fill_normal(x, rng, 0.0f, 2.0f);
+  EXPECT_LT(max_abs_diff(plt.forward(x), relu.forward(x)), 1e-7f);
+}
+
+TEST(PltActivation, AlphaOneIsIdentity) {
+  PltActivation plt(ActKind::relu, 1.0f);
+  Rng rng(81);
+  Tensor x({2, 3, 4, 4});
+  fill_normal(x, rng, 0.0f, 2.0f);
+  EXPECT_LT(max_abs_diff(plt.forward(x), x), 1e-7f);
+  EXPECT_TRUE(plt.is_linearized());
+}
+
+TEST(PltActivation, Relu6AlphaZeroMatchesRelu6) {
+  PltActivation plt(ActKind::relu6, 0.0f);
+  Activation relu6(ActKind::relu6);
+  Rng rng(82);
+  Tensor x({2, 3, 4, 4});
+  fill_uniform(x, rng, -4.0f, 10.0f);
+  EXPECT_LT(max_abs_diff(plt.forward(x), relu6.forward(x)), 1e-7f);
+}
+
+TEST(PltActivation, Relu6AlphaOneIsIdentity) {
+  PltActivation plt(ActKind::relu6, 1.0f);
+  Rng rng(83);
+  Tensor x({2, 3, 4, 4});
+  fill_uniform(x, rng, -4.0f, 10.0f);
+  EXPECT_LT(max_abs_diff(plt.forward(x), x), 1e-6f);
+}
+
+TEST(PltActivation, HalfwayIsLeaky) {
+  PltActivation plt(ActKind::relu, 0.5f);
+  Tensor x = Tensor::from({2}, {-2.0f, 2.0f});
+  Tensor y = plt.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0), -1.0f);  // max(0.5 * -2, -2) = -1
+  EXPECT_FLOAT_EQ(y.at(1), 2.0f);
+}
+
+TEST(PltActivation, MonotoneInAlpha) {
+  // For x < 0, y = max(alpha*x, x) = alpha*x decays monotonically from the
+  // ReLU output (0) toward the identity output (x) as alpha rises.
+  Tensor x = Tensor::from({1}, {-3.0f});
+  float prev = 1e9f;
+  for (float a : {0.0f, 0.3f, 0.6f, 1.0f}) {
+    PltActivation plt(ActKind::relu, a);
+    const float v = plt.forward(x).at(0);
+    EXPECT_LT(v, prev + 1e-9f);
+    prev = v;
+  }
+  EXPECT_FLOAT_EQ(prev, -3.0f) << "alpha = 1 must reproduce the identity";
+}
+
+TEST(PltActivation, RejectsOutOfRangeAlpha) {
+  EXPECT_THROW(PltActivation(ActKind::relu, -0.1f), std::runtime_error);
+  EXPECT_THROW(PltActivation(ActKind::relu, 1.1f), std::runtime_error);
+  PltActivation plt(ActKind::relu, 0.0f);
+  EXPECT_THROW(plt.set_alpha(2.0f), std::runtime_error);
+}
+
+TEST(PltActivation, AlphaIsACheckpointedBuffer) {
+  PltActivation plt(ActKind::relu, 0.35f);
+  const auto buffers = plt.local_buffers();
+  ASSERT_EQ(buffers.size(), 1u);
+  EXPECT_EQ(buffers[0].first, "alpha");
+  EXPECT_FLOAT_EQ(buffers[0].second->at(0), 0.35f);
+}
+
+TEST(DropBlock, InactiveInEvalMode) {
+  DropBlock2d db(0.3f, 2);
+  db.set_training(false);
+  Rng rng(84);
+  Tensor x({1, 2, 8, 8});
+  fill_normal(x, rng, 1.0f, 0.5f);
+  EXPECT_LT(max_abs_diff(db.forward(x), x), 1e-7f);
+}
+
+TEST(DropBlock, DropsApproximatelyTargetFraction) {
+  DropBlock2d db(0.25f, 2, 5);
+  db.set_training(true);
+  Tensor x = Tensor::ones({8, 4, 12, 12});
+  Tensor y = db.forward(x);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    if (y.at(i) == 0.0f) ++zeros;
+  }
+  const double frac = static_cast<double>(zeros) / y.numel();
+  EXPECT_GT(frac, 0.10);
+  EXPECT_LT(frac, 0.45);
+}
+
+TEST(DropBlock, GradientMaskedConsistently) {
+  DropBlock2d db(0.3f, 2, 6);
+  db.set_training(true);
+  Tensor x = Tensor::ones({2, 3, 8, 8});
+  Tensor y = db.forward(x);
+  Tensor g = db.backward(Tensor::ones(x.shape()));
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    if (y.at(i) == 0.0f) {
+      EXPECT_EQ(g.at(i), 0.0f);
+    } else {
+      EXPECT_GT(g.at(i), 0.0f);
+    }
+  }
+}
+
+TEST(DropBlock, ZeroProbIsNoop) {
+  DropBlock2d db(0.0f, 3);
+  db.set_training(true);
+  Rng rng(85);
+  Tensor x({1, 2, 6, 6});
+  fill_normal(x, rng, 0.0f, 1.0f);
+  EXPECT_LT(max_abs_diff(db.forward(x), x), 1e-7f);
+}
+
+}  // namespace
+}  // namespace nb::nn

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "tensor/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace nb::nn {
+namespace {
+
+TEST(BatchNorm, TrainingNormalizesBatch) {
+  BatchNorm2d bn(3);
+  bn.set_training(true);
+  Rng rng(70);
+  Tensor x({4, 3, 5, 5});
+  fill_normal(x, rng, 2.0f, 3.0f);
+  Tensor y = bn.forward(x);
+
+  // Per channel: mean ~0, var ~1 (gamma=1, beta=0).
+  const int64_t plane = 25;
+  for (int64_t c = 0; c < 3; ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (int64_t i = 0; i < 4; ++i) {
+      for (int64_t j = 0; j < plane; ++j) {
+        const float v = y.data()[(i * 3 + c) * plane + j];
+        sum += v;
+        sq += static_cast<double>(v) * v;
+      }
+    }
+    const double mean = sum / (4 * plane);
+    const double var = sq / (4 * plane) - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, RunningStatsConvergeToDataMoments) {
+  BatchNorm2d bn(2, 1e-5f, 0.5f);
+  bn.set_training(true);
+  Rng rng(71);
+  for (int step = 0; step < 60; ++step) {
+    Tensor x({8, 2, 4, 4});
+    fill_normal(x, rng, 1.5f, 2.0f);
+    (void)bn.forward(x);
+  }
+  for (int64_t c = 0; c < 2; ++c) {
+    EXPECT_NEAR(bn.running_mean().at(c), 1.5f, 0.25f);
+    EXPECT_NEAR(bn.running_var().at(c), 4.0f, 0.8f);
+  }
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  BatchNorm2d bn(1);
+  bn.running_mean().at(0) = 2.0f;
+  bn.running_var().at(0) = 4.0f;
+  bn.gamma().value.at(0) = 3.0f;
+  bn.beta().value.at(0) = -1.0f;
+  bn.set_training(false);
+  Tensor x = Tensor::full({1, 1, 1, 1}, 6.0f);
+  Tensor y = bn.forward(x);
+  // (6-2)/sqrt(4+eps)*3 - 1 ~= 5.0
+  EXPECT_NEAR(y.at(0, 0, 0, 0), 5.0f, 1e-3f);
+}
+
+TEST(BatchNorm, BackwardRequiresTrainingForward) {
+  BatchNorm2d bn(2);
+  bn.set_training(false);
+  Tensor x({1, 2, 2, 2});
+  (void)bn.forward(x);
+  EXPECT_THROW(bn.backward(x), std::runtime_error);
+}
+
+TEST(BatchNorm, AffineMatchesEvalForward) {
+  BatchNorm2d bn(4);
+  Rng rng(72);
+  fill_uniform(bn.gamma().value, rng, 0.5f, 2.0f);
+  fill_uniform(bn.beta().value, rng, -1.0f, 1.0f);
+  fill_uniform(bn.running_mean(), rng, -1.0f, 1.0f);
+  fill_uniform(bn.running_var(), rng, 0.2f, 3.0f);
+  bn.set_training(false);
+
+  Tensor x({2, 4, 3, 3});
+  fill_normal(x, rng, 0.0f, 2.0f);
+  const Tensor want = bn.forward(x);
+
+  const BnAffine affine = bn_to_affine(bn);
+  Tensor got(x.shape());
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t c = 0; c < 4; ++c) {
+      for (int64_t j = 0; j < 9; ++j) {
+        got.data()[(i * 4 + c) * 9 + j] =
+            affine.scale[static_cast<size_t>(c)] * x.data()[(i * 4 + c) * 9 + j] +
+            affine.shift[static_cast<size_t>(c)];
+      }
+    }
+  }
+  EXPECT_LT(max_abs_diff(got, want), 1e-5f);
+}
+
+TEST(BatchNorm, BuffersExposedForCheckpointing) {
+  BatchNorm2d bn(3);
+  const auto buffers = bn.local_buffers();
+  ASSERT_EQ(buffers.size(), 2u);
+  EXPECT_EQ(buffers[0].first, "running_mean");
+  EXPECT_EQ(buffers[1].first, "running_var");
+}
+
+TEST(BatchNorm, ParamsExcludedFromWeightDecay) {
+  BatchNorm2d bn(3);
+  for (auto& [name, p] : bn.local_params()) {
+    EXPECT_FALSE(p->decay) << name << " should not be weight-decayed";
+  }
+}
+
+}  // namespace
+}  // namespace nb::nn

@@ -1,0 +1,318 @@
+// Property tests for NetBooster's contraction algebra (paper Eq. 3-4):
+// BN folding, sequential kernel merging, residual merging, and the full
+// block/network contraction equivalences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/contraction.h"
+#include "core/netbooster.h"
+#include "models/profiler.h"
+#include "models/registry.h"
+#include "tensor/tensor_ops.h"
+
+namespace nb::core {
+namespace {
+
+Tensor random4(std::vector<int64_t> shape, uint64_t seed, float s = 1.0f) {
+  Rng rng(seed, 61);
+  Tensor t(std::move(shape));
+  fill_normal(t, rng, 0.0f, s);
+  return t;
+}
+
+void randomize_bn(nn::BatchNorm2d& bn, uint64_t seed) {
+  Rng rng(seed, 62);
+  fill_uniform(bn.gamma().value, rng, 0.5f, 1.5f);
+  fill_uniform(bn.beta().value, rng, -0.5f, 0.5f);
+  fill_uniform(bn.running_mean(), rng, -0.5f, 0.5f);
+  fill_uniform(bn.running_var(), rng, 0.3f, 2.0f);
+}
+
+TEST(FoldConvBn, ExactForPointwise) {
+  nn::Conv2d conv(nn::Conv2dOptions(4, 6, 1));
+  Rng rng(201);
+  fill_normal(conv.weight().value, rng, 0.0f, 0.7f);
+  nn::BatchNorm2d bn(6);
+  randomize_bn(bn, 202);
+  conv.set_training(false);
+  bn.set_training(false);
+
+  const LinearConv folded = fold_conv_bn(conv, &bn);
+  const Tensor x = random4({2, 4, 5, 5}, 203);
+  const Tensor want = bn.forward(conv.forward(x));
+  const Tensor got = apply_linear_conv(folded, x);
+  EXPECT_LT(max_abs_diff(got, want), 1e-4f);
+}
+
+TEST(FoldConvBn, ExactForDepthwise3x3) {
+  nn::Conv2d conv(
+      nn::Conv2dOptions(5, 5, 3).same_padding().with_groups(5));
+  Rng rng(204);
+  fill_normal(conv.weight().value, rng, 0.0f, 0.7f);
+  nn::BatchNorm2d bn(5);
+  randomize_bn(bn, 205);
+  conv.set_training(false);
+  bn.set_training(false);
+
+  const LinearConv folded = fold_conv_bn(conv, &bn);
+  EXPECT_EQ(folded.cin(), 5);  // grouped weight expanded to full form
+  const Tensor x = random4({2, 5, 6, 6}, 206);
+  const Tensor want = bn.forward(conv.forward(x));
+  const Tensor got = apply_linear_conv(folded, x);
+  EXPECT_LT(max_abs_diff(got, want), 1e-4f);
+}
+
+TEST(FoldConvBn, BareConvWithBias) {
+  nn::Conv2d conv(nn::Conv2dOptions(3, 4, 1).with_bias(true));
+  Rng rng(207);
+  fill_normal(conv.weight().value, rng, 0.0f, 0.7f);
+  fill_normal(conv.bias().value, rng, 0.0f, 0.5f);
+  const LinearConv folded = fold_conv_bn(conv, nullptr);
+  const Tensor x = random4({1, 3, 4, 4}, 208);
+  EXPECT_LT(max_abs_diff(apply_linear_conv(folded, x), conv.forward(x)), 1e-4f);
+}
+
+TEST(ExpandGroupedWeight, DepthwiseBecomesDiagonal) {
+  Tensor w({3, 1, 1, 1});
+  w.at(0, 0, 0, 0) = 2.0f;
+  w.at(1, 0, 0, 0) = 3.0f;
+  w.at(2, 0, 0, 0) = 4.0f;
+  const Tensor full = expand_grouped_weight(w, 3);
+  EXPECT_EQ(full.size(1), 3);
+  EXPECT_EQ(full.at(0, 0, 0, 0), 2.0f);
+  EXPECT_EQ(full.at(1, 1, 0, 0), 3.0f);
+  EXPECT_EQ(full.at(2, 2, 0, 0), 4.0f);
+  EXPECT_EQ(full.at(0, 1, 0, 0), 0.0f);
+}
+
+struct MergeCase {
+  int64_t c1, c2, c3, k1, k2;
+};
+
+class MergeParam : public ::testing::TestWithParam<MergeCase> {};
+
+// Eq. 3-4 equivalence. With zero interior padding ("valid"), composing two
+// convs equals the merged conv exactly at every output position.
+TEST_P(MergeParam, ValidCompositionExact) {
+  const MergeCase& tc = GetParam();
+  Rng rng(209 + tc.k1 * 13 + tc.k2);
+  LinearConv a{random4({tc.c2, tc.c1, tc.k1, tc.k1}, 210, 0.5f),
+               random4({tc.c2}, 211, 0.3f), 0};
+  LinearConv b{random4({tc.c3, tc.c2, tc.k2, tc.k2}, 212, 0.5f),
+               random4({tc.c3}, 213, 0.3f), 0};
+  const LinearConv merged = merge_sequential(a, b);
+  EXPECT_EQ(merged.kernel(), tc.k1 + tc.k2 - 1);
+
+  const int64_t h = tc.k1 + tc.k2 + 3;  // big enough for a valid output
+  const Tensor x = random4({2, tc.c1, h, h}, 214);
+  const Tensor want = apply_linear_conv(b, apply_linear_conv(a, x));
+  const Tensor got = apply_linear_conv(merged, x);
+  ASSERT_TRUE(got.same_shape(want));
+  EXPECT_LT(max_abs_diff(got, want), 2e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelMix, MergeParam,
+    ::testing::Values(MergeCase{3, 8, 4, 1, 1},    // pw + pw (NetBooster path)
+                      MergeCase{4, 24, 4, 1, 1},   // ratio-6 expansion
+                      MergeCase{2, 3, 2, 1, 3},    // pw + 3x3
+                      MergeCase{2, 3, 2, 3, 1},    // 3x3 + pw
+                      MergeCase{2, 2, 2, 3, 3},    // 3x3 + 3x3 -> 5x5
+                      MergeCase{1, 1, 1, 5, 3}));  // 5x5 + 3x3 -> 7x7
+
+TEST(Merge, ThreeWayChainMatchesPairwise) {
+  // Associativity: merge(merge(a,b),c) == merge(a,merge(b,c)) functionally.
+  LinearConv a{random4({6, 3, 1, 1}, 215, 0.5f), random4({6}, 216, 0.2f), 0};
+  LinearConv b{random4({6, 6, 1, 1}, 217, 0.5f), random4({6}, 218, 0.2f), 0};
+  LinearConv c{random4({4, 6, 1, 1}, 219, 0.5f), random4({4}, 220, 0.2f), 0};
+  const LinearConv left = merge_sequential(merge_sequential(a, b), c);
+  const LinearConv right = merge_sequential(a, merge_sequential(b, c));
+  EXPECT_LT(max_abs_diff(left.weight, right.weight), 1e-4f);
+  EXPECT_LT(max_abs_diff(left.bias, right.bias), 1e-4f);
+}
+
+TEST(Merge, SamePaddingInteriorAgrees) {
+  // With same padding on a k>1 conv the merged conv agrees in the interior
+  // (borders may differ — documented contraction caveat for the basic-block
+  // ablation with k > 1; the default NetBooster path uses k = 1 everywhere).
+  LinearConv a{random4({3, 2, 3, 3}, 221, 0.5f), random4({3}, 222, 0.2f), 1};
+  LinearConv b{random4({2, 3, 3, 3}, 223, 0.5f), random4({2}, 224, 0.2f), 1};
+  const LinearConv merged = merge_sequential(a, b);
+  EXPECT_EQ(merged.padding, 2);
+
+  const Tensor x = random4({1, 2, 10, 10}, 225);
+  const Tensor want = apply_linear_conv(b, apply_linear_conv(a, x));
+  const Tensor got = apply_linear_conv(merged, x);
+  ASSERT_TRUE(got.same_shape(want));
+  float interior_diff = 0.0f;
+  for (int64_t c = 0; c < 2; ++c) {
+    for (int64_t y = 2; y < 8; ++y) {
+      for (int64_t xx = 2; xx < 8; ++xx) {
+        interior_diff = std::max(
+            interior_diff,
+            std::fabs(got.at(0, c, y, xx) - want.at(0, c, y, xx)));
+      }
+    }
+  }
+  EXPECT_LT(interior_diff, 1e-3f);
+}
+
+TEST(Merge, AddIdentity) {
+  LinearConv a{Tensor({3, 3, 1, 1}), Tensor({3}), 0};
+  add_identity(a);
+  const Tensor x = random4({1, 3, 4, 4}, 226);
+  EXPECT_LT(max_abs_diff(apply_linear_conv(a, x), x), 1e-6f);
+}
+
+TEST(Merge, AddParallelEmbedsSmallerKernel) {
+  LinearConv big{random4({2, 2, 3, 3}, 227, 0.5f), random4({2}, 228, 0.2f), 1};
+  LinearConv small{random4({2, 2, 1, 1}, 229, 0.5f), random4({2}, 230, 0.2f), 0};
+  LinearConv sum = big;
+  sum.weight = big.weight.clone();
+  sum.bias = big.bias.clone();
+  add_parallel(sum, small);
+  const Tensor x = random4({1, 2, 6, 6}, 231);
+  const Tensor want =
+      apply_linear_conv(big, x).add(apply_linear_conv(small, x));
+  EXPECT_LT(max_abs_diff(apply_linear_conv(sum, x), want), 1e-4f);
+}
+
+// ------------------------------------------------------------ block level
+
+class BlockContraction : public ::testing::TestWithParam<BlockType> {};
+
+TEST_P(BlockContraction, GiantEqualsContracted) {
+  Rng rng(232);
+  ExpansionConfig c;
+  c.block_type = GetParam();
+  c.expansion_ratio = 4;
+  ExpandedConv block(6, 10, c, nn::ActKind::relu6, rng);
+
+  // Give the internal BNs non-trivial eval statistics.
+  block.apply([](nn::Module& m) {
+    static uint64_t seed = 233;
+    if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&m)) randomize_bn(*bn, seed++);
+  });
+
+  for (nn::PltActivation* act : block.plt_activations()) act->set_alpha(1.0f);
+  block.set_training(false);
+
+  auto contracted = contract_expanded(block);
+  EXPECT_EQ(contracted->options().kernel, 1);
+  const Tensor x = random4({3, 6, 5, 5}, 234);
+  EXPECT_LT(max_abs_diff(block.forward(x), contracted->forward(x)), 1e-3f)
+      << "block type " << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBlockTypes, BlockContraction,
+                         ::testing::Values(BlockType::inverted_residual,
+                                           BlockType::basic,
+                                           BlockType::bottleneck));
+
+TEST(BlockContractionExtra, IdentityShortcutCase) {
+  Rng rng(235);
+  ExpansionConfig c;
+  c.expansion_ratio = 6;
+  c.preserve_function = false;
+  ExpandedConv block(8, 8, c, nn::ActKind::relu6, rng);
+  ASSERT_TRUE(block.has_identity_shortcut());
+  for (nn::PltActivation* act : block.plt_activations()) act->set_alpha(1.0f);
+  block.set_training(false);
+  auto contracted = contract_expanded(block);
+  const Tensor x = random4({2, 8, 4, 4}, 236);
+  EXPECT_LT(max_abs_diff(block.forward(x), contracted->forward(x)), 1e-3f);
+}
+
+TEST(BlockContractionExtra, RefusesBeforeLinearization) {
+  Rng rng(237);
+  ExpansionConfig c;
+  ExpandedConv block(4, 6, c, nn::ActKind::relu6, rng);
+  // alpha still 0 -> non-linear -> contraction must refuse.
+  EXPECT_THROW(contract_expanded(block), std::runtime_error);
+}
+
+class RatioContraction : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(RatioContraction, AnyRatioContractsToSameShape) {
+  // Paper remark after Eq. 4: the contracted cost is independent of the
+  // intermediate channel count c2 (the expansion ratio).
+  Rng rng(238);
+  ExpansionConfig c;
+  c.expansion_ratio = GetParam();
+  ExpandedConv block(6, 12, c, nn::ActKind::relu6, rng);
+  for (nn::PltActivation* act : block.plt_activations()) act->set_alpha(1.0f);
+  block.set_training(false);
+  auto contracted = contract_expanded(block);
+  EXPECT_EQ(contracted->options().in_channels, 6);
+  EXPECT_EQ(contracted->options().out_channels, 12);
+  EXPECT_EQ(contracted->options().kernel, 1);
+  const Tensor x = random4({2, 6, 4, 4}, 239);
+  EXPECT_LT(max_abs_diff(block.forward(x), contracted->forward(x)), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, RatioContraction,
+                         ::testing::Values(2, 4, 6, 8));
+
+// ---------------------------------------------------------- network level
+
+TEST(NetworkContraction, WholeModelEquivalenceAndCostRestoration) {
+  auto model = models::make_model("mbv2-tiny", 12, 7);
+  const models::Profile original = models::profile_model(*model, 20);
+
+  ExpansionConfig c;
+  Rng rng(240);
+  ExpansionResult expansion = expand_network(*model, c, rng);
+  ASSERT_FALSE(expansion.records.empty());
+
+  // Perturb BN stats so the fold is non-trivial, then linearize.
+  model->apply([](nn::Module& m) {
+    static uint64_t seed = 241;
+    if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&m)) randomize_bn(*bn, seed++);
+  });
+  for (nn::PltActivation* act : expansion.plt_activations) act->set_alpha(1.0f);
+
+  model->set_training(false);
+  const Tensor x = random4({2, 3, 20, 20}, 242);
+  const Tensor giant_out = model->forward(x);
+
+  const ContractionReport report =
+      contract_network(*model, expansion, /*verify=*/true, rng);
+  EXPECT_GT(report.contracted, 0);
+  EXPECT_LT(report.max_error, 1e-3f);
+
+  model->set_training(false);
+  const Tensor contracted_out = model->forward(x);
+  EXPECT_LT(max_abs_diff(giant_out, contracted_out), 1e-2f)
+      << "contracted TNN must compute the same function as the giant";
+
+  // The efficiency claim of Table I: inference cost returns to the original.
+  const models::Profile contracted = models::profile_model(*model, 20);
+  EXPECT_EQ(contracted.flops, original.flops);
+  EXPECT_EQ(contracted.params, original.params);
+}
+
+TEST(NetworkContraction, TrainModeBiasAbsorptionIsExact) {
+  // The merged bias is absorbed into the host BN's running mean; in train
+  // mode a pre-BN constant shift cancels anyway. Check the train-mode path
+  // still trains after contraction.
+  auto model = models::make_model("mbv2-tiny", 8, 8);
+  ExpansionConfig c;
+  Rng rng(243);
+  ExpansionResult expansion = expand_network(*model, c, rng);
+  for (nn::PltActivation* act : expansion.plt_activations) act->set_alpha(1.0f);
+  (void)contract_network(*model, expansion, false, rng);
+
+  model->set_training(true);
+  Tensor x = random4({4, 3, 20, 20}, 244);
+  const Tensor logits = model->forward(x);
+  Tensor g(logits.shape());
+  fill_normal(g, rng, 0.0f, 0.1f);
+  (void)model->backward(g);  // must not throw
+  float grad_norm = 0.0f;
+  for (nn::Parameter* p : model->parameters()) grad_norm += p->grad.norm();
+  EXPECT_GT(grad_norm, 0.0f);
+}
+
+}  // namespace
+}  // namespace nb::core

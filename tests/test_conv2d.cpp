@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.h"
+#include "tensor/im2col.h"
+#include "tensor/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace nb::nn {
+namespace {
+
+// Direct convolution reference (cross-correlation, zero padding, groups).
+Tensor reference_conv(const Tensor& x, const Tensor& w, const Tensor* bias,
+                      int64_t stride, int64_t pad, int64_t groups) {
+  const int64_t n = x.size(0), cin = x.size(1), h = x.size(2), wd = x.size(3);
+  const int64_t cout = w.size(0), k = w.size(2);
+  const int64_t cin_g = cin / groups, cout_g = cout / groups;
+  const int64_t oh = conv_out_size(h, k, stride, pad);
+  const int64_t ow = conv_out_size(wd, k, stride, pad);
+  Tensor y({n, cout, oh, ow});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t o = 0; o < cout; ++o) {
+      const int64_t g = o / cout_g;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          double acc = bias ? bias->at(o) : 0.0;
+          for (int64_t m = 0; m < cin_g; ++m) {
+            for (int64_t ki = 0; ki < k; ++ki) {
+              const int64_t iy = oy * stride + ki - pad;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kj = 0; kj < k; ++kj) {
+                const int64_t ix = ox * stride + kj - pad;
+                if (ix < 0 || ix >= wd) continue;
+                acc += static_cast<double>(w.at(o, m, ki, kj)) *
+                       x.at(i, g * cin_g + m, iy, ix);
+              }
+            }
+          }
+          y.at(i, o, oy, ox) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+struct ConvCase {
+  int64_t cin, cout, k, stride, pad, groups;
+  bool bias;
+};
+
+class ConvParam : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvParam, ForwardMatchesReference) {
+  const ConvCase& tc = GetParam();
+  Rng rng(7 + tc.cin + tc.cout * 3 + tc.k * 5);
+  Conv2d conv(Conv2dOptions(tc.cin, tc.cout, tc.k)
+                  .with_stride(tc.stride)
+                  .with_padding(tc.pad)
+                  .with_groups(tc.groups)
+                  .with_bias(tc.bias));
+  fill_normal(conv.weight().value, rng, 0.0f, 0.5f);
+  if (tc.bias) fill_normal(conv.bias().value, rng, 0.0f, 0.5f);
+
+  Tensor x({2, tc.cin, 7, 6});
+  fill_normal(x, rng, 0.0f, 1.0f);
+
+  const Tensor got = conv.forward(x);
+  const Tensor want = reference_conv(
+      x, conv.weight().value, tc.bias ? &conv.bias().value : nullptr,
+      tc.stride, tc.pad, tc.groups);
+  ASSERT_TRUE(got.same_shape(want)) << got.shape_str() << " vs " << want.shape_str();
+  EXPECT_LT(max_abs_diff(got, want), 2e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvParam,
+    ::testing::Values(ConvCase{3, 8, 3, 1, 1, 1, false},   // standard 3x3
+                      ConvCase{4, 6, 1, 1, 0, 1, false},   // pointwise
+                      ConvCase{4, 6, 1, 1, 0, 1, true},    // pointwise + bias
+                      ConvCase{6, 6, 3, 1, 1, 6, false},   // depthwise 3x3
+                      ConvCase{6, 6, 1, 1, 0, 6, true},    // depthwise 1x1
+                      ConvCase{8, 8, 3, 2, 1, 8, false},   // depthwise s2
+                      ConvCase{4, 8, 5, 1, 2, 1, false},   // 5x5
+                      ConvCase{6, 9, 3, 1, 1, 3, false},   // grouped, 3 groups
+                      ConvCase{3, 5, 3, 2, 1, 1, true},    // strided + bias
+                      ConvCase{2, 4, 7, 1, 3, 1, false})); // 7x7 (mcunet)
+
+TEST(Conv2d, RejectsBadGroups) {
+  EXPECT_THROW(Conv2d(Conv2dOptions(4, 6, 3).with_groups(5)),
+               std::runtime_error);
+}
+
+TEST(Conv2d, RejectsChannelMismatch) {
+  Conv2d conv(Conv2dOptions(3, 4, 1));
+  Tensor x({1, 5, 4, 4});
+  EXPECT_THROW(conv.forward(x), std::runtime_error);
+}
+
+TEST(Conv2d, FlopsCount) {
+  // 1x1 conv, cin=4 cout=8 on 10x10: 2 * 100 * 8 * 4 = 6400.
+  Conv2d pw(Conv2dOptions(4, 8, 1));
+  EXPECT_EQ(pw.flops(10, 10), 6400);
+  // depthwise 3x3 on 8x8 same padding: 2 * 64 * 8 * 1 * 9 = 9216.
+  Conv2d dw(Conv2dOptions(8, 8, 3).same_padding().with_groups(8));
+  EXPECT_EQ(dw.flops(8, 8), 9216);
+}
+
+TEST(Conv2d, RecordsLastInputSize) {
+  Conv2d conv(Conv2dOptions(3, 4, 3).same_padding());
+  EXPECT_EQ(conv.last_input_h(), 0);
+  Tensor x({1, 3, 9, 11});
+  (void)conv.forward(x);
+  EXPECT_EQ(conv.last_input_h(), 9);
+  EXPECT_EQ(conv.last_input_w(), 11);
+}
+
+TEST(Conv2d, PointwiseDetection) {
+  Conv2d pw(Conv2dOptions(4, 8, 1));
+  Conv2d dw(Conv2dOptions(8, 8, 3).same_padding().with_groups(8));
+  Conv2d full(Conv2dOptions(4, 8, 3).same_padding());
+  EXPECT_TRUE(pw.is_pointwise());
+  EXPECT_FALSE(pw.is_depthwise());
+  EXPECT_TRUE(dw.is_depthwise());
+  EXPECT_FALSE(dw.is_pointwise());
+  EXPECT_FALSE(full.is_depthwise());
+  EXPECT_FALSE(full.is_pointwise());
+}
+
+}  // namespace
+}  // namespace nb::nn

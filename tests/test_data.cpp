@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/dataloader.h"
+#include "data/synth_classification.h"
+#include "data/synth_detection.h"
+#include "data/task_registry.h"
+#include "tensor/tensor_ops.h"
+
+namespace nb::data {
+namespace {
+
+SynthConfig small_config() {
+  SynthConfig c;
+  c.name = "unit";
+  c.num_classes = 4;
+  c.train_per_class = 6;
+  c.test_per_class = 3;
+  c.resolution = 12;
+  c.seed = 5;
+  return c;
+}
+
+TEST(SynthClassification, ShapesAndCounts) {
+  SynthClassification train(small_config(), "train");
+  SynthClassification test(small_config(), "test");
+  EXPECT_EQ(train.size(), 24);
+  EXPECT_EQ(test.size(), 12);
+  EXPECT_EQ(train.num_classes(), 4);
+  const Tensor img = train.image(0);
+  EXPECT_EQ(img.dim(), 3);
+  EXPECT_EQ(img.size(0), 3);
+  EXPECT_EQ(img.size(1), 12);
+}
+
+TEST(SynthClassification, DeterministicInSeed) {
+  SynthClassification a(small_config(), "train");
+  SynthClassification b(small_config(), "train");
+  for (int64_t i = 0; i < a.size(); i += 5) {
+    EXPECT_LT(max_abs_diff(a.image(i), b.image(i)), 1e-7f);
+    EXPECT_EQ(a.label(i), b.label(i));
+  }
+}
+
+TEST(SynthClassification, DifferentSeedsDiffer) {
+  SynthConfig c1 = small_config();
+  SynthConfig c2 = small_config();
+  c2.seed = 6;
+  SynthClassification a(c1, "train");
+  SynthClassification b(c2, "train");
+  EXPECT_GT(max_abs_diff(a.image(0), b.image(0)), 1e-3f);
+}
+
+TEST(SynthClassification, TrainTestSplitsAreDisjointDraws) {
+  SynthClassification train(small_config(), "train");
+  SynthClassification test(small_config(), "test");
+  // Same class spec but different nuisance draws.
+  EXPECT_EQ(train.label(0), test.label(0));
+  EXPECT_GT(max_abs_diff(train.image(0), test.image(0)), 1e-3f);
+}
+
+TEST(SynthClassification, LabelsAreClassOrdered) {
+  SynthClassification train(small_config(), "train");
+  std::vector<int64_t> counts(4, 0);
+  for (int64_t i = 0; i < train.size(); ++i) {
+    ++counts[static_cast<size_t>(train.label(i))];
+  }
+  for (int64_t c : counts) EXPECT_EQ(c, 6);
+}
+
+TEST(SynthClassification, ClassesAreVisuallyDistinct) {
+  // Mean image distance between classes should dominate within-class spread.
+  SynthConfig c = small_config();
+  c.nuisance = 0.3f;
+  SynthClassification ds(c, "train");
+  auto class_mean = [&](int64_t cls) {
+    Tensor acc({3, 12, 12});
+    int64_t n = 0;
+    for (int64_t i = 0; i < ds.size(); ++i) {
+      if (ds.label(i) != cls) continue;
+      acc.add_(ds.image(i));
+      ++n;
+    }
+    acc.mul_(1.0f / static_cast<float>(n));
+    return acc;
+  };
+  const Tensor m0 = class_mean(0);
+  const Tensor m1 = class_mean(1);
+  EXPECT_GT(m0.sub(m1).norm(), 1.0f);
+}
+
+TEST(SynthClassification, FineGrainedClassesShareLayout) {
+  SynthConfig c = small_config();
+  c.fine_grained = 1.0f;
+  SynthClassification ds(c, "train");
+  const ClassSpec& s0 = ds.class_spec(0);
+  const ClassSpec& s1 = ds.class_spec(1);
+  EXPECT_EQ(static_cast<int>(s0.shape), static_cast<int>(s1.shape));
+  EXPECT_EQ(static_cast<int>(s0.bg_family), static_cast<int>(s1.bg_family));
+  EXPECT_NE(s0.fg_freq, s1.fg_freq);
+}
+
+TEST(Augment, HflipIsInvolution) {
+  Rng rng(40);
+  Tensor img({3, 8, 8});
+  fill_normal(img, rng, 0.0f, 1.0f);
+  Tensor copy = img.clone();
+  hflip_(img);
+  EXPECT_GT(max_abs_diff(img, copy), 1e-4f);
+  hflip_(img);
+  EXPECT_LT(max_abs_diff(img, copy), 1e-7f);
+}
+
+TEST(Augment, ShiftMovesContent) {
+  Tensor img = Tensor::zeros({1, 4, 4});
+  img.at(0, 1, 1) = 5.0f;
+  shift_(img, 1, 2);
+  EXPECT_EQ(img.at(0, 1, 1), 0.0f);
+  EXPECT_EQ(img.at(0, 2, 3), 5.0f);
+}
+
+TEST(Augment, CutoutZeroesSquare) {
+  Rng rng(41);
+  Tensor img = Tensor::ones({2, 8, 8});
+  cutout_(img, 3, rng);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < img.numel(); ++i) {
+    if (img.at(i) == 0.0f) ++zeros;
+  }
+  EXPECT_GT(zeros, 0);
+  EXPECT_LE(zeros, 2 * 9);
+}
+
+TEST(DataLoader, CoversEveryExampleOnce) {
+  SynthClassification train(small_config(), "train");
+  DataLoader loader(train, 5, /*shuffle=*/true, /*augment=*/false);
+  loader.start_epoch();
+  Batch batch;
+  int64_t seen = 0;
+  std::vector<int64_t> label_counts(4, 0);
+  while (loader.next(batch)) {
+    seen += batch.images.size(0);
+    for (int64_t l : batch.labels) ++label_counts[static_cast<size_t>(l)];
+  }
+  EXPECT_EQ(seen, train.size());
+  for (int64_t c : label_counts) EXPECT_EQ(c, 6);
+}
+
+TEST(DataLoader, LastBatchIsPartial) {
+  SynthClassification train(small_config(), "train");  // 24 samples
+  DataLoader loader(train, 7, false, false);
+  EXPECT_EQ(loader.num_batches(), 4);
+  loader.start_epoch();
+  Batch batch;
+  std::vector<int64_t> sizes;
+  while (loader.next(batch)) sizes.push_back(batch.images.size(0));
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes.back(), 3);
+}
+
+TEST(DataLoader, ShuffleChangesOrderDeterministically) {
+  SynthClassification train(small_config(), "train");
+  DataLoader a(train, 24, true, false, 9);
+  DataLoader b(train, 24, true, false, 9);
+  a.start_epoch();
+  b.start_epoch();
+  Batch ba, bb;
+  ASSERT_TRUE(a.next(ba));
+  ASSERT_TRUE(b.next(bb));
+  EXPECT_EQ(ba.labels, bb.labels);
+}
+
+TEST(TaskRegistry, AllTasksConstruct) {
+  for (const std::string& name : downstream_task_names()) {
+    ClassificationTask task = make_task(name, 0, 0.2f);
+    EXPECT_GT(task.train->size(), 0) << name;
+    EXPECT_GT(task.test->size(), 0) << name;
+    EXPECT_EQ(task.train->num_classes(), task.num_classes);
+  }
+}
+
+TEST(TaskRegistry, PretrainCorpusIsLargest) {
+  ClassificationTask imagenet = make_task("synth-imagenet", 0, 0.2f);
+  ClassificationTask cars = make_task("cars", 0, 0.2f);
+  EXPECT_GT(imagenet.num_classes, cars.num_classes);
+  EXPECT_GT(imagenet.train->size(), cars.train->size());
+}
+
+TEST(TaskRegistry, ResolutionLadder) {
+  EXPECT_EQ(scaled_resolution(144), 20);
+  EXPECT_EQ(scaled_resolution(160), 24);
+  EXPECT_EQ(scaled_resolution(176), 26);
+  EXPECT_EQ(scaled_resolution(224), 32);
+  ClassificationTask t = make_task("cifar", scaled_resolution(224), 0.2f);
+  EXPECT_EQ(t.train->resolution(), 32);
+}
+
+TEST(TaskRegistry, RejectsUnknownTask) {
+  EXPECT_THROW(make_task("imagenet-21k"), std::runtime_error);
+}
+
+TEST(SynthDetection, ShapesAndBoxes) {
+  DetectionConfig c;
+  c.num_images = 20;
+  c.resolution = 24;
+  SynthDetection train(c, "train");
+  SynthDetection test(c, "test");
+  EXPECT_EQ(train.size(), 20);
+  EXPECT_GT(test.size(), 0);
+  for (int64_t i = 0; i < train.size(); ++i) {
+    const auto& boxes = train.boxes(i);
+    EXPECT_GE(boxes.size(), 1u);
+    EXPECT_LE(boxes.size(), 3u);
+    for (const GtBox& b : boxes) {
+      EXPECT_GE(b.cx - b.w / 2, -1e-4f);
+      EXPECT_LE(b.cx + b.w / 2, 1.0f + 1e-4f);
+      EXPECT_GE(b.cls, 0);
+      EXPECT_LT(b.cls, c.num_classes);
+    }
+  }
+}
+
+TEST(SynthDetection, Deterministic) {
+  DetectionConfig c;
+  c.num_images = 5;
+  SynthDetection a(c, "train");
+  SynthDetection b(c, "train");
+  EXPECT_LT(max_abs_diff(a.image(2), b.image(2)), 1e-7f);
+  EXPECT_EQ(a.boxes(2).size(), b.boxes(2).size());
+}
+
+}  // namespace
+}  // namespace nb::data

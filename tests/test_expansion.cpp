@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "core/expansion.h"
+#include "core/receptive_field.h"
+#include "models/profiler.h"
+#include "models/registry.h"
+#include "tensor/tensor_ops.h"
+
+namespace nb::core {
+namespace {
+
+ExpansionConfig default_config() {
+  ExpansionConfig c;
+  c.expansion_ratio = 6;
+  c.expand_fraction = 0.5f;
+  return c;
+}
+
+/// Paper wiring (no function-preserving shortcut) for structure tests.
+ExpansionConfig paper_config() {
+  ExpansionConfig c = default_config();
+  c.preserve_function = false;
+  return c;
+}
+
+TEST(SelectSites, FirstMiddleLast) {
+  const auto first = select_expansion_sites(8, Placement::first, 3);
+  EXPECT_EQ(first, (std::vector<int64_t>{0, 1, 2}));
+  const auto last = select_expansion_sites(8, Placement::last, 3);
+  EXPECT_EQ(last, (std::vector<int64_t>{5, 6, 7}));
+  const auto middle = select_expansion_sites(8, Placement::middle, 2);
+  EXPECT_EQ(middle, (std::vector<int64_t>{3, 4}));
+}
+
+TEST(SelectSites, UniformSpreads) {
+  // Centered-uniform picks: site i = floor((i + 0.5) * n / count).
+  const auto sites = select_expansion_sites(8, Placement::uniform, 4);
+  ASSERT_EQ(sites.size(), 4u);
+  EXPECT_EQ(sites, (std::vector<int64_t>{1, 3, 5, 7}));
+  // Full coverage when count == n.
+  const auto all = select_expansion_sites(4, Placement::uniform, 4);
+  EXPECT_EQ(all, (std::vector<int64_t>{0, 1, 2, 3}));
+}
+
+TEST(SelectSites, ClampsCount) {
+  const auto sites = select_expansion_sites(3, Placement::first, 10);
+  EXPECT_EQ(sites.size(), 3u);
+}
+
+TEST(ExpandedConv, InvertedResidualStructure) {
+  Rng rng(101);
+  ExpansionConfig c = paper_config();
+  ExpandedConv block(8, 16, c, nn::ActKind::relu6, rng);
+  // pw -> dw -> pw chain; 2 PLT activations; no shortcut (cin != cout).
+  EXPECT_EQ(block.units().size(), 3u);
+  EXPECT_EQ(block.plt_activations().size(), 2u);
+  EXPECT_FALSE(block.has_identity_shortcut());
+  EXPECT_EQ(block.projection_shortcut(), nullptr);
+
+  Tensor x({2, 8, 5, 5});
+  fill_normal(x, rng, 0.0f, 1.0f);
+  const Tensor y = block.forward(x);
+  EXPECT_EQ(y.size(1), 16);
+  EXPECT_EQ(y.size(2), 5);
+}
+
+TEST(ExpandedConv, IdentityShortcutWhenSquare) {
+  Rng rng(102);
+  ExpansionConfig c = paper_config();
+  ExpandedConv block(8, 8, c, nn::ActKind::relu6, rng);
+  EXPECT_TRUE(block.has_identity_shortcut());
+}
+
+TEST(ExpandedConv, BasicBlockHasProjectionWhenRectangular) {
+  Rng rng(103);
+  ExpansionConfig c = paper_config();
+  c.block_type = BlockType::basic;
+  ExpandedConv block(6, 10, c, nn::ActKind::relu, rng);
+  EXPECT_EQ(block.units().size(), 2u);
+  EXPECT_EQ(block.plt_activations().size(), 1u);
+  EXPECT_NE(block.projection_shortcut(), nullptr);
+}
+
+TEST(ExpandedConv, BottleneckStructure) {
+  Rng rng(104);
+  ExpansionConfig c = paper_config();
+  c.block_type = BlockType::bottleneck;
+  ExpandedConv block(8, 8, c, nn::ActKind::relu, rng);
+  EXPECT_EQ(block.units().size(), 3u);
+  EXPECT_EQ(block.plt_activations().size(), 2u);
+  EXPECT_TRUE(block.has_identity_shortcut());
+}
+
+TEST(ExpandedConv, FunctionPreservingInsertionIsExact) {
+  // With preserve_function the inserted block computes exactly W0 x at init,
+  // in both train and eval modes.
+  Rng rng(120);
+  nn::Conv2d original(nn::Conv2dOptions(8, 16, 1));
+  fill_normal(original.weight().value, rng, 0.0f, 0.5f);
+
+  ExpansionConfig c = default_config();  // preserve_function defaults on
+  ExpandedConv block(8, 16, c, nn::ActKind::relu6, rng,
+                     &original.weight().value);
+  Tensor x({2, 8, 5, 5});
+  fill_normal(x, rng, 0.0f, 1.0f);
+
+  block.set_training(false);
+  original.set_training(false);
+  EXPECT_LT(max_abs_diff(block.forward(x), original.forward(x)), 1e-5f);
+
+  block.set_training(true);
+  EXPECT_LT(max_abs_diff(block.forward(x), original.forward(x)), 1e-4f)
+      << "zero-gamma deep branch must be silent in train mode too";
+}
+
+TEST(ExpandNetwork, FunctionPreservingExpansionKeepsModelFunction) {
+  auto model = models::make_model("mbv2-tiny", 12, 9);
+  model->set_training(false);
+  Tensor x({2, 3, 20, 20});
+  Rng rng(121);
+  fill_normal(x, rng, 0.0f, 1.0f);
+  const Tensor before = model->forward(x);
+
+  ExpansionConfig c = default_config();
+  (void)expand_network(*model, c, rng);
+  model->set_training(false);
+  const Tensor after = model->forward(x);
+  EXPECT_LT(max_abs_diff(before, after), 1e-4f)
+      << "expansion with preserve_function must not change the function";
+}
+
+TEST(ExpandedConv, PreservesReceptiveFieldWithK1) {
+  Rng rng(105);
+  for (BlockType t : {BlockType::inverted_residual, BlockType::basic,
+                      BlockType::bottleneck}) {
+    ExpansionConfig c = default_config();
+    c.block_type = t;
+    c.dw_kernel = 1;
+    ExpandedConv block(6, 6, c, nn::ActKind::relu6, rng);
+    EXPECT_TRUE(preserves_receptive_field(block))
+        << "block type " << to_string(t);
+  }
+}
+
+TEST(ExpandedConv, K3ViolatesReceptiveField) {
+  Rng rng(106);
+  ExpansionConfig c = default_config();
+  c.dw_kernel = 3;
+  ExpandedConv block(6, 6, c, nn::ActKind::relu6, rng);
+  EXPECT_FALSE(preserves_receptive_field(block))
+      << "3x3 inserted kernel must widen the receptive field "
+         "(the paper's criterion a rejects this)";
+}
+
+TEST(ExpandNetwork, ReplacesHalfTheCandidates) {
+  auto model = models::make_model("mbv2-100", 24);
+  // Candidates: blocks with expand stage (t > 1).
+  int64_t candidates = 0;
+  for (auto* b : model->residual_blocks()) {
+    if (b->has_expand()) ++candidates;
+  }
+  Rng rng(107);
+  ExpansionResult result = expand_network(*model, default_config(), rng);
+  EXPECT_EQ(static_cast<int64_t>(result.records.size()),
+            (candidates + 1) / 2);
+  EXPECT_EQ(result.plt_activations.size(), 2 * result.records.size());
+  for (const auto& record : result.records) {
+    EXPECT_NE(record.expanded, nullptr);
+    EXPECT_EQ(record.host_unit->conv_slot().get(), record.expanded.get());
+  }
+}
+
+TEST(ExpandNetwork, GiantGrowsCapacityKeepsOutputShape) {
+  auto model = models::make_model("mbv2-tiny", 24);
+  const models::Profile before = models::profile_model(*model, 20);
+  Tensor x({1, 3, 20, 20});
+  model->set_training(false);
+  const Tensor y_before = model->forward(x);
+
+  Rng rng(108);
+  (void)expand_network(*model, default_config(), rng);
+  const models::Profile after = models::profile_model(*model, 20);
+  EXPECT_GT(after.params, before.params);
+  EXPECT_GT(after.flops, before.flops);
+
+  model->set_training(false);
+  const Tensor y_after = model->forward(x);
+  EXPECT_TRUE(y_after.same_shape(y_before))
+      << "expansion must not change the classifier output shape";
+}
+
+TEST(ExpandNetwork, CountOverridesFraction) {
+  auto model = models::make_model("mbv2-100", 24);
+  ExpansionConfig c = default_config();
+  c.expand_count = 2;
+  Rng rng(109);
+  ExpansionResult result = expand_network(*model, c, rng);
+  EXPECT_EQ(result.records.size(), 2u);
+}
+
+TEST(ExpandNetwork, RatioControlsGiantWidth) {
+  int64_t prev_params = 0;
+  for (int64_t ratio : {2, 4, 6}) {
+    auto model = models::make_model("mbv2-tiny", 24);
+    ExpansionConfig c = default_config();
+    c.expansion_ratio = ratio;
+    Rng rng(110);
+    (void)expand_network(*model, c, rng);
+    const int64_t params = model->param_count();
+    EXPECT_GT(params, prev_params) << "ratio " << ratio;
+    prev_params = params;
+  }
+}
+
+TEST(ExpandNetwork, TrainableEndToEnd) {
+  auto model = models::make_model("mbv2-tiny", 8);
+  Rng rng(111);
+  ExpansionResult result = expand_network(*model, default_config(), rng);
+  (void)result;
+  model->set_training(true);
+  Tensor x({2, 3, 20, 20});
+  fill_normal(x, rng, 0.0f, 1.0f);
+  const Tensor logits = model->forward(x);
+  Tensor g(logits.shape());
+  fill_normal(g, rng, 0.0f, 0.1f);
+  (void)model->backward(g);
+  float grad_norm = 0.0f;
+  for (nn::Parameter* p : model->parameters()) grad_norm += p->grad.norm();
+  EXPECT_GT(grad_norm, 0.0f);
+}
+
+}  // namespace
+}  // namespace nb::core

@@ -1,0 +1,224 @@
+// Tests for the flat deployment artifact: writer structure, binary
+// round-trip, runtime equivalence with the quantized training-side model,
+// and failure modes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/task_registry.h"
+#include "export/flat_writer.h"
+#include "models/registry.h"
+#include "quant/qmodel.h"
+#include "tensor/tensor_ops.h"
+#include "train/metrics.h"
+
+namespace nb::exporter {
+namespace {
+
+const data::SynthClassification& calib_data() {
+  static const data::ClassificationTask task =
+      data::make_task("synth-imagenet", 20, /*scale=*/0.1f, /*seed=*/5);
+  return *task.test;
+}
+
+/// A quantized tiny model shared by the structural tests.
+std::shared_ptr<models::MobileNetV2> quantized_model() {
+  auto model =
+      models::make_model("mbv2-tiny", calib_data().num_classes(), 7);
+  quant::DeployConfig cfg;
+  cfg.calib_batches = 2;
+  cfg.batch_size = 16;
+  quant::quantize_for_deployment(*model, calib_data(), cfg);
+  return model;
+}
+
+std::string temp_file(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(FlatWriter, ProgramStructureMatchesArchitecture) {
+  auto model = quantized_model();
+  const FlatModel flat = to_flat_model(*model, 20);
+
+  const auto& ops = flat.ops();
+  ASSERT_GT(ops.size(), 10u);
+  EXPECT_EQ(ops.front().kind, OpKind::conv);  // stem
+  EXPECT_EQ(ops.back().kind, OpKind::linear);
+  EXPECT_EQ(ops[ops.size() - 2].kind, OpKind::gap);
+
+  int64_t saves = 0, adds = 0, convs = 0;
+  for (const FlatOp& op : ops) {
+    if (op.kind == OpKind::save) ++saves;
+    if (op.kind == OpKind::add_saved) ++adds;
+    if (op.kind == OpKind::conv) ++convs;
+  }
+  EXPECT_EQ(saves, adds);
+  int64_t residual_blocks = 0;
+  for (auto* block : model->residual_blocks()) {
+    if (block->use_residual()) ++residual_blocks;
+  }
+  EXPECT_EQ(saves, residual_blocks);
+  // stem + head + 2-3 convs per block.
+  EXPECT_GE(convs, 2 + 2 * static_cast<int64_t>(
+                           model->residual_blocks().size()));
+}
+
+TEST(FlatWriter, RuntimeMatchesQuantizedModel) {
+  auto model = quantized_model();
+  const FlatModel flat = to_flat_model(*model, 20);
+
+  Rng rng(33, 1);
+  Tensor x({3, 3, 20, 20});
+  fill_uniform(x, rng, -1.0f, 1.0f);
+  model->set_training(false);
+  const Tensor reference = model->forward(x);
+  const Tensor deployed = flat.forward(x);
+  ASSERT_TRUE(reference.same_shape(deployed));
+  // Same math, different accumulation order: float-rounding agreement only.
+  EXPECT_LT(max_abs_diff(reference, deployed), 5e-3f);
+}
+
+TEST(FlatWriter, BinaryRoundTripIsExact) {
+  auto model = quantized_model();
+  const FlatModel flat = to_flat_model(*model, 20);
+  const std::string path = temp_file("nb_flat_roundtrip.nbm");
+  flat.save(path);
+  const FlatModel loaded = FlatModel::load(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.ops().size(), flat.ops().size());
+  EXPECT_EQ(loaded.input_resolution(), 20);
+  EXPECT_EQ(loaded.weight_bytes(), flat.weight_bytes());
+  for (size_t i = 0; i < flat.ops().size(); ++i) {
+    const FlatOp& a = flat.ops()[i];
+    const FlatOp& b = loaded.ops()[i];
+    ASSERT_EQ(a.kind, b.kind);
+    if (a.kind == OpKind::conv) {
+      EXPECT_EQ(a.conv.weights, b.conv.weights);
+      EXPECT_EQ(a.conv.weight_scales, b.conv.weight_scales);
+      EXPECT_EQ(a.conv.bias, b.conv.bias);
+      EXPECT_FLOAT_EQ(a.conv.act_scale, b.conv.act_scale);
+    }
+  }
+
+  // And the loaded program computes the same function.
+  Rng rng(35, 1);
+  Tensor x({1, 3, 20, 20});
+  fill_uniform(x, rng, -1.0f, 1.0f);
+  EXPECT_FLOAT_EQ(max_abs_diff(flat.forward(x), loaded.forward(x)), 0.0f);
+}
+
+TEST(FlatWriter, DeployedAccuracyMatchesQuantizedModel) {
+  auto model = quantized_model();
+  const FlatModel flat = to_flat_model(*model, 20);
+  const auto& data = calib_data();
+
+  int64_t agree = 0;
+  const int64_t n = std::min<int64_t>(data.size(), 32);
+  for (int64_t i = 0; i < n; ++i) {
+    const Tensor img = data.image(i).reshape({1, 3, 20, 20});
+    const Tensor a = model->forward(img);
+    const Tensor b = flat.forward(img);
+    int64_t arg_a = 0, arg_b = 0;
+    for (int64_t c = 1; c < a.size(1); ++c) {
+      if (a.at(0, c) > a.at(0, arg_a)) arg_a = c;
+      if (b.at(0, c) > b.at(0, arg_b)) arg_b = c;
+    }
+    agree += arg_a == arg_b;
+  }
+  EXPECT_GE(agree, n - 2);  // border-of-tie flips only
+}
+
+TEST(FlatWriter, WeightBytesAreInt8Sized) {
+  auto model = quantized_model();
+  const FlatModel flat = to_flat_model(*model, 20);
+  int64_t param_count = 0;
+  for (const FlatOp& op : flat.ops()) {
+    if (op.kind == OpKind::conv) {
+      param_count += static_cast<int64_t>(op.conv.weights.size());
+    }
+    if (op.kind == OpKind::linear) {
+      param_count += static_cast<int64_t>(op.linear.weights.size());
+    }
+  }
+  // 1 byte per weight plus per-channel scale/bias overhead; must be far
+  // below 4 bytes per weight.
+  EXPECT_LT(flat.weight_bytes(), param_count * 3);
+  EXPECT_GE(flat.weight_bytes(), param_count);
+}
+
+TEST(FlatWriter, RejectsUnquantizedModel) {
+  auto model = models::make_model("mbv2-tiny", 6, 7);
+  EXPECT_THROW(to_flat_model(*model, 20), std::runtime_error);
+}
+
+TEST(FlatWriter, RejectsSqueezeExciteModels) {
+  auto model = models::make_model("mcunet-se", 6, 7);
+  quant::DeployConfig cfg;
+  cfg.calib_batches = 1;
+  // SE models cannot be exported even when quantization succeeds.
+  EXPECT_THROW(to_flat_model(*model, 26), std::runtime_error);
+}
+
+TEST(FlatModelIo, RejectsBadMagicAndTruncation) {
+  const std::string path = temp_file("nb_flat_bad.nbm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "JUNKJUNKJUNK";
+  }
+  EXPECT_THROW(FlatModel::load(path), std::runtime_error);
+
+  // Valid header, truncated body.
+  auto model = quantized_model();
+  const FlatModel flat = to_flat_model(*model, 20);
+  flat.save(path);
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+  }
+  EXPECT_THROW(FlatModel::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(FlatModelIo, MalformedProgramRejectedAtRun) {
+  FlatModel model;
+  FlatOp add;
+  add.kind = OpKind::add_saved;
+  model.push(add);
+  Tensor x({1, 3, 8, 8});
+  EXPECT_THROW(model.forward(x), std::runtime_error);
+  FlatModel empty;
+  EXPECT_THROW(empty.forward(x), std::runtime_error);
+}
+
+// The artifact must track the training-side model at any weight precision.
+class FlatBitWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlatBitWidth, RuntimeTracksModelAtEveryPrecision) {
+  const int bits = GetParam();
+  auto model =
+      models::make_model("mbv2-tiny", calib_data().num_classes(), 7);
+  quant::DeployConfig cfg;
+  cfg.spec.weight_bits = bits;
+  cfg.calib_batches = 2;
+  cfg.batch_size = 16;
+  quant::quantize_for_deployment(*model, calib_data(), cfg);
+  const FlatModel flat = to_flat_model(*model, 20);
+
+  Rng rng(40 + static_cast<uint64_t>(bits), 1);
+  Tensor x({2, 3, 20, 20});
+  fill_uniform(x, rng, -1.0f, 1.0f);
+  model->set_training(false);
+  const float diff = max_abs_diff(model->forward(x), flat.forward(x));
+  EXPECT_LT(diff, 5e-3f) << "bits=" << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, FlatBitWidth, ::testing::Values(4, 6, 8));
+
+}  // namespace
+}  // namespace nb::exporter

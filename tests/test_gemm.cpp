@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace nb {
+namespace {
+
+// Reference GEMM, no blocking, double accumulation.
+void naive_gemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, float alpha,
+                const float* a, const float* b, float beta, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a[p * m + i] : a[i * k + p];
+        const float bv = tb ? b[j * k + p] : b[p * n + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * n + j] = alpha * static_cast<float>(acc) + beta * c[i * n + j];
+    }
+  }
+}
+
+struct GemmCase {
+  int64_t m, n, k;
+  bool ta, tb;
+  float alpha, beta;
+};
+
+class GemmParam : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParam, MatchesNaive) {
+  const GemmCase& tc = GetParam();
+  Rng rng(11 + tc.m * 31 + tc.n * 7 + tc.k);
+  std::vector<float> a(static_cast<size_t>(tc.m * tc.k));
+  std::vector<float> b(static_cast<size_t>(tc.k * tc.n));
+  std::vector<float> c(static_cast<size_t>(tc.m * tc.n));
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  for (auto& v : c) v = rng.normal();
+  std::vector<float> c_ref = c;
+
+  gemm(tc.ta, tc.tb, tc.m, tc.n, tc.k, tc.alpha, a.data(), b.data(), tc.beta,
+       c.data());
+  naive_gemm(tc.ta, tc.tb, tc.m, tc.n, tc.k, tc.alpha, a.data(), b.data(),
+             tc.beta, c_ref.data());
+
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], c_ref[i], 1e-3f * (1.0f + std::fabs(c_ref[i])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParam,
+    ::testing::Values(
+        GemmCase{1, 1, 1, false, false, 1.0f, 0.0f},
+        GemmCase{3, 5, 7, false, false, 1.0f, 0.0f},
+        GemmCase{8, 8, 8, false, false, 2.0f, 1.0f},
+        GemmCase{16, 9, 33, false, false, 1.0f, 0.5f},
+        GemmCase{5, 6, 4, true, false, 1.0f, 0.0f},
+        GemmCase{5, 6, 4, false, true, 1.0f, 0.0f},
+        GemmCase{5, 6, 4, true, true, 1.0f, 0.0f},
+        GemmCase{13, 17, 70, true, true, -1.5f, 2.0f},
+        GemmCase{64, 65, 66, false, false, 1.0f, 0.0f},
+        GemmCase{2, 128, 3, false, true, 1.0f, 1.0f}));
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  std::vector<float> a{1.0f};
+  std::vector<float> b{2.0f};
+  std::vector<float> c{std::nanf("")};
+  gemm(false, false, 1, 1, 1, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  EXPECT_FLOAT_EQ(c[0], 2.0f);
+}
+
+TEST(Gemm, AlphaZeroScalesOnly) {
+  std::vector<float> a{1.0f};
+  std::vector<float> b{2.0f};
+  std::vector<float> c{3.0f};
+  gemm(false, false, 1, 1, 1, 0.0f, a.data(), b.data(), 0.5f, c.data());
+  EXPECT_FLOAT_EQ(c[0], 1.5f);
+}
+
+TEST(Gemv, MatchesGemm) {
+  Rng rng(21);
+  const int64_t m = 9, n = 13;
+  std::vector<float> a(static_cast<size_t>(m * n));
+  std::vector<float> x(static_cast<size_t>(n));
+  std::vector<float> y(static_cast<size_t>(m), 0.0f);
+  std::vector<float> y_ref(static_cast<size_t>(m), 0.0f);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : x) v = rng.normal();
+
+  gemv(false, m, n, 1.0f, a.data(), x.data(), 0.0f, y.data());
+  naive_gemm(false, false, m, 1, n, 1.0f, a.data(), x.data(), 0.0f,
+             y_ref.data());
+  for (int64_t i = 0; i < m; ++i) EXPECT_NEAR(y[i], y_ref[i], 1e-4f);
+}
+
+TEST(Gemv, TransposedMatchesGemm) {
+  Rng rng(22);
+  const int64_t m = 6, n = 4;
+  std::vector<float> a(static_cast<size_t>(m * n));
+  std::vector<float> x(static_cast<size_t>(m));
+  std::vector<float> y(static_cast<size_t>(n), 1.0f);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : x) v = rng.normal();
+  std::vector<float> y_ref = y;
+
+  gemv(true, m, n, 0.5f, a.data(), x.data(), 2.0f, y.data());
+  naive_gemm(true, false, n, 1, m, 0.5f, a.data(), x.data(), 2.0f,
+             y_ref.data());
+  for (int64_t i = 0; i < n; ++i) EXPECT_NEAR(y[i], y_ref[i], 1e-4f);
+}
+
+}  // namespace
+}  // namespace nb

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/im2col.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace nb {
+namespace {
+
+TEST(Im2col, OutSizeFormula) {
+  EXPECT_EQ(conv_out_size(8, 3, 1, 1), 8);   // same padding
+  EXPECT_EQ(conv_out_size(8, 3, 2, 1), 4);   // stride 2
+  EXPECT_EQ(conv_out_size(8, 1, 1, 0), 8);   // pointwise
+  EXPECT_EQ(conv_out_size(5, 5, 1, 0), 1);   // valid full-size
+  EXPECT_EQ(conv_out_size(5, 3, 1, 2), 7);   // full padding
+}
+
+TEST(Im2col, IdentityFor1x1) {
+  Rng rng(31);
+  const int64_t c = 3, h = 4, w = 5;
+  std::vector<float> img(static_cast<size_t>(c * h * w));
+  for (auto& v : img) v = rng.normal();
+  std::vector<float> cols(img.size());
+  im2col(img.data(), c, h, w, 1, 1, 1, 1, 0, 0, cols.data());
+  EXPECT_EQ(img, cols);
+}
+
+TEST(Im2col, KnownPatch3x3) {
+  // 1 channel, 3x3 image, 3x3 kernel, same padding -> center column holds
+  // the full image.
+  std::vector<float> img{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> cols(9 * 9);
+  im2col(img.data(), 1, 3, 3, 3, 3, 1, 1, 1, 1, cols.data());
+  // Column layout: [kh*kw, oh*ow]; the center tap (ki=1, kj=1) is row 4.
+  for (int64_t p = 0; p < 9; ++p) {
+    EXPECT_EQ(cols[static_cast<size_t>(4 * 9 + p)], img[static_cast<size_t>(p)]);
+  }
+  // Top-left tap at output (0,0) looks at (-1,-1): zero padding.
+  EXPECT_EQ(cols[0], 0.0f);
+  // Top-left tap at output (1,1) looks at (0,0) = 1.
+  EXPECT_EQ(cols[static_cast<size_t>(0 * 9 + 4)], 1.0f);
+}
+
+TEST(Im2col, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining property
+  // of the adjoint pair used in conv backward.
+  Rng rng(33);
+  const int64_t c = 2, h = 6, w = 5, k = 3, stride = 2, pad = 1;
+  const int64_t oh = conv_out_size(h, k, stride, pad);
+  const int64_t ow = conv_out_size(w, k, stride, pad);
+  const int64_t cols_n = c * k * k * oh * ow;
+
+  std::vector<float> x(static_cast<size_t>(c * h * w));
+  std::vector<float> y(static_cast<size_t>(cols_n));
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal();
+
+  std::vector<float> cols(static_cast<size_t>(cols_n));
+  im2col(x.data(), c, h, w, k, k, stride, stride, pad, pad, cols.data());
+  double lhs = 0.0;
+  for (size_t i = 0; i < cols.size(); ++i) lhs += static_cast<double>(cols[i]) * y[i];
+
+  std::vector<float> xback(x.size(), 0.0f);
+  col2im(y.data(), c, h, w, k, k, stride, stride, pad, pad, xback.data());
+  double rhs = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) rhs += static_cast<double>(x[i]) * xback[i];
+
+  EXPECT_NEAR(lhs, rhs, 1e-3 * (1.0 + std::abs(lhs)));
+}
+
+TEST(Im2col, StridedColumnsSubsample) {
+  std::vector<float> img{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+  // 1x4x4, k=1, stride 2 -> picks every other pixel.
+  std::vector<float> cols(4);
+  im2col(img.data(), 1, 4, 4, 1, 1, 2, 2, 0, 0, cols.data());
+  EXPECT_EQ(cols[0], 0.0f);
+  EXPECT_EQ(cols[1], 2.0f);
+  EXPECT_EQ(cols[2], 8.0f);
+  EXPECT_EQ(cols[3], 10.0f);
+}
+
+}  // namespace
+}  // namespace nb

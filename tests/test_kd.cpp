@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "baselines/kd.h"
+#include "models/registry.h"
+#include "test_util.h"
+#include "train/metrics.h"
+
+namespace nb::baselines {
+namespace {
+
+using ::nb::testing::ToyDataset;
+
+train::TrainConfig fast_config(int64_t epochs = 2) {
+  train::TrainConfig c;
+  c.epochs = epochs;
+  c.batch_size = 16;
+  c.lr = 0.05f;
+  c.augment = false;
+  return c;
+}
+
+TEST(KdLoss, CombinesCeAndKl) {
+  auto teacher = models::make_model("mbv2-tiny", 4, 51);
+  KdConfig kd;
+  kd.alpha = 0.5f;
+  train::LossFn fn = make_kd_loss(teacher, kd);
+
+  Rng rng(401);
+  Tensor images({4, 3, 20, 20});
+  fill_normal(images, rng, 0.0f, 1.0f);
+  Tensor logits({4, 4});
+  fill_normal(logits, rng, 0.0f, 1.0f);
+  const std::vector<int64_t> labels{0, 1, 2, 3};
+
+  const nn::LossResult combined = fn(logits, labels, images);
+  const nn::LossResult ce = nn::softmax_cross_entropy(logits, labels);
+  teacher->set_training(false);
+  const Tensor t_logits = teacher->forward(images);
+  const nn::LossResult kl = nn::kd_kl(logits, t_logits, kd.temperature);
+
+  EXPECT_NEAR(combined.loss, 0.5f * ce.loss + 0.5f * kl.loss, 1e-5f);
+  Tensor expected_grad = ce.grad.scale(0.5f);
+  expected_grad.add_scaled_(kl.grad, 0.5f);
+  EXPECT_LT(max_abs_diff(combined.grad, expected_grad), 1e-6f);
+}
+
+TEST(KdLoss, PerfectTeacherAgreementLeavesOnlyCe) {
+  auto teacher = models::make_model("mbv2-tiny", 3, 52);
+  teacher->set_training(false);
+  KdConfig kd;
+  kd.alpha = 1.0f;  // pure KD
+  train::LossFn fn = make_kd_loss(teacher, kd);
+
+  Rng rng(402);
+  Tensor images({2, 3, 20, 20});
+  fill_normal(images, rng, 0.0f, 1.0f);
+  const Tensor t_logits = teacher->forward(images);
+  // Student logits identical to teacher -> zero gradient.
+  const nn::LossResult r = fn(t_logits, {0, 1}, images);
+  EXPECT_LT(r.grad.abs_max(), 1e-5f);
+}
+
+TEST(TfKd, TargetsPeakAtLabel) {
+  KdConfig kd;
+  kd.alpha = 1.0f;
+  train::LossFn fn = make_tfkd_loss(5, kd, 0.9f);
+  Tensor logits = Tensor::zeros({1, 5});  // uniform student
+  Tensor images({1, 3, 4, 4});
+  const nn::LossResult r = fn(logits, {2}, images);
+  // Gradient must push the label logit up more than any other.
+  for (int64_t j = 0; j < 5; ++j) {
+    if (j == 2) {
+      EXPECT_LT(r.grad.at(0, j), 0.0f);
+    } else {
+      EXPECT_GT(r.grad.at(0, j), 0.0f);
+    }
+  }
+}
+
+TEST(TfKd, RejectsDegenerateProb) {
+  KdConfig kd;
+  EXPECT_THROW(make_tfkd_loss(5, kd, 0.1f), std::runtime_error);
+  EXPECT_THROW(make_tfkd_loss(5, kd, 1.0f), std::runtime_error);
+}
+
+TEST(TeacherRoute, ProducesRequestedCheckpoints) {
+  ToyDataset train(8, 2, 10, 61);
+  ToyDataset test(4, 2, 10, 62);
+  auto teacher = models::make_model("mbv2-tiny", 2, 53);
+  const auto route =
+      train_teacher_route(*teacher, train, test, fast_config(3), 3);
+  ASSERT_EQ(route.size(), 3u);
+  // Checkpoints along the route must differ (training moved the weights).
+  const auto& first = route.front();
+  const auto& last = route.back();
+  float diff = 0.0f;
+  for (const auto& [name, t] : first) {
+    diff = std::max(diff, max_abs_diff(t, last.at(name)));
+  }
+  EXPECT_GT(diff, 1e-5f);
+}
+
+TEST(RcoKd, StudentLearnsAlongRoute) {
+  ToyDataset train(16, 3, 12, 63);
+  ToyDataset test(8, 3, 12, 64);
+  auto teacher = models::make_model("mbv2-100", 3, 54);
+  const auto route =
+      train_teacher_route(*teacher, train, test, fast_config(3), 3);
+
+  auto student = models::make_model("mbv2-tiny", 3, 55);
+  auto shadow = models::make_model("mbv2-100", 3, 54);
+  const float before = train::evaluate(*student, test);
+  const train::TrainHistory h =
+      train_rco_kd(*student, *shadow, route, train, test, fast_config(3), {});
+  EXPECT_GT(h.final_test_acc, before + 0.1f);
+}
+
+TEST(Rocket, LightNetLearns) {
+  ToyDataset train(16, 3, 12, 65);
+  ToyDataset test(8, 3, 12, 66);
+  auto light = models::make_model("mbv2-tiny", 3, 56);
+  const float before = train::evaluate(*light, test);
+  RocketConfig rocket;
+  const train::TrainHistory h =
+      train_rocket(*light, train, test, fast_config(3), rocket);
+  EXPECT_GT(h.final_test_acc, before + 0.1f);
+}
+
+}  // namespace
+}  // namespace nb::baselines

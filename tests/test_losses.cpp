@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/losses.h"
+#include "tensor/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace nb::nn {
+namespace {
+
+// Numerically check dLoss/dLogits with central differences.
+template <typename LossCall>
+void check_loss_grad(const Tensor& logits, LossCall&& call, float eps = 1e-3f,
+                     float tol = 1e-3f) {
+  const LossResult base = call(logits);
+  Tensor probe = logits.clone();
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    const float orig = probe.data()[i];
+    probe.data()[i] = orig + eps;
+    const float jp = call(probe).loss;
+    probe.data()[i] = orig - eps;
+    const float jm = call(probe).loss;
+    probe.data()[i] = orig;
+    const float expected = (jp - jm) / (2.0f * eps);
+    EXPECT_NEAR(base.grad.data()[i], expected, tol) << "flat index " << i;
+  }
+}
+
+TEST(CrossEntropy, MatchesManualValue) {
+  // Two samples, two classes, known logits.
+  Tensor logits = Tensor::from({2, 2}, {2.0f, 0.0f, 0.0f, 1.0f});
+  const std::vector<int64_t> labels{0, 1};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const float l0 = -std::log(std::exp(2.0f) / (std::exp(2.0f) + 1.0f));
+  const float l1 = -std::log(std::exp(1.0f) / (std::exp(1.0f) + 1.0f));
+  EXPECT_NEAR(r.loss, (l0 + l1) / 2.0f, 1e-5f);
+}
+
+TEST(CrossEntropy, GradIsFiniteDifferenceCorrect) {
+  Rng rng(90);
+  Tensor logits({4, 6});
+  fill_normal(logits, rng, 0.0f, 2.0f);
+  const std::vector<int64_t> labels{0, 3, 5, 2};
+  check_loss_grad(logits, [&](const Tensor& z) {
+    return softmax_cross_entropy(z, labels);
+  });
+}
+
+TEST(CrossEntropy, LabelSmoothingGrad) {
+  Rng rng(91);
+  Tensor logits({3, 5});
+  fill_normal(logits, rng, 0.0f, 1.5f);
+  const std::vector<int64_t> labels{1, 4, 0};
+  check_loss_grad(logits, [&](const Tensor& z) {
+    return softmax_cross_entropy(z, labels, 0.1f);
+  });
+}
+
+TEST(CrossEntropy, SmoothingRaisesLossAtConfidentCorrect) {
+  Tensor logits = Tensor::from({1, 3}, {10.0f, 0.0f, 0.0f});
+  const std::vector<int64_t> labels{0};
+  const float plain = softmax_cross_entropy(logits, labels, 0.0f).loss;
+  const float smooth = softmax_cross_entropy(logits, labels, 0.2f).loss;
+  EXPECT_GT(smooth, plain);
+}
+
+TEST(CrossEntropy, RejectsBadLabels) {
+  Tensor logits({1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {7}), std::runtime_error);
+}
+
+TEST(SoftCrossEntropy, MatchesHardWhenOneHot) {
+  Rng rng(92);
+  Tensor logits({2, 4});
+  fill_normal(logits, rng, 0.0f, 1.0f);
+  const std::vector<int64_t> labels{2, 0};
+  Tensor onehot({2, 4});
+  onehot.at(0, 2) = 1.0f;
+  onehot.at(1, 0) = 1.0f;
+  const LossResult hard = softmax_cross_entropy(logits, labels);
+  const LossResult soft = soft_cross_entropy(logits, onehot);
+  EXPECT_NEAR(hard.loss, soft.loss, 1e-5f);
+  EXPECT_LT(max_abs_diff(hard.grad, soft.grad), 1e-6f);
+}
+
+TEST(KdKl, ZeroWhenDistributionsMatch) {
+  Rng rng(93);
+  Tensor logits({3, 5});
+  fill_normal(logits, rng, 0.0f, 1.0f);
+  const LossResult r = kd_kl(logits, logits, 4.0f);
+  EXPECT_NEAR(r.loss, 0.0f, 1e-5f);
+  EXPECT_LT(r.grad.abs_max(), 1e-6f);
+}
+
+TEST(KdKl, GradIsFiniteDifferenceCorrect) {
+  Rng rng(94);
+  Tensor student({3, 4});
+  Tensor teacher({3, 4});
+  fill_normal(student, rng, 0.0f, 1.0f);
+  fill_normal(teacher, rng, 0.0f, 1.0f);
+  check_loss_grad(student, [&](const Tensor& z) {
+    return kd_kl(z, teacher, 3.0f);
+  });
+}
+
+TEST(KdKl, NonNegative) {
+  Rng rng(95);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tensor s({2, 6});
+    Tensor t({2, 6});
+    fill_normal(s, rng, 0.0f, 2.0f);
+    fill_normal(t, rng, 0.0f, 2.0f);
+    EXPECT_GE(kd_kl(s, t, 2.0f).loss, -1e-5f);
+  }
+}
+
+TEST(KdKl, PullsStudentTowardTeacher) {
+  Tensor student = Tensor::from({1, 2}, {0.0f, 0.0f});
+  Tensor teacher = Tensor::from({1, 2}, {3.0f, -3.0f});
+  const LossResult r = kd_kl(student, teacher, 1.0f);
+  // Teacher prefers class 0, so the gradient must push logit 0 up
+  // (negative gradient) and logit 1 down.
+  EXPECT_LT(r.grad.at(0, 0), 0.0f);
+  EXPECT_GT(r.grad.at(0, 1), 0.0f);
+}
+
+TEST(Mse, ValueAndGrad) {
+  Tensor pred = Tensor::from({2}, {1.0f, 3.0f});
+  Tensor target = Tensor::from({2}, {0.0f, 0.0f});
+  const LossResult r = mse(pred, target);
+  EXPECT_NEAR(r.loss, (1.0f + 9.0f) / 2.0f, 1e-6f);
+  EXPECT_NEAR(r.grad.at(0), 2.0f * 1.0f / 2.0f, 1e-6f);
+  EXPECT_NEAR(r.grad.at(1), 2.0f * 3.0f / 2.0f, 1e-6f);
+}
+
+TEST(SigmoidBce, GradIsFiniteDifferenceCorrect) {
+  Rng rng(96);
+  Tensor logits({8});
+  fill_normal(logits, rng, 0.0f, 2.0f);
+  Tensor targets({8});
+  for (int64_t i = 0; i < 8; ++i) targets.at(i) = i % 2 ? 1.0f : 0.0f;
+  check_loss_grad(logits, [&](const Tensor& z) {
+    return sigmoid_bce(z, targets);
+  });
+}
+
+TEST(SigmoidBce, StableAtExtremeLogits) {
+  Tensor logits = Tensor::from({2}, {50.0f, -50.0f});
+  Tensor targets = Tensor::from({2}, {1.0f, 0.0f});
+  const LossResult r = sigmoid_bce(logits, targets);
+  EXPECT_TRUE(std::isfinite(r.loss));
+  EXPECT_NEAR(r.loss, 0.0f, 1e-5f);
+}
+
+TEST(Accuracy, CountsCorrectly) {
+  Tensor logits = Tensor::from({3, 2}, {2.0f, 1.0f, 0.0f, 1.0f, 5.0f, -1.0f});
+  EXPECT_NEAR(accuracy(logits, {0, 1, 0}), 1.0f, 1e-6f);
+  EXPECT_NEAR(accuracy(logits, {1, 1, 0}), 2.0f / 3.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace nb::nn

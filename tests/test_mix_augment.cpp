@@ -1,0 +1,206 @@
+// Tests for batch-level strong augmentation (mixup / CutMix / random erasing)
+// and the mixed two-label cross entropy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/mix_augment.h"
+#include "nn/losses.h"
+#include "tensor/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace nb::data {
+namespace {
+
+Tensor random_batch(int64_t b, int64_t c, int64_t h, int64_t w, uint64_t seed) {
+  Tensor t({b, c, h, w});
+  Rng rng(seed, 5);
+  fill_uniform(t, rng, -1.0f, 1.0f);
+  return t;
+}
+
+TEST(SampleBeta, StaysInUnitIntervalAndCentered) {
+  Rng rng(42, 7);
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const float v = sample_beta(0.8f, rng);
+    ASSERT_GE(v, 0.0f);
+    ASSERT_LE(v, 1.0f);
+    sum += v;
+  }
+  // Beta(a, a) has mean 1/2 for any a.
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST(SampleBeta, LargeAlphaConcentratesAtHalf) {
+  Rng rng(43, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(sample_beta(200.0f, rng), 0.5f, 0.15f);
+  }
+}
+
+TEST(SampleBeta, InvalidAlphaThrows) {
+  Rng rng(1, 1);
+  EXPECT_THROW(sample_beta(0.0f, rng), std::runtime_error);
+}
+
+TEST(Mixup, BlendsImagesWithReportedLambda) {
+  Tensor images = random_batch(4, 3, 6, 6, 11);
+  const Tensor original = images.clone();
+  const std::vector<int64_t> labels = {0, 1, 2, 3};
+  Rng rng(7, 3);
+  const MixResult mix = mixup_batch(images, labels, 1.0f, rng);
+  ASSERT_EQ(mix.labels_b.size(), labels.size());
+
+  // Recover each image's partner from the returned labels (labels are
+  // unique here) and verify the blend. lam*x_i + (1-lam)*x_j elementwise.
+  for (int64_t i = 0; i < 4; ++i) {
+    const int64_t j = mix.labels_b[static_cast<size_t>(i)];
+    for (int64_t t = 0; t < 3 * 6 * 6; ++t) {
+      const float want = mix.lam * original.data()[i * 108 + t] +
+                         (1.0f - mix.lam) * original.data()[j * 108 + t];
+      ASSERT_NEAR(images.data()[i * 108 + t], want, 1e-5f);
+    }
+  }
+}
+
+TEST(Mixup, PartnerLabelsAreAPermutation) {
+  Tensor images = random_batch(8, 1, 4, 4, 13);
+  const std::vector<int64_t> labels = {0, 1, 2, 3, 4, 5, 6, 7};
+  Rng rng(17, 3);
+  const MixResult mix = mixup_batch(images, labels, 0.5f, rng);
+  std::vector<int64_t> sorted = mix.labels_b;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, labels);
+}
+
+TEST(Mixup, DisabledAlphaIsIdentity) {
+  Tensor images = random_batch(4, 1, 4, 4, 19);
+  const Tensor original = images.clone();
+  const std::vector<int64_t> labels = {3, 1, 0, 2};
+  Rng rng(23, 3);
+  const MixResult mix = mixup_batch(images, labels, 0.0f, rng);
+  EXPECT_FLOAT_EQ(mix.lam, 1.0f);
+  EXPECT_EQ(mix.labels_b, labels);
+  EXPECT_FLOAT_EQ(max_abs_diff(images, original), 0.0f);
+}
+
+TEST(Mixup, SingleImageBatchIsIdentity) {
+  Tensor images = random_batch(1, 1, 4, 4, 29);
+  Rng rng(3, 3);
+  const MixResult mix = mixup_batch(images, {0}, 1.0f, rng);
+  EXPECT_FLOAT_EQ(mix.lam, 1.0f);
+}
+
+TEST(Cutmix, LambdaEqualsSurvivingAreaFraction) {
+  // Fill image i with constant value i; after CutMix the mean of image i is
+  // lam*i + (1-lam)*partner exactly when lam is the surviving fraction.
+  const int64_t b = 4, c = 2, h = 8, w = 8;
+  Tensor images({b, c, h, w});
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t t = 0; t < c * h * w; ++t) {
+      images.data()[i * c * h * w + t] = static_cast<float>(i);
+    }
+  }
+  const std::vector<int64_t> labels = {0, 1, 2, 3};
+  Rng rng(31, 3);
+  const MixResult mix = cutmix_batch(images, labels, 1.0f, rng);
+  for (int64_t i = 0; i < b; ++i) {
+    const int64_t j = mix.labels_b[static_cast<size_t>(i)];
+    double mean = 0.0;
+    for (int64_t t = 0; t < c * h * w; ++t) {
+      mean += images.data()[i * c * h * w + t];
+    }
+    mean /= static_cast<double>(c * h * w);
+    const double want = mix.lam * i + (1.0 - mix.lam) * j;
+    EXPECT_NEAR(mean, want, 1e-4);
+  }
+}
+
+TEST(Cutmix, PixelsOutsideBoxUntouched) {
+  Tensor images = random_batch(2, 1, 8, 8, 37);
+  const Tensor original = images.clone();
+  const std::vector<int64_t> labels = {0, 1};
+  Rng rng(41, 3);
+  const MixResult mix = cutmix_batch(images, labels, 1.0f, rng);
+  // Count changed pixels; they must form exactly the pasted fraction.
+  int64_t changed = 0;
+  for (int64_t i = 0; i < images.numel(); ++i) {
+    if (images.data()[i] != original.data()[i]) ++changed;
+  }
+  const float pasted_fraction = 1.0f - mix.lam;
+  // Identical-source pixels may coincide, so changed <= pasted area.
+  EXPECT_LE(static_cast<float>(changed),
+            pasted_fraction * static_cast<float>(images.numel()) + 1e-3f);
+}
+
+TEST(RandomErase, ZeroProbabilityIsIdentity) {
+  Tensor img = random_batch(1, 3, 8, 8, 43).reshape({3, 8, 8});
+  const Tensor original = img.clone();
+  Rng rng(47, 3);
+  random_erase_(img, rng, /*p=*/0.0f);
+  EXPECT_FLOAT_EQ(max_abs_diff(img, original), 0.0f);
+}
+
+TEST(RandomErase, AlwaysEraseChangesBoundedRegion) {
+  Tensor img = random_batch(1, 3, 16, 16, 53).reshape({3, 16, 16});
+  const Tensor original = img.clone();
+  Rng rng(59, 3);
+  random_erase_(img, rng, /*p=*/1.0f, /*min_area=*/0.05f, /*max_area=*/0.2f);
+  int64_t changed = 0;
+  for (int64_t i = 0; i < img.numel(); ++i) {
+    if (img.data()[i] != original.data()[i]) ++changed;
+  }
+  EXPECT_GT(changed, 0);
+  // Max erase: 20% of pixels (x3 channels accounted in numel) plus rounding.
+  EXPECT_LE(changed, static_cast<int64_t>(0.35 * 3 * 16 * 16));
+}
+
+TEST(MixedCrossEntropy, LamOneEqualsPlainCe) {
+  Tensor logits = Tensor::from({2, 3}, {1.0f, 2.0f, 0.5f, -1.0f, 0.0f, 1.5f});
+  const std::vector<int64_t> a = {1, 2};
+  const std::vector<int64_t> b = {0, 0};
+  const nn::LossResult mixed = mixed_cross_entropy(logits, a, b, 1.0f);
+  const nn::LossResult plain = nn::softmax_cross_entropy(logits, a);
+  EXPECT_FLOAT_EQ(mixed.loss, plain.loss);
+  EXPECT_FLOAT_EQ(max_abs_diff(mixed.grad, plain.grad), 0.0f);
+}
+
+TEST(MixedCrossEntropy, ConvexCombinationOfLossesAndGrads) {
+  Tensor logits = Tensor::from({2, 3}, {1.0f, 2.0f, 0.5f, -1.0f, 0.0f, 1.5f});
+  const std::vector<int64_t> a = {1, 2};
+  const std::vector<int64_t> b = {0, 1};
+  const float lam = 0.3f;
+  const nn::LossResult mixed = mixed_cross_entropy(logits, a, b, lam);
+  const nn::LossResult la = nn::softmax_cross_entropy(logits, a);
+  const nn::LossResult lb = nn::softmax_cross_entropy(logits, b);
+  EXPECT_NEAR(mixed.loss, lam * la.loss + (1 - lam) * lb.loss, 1e-6f);
+  for (int64_t i = 0; i < mixed.grad.numel(); ++i) {
+    EXPECT_NEAR(mixed.grad.data()[i],
+                lam * la.grad.data()[i] + (1 - lam) * lb.grad.data()[i],
+                1e-6f);
+  }
+}
+
+TEST(MixedCrossEntropy, MismatchedLabelListsThrow) {
+  Tensor logits = Tensor::from({1, 2}, {0.0f, 1.0f});
+  EXPECT_THROW(mixed_cross_entropy(logits, {0}, {0, 1}, 0.5f),
+               std::runtime_error);
+}
+
+TEST(Determinism, SameSeedSameMix) {
+  const std::vector<int64_t> labels = {0, 1, 2, 3, 4, 5};
+  Tensor a = random_batch(6, 2, 5, 5, 61);
+  Tensor b = a.clone();
+  Rng r1(71, 3), r2(71, 3);
+  const MixResult ma = mixup_batch(a, labels, 0.7f, r1);
+  const MixResult mb = mixup_batch(b, labels, 0.7f, r2);
+  EXPECT_FLOAT_EQ(ma.lam, mb.lam);
+  EXPECT_EQ(ma.labels_b, mb.labels_b);
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.0f);
+}
+
+}  // namespace
+}  // namespace nb::data

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/task_registry.h"
+#include "models/mcunet.h"
+#include "models/mobilenetv2.h"
+#include "models/profiler.h"
+#include "models/registry.h"
+#include "nn/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace nb::models {
+namespace {
+
+TEST(MakeDivisible, RoundsToDivisor) {
+  EXPECT_EQ(make_divisible(16.0f, 4), 16);
+  EXPECT_EQ(make_divisible(17.0f, 4), 16);
+  EXPECT_EQ(make_divisible(18.0f, 4), 20);
+  EXPECT_EQ(make_divisible(1.0f, 4), 4);  // floor at divisor
+  // 10% rule: 0.35 * 48 = 16.8 -> 16 (within 10%).
+  EXPECT_EQ(make_divisible(16.8f, 4), 16);
+}
+
+TEST(MobileNetV2, ForwardShape) {
+  auto model = make_model("mbv2-100", 24);
+  Tensor x({2, 3, 24, 24});
+  const Tensor logits = model->forward(x);
+  EXPECT_EQ(logits.size(0), 2);
+  EXPECT_EQ(logits.size(1), 24);
+}
+
+TEST(MobileNetV2, FeatureMapShape) {
+  auto model = make_model("mbv2-50", 10);
+  Tensor x({1, 3, 24, 24});
+  const Tensor f = model->forward_features(x);
+  EXPECT_EQ(f.dim(), 4);
+  EXPECT_EQ(f.size(1), model->feature_channels());
+  // Three stride-2 stages: 24 -> 12 -> 6 -> 3.
+  EXPECT_EQ(f.size(2), 3);
+}
+
+TEST(MobileNetV2, WidthLadderOrdersParams) {
+  auto tiny = make_model("mbv2-tiny", 24);
+  auto m35 = make_model("mbv2-35", 24);
+  auto m50 = make_model("mbv2-50", 24);
+  auto m100 = make_model("mbv2-100", 24);
+  EXPECT_LT(tiny->param_count(), m35->param_count());
+  EXPECT_LT(m35->param_count(), m50->param_count());
+  EXPECT_LT(m50->param_count(), m100->param_count());
+}
+
+TEST(MobileNetV2, ResidualRule) {
+  auto model = make_model("mbv2-100", 24);
+  for (nn::InvertedResidual* block : model->residual_blocks()) {
+    const bool expected = block->stride() == 1 && block->cin() == block->cout();
+    EXPECT_EQ(block->use_residual(), expected);
+  }
+}
+
+TEST(MobileNetV2, ResetClassifierChangesHeadOnly) {
+  auto model = make_model("mbv2-35", 24);
+  Tensor x({1, 3, 24, 24});
+  model->set_training(false);
+  const Tensor feat_before = model->forward_features(x);
+  Rng rng(44);
+  model->reset_classifier(7, rng);
+  const Tensor logits = model->forward(x);
+  EXPECT_EQ(logits.size(1), 7);
+  const Tensor feat_after = model->forward_features(x);
+  EXPECT_LT(max_abs_diff(feat_before, feat_after), 1e-6f);
+}
+
+TEST(MobileNetV2, BackwardRuns) {
+  auto model = make_model("mbv2-tiny", 8);
+  model->set_training(true);
+  Tensor x({2, 3, 20, 20});
+  Rng rng(45);
+  fill_normal(x, rng, 0.0f, 1.0f);
+  const Tensor logits = model->forward(x);
+  Tensor g(logits.shape());
+  fill_normal(g, rng, 0.0f, 0.1f);
+  const Tensor gx = model->backward(g);
+  EXPECT_TRUE(gx.same_shape(x));
+  float grad_norm = 0.0f;
+  for (nn::Parameter* p : model->parameters()) grad_norm += p->grad.norm();
+  EXPECT_GT(grad_norm, 0.0f);
+}
+
+TEST(McuNet, MixedKernelsPresent) {
+  const ModelConfig c = mcunet_config(24);
+  std::set<int64_t> kernels;
+  for (const Stage& s : c.stages) kernels.insert(s.k);
+  EXPECT_GE(kernels.size(), 3u) << "MCUNet table should mix kernel sizes";
+  MobileNetV2 model(c);
+  Tensor x({1, 3, 26, 26});
+  EXPECT_EQ(model.forward(x).size(1), 24);
+}
+
+TEST(Registry, KnownNamesConstruct) {
+  for (const std::string& name : table1_model_names()) {
+    auto model = make_model(name, 12);
+    EXPECT_EQ(model->config().name, name);
+  }
+  EXPECT_THROW(make_model("resnet50", 10), std::runtime_error);
+}
+
+TEST(Registry, TeacherIsLargest) {
+  auto teacher = make_model("teacher", 24);
+  auto largest_student = make_model("mbv2-100", 24);
+  EXPECT_GT(teacher->param_count(), 2 * largest_student->param_count());
+}
+
+TEST(Registry, DeterministicInit) {
+  auto a = make_model("mbv2-tiny", 8, 3);
+  auto b = make_model("mbv2-tiny", 8, 3);
+  auto pa = a->parameters();
+  auto pb = b->parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_LT(max_abs_diff(pa[i]->value, pb[i]->value), 1e-7f);
+  }
+}
+
+TEST(Profiler, CountsSmallNetworkExactly) {
+  // One pointwise conv 3->4 on 8x8 + linear 4->2 after GAP.
+  nn::Sequential seq;
+  seq.emplace<nn::Conv2d>(nn::Conv2dOptions(3, 4, 1));
+  seq.emplace<nn::GlobalAvgPool>();
+  seq.emplace<nn::Linear>(4, 2, false);
+  const Profile p = profile_model(seq, 8);
+  // conv: 2*8*8*4*3 = 1536; linear: 2*4*2 = 16.
+  EXPECT_EQ(p.flops, 1536 + 16);
+  EXPECT_EQ(p.params, 3 * 4 + 4 * 2);
+}
+
+TEST(Profiler, FlopsScaleWithResolution) {
+  auto model = make_model("mbv2-35", 24);
+  const Profile p20 = profile_model(*model, 20);
+  const Profile p32 = profile_model(*model, 32);
+  EXPECT_GT(p32.flops, 2 * p20.flops);
+  EXPECT_EQ(p20.params, p32.params) << "params are resolution-independent";
+}
+
+TEST(Profiler, ModelLadderMatchesPaperOrdering) {
+  // Table I order: tiny(23.5M) < mcunet(81.8M)... our scaled versions only
+  // need the *ordering* of FLOPs at each model's paper resolution.
+  auto tiny = make_model("mbv2-tiny", 24);
+  auto m50 = make_model("mbv2-50", 24);
+  auto m100 = make_model("mbv2-100", 24);
+  const double f_tiny = profile_model(*tiny, data::scaled_resolution(144)).mflops();
+  const double f_50 = profile_model(*m50, data::scaled_resolution(160)).mflops();
+  const double f_100 = profile_model(*m100, data::scaled_resolution(160)).mflops();
+  EXPECT_LT(f_tiny, f_50);
+  EXPECT_LT(f_50, f_100);
+}
+
+TEST(Profiler, HumanCount) {
+  EXPECT_EQ(human_count(23'500'000), "23.5M");
+  EXPECT_EQ(human_count(750'000), "750.0K");
+  EXPECT_EQ(human_count(42), "42");
+}
+
+}  // namespace
+}  // namespace nb::models

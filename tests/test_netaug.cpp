@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "baselines/netaug.h"
+#include "models/registry.h"
+#include "nn/conv2d.h"
+#include "test_util.h"
+#include "train/metrics.h"
+
+namespace nb::baselines {
+namespace {
+
+using ::nb::testing::ToyDataset;
+
+TEST(SlicePointwiseConv, FullWidthMatchesConv2d) {
+  Rng rng(301);
+  SlicePointwiseConv slice(5, 7);
+  nn::Conv2d conv(nn::Conv2dOptions(5, 7, 1));
+  fill_normal(slice.weight().value, rng, 0.0f, 0.5f);
+  conv.weight().value.copy_from(slice.weight().value);
+
+  Tensor x({2, 5, 4, 4});
+  fill_normal(x, rng, 0.0f, 1.0f);
+  EXPECT_LT(max_abs_diff(slice.forward(x), conv.forward(x)), 1e-5f);
+}
+
+TEST(SlicePointwiseConv, SliceMatchesManualSubmatrix) {
+  Rng rng(302);
+  SlicePointwiseConv slice(6, 8);
+  fill_normal(slice.weight().value, rng, 0.0f, 0.5f);
+  slice.set_active(4, 5);
+
+  Tensor x({1, 4, 3, 3});
+  fill_normal(x, rng, 0.0f, 1.0f);
+  const Tensor y = slice.forward(x);
+  ASSERT_EQ(y.size(1), 5);
+
+  // Manual: y[o, p] = sum_m W[o, m] x[m, p] over the active prefix.
+  for (int64_t o = 0; o < 5; ++o) {
+    for (int64_t p = 0; p < 9; ++p) {
+      double acc = 0.0;
+      for (int64_t m = 0; m < 4; ++m) {
+        acc += static_cast<double>(slice.weight().value.at(o, m)) *
+               x.data()[m * 9 + p];
+      }
+      EXPECT_NEAR(y.data()[o * 9 + p], acc, 1e-4f);
+    }
+  }
+}
+
+TEST(SlicePointwiseConv, GradientTouchesOnlyActiveSlice) {
+  Rng rng(303);
+  SlicePointwiseConv slice(6, 8);
+  fill_normal(slice.weight().value, rng, 0.0f, 0.5f);
+  slice.set_active(3, 4);
+  slice.zero_grad();
+
+  Tensor x({1, 3, 2, 2});
+  fill_normal(x, rng, 0.0f, 1.0f);
+  const Tensor y = slice.forward(x);
+  Tensor g(y.shape());
+  fill_normal(g, rng, 0.0f, 1.0f);
+  (void)slice.backward(g);
+
+  // Rows >= 4 and columns >= 3 must stay zero.
+  for (int64_t o = 0; o < 8; ++o) {
+    for (int64_t m = 0; m < 6; ++m) {
+      const float gv = slice.weight().grad.at(o, m);
+      if (o >= 4 || m >= 3) {
+        EXPECT_EQ(gv, 0.0f) << "inactive weight got gradient at " << o << "," << m;
+      }
+    }
+  }
+}
+
+TEST(SlicePointwiseConv, FiniteDifferenceAtPartialWidth) {
+  Rng rng(304);
+  SlicePointwiseConv slice(5, 6);
+  fill_uniform(slice.weight().value, rng, -0.5f, 0.5f);
+  slice.set_active(4, 4);
+  Tensor x({2, 4, 3, 3});
+  fill_uniform(x, rng, -1.0f, 1.0f);
+  nb::testing::check_gradients(slice, x);
+}
+
+TEST(SliceDepthwiseConv, FiniteDifference) {
+  Rng rng(305);
+  SliceDepthwiseConv dw(6, 3, 1);
+  for (auto& [name, p] : dw.local_params()) {
+    (void)name;
+    fill_uniform(p->value, rng, -0.5f, 0.5f);
+  }
+  dw.set_active(4);
+  Tensor x({2, 4, 5, 5});
+  fill_uniform(x, rng, -1.0f, 1.0f);
+  nb::testing::check_gradients(dw, x);
+}
+
+TEST(SliceBatchNorm, RecordGateFreezesRunningStats) {
+  SliceBatchNorm bn(4);
+  bn.set_training(true);
+  Rng rng(306);
+  Tensor x({4, 4, 3, 3});
+  fill_normal(x, rng, 3.0f, 1.0f);
+
+  bn.set_record_stats(false);
+  (void)bn.forward(x);
+  const auto buffers = bn.local_buffers();
+  EXPECT_FLOAT_EQ(buffers[0].second->at(0), 0.0f) << "mean must stay at init";
+
+  bn.set_record_stats(true);
+  (void)bn.forward(x);
+  EXPECT_GT(buffers[0].second->at(0), 0.1f) << "mean should move when recording";
+}
+
+TEST(AugInvertedResidual, WidthChangesHiddenOnlyKeepsIO) {
+  Rng rng(307);
+  AugInvertedResidual block(6, 8, 1, 3, 3, 2.0f, nn::ActKind::relu6);
+  for (nn::Parameter* p : block.parameters()) {
+    fill_normal(p->value, rng, 0.0f, 0.4f);
+  }
+  Tensor x({1, 6, 5, 5});
+  fill_normal(x, rng, 0.0f, 1.0f);
+
+  block.set_width(1.0f);
+  const Tensor y1 = block.forward(x);
+  block.set_width(2.0f);
+  const Tensor y2 = block.forward(x);
+  EXPECT_TRUE(y1.same_shape(y2)) << "I/O shape must be width-independent";
+  EXPECT_GT(max_abs_diff(y1, y2), 1e-6f) << "wider path should compute differently";
+  EXPECT_EQ(block.max_hidden(), 2 * block.base_hidden());
+}
+
+TEST(NetAugModel, BaseForwardShape) {
+  Rng rng(308);
+  models::ModelConfig config = models::model_config("mbv2-tiny", 6);
+  NetAugModel model(config, 2.0f, rng);
+  Tensor x({2, 3, 20, 20});
+  model.set_width(1.0f);
+  const Tensor logits = model.forward(x);
+  EXPECT_EQ(logits.size(0), 2);
+  EXPECT_EQ(logits.size(1), 6);
+}
+
+TEST(NetAugModel, TrainingImprovesBaseAccuracy) {
+  ToyDataset train(16, 3, 12, 41);
+  ToyDataset test(8, 3, 12, 42);
+  Rng rng(309);
+  models::ModelConfig config = models::model_config("mbv2-tiny", 3);
+  NetAugModel model(config, 2.0f, rng);
+  model.set_width(1.0f);
+  const float before = train::evaluate(model, test);
+
+  train::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 16;
+  tc.lr = 0.05f;
+  tc.augment = false;
+  NetAugConfig na;
+  const train::TrainHistory h = train_netaug(model, train, test, tc, na);
+  EXPECT_GT(h.final_test_acc, before + 0.15f);
+}
+
+TEST(NetAugModel, ExportBaseMatchesSupernetBasePath) {
+  // The deployed network ("directly remove the supernet") must compute
+  // exactly what the supernet computes at base width.
+  Rng rng(311);
+  models::ModelConfig config = models::model_config("mbv2-tiny", 5);
+  NetAugModel supernet(config, 2.0f, rng);
+  // Give BN stats some life.
+  supernet.set_training(true);
+  Tensor warm({4, 3, 20, 20});
+  fill_normal(warm, rng, 0.0f, 1.0f);
+  supernet.set_width(1.0f);
+  (void)supernet.forward(warm);
+
+  auto base = supernet.export_base();
+  supernet.set_training(false);
+  base->set_training(false);
+  supernet.set_width(1.0f);
+
+  Tensor x({2, 3, 20, 20});
+  fill_normal(x, rng, 0.0f, 1.0f);
+  EXPECT_LT(max_abs_diff(supernet.forward(x), base->forward(x)), 1e-4f);
+}
+
+TEST(NetAugModel, EvaluationRunsAtBaseWidth) {
+  Rng rng(310);
+  models::ModelConfig config = models::model_config("mbv2-tiny", 4);
+  NetAugModel model(config, 2.0f, rng);
+  // After any width excursion, setting base width must restore base compute.
+  Tensor x({1, 3, 20, 20});
+  model.set_width(1.0f);
+  model.set_training(false);
+  const Tensor base1 = model.forward(x);
+  model.set_width(1.7f);
+  (void)model.forward(x);
+  model.set_width(1.0f);
+  const Tensor base2 = model.forward(x);
+  EXPECT_LT(max_abs_diff(base1, base2), 1e-6f)
+      << "width excursions must not corrupt the base path";
+}
+
+}  // namespace
+}  // namespace nb::baselines

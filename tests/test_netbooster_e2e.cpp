@@ -1,0 +1,161 @@
+// End-to-end NetBooster pipeline tests on miniature data: the full
+// expand -> giant-train -> PLT -> contract flow, the transfer flow, and the
+// functional guarantees the paper's tables rely on.
+#include <gtest/gtest.h>
+
+#include "core/netbooster.h"
+#include "models/registry.h"
+#include "test_util.h"
+#include "train/metrics.h"
+
+namespace nb::core {
+namespace {
+
+using ::nb::testing::ToyDataset;
+
+NetBoosterConfig micro_config() {
+  NetBoosterConfig c;
+  c.giant.epochs = 3;
+  c.giant.batch_size = 16;
+  c.giant.lr = 0.05f;
+  c.giant.augment = false;
+  c.tune.epochs = 4;
+  c.tune.batch_size = 16;
+  c.tune.lr = 0.02f;
+  c.tune.augment = false;
+  c.plt_fraction = 0.5f;
+  c.verify_contraction = true;
+  return c;
+}
+
+TEST(NetBoosterE2E, FullPipelineRunsAndContractsExactly) {
+  ToyDataset train(16, 4, 12, 21);
+  ToyDataset test(8, 4, 12, 22);
+  auto model = models::make_model("mbv2-tiny", 4);
+  const models::Profile original = models::profile_model(*model, 12);
+
+  NetBooster nb(model, micro_config());
+  const models::Profile giant = models::profile_model(nb.model(), 12);
+  EXPECT_GT(giant.params, original.params) << "giant must be bigger";
+
+  const float giant_acc = nb.train_giant(train, test);
+  EXPECT_GT(giant_acc, 0.3f);
+
+  const float final_acc = nb.tune_and_contract(train, test);
+  EXPECT_TRUE(nb.contracted());
+  EXPECT_GT(final_acc, 0.3f);
+  EXPECT_LT(nb.result().contraction_error, 1e-2f);
+
+  // Inference cost restored exactly (Table I's efficiency column).
+  EXPECT_EQ(nb.result().final_profile.flops, original.flops);
+  EXPECT_EQ(nb.result().final_profile.params, original.params);
+}
+
+TEST(NetBoosterE2E, RunHelperProducesConsistentResult) {
+  ToyDataset train(12, 3, 12, 23);
+  ToyDataset test(6, 3, 12, 24);
+  auto model = models::make_model("mbv2-tiny", 3);
+  const NetBoosterResult r =
+      run_netbooster(model, train, test, micro_config());
+  EXPECT_GT(r.expanded_acc, 0.0f);
+  EXPECT_GT(r.final_acc, 0.0f);
+  EXPECT_GT(r.giant_profile.params, r.final_profile.params);
+  EXPECT_EQ(r.giant_history.epochs.size(), 3u);
+  EXPECT_EQ(r.tune_history.epochs.size(), 4u);
+}
+
+TEST(NetBoosterE2E, TransferFlowSwapsHead) {
+  ToyDataset pretrain(12, 4, 12, 25);
+  ToyDataset pretrain_test(6, 4, 12, 26);
+  ToyDataset downstream(12, 2, 12, 27);
+  ToyDataset downstream_test(6, 2, 12, 28);
+
+  auto model = models::make_model("mbv2-tiny", 4);
+  NetBooster nb(model, micro_config());
+  nb.train_giant(pretrain, pretrain_test);
+  nb.prepare_transfer(2);
+  const float acc = nb.tune_and_contract(downstream, downstream_test);
+  EXPECT_GT(acc, 0.4f);
+  EXPECT_EQ(nb.model().config().num_classes, 2);
+}
+
+TEST(NetBoosterE2E, DoubleContractionRejected) {
+  ToyDataset train(8, 2, 12, 29);
+  ToyDataset test(4, 2, 12, 30);
+  auto model = models::make_model("mbv2-tiny", 2);
+  NetBoosterConfig c = micro_config();
+  c.giant.epochs = 1;
+  c.tune.epochs = 2;
+  NetBooster nb(model, c);
+  nb.train_giant(train, test);
+  nb.tune_and_contract(train, test);
+  EXPECT_THROW(nb.tune_and_contract(train, test), std::runtime_error);
+}
+
+TEST(NetBoosterE2E, PltAlphaReachesOneBeforeContraction) {
+  ToyDataset train(8, 2, 12, 31);
+  ToyDataset test(4, 2, 12, 32);
+  auto model = models::make_model("mbv2-tiny", 2);
+  NetBoosterConfig c = micro_config();
+  c.giant.epochs = 1;
+  c.tune.epochs = 2;
+  c.plt_fraction = 0.9f;  // ramp ends barely before training does
+  NetBooster nb(model, c);
+  nb.train_giant(train, test);
+  // Would throw inside contraction if any alpha were < 1.
+  EXPECT_NO_THROW(nb.tune_and_contract(train, test));
+}
+
+TEST(NetBoosterE2E, AblationConfigsAllRun) {
+  // Smoke every (block type, placement) combination end to end at tiny scale
+  // — the matrix behind Tables IV and V.
+  ToyDataset train(8, 2, 12, 33);
+  ToyDataset test(4, 2, 12, 34);
+  for (BlockType bt : {BlockType::inverted_residual, BlockType::basic,
+                       BlockType::bottleneck}) {
+    for (Placement pl : {Placement::uniform, Placement::first,
+                         Placement::middle, Placement::last}) {
+      auto model = models::make_model("mbv2-tiny", 2);
+      NetBoosterConfig c = micro_config();
+      c.giant.epochs = 1;
+      c.tune.epochs = 2;
+      c.expansion.block_type = bt;
+      c.expansion.placement = pl;
+      const NetBoosterResult r = run_netbooster(model, train, test, c);
+      EXPECT_LT(r.contraction_error, 1e-2f)
+          << to_string(bt) << "/" << to_string(pl);
+    }
+  }
+}
+
+TEST(NetBoosterE2E, GiantFitsAtLeastAsWellAsColdTiny) {
+  // The core premise (Fig. 1a): the expanded giant fits the data at least as
+  // well as the raw tiny model. With function-preserving insertion the giant
+  // starts from the TNN's function and only adds capacity, so its training
+  // fit must not fall behind by more than optimizer noise.
+  ToyDataset train(24, 6, 12, 35);
+  ToyDataset test(12, 6, 12, 36);
+
+  auto vanilla = models::make_model("mbv2-tiny", 6, 40);
+  train::TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 16;
+  tc.lr = 0.05f;
+  tc.augment = false;
+  const float vanilla_train_acc =
+      train::train_classifier(*vanilla, train, test, tc).epochs.back().train_acc;
+
+  auto boosted = models::make_model("mbv2-tiny", 6, 40);
+  NetBoosterConfig c = micro_config();
+  c.giant = tc;
+  NetBooster nb(boosted, c);
+  nb.train_giant(train, test);
+  const float giant_train_acc =
+      nb.result().giant_history.epochs.back().train_acc;
+
+  EXPECT_GE(giant_train_acc, vanilla_train_acc - 0.10f)
+      << "the giant should fit at least about as well as the raw TNN";
+}
+
+}  // namespace
+}  // namespace nb::core

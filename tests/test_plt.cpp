@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/plt.h"
+
+namespace nb::core {
+namespace {
+
+std::vector<std::shared_ptr<nn::PltActivation>> make_acts(int n) {
+  std::vector<std::shared_ptr<nn::PltActivation>> acts;
+  for (int i = 0; i < n; ++i) {
+    acts.push_back(std::make_shared<nn::PltActivation>(nn::ActKind::relu6));
+  }
+  return acts;
+}
+
+std::vector<nn::PltActivation*> raw(
+    const std::vector<std::shared_ptr<nn::PltActivation>>& acts) {
+  std::vector<nn::PltActivation*> out;
+  for (const auto& a : acts) out.push_back(a.get());
+  return out;
+}
+
+TEST(PltScheduler, StartsAtZero) {
+  auto acts = make_acts(3);
+  PltScheduler sched(raw(acts), 100);
+  EXPECT_FLOAT_EQ(sched.alpha(), 0.0f);
+  for (const auto& a : acts) EXPECT_FLOAT_EQ(a->alpha(), 0.0f);
+  EXPECT_FALSE(sched.done());
+}
+
+TEST(PltScheduler, UniformPerIterationRamp) {
+  // Paper Sec. III-D: "the value of alpha is uniformly increased in each
+  // iteration" across Ed epochs.
+  auto acts = make_acts(2);
+  PltScheduler sched(raw(acts), 200);
+  sched.on_step(50);
+  EXPECT_NEAR(sched.alpha(), 0.25f, 1e-6f);
+  sched.on_step(100);
+  EXPECT_NEAR(sched.alpha(), 0.5f, 1e-6f);
+  sched.on_step(200);
+  EXPECT_FLOAT_EQ(sched.alpha(), 1.0f);
+  EXPECT_TRUE(sched.done());
+}
+
+TEST(PltScheduler, MonotoneAndEqualIncrements) {
+  auto acts = make_acts(1);
+  PltScheduler sched(raw(acts), 64);
+  float prev = -1.0f;
+  float prev_delta = -1.0f;
+  for (int64_t s = 1; s <= 64; ++s) {
+    sched.on_step(s);
+    const float a = sched.alpha();
+    EXPECT_GT(a, prev);
+    if (prev >= 0.0f && prev_delta >= 0.0f) {
+      EXPECT_NEAR(a - prev, prev_delta, 1e-5f) << "increments must be uniform";
+    }
+    if (prev >= 0.0f) prev_delta = a - prev;
+    prev = a;
+  }
+}
+
+TEST(PltScheduler, ClampsAtOneAfterRamp) {
+  auto acts = make_acts(2);
+  PltScheduler sched(raw(acts), 10);
+  sched.on_step(500);
+  EXPECT_FLOAT_EQ(sched.alpha(), 1.0f);
+  for (const auto& a : acts) {
+    EXPECT_TRUE(a->is_linearized());
+  }
+}
+
+TEST(PltScheduler, ZeroRampMeansImmediatelyLinear) {
+  auto acts = make_acts(1);
+  PltScheduler sched(raw(acts), 0);
+  sched.on_step(1);
+  EXPECT_TRUE(sched.done());
+}
+
+TEST(PltScheduler, FinishForcesLinearization) {
+  auto acts = make_acts(3);
+  PltScheduler sched(raw(acts), 1000);
+  sched.on_step(3);  // mid-ramp
+  EXPECT_FALSE(sched.done());
+  sched.finish();
+  EXPECT_TRUE(sched.done());
+  for (const auto& a : acts) EXPECT_FLOAT_EQ(a->alpha(), 1.0f);
+}
+
+TEST(PltScheduler, DrivesAllManagedActivations) {
+  auto acts = make_acts(5);
+  PltScheduler sched(raw(acts), 10);
+  sched.on_step(5);
+  for (const auto& a : acts) EXPECT_FLOAT_EQ(a->alpha(), 0.5f);
+}
+
+}  // namespace
+}  // namespace nb::core

@@ -1,0 +1,118 @@
+// Tests for the PLT ramp-shape extension (linear is the paper's schedule;
+// cosine/step feed the schedule ablation bench) and the abrupt-removal mode.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/plt.h"
+
+namespace nb::core {
+namespace {
+
+std::vector<std::shared_ptr<nn::PltActivation>> make_acts(int n) {
+  std::vector<std::shared_ptr<nn::PltActivation>> acts;
+  for (int i = 0; i < n; ++i) {
+    acts.push_back(std::make_shared<nn::PltActivation>(nn::ActKind::relu));
+  }
+  return acts;
+}
+
+std::vector<nn::PltActivation*> raw(
+    const std::vector<std::shared_ptr<nn::PltActivation>>& acts) {
+  std::vector<nn::PltActivation*> out;
+  for (const auto& a : acts) out.push_back(a.get());
+  return out;
+}
+
+class RampShapeEndpoints : public ::testing::TestWithParam<RampShape> {};
+
+TEST_P(RampShapeEndpoints, ZeroAtStartOneAtEnd) {
+  const RampShape shape = GetParam();
+  EXPECT_FLOAT_EQ(ramp_alpha(shape, 0.0f), 0.0f);
+  EXPECT_FLOAT_EQ(ramp_alpha(shape, 1.0f), 1.0f);
+  EXPECT_FLOAT_EQ(ramp_alpha(shape, 1.5f), 1.0f);   // clamped
+  EXPECT_FLOAT_EQ(ramp_alpha(shape, -0.5f), 0.0f);  // clamped
+}
+
+TEST_P(RampShapeEndpoints, MonotoneNonDecreasing) {
+  const RampShape shape = GetParam();
+  float prev = -1.0f;
+  for (int i = 0; i <= 100; ++i) {
+    const float a = ramp_alpha(shape, static_cast<float>(i) / 100.0f);
+    EXPECT_GE(a, prev - 1e-6f);
+    EXPECT_GE(a, 0.0f);
+    EXPECT_LE(a, 1.0f);
+    prev = a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, RampShapeEndpoints,
+                         ::testing::Values(RampShape::linear,
+                                           RampShape::cosine,
+                                           RampShape::step));
+
+TEST(RampShapes, LinearIsIdentity) {
+  for (float t : {0.1f, 0.25f, 0.6f, 0.95f}) {
+    EXPECT_FLOAT_EQ(ramp_alpha(RampShape::linear, t), t);
+  }
+}
+
+TEST(RampShapes, CosineEasesInAndOut) {
+  // Slower than linear early, faster in the middle, value 1/2 at midpoint.
+  EXPECT_LT(ramp_alpha(RampShape::cosine, 0.1f), 0.1f);
+  EXPECT_NEAR(ramp_alpha(RampShape::cosine, 0.5f), 0.5f, 1e-6f);
+  EXPECT_GT(ramp_alpha(RampShape::cosine, 0.9f), 0.9f);
+}
+
+TEST(RampShapes, StepHasExactlyKLevels) {
+  const int64_t k = 4;
+  std::set<float> levels;
+  for (int i = 0; i <= 1000; ++i) {
+    levels.insert(ramp_alpha(RampShape::step, i / 1000.0f, k));
+  }
+  // 0, 1/4, 2/4, 3/4, 1.
+  EXPECT_EQ(levels.size(), static_cast<size_t>(k + 1));
+  EXPECT_THROW(ramp_alpha(RampShape::step, 0.5f, 0), std::runtime_error);
+}
+
+TEST(RampShapes, StringRoundTrip) {
+  for (RampShape s :
+       {RampShape::linear, RampShape::cosine, RampShape::step}) {
+    EXPECT_EQ(ramp_shape_from_string(to_string(s)), s);
+  }
+  EXPECT_THROW(ramp_shape_from_string("sawtooth"), std::runtime_error);
+}
+
+TEST(SchedulerShapes, CosineSchedulerTracksShape) {
+  auto acts = make_acts(2);
+  PltScheduler sched(raw(acts), 100, RampShape::cosine);
+  sched.on_step(50);
+  EXPECT_NEAR(sched.alpha(), 0.5f, 1e-5f);
+  sched.on_step(10);
+  EXPECT_NEAR(sched.alpha(), ramp_alpha(RampShape::cosine, 0.1f), 1e-5f);
+  for (const auto& a : acts) EXPECT_FLOAT_EQ(a->alpha(), sched.alpha());
+}
+
+TEST(SchedulerShapes, AbruptRemovalStartsLinearized) {
+  // ramp_steps = 0 reproduces NetAug-style abrupt removal: the activations
+  // are identities from the first step on.
+  auto acts = make_acts(3);
+  PltScheduler sched(raw(acts), 0);
+  EXPECT_TRUE(sched.done());
+  for (const auto& a : acts) {
+    EXPECT_TRUE(a->is_linearized());
+  }
+  sched.on_step(1);
+  EXPECT_FLOAT_EQ(sched.alpha(), 1.0f);
+}
+
+TEST(SchedulerShapes, StepShapeEndsExactlyAtOne) {
+  auto acts = make_acts(1);
+  PltScheduler sched(raw(acts), 64, RampShape::step);
+  for (int64_t s = 1; s <= 64; ++s) sched.on_step(s);
+  EXPECT_FLOAT_EQ(sched.alpha(), 1.0f);
+  EXPECT_TRUE(acts[0]->is_linearized());
+}
+
+}  // namespace
+}  // namespace nb::core

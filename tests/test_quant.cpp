@@ -1,0 +1,307 @@
+// Tests for the post-training quantization library: grid math, observers,
+// layer wrappers, BN folding exactness, and the full deployment pipeline on
+// a small model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "data/task_registry.h"
+#include "models/registry.h"
+#include "nn/blocks.h"
+#include "quant/qmodel.h"
+#include "quant/quantize.h"
+#include "tensor/rng.h"
+#include "tensor/tensor_ops.h"
+#include "train/metrics.h"
+
+namespace nb::quant {
+namespace {
+
+TEST(QuantMath, QmaxForBits) {
+  EXPECT_EQ(qmax_for_bits(8), 127);
+  EXPECT_EQ(qmax_for_bits(4), 7);
+  EXPECT_EQ(qmax_for_bits(2), 1);
+  EXPECT_EQ(qmax_for_bits(16), 32767);
+  EXPECT_THROW(qmax_for_bits(1), std::runtime_error);
+  EXPECT_THROW(qmax_for_bits(17), std::runtime_error);
+}
+
+TEST(QuantMath, ScaleMapsAbsmaxToGridEdge) {
+  const float s = scale_from_absmax(1.27f, 8);
+  EXPECT_NEAR(s, 0.01f, 1e-6f);
+  EXPECT_GT(scale_from_absmax(0.0f, 8), 0.0f);  // safe fallback
+}
+
+TEST(QuantMath, FakeQuantSnapsToGrid) {
+  Tensor t = Tensor::from({5}, {0.04f, -0.26f, 1.0f, 127.0f, -300.0f});
+  fake_quant_(t, /*scale=*/0.1f, /*bits=*/8);
+  EXPECT_FLOAT_EQ(t.at(0), 0.0f);     // rounds to 0 (0.04/0.1 = 0.4)
+  EXPECT_FLOAT_EQ(t.at(1), -0.3f);    // rounds to -3
+  EXPECT_FLOAT_EQ(t.at(2), 1.0f);     // exact level 10
+  EXPECT_FLOAT_EQ(t.at(3), 12.7f);    // clamps at +127 levels
+  EXPECT_FLOAT_EQ(t.at(4), -12.7f);   // clamps at -127 levels
+}
+
+TEST(QuantMath, FakeQuantIsIdempotent) {
+  Rng rng(3, 1);
+  Tensor t({64});
+  fill_uniform(t, rng, -2.0f, 2.0f);
+  fake_quant_(t, 0.05f, 8);
+  Tensor once = t.clone();
+  fake_quant_(t, 0.05f, 8);
+  EXPECT_FLOAT_EQ(max_abs_diff(once, t), 0.0f);
+}
+
+TEST(QuantMath, PerChannelAbsmaxPerOutputRow) {
+  Tensor w({2, 3, 1, 1});
+  w.at(0, 0, 0, 0) = 0.5f;
+  w.at(0, 1, 0, 0) = -2.0f;
+  w.at(0, 2, 0, 0) = 1.0f;
+  w.at(1, 0, 0, 0) = 0.1f;
+  w.at(1, 1, 0, 0) = 0.2f;
+  w.at(1, 2, 0, 0) = -0.05f;
+  const std::vector<float> m = per_channel_absmax(w);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_FLOAT_EQ(m[0], 2.0f);
+  EXPECT_FLOAT_EQ(m[1], 0.2f);
+}
+
+TEST(QuantMath, PerChannelQuantBoundsErrorByHalfScale) {
+  Rng rng(5, 1);
+  Tensor w({8, 4, 3, 3});
+  fill_uniform(w, rng, -1.0f, 1.0f);
+  const Tensor original = w.clone();
+  const std::vector<float> absmax = per_channel_absmax(w);
+  std::vector<float> scales;
+  for (float m : absmax) scales.push_back(scale_from_absmax(m, 8));
+  fake_quant_per_channel_(w, scales, 8);
+  for (int64_t o = 0; o < 8; ++o) {
+    const float half = scales[static_cast<size_t>(o)] * 0.5f + 1e-7f;
+    for (int64_t i = 0; i < 4 * 9; ++i) {
+      const float diff = std::fabs(w.data()[o * 36 + i] -
+                                   original.data()[o * 36 + i]);
+      ASSERT_LE(diff, half);
+    }
+  }
+}
+
+TEST(QuantMath, MseReflectsBitWidth) {
+  Rng rng(7, 1);
+  Tensor t({4096});
+  fill_uniform(t, rng, -1.0f, 1.0f);
+  Tensor q8 = t.clone();
+  Tensor q4 = t.clone();
+  fake_quant_(q8, scale_from_absmax(1.0f, 8), 8);
+  fake_quant_(q4, scale_from_absmax(1.0f, 4), 4);
+  EXPECT_LT(quantization_mse(t, q8), quantization_mse(t, q4));
+}
+
+TEST(ActObserverTest, MinMaxTracksAbsmax) {
+  ActObserver obs;
+  obs.observe(Tensor::from({3}, {0.5f, -2.5f, 1.0f}));
+  obs.observe(Tensor::from({2}, {0.1f, 0.2f}));
+  EXPECT_FLOAT_EQ(obs.absmax(), 2.5f);
+  EXPECT_EQ(obs.samples(), 5);
+}
+
+TEST(ActObserverTest, PercentileClipsOutlier) {
+  ActObserver obs;
+  // 4095 small values and one huge outlier.
+  Tensor bulk({4095});
+  Rng rng(11, 1);
+  fill_uniform(bulk, rng, -1.0f, 1.0f);
+  obs.observe(bulk);
+  obs.observe(Tensor::from({1}, {1000.0f}));
+  const float p999 = obs.percentile_absmax(0.999f);
+  EXPECT_LT(p999, 10.0f);                          // outlier clipped away
+  EXPECT_FLOAT_EQ(obs.percentile_absmax(1.0f), 1000.0f);  // minmax keeps it
+}
+
+TEST(ActObserverTest, RangeGrowthKeepsCounts) {
+  ActObserver obs(64);
+  obs.observe(Tensor::from({4}, {0.1f, 0.2f, 0.3f, 0.4f}));
+  obs.observe(Tensor::from({1}, {100.0f}));  // forces range doubling
+  EXPECT_EQ(obs.samples(), 5);
+  // 80% of samples are <= 0.4, so the 0.8 percentile must be far below 100.
+  EXPECT_LT(obs.percentile_absmax(0.8f), 50.0f);
+}
+
+TEST(ActObserverTest, EmptyObserverFallsBack) {
+  ActObserver obs;
+  EXPECT_FLOAT_EQ(obs.percentile_absmax(0.99f), 0.0f);
+  EXPECT_THROW(obs.percentile_absmax(0.0f), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- layers
+
+std::shared_ptr<nn::Conv2d> small_conv(uint64_t seed) {
+  auto conv = std::make_shared<nn::Conv2d>(
+      nn::Conv2dOptions(4, 6, 3).same_padding());
+  Rng rng(seed, 1);
+  fill_uniform(conv->weight().value, rng, -0.5f, 0.5f);
+  return conv;
+}
+
+TEST(QuantConv, LifecycleCalibrateFreezeForward) {
+  auto conv = small_conv(13);
+  QuantSpec spec;
+  QuantConv2d q(conv, Tensor{}, spec);
+  Rng rng(17, 1);
+  Tensor x({2, 4, 8, 8});
+  fill_uniform(x, rng, -1.0f, 1.0f);
+
+  const Tensor y_float = q.forward(x);  // calibrating: float math
+  EXPECT_FALSE(q.frozen());
+  q.freeze();
+  EXPECT_TRUE(q.frozen());
+  const Tensor y_quant = q.forward(x);
+  // int8 output tracks float closely relative to activation magnitude.
+  EXPECT_LT(max_abs_diff(y_float, y_quant), 0.15f);
+  EXPECT_GT(max_abs_diff(y_float, y_quant), 0.0f);  // it did quantize
+}
+
+TEST(QuantConv, HighBitQuantIsNearlyExact) {
+  auto conv = small_conv(19);
+  QuantSpec spec;
+  spec.weight_bits = 16;
+  spec.act_bits = 16;
+  spec.calib = CalibMode::minmax;
+  QuantConv2d q(conv, Tensor{}, spec);
+  Rng rng(23, 1);
+  Tensor x({1, 4, 6, 6});
+  fill_uniform(x, rng, -1.0f, 1.0f);
+  const Tensor y_float = q.forward(x);
+  q.freeze();
+  const Tensor y_quant = q.forward(x);
+  EXPECT_LT(max_abs_diff(y_float, y_quant), 2e-3f);
+}
+
+TEST(QuantConv, BackwardThrows) {
+  auto conv = small_conv(29);
+  QuantConv2d q(conv, Tensor{}, QuantSpec{});
+  EXPECT_THROW(q.backward(Tensor({1})), std::runtime_error);
+}
+
+TEST(QuantConv, FreezeRequiresCalibration) {
+  auto conv = small_conv(31);
+  QuantConv2d q(conv, Tensor{}, QuantSpec{});
+  EXPECT_THROW(q.freeze(), std::runtime_error);
+}
+
+TEST(QuantConv, DoubleFreezeThrows) {
+  auto conv = small_conv(37);
+  QuantConv2d q(conv, Tensor{}, QuantSpec{});
+  Tensor x({1, 4, 5, 5});
+  (void)q.forward(x);
+  q.freeze();
+  EXPECT_THROW(q.freeze(), std::runtime_error);
+}
+
+TEST(QuantConv, QuantizedBytesRoughlyQuarterOfFloat) {
+  auto conv = small_conv(41);
+  QuantConv2d q(conv, Tensor{}, QuantSpec{});
+  Tensor x({1, 4, 5, 5});
+  (void)q.forward(x);
+  q.freeze();
+  const int64_t fp32 = conv->weight().value.numel() * 4;
+  EXPECT_LT(q.quantized_weight_bytes(), fp32 / 2);
+}
+
+// ----------------------------------------------------------------- model
+
+/// A small calibration/eval dataset (6-ish classes, 20 px, ~10% samples).
+const data::SynthClassification& tiny_dataset() {
+  static const data::ClassificationTask task =
+      data::make_task("synth-imagenet", 20, /*scale=*/0.1f, /*seed=*/5);
+  return *task.test;
+}
+
+TEST(QuantModel, FoldBatchnormsPreservesFunction) {
+  auto model = models::make_model("mbv2-tiny", 6, 7);
+  model->set_training(false);
+  Rng rng(43, 1);
+  Tensor x({2, 3, 20, 20});
+  fill_uniform(x, rng, -1.0f, 1.0f);
+  const Tensor before = model->forward(x);
+
+  QuantSpec spec;
+  const int64_t folded = fold_batchnorms(*model, spec);
+  EXPECT_GT(folded, 10);  // every ConvBnAct with BN
+  const Tensor after = model->forward(x);
+  EXPECT_LT(max_abs_diff(before, after), 2e-3f);
+}
+
+TEST(QuantModel, DeploymentPipelineKeepsAccuracy) {
+  const auto& dataset = tiny_dataset();
+  auto model = models::make_model("mbv2-tiny", dataset.num_classes(), 7);
+  // An untrained model's accuracy is chance; what must hold is that the
+  // quantized model agrees with the float model on most predictions.
+  model->set_training(false);
+  const float float_acc = train::evaluate(*model, dataset);
+
+  DeployConfig cfg;
+  cfg.calib_batches = 2;
+  cfg.batch_size = 16;
+  const DeployReport report = quantize_for_deployment(*model, dataset, cfg);
+  EXPECT_GT(report.conv_layers, 10);
+  EXPECT_EQ(report.linear_layers, 1);
+  EXPECT_GT(report.folded_bn, 10);
+  EXPECT_GT(report.fp32_weight_bytes, 0);
+  EXPECT_LT(report.quant_weight_bytes, report.fp32_weight_bytes / 2);
+
+  const float int8_acc = train::evaluate(*model, dataset);
+  EXPECT_NEAR(int8_acc, float_acc, 0.15f);
+}
+
+TEST(QuantModel, QuantizedModelRejectsBackward) {
+  const auto& dataset = tiny_dataset();
+  auto model = models::make_model("mbv2-tiny", dataset.num_classes(), 7);
+  DeployConfig cfg;
+  cfg.calib_batches = 1;
+  quantize_for_deployment(*model, dataset, cfg);
+  Tensor x({1, 3, 20, 20});
+  (void)model->forward(x);
+  Tensor g({1, dataset.num_classes()});
+  EXPECT_THROW(model->backward(g), std::runtime_error);
+}
+
+TEST(QuantModel, WrappersDiscoverable) {
+  const auto& dataset = tiny_dataset();
+  auto model = models::make_model("mbv2-tiny", dataset.num_classes(), 7);
+  DeployConfig cfg;
+  cfg.calib_batches = 1;
+  const DeployReport report = quantize_for_deployment(*model, dataset, cfg);
+  const std::vector<QuantConv2d*> convs = quant_convs(*model);
+  EXPECT_EQ(static_cast<int64_t>(convs.size()), report.conv_layers);
+  for (QuantConv2d* q : convs) {
+    EXPECT_TRUE(q->frozen());
+    EXPECT_GT(q->act_scale(), 0.0f);
+  }
+}
+
+TEST(QuantModel, LowerBitsLoseMoreAgreement) {
+  const auto& dataset = tiny_dataset();
+  Rng rng(47, 1);
+  Tensor x({4, 3, 20, 20});
+  fill_uniform(x, rng, -1.0f, 1.0f);
+
+  auto run_at_bits = [&](int bits) {
+    auto model = models::make_model("mbv2-tiny", dataset.num_classes(), 7);
+    model->set_training(false);
+    const Tensor ref = model->forward(x);
+    DeployConfig cfg;
+    cfg.spec.weight_bits = bits;
+    cfg.spec.act_bits = bits;
+    cfg.calib_batches = 2;
+    quantize_for_deployment(*model, dataset, cfg);
+    const Tensor out = model->forward(x);
+    return max_abs_diff(ref, out);
+  };
+  const float err8 = run_at_bits(8);
+  const float err4 = run_at_bits(4);
+  EXPECT_LT(err8, err4);
+}
+
+}  // namespace
+}  // namespace nb::quant

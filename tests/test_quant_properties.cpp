@@ -1,0 +1,108 @@
+// Property-style sweeps for the quantization primitives: error bounds and
+// orderings that must hold for any tensor, bit width, and channel layout.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/quantize.h"
+#include "tensor/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace nb::quant {
+namespace {
+
+class BitWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitWidthSweep, ErrorBoundedByHalfScale) {
+  const int bits = GetParam();
+  Rng rng(100 + bits, 1);
+  Tensor t({512});
+  fill_uniform(t, rng, -2.0f, 2.0f);
+  const Tensor original = t.clone();
+  const float scale = scale_from_absmax(2.0f, bits);
+  fake_quant_(t, scale, bits);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_LE(std::fabs(t.data()[i] - original.data()[i]),
+              0.5f * scale + 1e-6f);
+  }
+}
+
+TEST_P(BitWidthSweep, GridValuesAreMultiplesOfScale) {
+  const int bits = GetParam();
+  Rng rng(200 + bits, 1);
+  Tensor t({256});
+  fill_uniform(t, rng, -1.0f, 1.0f);
+  const float scale = scale_from_absmax(1.0f, bits);
+  fake_quant_(t, scale, bits);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    const float level = t.data()[i] / scale;
+    EXPECT_NEAR(level, std::round(level), 1e-3f);
+    EXPECT_LE(std::fabs(level),
+              static_cast<float>(qmax_for_bits(bits)) + 0.5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, BitWidthSweep,
+                         ::testing::Values(2, 4, 6, 8, 12, 16));
+
+TEST(QuantProperties, PerChannelNeverWorseThanPerTensor) {
+  // Give each output channel a very different magnitude: a single
+  // per-tensor scale must waste grid range on the small channels.
+  Rng rng(11, 1);
+  Tensor w({6, 4, 3, 3});
+  for (int64_t o = 0; o < 6; ++o) {
+    const float magnitude = std::pow(4.0f, static_cast<float>(o) - 3.0f);
+    for (int64_t i = 0; i < 36; ++i) {
+      w.data()[o * 36 + i] = rng.uniform(-magnitude, magnitude);
+    }
+  }
+  const Tensor original = w.clone();
+
+  Tensor per_tensor = w.clone();
+  fake_quant_(per_tensor, scale_from_absmax(per_tensor.abs_max(), 8), 8);
+
+  Tensor per_channel = w.clone();
+  const std::vector<float> absmax = per_channel_absmax(per_channel);
+  std::vector<float> scales;
+  for (float m : absmax) scales.push_back(scale_from_absmax(m, 8));
+  fake_quant_per_channel_(per_channel, scales, 8);
+
+  EXPECT_LE(quantization_mse(original, per_channel),
+            quantization_mse(original, per_tensor));
+  // And strictly better given the engineered magnitude spread.
+  EXPECT_LT(quantization_mse(original, per_channel),
+            0.5f * quantization_mse(original, per_tensor) + 1e-12f);
+}
+
+TEST(QuantProperties, ObserverPercentileMonotoneInFraction) {
+  ActObserver obs;
+  Rng rng(13, 1);
+  Tensor t({8192});
+  fill_normal(t, rng, 0.0f, 1.0f);
+  obs.observe(t);
+  float prev = 0.0f;
+  for (float f : {0.5f, 0.9f, 0.99f, 0.999f, 1.0f}) {
+    const float v = obs.percentile_absmax(f);
+    EXPECT_GE(v, prev - 1e-6f);
+    prev = v;
+  }
+}
+
+TEST(QuantProperties, ObserverScaleInvariantToBatching) {
+  // Observing one big batch or the same values split into chunks must give
+  // identical min-max statistics (histograms may rebin, absmax never).
+  Rng rng(17, 1);
+  Tensor all({4096});
+  fill_normal(all, rng, 0.0f, 2.0f);
+  ActObserver one;
+  one.observe(all);
+  ActObserver chunked;
+  for (int64_t c = 0; c < 4; ++c) {
+    chunked.observe(all.narrow0(c * 1024, (c + 1) * 1024));
+  }
+  EXPECT_FLOAT_EQ(one.absmax(), chunked.absmax());
+  EXPECT_EQ(one.samples(), chunked.samples());
+}
+
+}  // namespace
+}  // namespace nb::quant

@@ -1,0 +1,151 @@
+// Tests for the Squeeze-Excitation layer, the MCUNet-SE model variant, and
+// the per-layer model summary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/expansion.h"
+#include "models/profiler.h"
+#include "models/registry.h"
+#include "nn/init.h"
+#include "nn/se.h"
+#include "test_util.h"
+#include "tensor/tensor_ops.h"
+
+namespace nb {
+namespace {
+
+TEST(SqueezeExcite, OutputShapeMatchesInput) {
+  nn::SqueezeExcite se(8, 4);
+  Rng rng(3, 1);
+  nn::init_parameters(se, rng);
+  Tensor x({2, 8, 5, 5});
+  fill_uniform(x, rng, -1.0f, 1.0f);
+  const Tensor y = se.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(SqueezeExcite, GatesAreChannelwiseScales) {
+  nn::SqueezeExcite se(4, 2);
+  // Zero both FCs: logits are 0 -> every gate is sigmoid(0) = 0.5.
+  se.fc1().weight().value.zero();
+  se.fc1().bias().value.zero();
+  se.fc2().weight().value.zero();
+  se.fc2().bias().value.zero();
+  Rng rng(5, 1);
+  Tensor x({1, 4, 3, 3});
+  fill_uniform(x, rng, -1.0f, 1.0f);
+  const Tensor y = se.forward(x);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(y.data()[i], 0.5f * x.data()[i], 1e-6f);
+  }
+}
+
+TEST(SqueezeExcite, LargePositiveBiasSaturatesToIdentity) {
+  nn::SqueezeExcite se(4, 2);
+  se.fc1().weight().value.zero();
+  se.fc1().bias().value.zero();
+  se.fc2().weight().value.zero();
+  se.fc2().bias().value.fill(20.0f);  // sigmoid(20) ~= 1
+  Rng rng(7, 1);
+  Tensor x({1, 4, 3, 3});
+  fill_uniform(x, rng, -1.0f, 1.0f);
+  const Tensor y = se.forward(x);
+  EXPECT_LT(max_abs_diff(y, x), 1e-4f);
+}
+
+TEST(SqueezeExcite, GradientCheck) {
+  nn::SqueezeExcite se(6, 3);
+  Rng rng(11, 1);
+  nn::init_parameters(se, rng);
+  Tensor x({2, 6, 4, 4});
+  fill_uniform(x, rng, -1.0f, 1.0f);
+  nb::testing::check_gradients(se, x);
+}
+
+TEST(SqueezeExcite, HiddenIsReducedButAtLeastOne) {
+  nn::SqueezeExcite a(16, 4);
+  EXPECT_EQ(a.hidden(), 4);
+  nn::SqueezeExcite b(2, 8);
+  EXPECT_EQ(b.hidden(), 1);
+  EXPECT_THROW(nn::SqueezeExcite(0, 4), std::runtime_error);
+}
+
+TEST(SqueezeExcite, ChannelMismatchThrows) {
+  nn::SqueezeExcite se(8, 4);
+  Tensor x({1, 4, 3, 3});
+  EXPECT_THROW(se.forward(x), std::runtime_error);
+}
+
+TEST(McuNetSe, BuildsAndRuns) {
+  auto model = models::make_model("mcunet-se", 10, 3);
+  EXPECT_TRUE(model->config().use_se);
+  Rng rng(13, 1);
+  Tensor x({2, 3, 26, 26});
+  fill_uniform(x, rng, -1.0f, 1.0f);
+  const Tensor logits = model->forward(x);
+  EXPECT_EQ(logits.shape(), (std::vector<int64_t>{2, 10}));
+}
+
+TEST(McuNetSe, HasMoreParamsThanPlainMcunet) {
+  auto plain = models::make_model("mcunet", 10, 3);
+  auto se = models::make_model("mcunet-se", 10, 3);
+  EXPECT_GT(se->param_count(), plain->param_count());
+  // Same conv structure though: FLOPs differ only by the tiny SE FCs.
+  const auto p_plain = models::profile_model(*plain, 26);
+  const auto p_se = models::profile_model(*se, 26);
+  EXPECT_GT(p_se.flops, p_plain.flops);
+  EXPECT_LT(p_se.flops, p_plain.flops * 1.2);
+}
+
+TEST(McuNetSe, TrainsOneStepBackward) {
+  auto model = models::make_model("mcunet-se", 4, 3);
+  Rng rng(17, 1);
+  Tensor x({2, 3, 26, 26});
+  fill_uniform(x, rng, -1.0f, 1.0f);
+  const Tensor logits = model->forward(x);
+  Tensor g(logits.shape());
+  fill_uniform(g, rng, -0.1f, 0.1f);
+  model->zero_grad();
+  (void)model->backward(g);
+  // SE's fc parameters must have received gradient.
+  float se_grad_norm = 0.0f;
+  model->apply([&](nn::Module& m) {
+    if (auto* seb = dynamic_cast<nn::SqueezeExcite*>(&m)) {
+      se_grad_norm += seb->fc1().weight().grad.norm();
+    }
+  });
+  EXPECT_GT(se_grad_norm, 0.0f);
+}
+
+TEST(Summary, ListsLayersAndTotals) {
+  auto model = models::make_model("mbv2-tiny", 8, 3);
+  const std::string text = models::summarize_model(*model, 20);
+  EXPECT_NE(text.find("stem.conv"), std::string::npos);
+  EXPECT_NE(text.find("classifier"), std::string::npos);
+  EXPECT_NE(text.find("total:"), std::string::npos);
+  EXPECT_NE(text.find("Conv2d"), std::string::npos);
+  EXPECT_NE(text.find("BatchNorm2d"), std::string::npos);
+}
+
+TEST(Summary, ReflectsExpansionGrowth) {
+  auto model = models::make_model("mbv2-tiny", 8, 3);
+  const std::string before = models::summarize_model(*model, 20);
+  core::ExpansionConfig config;
+  Rng rng(19, 1);
+  const core::ExpansionResult result =
+      core::expand_network(*model, config, rng);
+  ASSERT_FALSE(result.records.empty());
+  const std::string after = models::summarize_model(*model, 20);
+  // The giant has strictly more (conv, BN) rows than the TNN — the summary
+  // grows by at least three rows per inserted unit.
+  const auto count_rows = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '\n');
+  };
+  EXPECT_GE(count_rows(after),
+            count_rows(before) +
+                3 * static_cast<int64_t>(result.records.size()));
+}
+
+}  // namespace
+}  // namespace nb

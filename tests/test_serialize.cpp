@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "models/registry.h"
+#include "nn/activations.h"
+#include "nn/serialize.h"
+#include "tensor/tensor_ops.h"
+
+namespace nb::nn {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(StateDict, ContainsParamsAndBuffers) {
+  auto model = models::make_model("mbv2-tiny", 8);
+  const auto sd = state_dict(*model);
+  // Every BN contributes gamma/beta (params) + running stats (buffers).
+  bool has_gamma = false, has_running = false, has_conv = false;
+  for (const auto& [name, t] : sd) {
+    (void)t;
+    if (name.find("gamma") != std::string::npos) has_gamma = true;
+    if (name.find("running_mean") != std::string::npos) has_running = true;
+    if (name.find("conv.weight") != std::string::npos) has_conv = true;
+  }
+  EXPECT_TRUE(has_gamma);
+  EXPECT_TRUE(has_running);
+  EXPECT_TRUE(has_conv);
+}
+
+TEST(StateDict, LoadRestoresValues) {
+  auto a = models::make_model("mbv2-tiny", 8, 1);
+  auto b = models::make_model("mbv2-tiny", 8, 2);
+  // Different seeds -> different weights.
+  EXPECT_GT(max_abs_diff(a->parameters()[0]->value,
+                         b->parameters()[0]->value),
+            1e-5f);
+  load_state_dict(*b, state_dict(*a));
+  auto pa = a->parameters();
+  auto pb = b->parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_LT(max_abs_diff(pa[i]->value, pb[i]->value), 1e-7f);
+  }
+}
+
+TEST(StateDict, StrictLoadRejectsMissingEntry) {
+  auto model = models::make_model("mbv2-tiny", 8);
+  std::map<std::string, Tensor> empty;
+  EXPECT_THROW(load_state_dict(*model, empty), std::runtime_error);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const std::string path = temp_path("nb_ckpt_test.bin");
+  auto a = models::make_model("mbv2-35", 12, 5);
+  save_checkpoint(*a, path);
+
+  auto b = models::make_model("mbv2-35", 12, 6);
+  load_checkpoint(*b, path);
+
+  // Outputs must match exactly after the round trip.
+  a->set_training(false);
+  b->set_training(false);
+  Tensor x({1, 3, 24, 24});
+  Rng rng(50);
+  fill_normal(x, rng, 0.0f, 1.0f);
+  EXPECT_LT(max_abs_diff(a->forward(x), b->forward(x)), 1e-6f);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsCorruptMagic) {
+  const std::string path = temp_path("nb_ckpt_bad.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "NOT A CHECKPOINT";
+  }
+  auto model = models::make_model("mbv2-tiny", 8);
+  EXPECT_THROW(load_checkpoint(*model, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsMissingFile) {
+  auto model = models::make_model("mbv2-tiny", 8);
+  EXPECT_THROW(load_checkpoint(*model, "/nonexistent/dir/x.bin"),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, PreservesPltAlphaMidRamp) {
+  // PLT alpha is a buffer, so an interrupted PLT run can resume exactly.
+  PltActivation act(ActKind::relu6, 0.4f);
+  const auto sd = state_dict(act);
+  PltActivation restored(ActKind::relu6, 0.0f);
+  load_state_dict(restored, sd);
+  EXPECT_FLOAT_EQ(restored.alpha(), 0.4f);
+}
+
+}  // namespace
+}  // namespace nb::nn

@@ -1,0 +1,163 @@
+// Thread pool and parallel GEMM tests: the contract is that parallel
+// execution computes exactly what serial execution computes (disjoint
+// contiguous chunks, same per-row arithmetic order).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+#include "tensor/threadpool.h"
+
+namespace nb {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(101);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(101, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroTotalIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0);
+  int64_t begin = -1, end = -1;
+  pool.parallel_for(17, [&](int64_t b, int64_t e) { begin = b; end = e; });
+  EXPECT_EQ(begin, 0);
+  EXPECT_EQ(end, 17);
+}
+
+TEST(ThreadPool, ChunksAreContiguousAndOrderedPerWorker) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  pool.parallel_for(100, [&](int64_t b, int64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(b, e);
+  });
+  int64_t covered = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_LT(b, e);
+    covered += e - b;
+  }
+  EXPECT_EQ(covered, 100);
+}
+
+TEST(ThreadPool, ExceptionFromWorkerPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](int64_t b, int64_t) {
+                          if (b > 0) throw std::runtime_error("worker boom");
+                        }),
+      std::runtime_error);
+  // The pool must survive a failed loop and accept new work.
+  std::atomic<int64_t> sum{0};
+  pool.parallel_for(10, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, ExceptionFromCallerChunkPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](int64_t b, int64_t) {
+                                   if (b == 0)
+                                     throw std::logic_error("caller boom");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, GlobalPoolSingleton) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ParallelFor, SmallRangeFallsBackToSerial) {
+  int64_t calls = 0;
+  parallel_for(3, /*grain=*/100, [&](int64_t b, int64_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 3);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+// The GEMM contract: the threaded row-partitioned path must equal the serial
+// path bit-for-bit (same per-row arithmetic order).
+class GemmParallelEquivalence
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {};
+
+TEST_P(GemmParallelEquivalence, MatchesSingleRowComputation) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(1234, 9);
+  std::vector<float> a(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * n));
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+
+  // Whole-matrix product (may use the pool internally).
+  std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+  gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+
+  // Row-by-row products can never split across threads (m = 1 per call).
+  std::vector<float> c_ref(static_cast<size_t>(m * n), 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    gemm(false, false, 1, n, k, 1.0f, a.data() + i * k, b.data(), 0.0f,
+         c_ref.data() + i * n);
+  }
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(c[i], c_ref[i]) << "mismatch at flat index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParallelEquivalence,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(7, 5, 3),
+                      std::make_tuple(64, 64, 64),
+                      std::make_tuple(128, 96, 33),
+                      std::make_tuple(256, 17, 128),
+                      std::make_tuple(33, 257, 65)));
+
+TEST(GemmParallel, LargeProductStressAgainstNaive) {
+  const int64_t m = 96, n = 80, k = 72;
+  Rng rng(77, 3);
+  std::vector<float> a(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * n));
+  for (auto& v : a) v = rng.uniform(-1.0f, 1.0f);
+  for (auto& v : b) v = rng.uniform(-1.0f, 1.0f);
+  std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+  gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+
+  for (int64_t i = 0; i < m; i += 13) {
+    for (int64_t j = 0; j < n; j += 11) {
+      double s = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        s += static_cast<double>(a[static_cast<size_t>(i * k + p)]) *
+             b[static_cast<size_t>(p * n + j)];
+      }
+      EXPECT_NEAR(c[static_cast<size_t>(i * n + j)], s, 1e-3)
+          << "at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nb

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataloader.h"
+#include "models/registry.h"
+#include "test_util.h"
+#include "train/metrics.h"
+#include "train/trainer.h"
+
+namespace nb::train {
+namespace {
+
+using ::nb::testing::ToyDataset;
+
+TrainConfig fast_config() {
+  TrainConfig c;
+  c.epochs = 4;
+  c.batch_size = 16;
+  c.lr = 0.05f;
+  c.weight_decay = 1e-4f;
+  c.augment = false;
+  return c;
+}
+
+TEST(Trainer, LearnsToyTask) {
+  ToyDataset train(16, 4, 12, 1);
+  ToyDataset test(8, 4, 12, 2);
+  auto model = models::make_model("mbv2-tiny", 4);
+  const float before = evaluate(*model, test);
+  const TrainHistory h = train_classifier(*model, train, test, fast_config());
+  EXPECT_GT(h.final_test_acc, before + 0.2f)
+      << "training should clearly beat random init";
+  EXPECT_GT(h.final_test_acc, 0.5f);
+}
+
+TEST(Trainer, LossDecreases) {
+  ToyDataset train(16, 4, 12, 3);
+  ToyDataset test(4, 4, 12, 4);
+  auto model = models::make_model("mbv2-tiny", 4);
+  const TrainHistory h = train_classifier(*model, train, test, fast_config());
+  ASSERT_GE(h.epochs.size(), 2u);
+  EXPECT_LT(h.epochs.back().train_loss, h.epochs.front().train_loss);
+}
+
+TEST(Trainer, HistoryBookkeeping) {
+  ToyDataset train(8, 2, 10, 5);
+  ToyDataset test(4, 2, 10, 6);
+  auto model = models::make_model("mbv2-tiny", 2);
+  TrainConfig c = fast_config();
+  c.epochs = 3;
+  const TrainHistory h = train_classifier(*model, train, test, c);
+  EXPECT_EQ(h.epochs.size(), 3u);
+  for (size_t i = 0; i < h.epochs.size(); ++i) {
+    EXPECT_EQ(h.epochs[i].epoch, static_cast<int64_t>(i));
+  }
+  EXPECT_GE(h.best_test_acc, h.final_test_acc - 1e-6f);
+}
+
+TEST(Trainer, IterationHookSeesEveryStep) {
+  ToyDataset train(8, 2, 10, 7);
+  ToyDataset test(4, 2, 10, 8);
+  auto model = models::make_model("mbv2-tiny", 2);
+  TrainConfig c = fast_config();
+  c.epochs = 2;
+  c.batch_size = 8;
+  int64_t calls = 0;
+  int64_t last_step = 0;
+  int64_t reported_total = 0;
+  (void)train_classifier(*model, train, test, c, nullptr,
+                         [&](int64_t step, int64_t total) {
+                           ++calls;
+                           last_step = step;
+                           reported_total = total;
+                         });
+  const int64_t steps_per_epoch = (16 + 7) / 8;
+  EXPECT_EQ(calls, steps_per_epoch * 2);
+  EXPECT_EQ(last_step, calls);
+  EXPECT_EQ(reported_total, steps_per_epoch * 2);
+}
+
+TEST(Trainer, CustomLossIsUsed) {
+  ToyDataset train(8, 2, 10, 9);
+  ToyDataset test(4, 2, 10, 10);
+  auto model = models::make_model("mbv2-tiny", 2);
+  TrainConfig c = fast_config();
+  c.epochs = 1;
+  int64_t loss_calls = 0;
+  LossFn fn = [&loss_calls](const Tensor& logits,
+                            const std::vector<int64_t>& labels,
+                            const Tensor&) {
+    ++loss_calls;
+    return nn::softmax_cross_entropy(logits, labels);
+  };
+  (void)train_classifier(*model, train, test, c, fn);
+  EXPECT_GT(loss_calls, 0);
+}
+
+TEST(Trainer, DeterministicGivenSeed) {
+  ToyDataset train(8, 2, 10, 11);
+  ToyDataset test(4, 2, 10, 12);
+  auto m1 = models::make_model("mbv2-tiny", 2, 9);
+  auto m2 = models::make_model("mbv2-tiny", 2, 9);
+  TrainConfig c = fast_config();
+  c.epochs = 2;
+  const TrainHistory h1 = train_classifier(*m1, train, test, c);
+  const TrainHistory h2 = train_classifier(*m2, train, test, c);
+  EXPECT_FLOAT_EQ(h1.final_test_acc, h2.final_test_acc);
+  EXPECT_FLOAT_EQ(h1.epochs.back().train_loss, h2.epochs.back().train_loss);
+}
+
+TEST(Metrics, EvaluateMatchesManual) {
+  ToyDataset test(8, 2, 10, 13);
+  auto model = models::make_model("mbv2-tiny", 2);
+  model->set_training(false);
+  // Manual: batch the whole set and count argmax hits.
+  data::Batch batch = data::full_batch(test);
+  const Tensor logits = model->forward(batch.images);
+  const float manual = nn::accuracy(logits, batch.labels);
+  EXPECT_NEAR(evaluate(*model, test), manual, 1e-6f);
+}
+
+TEST(Metrics, EvalLossIsFinite) {
+  ToyDataset test(4, 2, 10, 14);
+  auto model = models::make_model("mbv2-tiny", 2);
+  const float loss = evaluate_loss(*model, test);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0f);
+}
+
+}  // namespace
+}  // namespace nb::train

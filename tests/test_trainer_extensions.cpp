@@ -1,0 +1,138 @@
+// Tests for the trainer's extension knobs: optimizer selection, mixup /
+// CutMix integration, EMA evaluation, and gradient clipping. These run on a
+// toy dataset so each training call takes well under a second.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/registry.h"
+#include "test_util.h"
+#include "train/metrics.h"
+#include "train/trainer.h"
+
+namespace nb::train {
+namespace {
+
+using ::nb::testing::ToyDataset;
+
+TrainConfig base_config() {
+  TrainConfig c;
+  c.epochs = 3;
+  c.batch_size = 8;
+  c.lr = 0.05f;
+  c.seed = 21;
+  c.augment = false;
+  return c;
+}
+
+TEST(TrainerExtensions, AdamOptimizerLearnsToy) {
+  ToyDataset train(16, 3, 12, 91);
+  ToyDataset test(8, 3, 12, 92);
+  TrainConfig c = base_config();
+  c.optimizer = optim::OptimizerKind::adam;
+  c.lr = 0.003f;
+  auto model = models::make_model("mbv2-tiny", 3, 15);
+  const TrainHistory h = train_classifier(*model, train, test, c);
+  // The toy task separates easily: Adam must clear chance by a wide margin.
+  EXPECT_GT(h.final_test_acc, 0.5f);
+}
+
+TEST(TrainerExtensions, RmsPropOptimizerLearnsToy) {
+  ToyDataset train(16, 3, 12, 93);
+  ToyDataset test(8, 3, 12, 94);
+  TrainConfig c = base_config();
+  c.optimizer = optim::OptimizerKind::rmsprop;
+  c.lr = 0.002f;
+  auto model = models::make_model("mbv2-tiny", 3, 15);
+  const TrainHistory h = train_classifier(*model, train, test, c);
+  EXPECT_GT(h.final_test_acc, 0.5f);
+}
+
+TEST(TrainerExtensions, MixupTrainingRunsAndLearns) {
+  ToyDataset train(16, 3, 12, 95);
+  ToyDataset test(8, 3, 12, 96);
+  TrainConfig c = base_config();
+  c.mixup_alpha = 0.4f;
+  auto model = models::make_model("mbv2-tiny", 3, 15);
+  const TrainHistory h = train_classifier(*model, train, test, c);
+  EXPECT_GT(h.final_test_acc, 0.4f);
+  // Mixed-label loss is still a valid CE mixture: positive and finite.
+  for (const EpochStats& e : h.epochs) {
+    EXPECT_GT(e.train_loss, 0.0f);
+    EXPECT_TRUE(std::isfinite(e.train_loss));
+  }
+}
+
+TEST(TrainerExtensions, CutmixAndMixupCanCoexist) {
+  ToyDataset train(16, 3, 12, 97);
+  ToyDataset test(8, 3, 12, 98);
+  TrainConfig c = base_config();
+  c.mixup_alpha = 0.4f;
+  c.cutmix_alpha = 0.6f;
+  auto model = models::make_model("mbv2-tiny", 3, 15);
+  EXPECT_NO_THROW(train_classifier(*model, train, test, c));
+}
+
+TEST(TrainerExtensions, MixingIgnoredUnderCustomLoss) {
+  // A custom loss_fn leaves no slot for partner labels; the trainer must
+  // fall back to unmixed batches rather than silently mismatching.
+  ToyDataset train(16, 3, 12, 99);
+  ToyDataset test(8, 3, 12, 100);
+  TrainConfig c = base_config();
+  c.mixup_alpha = 0.8f;
+  auto model = models::make_model("mbv2-tiny", 3, 15);
+  int64_t calls = 0;
+  const LossFn plain_ce = [&calls](const Tensor& logits,
+                                   const std::vector<int64_t>& labels,
+                                   const Tensor&) {
+    ++calls;
+    return nn::softmax_cross_entropy(logits, labels);
+  };
+  EXPECT_NO_THROW(train_classifier(*model, train, test, c, plain_ce));
+  EXPECT_GT(calls, 0);
+}
+
+TEST(TrainerExtensions, EmaEvaluationSmoothsWeights) {
+  ToyDataset train(16, 3, 12, 101);
+  ToyDataset test(8, 3, 12, 102);
+  TrainConfig c = base_config();
+  c.ema_decay = 0.9f;
+  auto model = models::make_model("mbv2-tiny", 3, 15);
+  const TrainHistory h = train_classifier(*model, train, test, c);
+  EXPECT_GT(h.final_test_acc, 0.4f);
+  // After training the exported weights are the EMA shadow; re-evaluating
+  // the returned model must reproduce the final reported accuracy.
+  const float again = evaluate(*model, test);
+  EXPECT_NEAR(again, h.final_test_acc, 1e-6f);
+}
+
+TEST(TrainerExtensions, GradClippingKeepsTrainingFinite) {
+  ToyDataset train(16, 3, 12, 103);
+  ToyDataset test(8, 3, 12, 104);
+  TrainConfig c = base_config();
+  c.lr = 0.5f;  // hot enough to wobble without clipping
+  c.clip_grad_norm = 1.0f;
+  auto model = models::make_model("mbv2-tiny", 3, 15);
+  const TrainHistory h = train_classifier(*model, train, test, c);
+  for (const EpochStats& e : h.epochs) {
+    EXPECT_TRUE(std::isfinite(e.train_loss));
+  }
+}
+
+TEST(TrainerExtensions, EvalEveryZeroEvaluatesOnlyLastEpoch) {
+  ToyDataset train(16, 3, 12, 105);
+  ToyDataset test(8, 3, 12, 106);
+  TrainConfig c = base_config();
+  c.epochs = 4;
+  c.eval_every = 0;
+  auto model = models::make_model("mbv2-tiny", 3, 15);
+  const TrainHistory h = train_classifier(*model, train, test, c);
+  ASSERT_EQ(h.epochs.size(), 4u);
+  for (size_t e = 0; e + 1 < h.epochs.size(); ++e) {
+    EXPECT_TRUE(std::isnan(h.epochs[e].test_acc));
+  }
+  EXPECT_FALSE(std::isnan(h.epochs.back().test_acc));
+}
+
+}  // namespace
+}  // namespace nb::train

@@ -1,0 +1,74 @@
+// Scratch experiment runner used while tuning the bench recipes (not part of
+// the bench suite): compares budget conventions for NetBooster vs vanilla on
+// the failing Table-I rows. Build target `probe_budget`.
+#include <cstdio>
+#include <string>
+
+#include "core/netbooster.h"
+#include "data/task_registry.h"
+#include "models/registry.h"
+#include "train/trainer.h"
+
+using namespace nb;
+
+namespace {
+
+float vanilla(const std::string& model_name, const data::ClassificationTask& t,
+              int64_t epochs, uint64_t seed) {
+  auto model = models::make_model(model_name, t.num_classes, seed);
+  train::TrainConfig c;
+  c.epochs = epochs;
+  c.batch_size = 32;
+  c.lr = 0.08f;
+  c.seed = seed + 11;
+  return train::train_classifier(*model, *t.train, *t.test, c).final_test_acc;
+}
+
+core::NetBoosterResult booster(const std::string& model_name,
+                               const data::ClassificationTask& t,
+                               int64_t giant_epochs, int64_t tune_epochs,
+                               float giant_lr, int64_t warmup, float ema,
+                               uint64_t seed) {
+  auto model = models::make_model(model_name, t.num_classes, seed);
+  core::NetBoosterConfig c;
+  c.giant.epochs = giant_epochs;
+  c.giant.batch_size = 32;
+  c.giant.lr = giant_lr;
+  c.giant.warmup_epochs = warmup;
+  c.giant.ema_decay = ema;
+  c.giant.seed = seed + 11;
+  c.tune = c.giant;
+  c.tune.epochs = tune_epochs;
+  c.tune.lr = 0.03f;
+  c.tune.warmup_epochs = 0;
+  c.plt_fraction = 0.25f;
+  return core::run_netbooster(model, *t.train, *t.test, c);
+}
+
+}  // namespace
+
+int main() {
+  for (const std::string name : {"mcunet", "mbv2-50"}) {
+    const data::ClassificationTask task =
+        data::make_task("synth-imagenet", name == "mcunet" ? 26 : 24, 0.45f, 1);
+    const float v8 = vanilla(name, task, 8, 4);
+    std::printf("%-8s vanilla(8ep) = %.2f\n", name.c_str(), 100 * v8);
+    std::fflush(stdout);
+
+    struct Cfg { const char* label; int64_t g, t, w; float lr, ema; };
+    const Cfg cfgs[] = {
+        {"equal  g5t3", 5, 3, 0, 0.08f, 0.0f},
+        {"paper  g8t5", 8, 5, 0, 0.08f, 0.0f},
+        {"paper+warm",  8, 5, 1, 0.08f, 0.0f},
+        {"paper+ema",   8, 5, 0, 0.08f, 0.97f},
+    };
+    for (const Cfg& c : cfgs) {
+      const auto r = booster(name, task, c.g, c.t, c.lr, c.w, c.ema, 4);
+      std::printf("%-8s nb %-12s giant=%.2f final=%.2f  (delta %+0.2f)\n",
+                  name.c_str(), c.label, 100 * r.expanded_acc,
+                  100 * r.final_acc, 100 * (r.final_acc - v8));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
