@@ -1,0 +1,32 @@
+# Provide GTest::gtest / GTest::gtest_main.
+#
+# Preference order:
+#   1. System GoogleTest (offline-friendly; the CI image ships libgtest-dev).
+#   2. FetchContent from GitHub (networked builds / machines without the
+#      system package).
+#
+# Set -DNB_FORCE_FETCH_GTEST=ON to skip the system lookup and always fetch.
+
+option(NB_FORCE_FETCH_GTEST "Ignore system GoogleTest and FetchContent it" OFF)
+
+if(NOT NB_FORCE_FETCH_GTEST)
+  find_package(GTest QUIET)
+endif()
+
+if(TARGET GTest::gtest_main)
+  message(STATUS "NetBooster: using system GoogleTest")
+else()
+  message(STATUS "NetBooster: system GoogleTest not found, using FetchContent")
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+    DOWNLOAD_EXTRACT_TIMESTAMP ON)
+  # Keep gtest's own warnings out of -Werror builds and avoid installing it.
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+endif()
+
+include(GoogleTest)

@@ -1,0 +1,74 @@
+// Link-level smoke test: touches one externally-defined symbol from every
+// subsystem library so that a broken target in src/*/CMakeLists.txt fails
+// here by name instead of as a scatter of unrelated link errors. Keep one
+// section per nb_* library; when a subsystem is added, add a section.
+
+#include <gtest/gtest.h>
+
+#include "baselines/netaug.h"
+#include "core/receptive_field.h"
+#include "data/synth_classification.h"
+#include "detect/box.h"
+#include "export/flat_model.h"
+#include "models/registry.h"
+#include "nn/linear.h"
+#include "optim/sgd.h"
+#include "quant/quantize.h"
+#include "tensor/tensor.h"
+#include "train/metrics.h"
+#include "util/table.h"
+
+namespace {
+
+TEST(BuildSanity, EverySubsystemLibraryLinks) {
+  // nb_tensor
+  nb::Tensor t = nb::Tensor::zeros({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+
+  // nb_util
+  nb::util::Table table({"subsystem", "status"});
+  table.add_row({"tensor", "ok"});
+
+  // nb_nn
+  nb::nn::Linear linear(4, 2);
+  EXPECT_EQ(linear.parameters().size(), 2u);
+
+  // nb_optim
+  nb::optim::Sgd sgd(linear.parameters(), nb::optim::SgdOptions{});
+
+  // nb_data
+  nb::data::SynthConfig synth_cfg;
+  nb::data::SynthClassification dataset(synth_cfg, "train");
+  EXPECT_GT(dataset.size(), 0);
+
+  // nb_models
+  nb::models::ModelConfig model_cfg = nb::models::model_config("mbv2-tiny", 10);
+  EXPECT_GT(model_cfg.stages.size(), 0u);
+
+  // nb_train (free functions only; taking the address forces the link)
+  auto* eval_fn = &nb::train::evaluate;
+  EXPECT_NE(eval_fn, nullptr);
+
+  // nb_core
+  nb::core::ReceptiveField rf = nb::core::receptive_field_of(linear);
+  EXPECT_GE(rf.size, 0);
+
+  // nb_baselines
+  nb::baselines::SliceBatchNorm slice_bn(8);
+  slice_bn.set_active(4);
+
+  // nb_detect
+  nb::detect::Box a{0.f, 0.f, 2.f, 2.f};
+  nb::detect::Box b{1.f, 1.f, 3.f, 3.f};
+  EXPECT_GT(nb::detect::iou(a, b), 0.f);
+
+  // nb_quant
+  nb::quant::ActObserver observer;
+  observer.observe(t);
+
+  // nb_export
+  nb::exporter::FlatModel flat;
+  flat.set_input(8, 3);
+}
+
+}  // namespace
