@@ -7,6 +7,7 @@
 #include "core/contraction.h"
 #include "core/expansion.h"
 #include "models/registry.h"
+#include "nn/conv2d.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 #include "tensor/threadpool.h"
@@ -27,7 +28,63 @@ void BM_Gemm(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// Packed-GEMM thread scaling through the pool-override hook: arg is the
+// worker count of a private pool routed under nb::parallel_for (0 = caller
+// only, i.e. NB_THREADS=1).
+void BM_GemmPackedThreads(benchmark::State& state) {
+  const int64_t workers = state.range(0);
+  const int64_t n = 256;
+  Rng rng(8);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  fill_normal(a, rng, 0.0f, 1.0f);
+  fill_normal(b, rng, 0.0f, 1.0f);
+  ThreadPool pool(workers);
+  ThreadPool::set_global_override(&pool);
+  for (auto _ : state) {
+    gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  ThreadPool::set_global_override(nullptr);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(gemm_kernel_name());
+}
+BENCHMARK(BM_GemmPackedThreads)->Arg(0)->Arg(1)->Arg(3);
+
+// Transposed operands exercise the materialize-then-pack path.
+void BM_GemmTransB(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(9);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  fill_normal(a, rng, 0.0f, 1.0f);
+  fill_normal(b, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    gemm(false, true, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmTransB)->Arg(128)->Arg(256);
+
+// Direct depthwise forward (no im2col, no GEMM): MobileNetV2's 3x3 at 28^2
+// and MCUNet's 5x5 at 14^2.
+void BM_DepthwiseForward(benchmark::State& state) {
+  const int64_t c = state.range(0);
+  const int64_t hw = state.range(1);
+  const int64_t k = state.range(2);
+  nn::Conv2d conv(nn::Conv2dOptions(c, c, k).same_padding().with_groups(c));
+  Rng rng(10);
+  fill_normal(conv.weight().value, rng, 0.0f, 0.1f);
+  Tensor x({1, c, hw, hw});
+  fill_normal(x, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * conv.flops(hw, hw));
+}
+BENCHMARK(BM_DepthwiseForward)->Args({144, 28, 3})->Args({120, 14, 5});
 
 void BM_ConvForward(benchmark::State& state) {
   const int64_t c = state.range(0);

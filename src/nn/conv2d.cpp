@@ -1,11 +1,86 @@
 #include "nn/conv2d.h"
 
-#include <vector>
+#include <algorithm>
 
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
+#include "tensor/scratch.h"
+#include "tensor/threadpool.h"
 
 namespace nb::nn {
+
+namespace {
+
+// Direct depthwise convolution of one (H,W) plane — no im2col, no GEMM.
+// Taps accumulate in ascending (ki, kj) order after the bias, the same order
+// for border and interior outputs, so the split changes nothing numerically.
+// K is a compile-time constant for the common kernels so the tap loops fully
+// unroll; KRT carries the runtime size for the generic instantiation (K==0).
+template <int K>
+void dw_plane(const float* img, const float* ker, float* out, int64_t h,
+              int64_t w, int64_t oh, int64_t ow, int64_t krt, int64_t s,
+              int64_t pad, float bias) {
+  const int64_t k = K > 0 ? K : krt;
+  // Output columns whose every horizontal tap is in bounds. The last such
+  // column satisfies ox*s - pad + k - 1 <= w - 1; the numerator can be
+  // negative (kernel wider than the plane), where C++ division truncates
+  // toward zero instead of flooring, so guard it explicitly.
+  const int64_t ox_lo = std::min(ow, (pad + s - 1) / s);
+  const int64_t interior_end = w - k + pad >= 0 ? (w - k + pad) / s + 1 : 0;
+  const int64_t ox_hi = std::max(ox_lo, std::min(ow, interior_end));
+  for (int64_t oy = 0; oy < oh; ++oy) {
+    const int64_t iy0 = oy * s - pad;
+    const int64_t ki_lo = std::max<int64_t>(0, -iy0);
+    const int64_t ki_hi = std::min<int64_t>(k, h - iy0);
+    float* orow = out + oy * ow;
+    const auto edge = [&](int64_t ox) {
+      float acc = bias;
+      for (int64_t ki = ki_lo; ki < ki_hi; ++ki) {
+        const float* srow = img + (iy0 + ki) * w;
+        const float* krow = ker + ki * k;
+        for (int64_t kj = 0; kj < k; ++kj) {
+          const int64_t ix = ox * s - pad + kj;
+          if (ix >= 0 && ix < w) acc += krow[kj] * srow[ix];
+        }
+      }
+      orow[ox] = acc;
+    };
+    for (int64_t ox = 0; ox < ox_lo; ++ox) edge(ox);
+    for (int64_t ox = ox_hi; ox < ow; ++ox) edge(ox);
+    // Interior fast path: every tap in bounds, no per-tap branches.
+    const float* base = img + iy0 * w - pad;
+    for (int64_t ox = ox_lo; ox < ox_hi; ++ox) {
+      const float* spix = base + ox * s;
+      float acc = bias;
+      for (int64_t ki = ki_lo; ki < ki_hi; ++ki) {
+        const float* srow = spix + ki * w;
+        const float* krow = ker + ki * k;
+        for (int64_t kj = 0; kj < (K > 0 ? K : krt); ++kj) {
+          acc += krow[kj] * srow[kj];
+        }
+      }
+      orow[ox] = acc;
+    }
+  }
+}
+
+void dw_plane_dispatch(const float* img, const float* ker, float* out,
+                       int64_t h, int64_t w, int64_t oh, int64_t ow, int64_t k,
+                       int64_t s, int64_t pad, float bias) {
+  switch (k) {
+    case 3:
+      dw_plane<3>(img, ker, out, h, w, oh, ow, k, s, pad, bias);
+      break;
+    case 5:
+      dw_plane<5>(img, ker, out, h, w, oh, ow, k, s, pad, bias);
+      break;
+    default:
+      dw_plane<0>(img, ker, out, h, w, oh, ow, k, s, pad, bias);
+      break;
+  }
+}
+
+}  // namespace
 
 Conv2d::Conv2d(const Conv2dOptions& opts) : opts_(opts) {
   NB_CHECK(opts.in_channels > 0 && opts.out_channels > 0, "conv channels");
@@ -53,17 +128,19 @@ Tensor Conv2d::forward_generic(const Tensor& x) {
   Tensor y({n, opts_.out_channels, oh, ow});
   const int64_t col_rows = cin_g * k * k;
   const int64_t plane = oh * ow;
-  std::vector<float> cols(static_cast<size_t>(col_rows * plane));
+  // The column matrix lives in the thread-local arena: one allocation per
+  // thread for the whole training run instead of one per forward call.
+  float* cols = scratch_acquire(ScratchSlot::kConvCols,
+                                static_cast<size_t>(col_rows * plane));
 
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t gi = 0; gi < g; ++gi) {
       const float* img = x.data() + (i * opts_.in_channels + gi * cin_g) * h * w;
       im2col(img, cin_g, h, w, k, k, opts_.stride, opts_.stride, opts_.padding,
-             opts_.padding, cols.data());
+             opts_.padding, cols);
       float* out = y.data() + (i * opts_.out_channels + gi * cout_g) * plane;
       const float* wgt = weight_.value.data() + gi * cout_g * col_rows;
-      gemm(false, false, cout_g, plane, col_rows, 1.0f, wgt, cols.data(), 0.0f,
-           out);
+      gemm(false, false, cout_g, plane, col_rows, 1.0f, wgt, cols, 0.0f, out);
     }
     if (opts_.bias) {
       for (int64_t c = 0; c < opts_.out_channels; ++c) {
@@ -81,30 +158,24 @@ Tensor Conv2d::forward_depthwise(const Tensor& x) {
   const int64_t k = opts_.kernel;
   const int64_t oh = conv_out_size(h, k, opts_.stride, opts_.padding);
   const int64_t ow = conv_out_size(w, k, opts_.stride, opts_.padding);
+  NB_CHECK(oh > 0 && ow > 0, "Conv2d output is empty for input " + x.shape_str());
   Tensor y({n, c, oh, ow});
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      const float* img = x.data() + (i * c + ch) * h * w;
+  // Each (image, channel) plane is independent; parallelize across them with
+  // a grain that keeps at least ~16k outputs per chunk.
+  const int64_t planes = n * c;
+  const int64_t grain =
+      std::max<int64_t>(1, (int64_t{1} << 14) / std::max<int64_t>(oh * ow, 1));
+  parallel_for(planes, grain, [&](int64_t p0, int64_t p1) {
+    for (int64_t pl = p0; pl < p1; ++pl) {
+      const int64_t ch = pl % c;
+      const float* img = x.data() + pl * h * w;
       const float* ker = weight_.value.data() + ch * k * k;
-      float* out = y.data() + (i * c + ch) * oh * ow;
+      float* out = y.data() + pl * oh * ow;
       const float b = opts_.bias ? bias_.value.at(ch) : 0.0f;
-      for (int64_t oy = 0; oy < oh; ++oy) {
-        for (int64_t ox = 0; ox < ow; ++ox) {
-          float acc = b;
-          for (int64_t ki = 0; ki < k; ++ki) {
-            const int64_t iy = oy * opts_.stride + ki - opts_.padding;
-            if (iy < 0 || iy >= h) continue;
-            for (int64_t kj = 0; kj < k; ++kj) {
-              const int64_t ix = ox * opts_.stride + kj - opts_.padding;
-              if (ix < 0 || ix >= w) continue;
-              acc += ker[ki * k + kj] * img[iy * w + ix];
-            }
-          }
-          out[oy * ow + ox] = acc;
-        }
-      }
+      dw_plane_dispatch(img, ker, out, h, w, oh, ow, k, opts_.stride,
+                        opts_.padding, b);
     }
-  }
+  });
   return y;
 }
 
@@ -125,8 +196,10 @@ Tensor Conv2d::backward_generic(const Tensor& grad_out) {
   const int64_t col_rows = cin_g * k * k;
 
   Tensor grad_in(x.shape());
-  std::vector<float> cols(static_cast<size_t>(col_rows * plane));
-  std::vector<float> gcols(static_cast<size_t>(col_rows * plane));
+  float* cols = scratch_acquire(ScratchSlot::kConvCols,
+                                static_cast<size_t>(col_rows * plane));
+  float* gcols = scratch_acquire(ScratchSlot::kConvGradCols,
+                                 static_cast<size_t>(col_rows * plane));
 
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t gi = 0; gi < g; ++gi) {
@@ -138,15 +211,14 @@ Tensor Conv2d::backward_generic(const Tensor& grad_out) {
 
       // dW += dY * cols^T  (recompute im2col; trades FLOPs for memory)
       im2col(img, cin_g, h, w, k, k, opts_.stride, opts_.stride, opts_.padding,
-             opts_.padding, cols.data());
-      gemm(false, true, cout_g, col_rows, plane, 1.0f, gout, cols.data(), 1.0f,
+             opts_.padding, cols);
+      gemm(false, true, cout_g, col_rows, plane, 1.0f, gout, cols, 1.0f,
            wgrad);
 
       // dX = col2im(W^T * dY)
-      gemm(true, false, col_rows, plane, cout_g, 1.0f, wgt, gout, 0.0f,
-           gcols.data());
+      gemm(true, false, col_rows, plane, cout_g, 1.0f, wgt, gout, 0.0f, gcols);
       float* gin = grad_in.data() + (i * opts_.in_channels + gi * cin_g) * h * w;
-      col2im(gcols.data(), cin_g, h, w, k, k, opts_.stride, opts_.stride,
+      col2im(gcols, cin_g, h, w, k, k, opts_.stride, opts_.stride,
              opts_.padding, opts_.padding, gin);
     }
     if (opts_.bias) {
@@ -167,36 +239,42 @@ Tensor Conv2d::backward_depthwise(const Tensor& grad_out) {
   const int64_t k = opts_.kernel;
   const int64_t oh = grad_out.size(2), ow = grad_out.size(3);
   Tensor grad_in(x.shape());
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      const float* img = x.data() + (i * c + ch) * h * w;
-      const float* gout = grad_out.data() + (i * c + ch) * oh * ow;
+  // Parallelize over channels, not planes: a channel owns its weight/bias
+  // gradient slots, so per-channel chunks are race-free, and the serial batch
+  // loop inside keeps the accumulation order thread-count-invariant.
+  parallel_for(c, /*grain=*/1, [&](int64_t c0, int64_t c1) {
+    for (int64_t ch = c0; ch < c1; ++ch) {
       const float* ker = weight_.value.data() + ch * k * k;
       float* kgrad = weight_.grad.data() + ch * k * k;
-      float* gin = grad_in.data() + (i * c + ch) * h * w;
-      for (int64_t oy = 0; oy < oh; ++oy) {
-        for (int64_t ox = 0; ox < ow; ++ox) {
-          const float gv = gout[oy * ow + ox];
-          if (gv == 0.0f) continue;
-          for (int64_t ki = 0; ki < k; ++ki) {
-            const int64_t iy = oy * opts_.stride + ki - opts_.padding;
-            if (iy < 0 || iy >= h) continue;
-            for (int64_t kj = 0; kj < k; ++kj) {
-              const int64_t ix = ox * opts_.stride + kj - opts_.padding;
-              if (ix < 0 || ix >= w) continue;
-              kgrad[ki * k + kj] += gv * img[iy * w + ix];
-              gin[iy * w + ix] += gv * ker[ki * k + kj];
+      for (int64_t i = 0; i < n; ++i) {
+        const float* img = x.data() + (i * c + ch) * h * w;
+        const float* gout = grad_out.data() + (i * c + ch) * oh * ow;
+        float* gin = grad_in.data() + (i * c + ch) * h * w;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            // No zero-skip on gv: 0 * NaN must stay NaN in both gradients
+            // (same accumulation policy as gemm/gemv, see gemm.h).
+            const float gv = gout[oy * ow + ox];
+            for (int64_t ki = 0; ki < k; ++ki) {
+              const int64_t iy = oy * opts_.stride + ki - opts_.padding;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kj = 0; kj < k; ++kj) {
+                const int64_t ix = ox * opts_.stride + kj - opts_.padding;
+                if (ix < 0 || ix >= w) continue;
+                kgrad[ki * k + kj] += gv * img[iy * w + ix];
+                gin[iy * w + ix] += gv * ker[ki * k + kj];
+              }
             }
           }
         }
-      }
-      if (opts_.bias) {
-        double s = 0.0;
-        for (int64_t p = 0; p < oh * ow; ++p) s += gout[p];
-        bias_.grad.at(ch) += static_cast<float>(s);
+        if (opts_.bias) {
+          double s = 0.0;
+          for (int64_t p = 0; p < oh * ow; ++p) s += gout[p];
+          bias_.grad.at(ch) += static_cast<float>(s);
+        }
       }
     }
-  }
+  });
   return grad_in;
 }
 

@@ -1,111 +1,100 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
-#include <vector>
 
-#include "tensor/threadpool.h"
+#include "tensor/gemm_kernel.h"
+#include "tensor/scratch.h"
 
 namespace nb {
 
 namespace {
 
-// Micro-kernel over rows [i0, i1): C[i, :] += alpha * A_row (dot) B over the
-// K dimension with B accessed row-wise so the inner loop over N vectorizes.
-void gemm_nn_rows(int64_t i0, int64_t i1, int64_t n, int64_t k, float alpha,
-                  const float* a, const float* b, float* c) {
-  constexpr int64_t kc = 64;
-  for (int64_t p0 = 0; p0 < k; p0 += kc) {
-    const int64_t p1 = std::min(p0 + kc, k);
-    for (int64_t i = i0; i < i1; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      for (int64_t p = p0; p < p1; ++p) {
-        const float av = alpha * arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = b + p * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
+using GemmKernelFn = void (*)(int64_t, int64_t, int64_t, float, const float*,
+                              const float*, float, float*);
+
+GemmKernelFn pick_kernel() {
+#if defined(NB_GEMM_AVX2)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return &detail::gemm_packed_avx2;
   }
+#endif
+  return &detail::gemm_packed_generic;
 }
 
-// Partitions the M dimension over the global thread pool. Each thread owns a
-// disjoint block of C rows and runs the identical serial kernel on it, so the
-// result is bit-for-bit equal to the serial product for any NB_THREADS.
-void gemm_nn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
-             const float* b, float* c) {
-  // Only fork when there is enough arithmetic to amortize the wakeup
-  // (~64k multiply-adds per chunk) and more than one row to split.
-  const int64_t flops = m * n * k;
-  if (m < 2 || flops < (int64_t{1} << 17)) {
-    gemm_nn_rows(0, m, n, k, alpha, a, b, c);
-    return;
+GemmKernelFn active_kernel() {
+  static const GemmKernelFn kernel = pick_kernel();
+  return kernel;
+}
+
+void scale_rows(float* c, int64_t count, float beta) {
+  if (beta == 0.0f) {
+    std::fill(c, c + count, 0.0f);
+  } else if (beta != 1.0f) {
+    for (int64_t i = 0; i < count; ++i) c[i] *= beta;
   }
-  parallel_for(m, /*grain=*/2, [=](int64_t i0, int64_t i1) {
-    gemm_nn_rows(i0, i1, n, k, alpha, a, b, c);
-  });
 }
 
 }  // namespace
 
+const char* gemm_kernel_name() {
+#if defined(NB_GEMM_AVX2)
+  if (active_kernel() == &detail::gemm_packed_avx2) return "packed-avx2";
+#endif
+  return "packed-generic";
+}
+
 void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           float alpha, const float* a, const float* b, float beta, float* c) {
-  if (beta == 0.0f) {
-    std::fill(c, c + m * n, 0.0f);
-  } else if (beta != 1.0f) {
-    for (int64_t i = 0; i < m * n; ++i) c[i] *= beta;
-  }
-  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
-
-  if (!trans_a && !trans_b) {
-    gemm_nn(m, n, k, alpha, a, b, c);
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0 || alpha == 0.0f) {
+    // BLAS convention: no product term, C = beta * C without touching A or B.
+    scale_rows(c, m * n, beta);
     return;
   }
 
-  // General path: materialize op(A)/op(B) into contiguous buffers once, then
-  // run the fast NN kernel. The copies are O(MK + KN), cheap next to O(MNK).
-  std::vector<float> abuf;
-  std::vector<float> bbuf;
+  // The packed kernel consumes the NN layout; transposed operands are
+  // materialized once into the arena. The copies are O(MK + KN), negligible
+  // next to the O(MNK) product, and reuse the same buffers across calls.
   const float* ap = a;
   const float* bp = b;
   if (trans_a) {
-    abuf.resize(static_cast<size_t>(m * k));
+    float* buf =
+        scratch_acquire(ScratchSlot::kGemmOpA, static_cast<size_t>(m * k));
     for (int64_t p = 0; p < k; ++p) {
-      for (int64_t i = 0; i < m; ++i) abuf[static_cast<size_t>(i * k + p)] = a[p * m + i];
+      for (int64_t i = 0; i < m; ++i) buf[i * k + p] = a[p * m + i];
     }
-    ap = abuf.data();
+    ap = buf;
   }
   if (trans_b) {
-    bbuf.resize(static_cast<size_t>(k * n));
+    float* buf =
+        scratch_acquire(ScratchSlot::kGemmOpB, static_cast<size_t>(k * n));
     for (int64_t j = 0; j < n; ++j) {
-      for (int64_t p = 0; p < k; ++p) bbuf[static_cast<size_t>(p * n + j)] = b[j * k + p];
+      for (int64_t p = 0; p < k; ++p) buf[p * n + j] = b[j * k + p];
     }
-    bp = bbuf.data();
+    bp = buf;
   }
-  gemm_nn(m, n, k, alpha, ap, bp, c);
+  active_kernel()(m, n, k, alpha, ap, bp, beta, c);
 }
 
 void gemv(bool trans_a, int64_t m, int64_t n, float alpha, const float* a,
           const float* x, float beta, float* y) {
   const int64_t out = trans_a ? n : m;
-  if (beta == 0.0f) {
-    std::fill(y, y + out, 0.0f);
-  } else if (beta != 1.0f) {
-    for (int64_t i = 0; i < out; ++i) y[i] *= beta;
-  }
+  scale_rows(y, out, beta);
+  if (m <= 0 || n <= 0 || alpha == 0.0f) return;
   if (trans_a) {
+    // y[j] += sum_i alpha*x[i] * A[i][j], accumulated row by row in float.
+    // No zero-skip on x: a NaN/Inf in A must reach y even when x[i] == 0.
     for (int64_t i = 0; i < m; ++i) {
       const float xv = alpha * x[i];
-      if (xv == 0.0f) continue;
       const float* arow = a + i * n;
       for (int64_t j = 0; j < n; ++j) y[j] += xv * arow[j];
     }
   } else {
     for (int64_t i = 0; i < m; ++i) {
       const float* arow = a + i * n;
-      double s = 0.0;
-      for (int64_t j = 0; j < n; ++j) s += static_cast<double>(arow[j]) * x[j];
-      y[i] += alpha * static_cast<float>(s);
+      float s = 0.0f;
+      for (int64_t j = 0; j < n; ++j) s += arow[j] * x[j];
+      y[i] += alpha * s;
     }
   }
 }

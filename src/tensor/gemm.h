@@ -1,5 +1,21 @@
 // Row-major single-precision GEMM. This is the computational core of every
 // convolution (via im2col) and linear layer in the library.
+//
+// Implementation: a cache-blocked, register-tiled kernel (gemm_kernel.inc)
+// that packs A into row panels and B into column panels held in a per-thread
+// scratch arena, runs an 8x8 micro-kernel over them, and writes C directly
+// when beta == 0. On x86-64 an AVX2+FMA instance is selected at runtime.
+//
+// Accumulation policy (applies to gemm and both gemv paths):
+//   * every partial product accumulates in single precision (float);
+//   * the reduction over K runs in a fixed order — K blocks of 256 in
+//     ascending order, ascending within each block — that depends only on N
+//     and K, never on M or the worker count. Results are therefore bitwise
+//     identical for any NB_THREADS value and for row-at-a-time calls.
+//   * NaN/Inf propagate exactly as in the naive triple loop: there are no
+//     zero-skip shortcuts. Per BLAS convention, alpha == 0 (or k == 0)
+//     reduces to C = beta*C without reading A or B, and beta == 0 writes C
+//     without reading it (existing NaN garbage in C is overwritten).
 #pragma once
 
 #include <cstdint>
@@ -12,8 +28,13 @@ namespace nb {
 void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           float alpha, const float* a, const float* b, float beta, float* c);
 
-/// y[M] = alpha * op(A) * x + beta * y.
+/// y[M] = alpha * op(A) * x + beta * y. Accumulates in float on both the
+/// plain and transposed paths (see the accumulation policy above).
 void gemv(bool trans_a, int64_t m, int64_t n, float alpha, const float* a,
           const float* x, float beta, float* y);
+
+/// Name of the kernel instance chosen at runtime ("packed-avx2" or
+/// "packed-generic"); surfaced by the substrate bench report.
+const char* gemm_kernel_name();
 
 }  // namespace nb

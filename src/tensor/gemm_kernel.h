@@ -1,0 +1,22 @@
+// Internal declarations for the packed SGEMM kernel instances. Both symbols
+// are compiled from the same source (gemm_kernel.inc) so they compute
+// bit-identical results up to the ISA's FMA contraction; gemm.cpp picks one
+// at runtime. Not part of the public surface — include "tensor/gemm.h".
+#pragma once
+
+#include <cstdint>
+
+namespace nb::detail {
+
+/// Baseline-ISA instance, always available.
+void gemm_packed_generic(int64_t m, int64_t n, int64_t k, float alpha,
+                         const float* a, const float* b, float beta, float* c);
+
+#if defined(NB_GEMM_AVX2)
+/// AVX2+FMA instance (gemm_kernel_avx2.cpp, built with -mavx2 -mfma on
+/// x86-64). Only called after __builtin_cpu_supports confirms both features.
+void gemm_packed_avx2(int64_t m, int64_t n, int64_t k, float alpha,
+                      const float* a, const float* b, float beta, float* c);
+#endif
+
+}  // namespace nb::detail

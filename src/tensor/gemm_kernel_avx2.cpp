@@ -1,0 +1,7 @@
+// AVX2+FMA instance of the packed SGEMM kernel. This translation unit is
+// compiled with -mavx2 -mfma (see src/tensor/CMakeLists.txt) and only added
+// to the build on x86-64 with GCC/Clang; gemm.cpp calls it solely after
+// __builtin_cpu_supports verifies both features at runtime, so the default
+// build stays safe on pre-AVX2 hardware.
+#define NB_GEMM_KERNEL_NAME gemm_packed_avx2
+#include "tensor/gemm_kernel.inc"

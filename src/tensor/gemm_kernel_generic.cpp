@@ -1,0 +1,5 @@
+// Baseline-ISA instance of the packed SGEMM kernel. Compiled with the
+// project's default flags only, so it runs on any target the build does
+// (add -DNB_NATIVE=ON to tune this instance for the build host).
+#define NB_GEMM_KERNEL_NAME gemm_packed_generic
+#include "tensor/gemm_kernel.inc"

@@ -1,0 +1,45 @@
+#include "tensor/scratch.h"
+
+#include <vector>
+
+namespace nb {
+
+namespace {
+
+struct Arena {
+  std::vector<float> slots[static_cast<int>(ScratchSlot::kSlotCount)];
+};
+
+Arena& tls_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace
+
+float* scratch_acquire(ScratchSlot slot, size_t count) {
+  std::vector<float>& buf = tls_arena().slots[static_cast<int>(slot)];
+  if (buf.size() < count) {
+    // Geometric growth so a sequence of slightly-larger requests (e.g. layer
+    // shapes sweeping upward) settles after a few reallocations.
+    size_t cap = buf.size() == 0 ? size_t{256} : buf.size();
+    while (cap < count) cap *= 2;
+    buf.resize(cap);
+  }
+  return buf.data();
+}
+
+size_t scratch_reserved() {
+  size_t total = 0;
+  for (const std::vector<float>& buf : tls_arena().slots) total += buf.size();
+  return total;
+}
+
+void scratch_release() {
+  for (std::vector<float>& buf : tls_arena().slots) {
+    buf.clear();
+    buf.shrink_to_fit();
+  }
+}
+
+}  // namespace nb

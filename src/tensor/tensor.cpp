@@ -5,6 +5,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "tensor/threadpool.h"
+
 namespace nb {
 
 namespace {
@@ -139,12 +141,18 @@ void Tensor::add_scaled_(const Tensor& other, float alpha) {
   NB_CHECK(numel_ == other.numel_, "add_scaled_ numel mismatch");
   float* a = data();
   const float* b = other.data();
-  for (int64_t i = 0; i < numel_; ++i) a[i] += alpha * b[i];
+  // Disjoint index chunks, so the fork is NB_THREADS-invariant; the grain
+  // keeps small tensors (optimizer steps on biases etc.) serial.
+  parallel_for(numel_, /*grain=*/int64_t{1} << 16, [=](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) a[i] += alpha * b[i];
+  });
 }
 
 void Tensor::mul_(float scalar) {
   float* a = data();
-  for (int64_t i = 0; i < numel_; ++i) a[i] *= scalar;
+  parallel_for(numel_, /*grain=*/int64_t{1} << 16, [=](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) a[i] *= scalar;
+  });
 }
 
 void Tensor::copy_from(const Tensor& src) {

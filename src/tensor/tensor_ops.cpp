@@ -4,8 +4,20 @@
 #include <cmath>
 
 #include "tensor/gemm.h"
+#include "tensor/threadpool.h"
 
 namespace nb {
+
+namespace {
+
+// Grain for row-parallel loops: fork only when a chunk carries at least
+// ~16k elements so pool overhead never dominates small tensors. Each row is
+// processed by exactly one thread, so results are NB_THREADS-invariant.
+int64_t row_grain(int64_t cols) {
+  return std::max<int64_t>(1, (int64_t{1} << 14) / std::max<int64_t>(cols, 1));
+}
+
+}  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   NB_CHECK(a.dim() == 2 && b.dim() == 2, "matmul requires 2-D tensors");
@@ -22,19 +34,21 @@ Tensor softmax_rows(const Tensor& logits, float temperature) {
   const int64_t rows = logits.size(0);
   const int64_t cols = logits.size(1);
   Tensor out({rows, cols});
-  for (int64_t i = 0; i < rows; ++i) {
-    const float* in = logits.data() + i * cols;
-    float* o = out.data() + i * cols;
-    float mx = in[0];
-    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, in[j]);
-    double denom = 0.0;
-    for (int64_t j = 0; j < cols; ++j) {
-      o[j] = std::exp((in[j] - mx) / temperature);
-      denom += o[j];
+  parallel_for(rows, row_grain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* in = logits.data() + i * cols;
+      float* o = out.data() + i * cols;
+      float mx = in[0];
+      for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, in[j]);
+      double denom = 0.0;
+      for (int64_t j = 0; j < cols; ++j) {
+        o[j] = std::exp((in[j] - mx) / temperature);
+        denom += o[j];
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (int64_t j = 0; j < cols; ++j) o[j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int64_t j = 0; j < cols; ++j) o[j] *= inv;
-  }
+  });
   return out;
 }
 
@@ -43,18 +57,21 @@ Tensor log_softmax_rows(const Tensor& logits, float temperature) {
   const int64_t rows = logits.size(0);
   const int64_t cols = logits.size(1);
   Tensor out({rows, cols});
-  for (int64_t i = 0; i < rows; ++i) {
-    const float* in = logits.data() + i * cols;
-    float* o = out.data() + i * cols;
-    float mx = in[0];
-    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, in[j]);
-    double denom = 0.0;
-    for (int64_t j = 0; j < cols; ++j) denom += std::exp((in[j] - mx) / temperature);
-    const float log_denom = static_cast<float>(std::log(denom));
-    for (int64_t j = 0; j < cols; ++j) {
-      o[j] = (in[j] - mx) / temperature - log_denom;
+  parallel_for(rows, row_grain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* in = logits.data() + i * cols;
+      float* o = out.data() + i * cols;
+      float mx = in[0];
+      for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, in[j]);
+      double denom = 0.0;
+      for (int64_t j = 0; j < cols; ++j)
+        denom += std::exp((in[j] - mx) / temperature);
+      const float log_denom = static_cast<float>(std::log(denom));
+      for (int64_t j = 0; j < cols; ++j) {
+        o[j] = (in[j] - mx) / temperature - log_denom;
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -63,11 +80,12 @@ std::vector<int64_t> argmax_rows(const Tensor& t) {
   const int64_t rows = t.size(0);
   const int64_t cols = t.size(1);
   std::vector<int64_t> idx(static_cast<size_t>(rows));
-  for (int64_t i = 0; i < rows; ++i) {
-    const float* row = t.data() + i * cols;
-    idx[static_cast<size_t>(i)] =
-        std::max_element(row, row + cols) - row;
-  }
+  parallel_for(rows, row_grain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = t.data() + i * cols;
+      idx[static_cast<size_t>(i)] = std::max_element(row, row + cols) - row;
+    }
+  });
   return idx;
 }
 
@@ -86,9 +104,13 @@ Tensor transpose2d(const Tensor& t) {
   const int64_t r = t.size(0);
   const int64_t c = t.size(1);
   Tensor out({c, r});
-  for (int64_t i = 0; i < r; ++i) {
-    for (int64_t j = 0; j < c; ++j) out.at(j, i) = t.at(i, j);
-  }
+  const float* src = t.data();
+  float* dst = out.data();
+  parallel_for(c, row_grain(r), [&](int64_t j0, int64_t j1) {
+    for (int64_t j = j0; j < j1; ++j) {
+      for (int64_t i = 0; i < r; ++i) dst[j * r + i] = src[i * c + j];
+    }
+  });
   return out;
 }
 

@@ -3,7 +3,30 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "tensor/tensor.h"  // NB_CHECK
+
 namespace nb {
+
+namespace {
+
+// Low 32 bits of cursor_ hold the next unclaimed index (ranges are
+// NB_CHECK'd to 2^31, far beyond any loop in the library, leaving headroom
+// for the final over-claim); the high 32 bits are the job epoch. The
+// truncated tag alone could wrap after 2^32 jobs, so run_chunks additionally
+// re-reads the full 64-bit epoch right before every claim — breaking the
+// guard would need billions of jobs to complete inside that instruction
+// window.
+constexpr int kOffsetBits = 32;
+constexpr uint64_t kOffsetMask = (uint64_t{1} << kOffsetBits) - 1;
+
+// True while this thread is executing a parallel_for body. A nested
+// parallel_for must not re-enter the pool (the submitting lock is held and
+// workers may all be busy), so it runs serially — same indices, same result.
+thread_local bool tls_in_parallel_body = false;
+
+std::atomic<ThreadPool*> g_pool_override{nullptr};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int64_t num_workers) {
   workers_.reserve(static_cast<size_t>(std::max<int64_t>(num_workers, 0)));
@@ -23,67 +46,104 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::record_error() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!first_error_) {
+    first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::run_chunks(uint64_t epoch,
+                            const std::function<void(int64_t, int64_t)>& fn,
+                            int64_t total, int64_t chunk) {
+  const uint64_t tag = (epoch << kOffsetBits) & ~kOffsetMask;
+  uint64_t cur = cursor_.load(std::memory_order_acquire);
   for (;;) {
-    Task task;
+    // A mismatched tag means a newer job owns the cursor: this snapshot is
+    // stale and must not claim anything. The full-width epoch check closes
+    // the tag's wrap-around (ABA) hole.
+    if ((cur & ~kOffsetMask) != tag) return;
+    if (epoch_full_.load(std::memory_order_acquire) != epoch) return;
+    const int64_t begin = static_cast<int64_t>(cur & kOffsetMask);
+    if (begin >= total) return;
+    if (!cursor_.compare_exchange_weak(cur, cur + static_cast<uint64_t>(chunk),
+                                       std::memory_order_acq_rel)) {
+      continue;  // cur reloaded; re-validate tag and offset
+    }
+    const int64_t end = std::min(begin + chunk, total);
+    tls_in_parallel_body = true;
+    try {
+      fn(begin, end);
+    } catch (...) {
+      record_error();
+    }
+    tls_in_parallel_body = false;
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_.notify_all();
+    }
+    cur = cursor_.load(std::memory_order_acquire);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int64_t, int64_t)>* fn;
+    int64_t total, chunk;
+    uint64_t epoch;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) {
-        return;
-      }
-      task = queue_.back();
-      queue_.pop_back();
+      wake_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      epoch = epoch_;
+      fn = job_fn_;
+      total = job_total_;
+      chunk = job_chunk_;
     }
-    try {
-      (*task.fn)(task.begin, task.end);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!first_error_) {
-        first_error_ = std::current_exception();
-      }
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--outstanding_ == 0) {
-        done_.notify_all();
-      }
-    }
+    run_chunks(epoch, *fn, total, chunk);
   }
 }
 
 void ThreadPool::parallel_for(
-    int64_t total, const std::function<void(int64_t, int64_t)>& fn) {
-  if (total <= 0) {
-    return;
-  }
-  const int64_t parts =
-      std::min<int64_t>(total, num_workers() + 1);  // +1: calling thread
-  if (parts <= 1) {
+    int64_t total, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& fn) {
+  if (total <= 0) return;
+  NB_CHECK(total <= (int64_t{1} << (kOffsetBits - 1)),
+           "parallel_for range too large");
+  grain = std::max<int64_t>(grain, 1);
+  const int64_t parts = num_workers() + 1;  // +1: calling thread
+  // Hand out ~2 chunks per thread: enough slack for FIFO load balancing,
+  // few enough that the atomic handout stays invisible in profiles.
+  const int64_t chunk =
+      std::max(grain, (total + 2 * parts - 1) / (2 * parts));
+  const int64_t nchunks = (total + chunk - 1) / chunk;
+  if (parts == 1 || nchunks <= 1 || tls_in_parallel_body) {
     fn(0, total);
     return;
   }
-  const int64_t chunk = (total + parts - 1) / parts;
-  // Chunks [chunk, 2*chunk), ... go to workers; the caller runs [0, chunk)
-  // itself so a 1-worker pool still overlaps compute with the main thread.
+
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  uint64_t epoch;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     first_error_ = nullptr;
-    for (int64_t begin = chunk; begin < total; begin += chunk) {
-      queue_.push_back(Task{&fn, begin, std::min(begin + chunk, total)});
-      ++outstanding_;
-    }
+    job_fn_ = &fn;
+    job_total_ = total;
+    job_chunk_ = chunk;
+    epoch = ++epoch_;
+    epoch_full_.store(epoch, std::memory_order_release);
+    pending_.store(nchunks, std::memory_order_relaxed);
+    cursor_.store((epoch << kOffsetBits) & ~kOffsetMask,
+                  std::memory_order_release);
   }
   wake_.notify_all();
-  try {
-    fn(0, std::min(chunk, total));
-  } catch (...) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [this] { return outstanding_ == 0; });
-    throw;
-  }
+
+  run_chunks(epoch, fn, total, chunk);
+
   std::unique_lock<std::mutex> lock(mutex_);
-  done_.wait(lock, [this] { return outstanding_ == 0; });
+  done_.wait(lock, [&] { return pending_.load(std::memory_order_acquire) == 0; });
   if (first_error_) {
     std::exception_ptr err = first_error_;
     first_error_ = nullptr;
@@ -114,16 +174,25 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
+void ThreadPool::set_global_override(ThreadPool* pool) {
+  g_pool_override.store(pool, std::memory_order_release);
+}
+
+ThreadPool& ThreadPool::effective() {
+  ThreadPool* override_pool = g_pool_override.load(std::memory_order_acquire);
+  return override_pool != nullptr ? *override_pool : global();
+}
+
 void parallel_for(int64_t total, int64_t grain,
                   const std::function<void(int64_t, int64_t)>& fn) {
-  ThreadPool& pool = ThreadPool::global();
+  ThreadPool& pool = ThreadPool::effective();
   if (total < grain || pool.num_workers() == 0) {
     if (total > 0) {
       fn(0, total);
     }
     return;
   }
-  pool.parallel_for(total, fn);
+  pool.parallel_for(total, grain, fn);
 }
 
 }  // namespace nb

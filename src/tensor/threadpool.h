@@ -1,10 +1,13 @@
-// A small persistent thread pool with a deterministic parallel_for. Work is
-// split into one contiguous index range per worker (no stealing), so a
-// parallel loop computes exactly what the serial loop computes as long as the
-// body only writes to its own indices — which keeps training bit-for-bit
-// reproducible regardless of NB_THREADS.
+// A small persistent thread pool with a deterministic parallel_for. A loop
+// is published as one job; workers and the calling thread claim contiguous
+// chunks from an atomic cursor in FIFO order (no per-task queue, no lock on
+// the handout path). Chunk boundaries never change what is computed — the
+// body must write only its own indices — so a parallel loop computes exactly
+// what the serial loop computes, keeping training bit-for-bit reproducible
+// regardless of NB_THREADS.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -25,37 +28,67 @@ class ThreadPool {
 
   int64_t num_workers() const { return static_cast<int64_t>(workers_.size()); }
 
-  /// Runs fn(begin, end) over [0, total) split into contiguous chunks, one
-  /// per worker plus the calling thread; blocks until every chunk finishes.
-  /// Exceptions from the body are rethrown (first one wins).
-  void parallel_for(int64_t total,
+  /// Runs fn(begin, end) over [0, total) split into contiguous chunks of at
+  /// least `grain` indices, handed out FIFO to workers plus the calling
+  /// thread; blocks until every chunk finishes. Exceptions from the body are
+  /// rethrown after the loop drains (first one wins). Only one loop runs at
+  /// a time; a parallel_for issued from inside a running body executes
+  /// serially on the issuing thread (no deadlock, same result).
+  void parallel_for(int64_t total, int64_t grain,
                     const std::function<void(int64_t, int64_t)>& fn);
+  void parallel_for(int64_t total,
+                    const std::function<void(int64_t, int64_t)>& fn) {
+    parallel_for(total, /*grain=*/1, fn);
+  }
 
   /// The process-wide pool, sized by NB_THREADS (default: min(hardware, 8),
   /// at least 1). NB_THREADS=1 disables worker threads entirely.
   static ThreadPool& global();
 
- private:
-  struct Task {
-    const std::function<void(int64_t, int64_t)>* fn = nullptr;
-    int64_t begin = 0;
-    int64_t end = 0;
-  };
+  /// Makes nb::parallel_for route through `pool` instead of global() — the
+  /// hook tests and benches use to compare worker counts inside one process.
+  /// Pass nullptr to restore the default. Not safe while loops are running.
+  static void set_global_override(ThreadPool* pool);
 
+  /// The pool nb::parallel_for currently routes to.
+  static ThreadPool& effective();
+
+ private:
   void worker_loop();
+  /// Claims and runs chunks of the job tagged `epoch` until the cursor is
+  /// exhausted or a newer job replaces it.
+  void run_chunks(uint64_t epoch, const std::function<void(int64_t, int64_t)>& fn,
+                  int64_t total, int64_t chunk);
+  void record_error();
 
   std::vector<std::thread> workers_;
+
+  // Job publication. Fields below mutex_ are written by the submitting
+  // thread under mutex_ and snapshotted by workers under the same lock.
+  std::mutex submit_mutex_;  // one job in flight at a time
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;
-  std::vector<Task> queue_;
-  int64_t outstanding_ = 0;
+  uint64_t epoch_ = 0;
+  const std::function<void(int64_t, int64_t)>* job_fn_ = nullptr;
+  int64_t job_total_ = 0;
+  int64_t job_chunk_ = 1;
   bool stop_ = false;
   std::exception_ptr first_error_;
+
+  // Chunk handout: the high bits of cursor_ carry the job epoch so a worker
+  // holding a stale job snapshot can never claim a chunk of a newer job; the
+  // low bits are the next unclaimed index. epoch_full_ mirrors epoch_ at
+  // full width and is re-checked before every claim so the truncated cursor
+  // tag can never alias across a wrap. pending_ counts unfinished chunks;
+  // the thread that finishes the last one signals done_.
+  std::atomic<uint64_t> cursor_{0};
+  std::atomic<uint64_t> epoch_full_{0};
+  std::atomic<int64_t> pending_{0};
 };
 
-/// parallel_for over the global pool; falls back to a serial call when the
-/// range is small (< grain) or the pool has no workers.
+/// parallel_for over ThreadPool::effective(); falls back to a serial call
+/// when the range is small (< grain) or the pool has no workers.
 void parallel_for(int64_t total, int64_t grain,
                   const std::function<void(int64_t, int64_t)>& fn);
 

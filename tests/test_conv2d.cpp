@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "nn/conv2d.h"
+#include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "tensor/rng.h"
 #include "tensor/tensor_ops.h"
@@ -84,6 +87,66 @@ INSTANTIATE_TEST_SUITE_P(
                       ConvCase{6, 9, 3, 1, 1, 3, false},   // grouped, 3 groups
                       ConvCase{3, 5, 3, 2, 1, 1, true},    // strided + bias
                       ConvCase{2, 4, 7, 1, 3, 1, false})); // 7x7 (mcunet)
+
+// The direct depthwise kernel must agree with the im2col + GEMM lowering it
+// replaced, at sizes that exercise the interior fast path, both template
+// specializations (k=3, k=5), the generic kernel, and stride 2.
+TEST(Conv2d, DirectDepthwiseMatchesIm2colPath) {
+  const struct {
+    int64_t c, h, w, k, stride, pad;
+    bool bias;
+  } cases[] = {
+      {16, 28, 28, 3, 1, 1, false},
+      {8, 28, 26, 3, 2, 1, true},
+      {12, 14, 14, 5, 1, 2, false},
+      {4, 11, 13, 7, 1, 3, true},  // generic (non-templated) kernel size
+      // Kernel wider than the plane: the interior-column bound has a
+      // negative numerator and must floor to "no interior", not truncate.
+      {3, 4, 4, 5, 2, 0, false},
+      {3, 2, 2, 3, 2, 0, false},
+  };
+  for (const auto& tc : cases) {
+    Rng rng(91 + tc.c + tc.k);
+    Conv2d conv(Conv2dOptions(tc.c, tc.c, tc.k)
+                    .with_stride(tc.stride)
+                    .with_padding(tc.pad)
+                    .with_groups(tc.c)
+                    .with_bias(tc.bias));
+    ASSERT_TRUE(conv.is_depthwise());
+    fill_normal(conv.weight().value, rng, 0.0f, 0.5f);
+    if (tc.bias) fill_normal(conv.bias().value, rng, 0.0f, 0.5f);
+    Tensor x({2, tc.c, tc.h, tc.w});
+    fill_normal(x, rng, 0.0f, 1.0f);
+
+    const Tensor got = conv.forward(x);
+
+    // im2col lowering per (image, channel): cols is [k*k, oh*ow], the
+    // channel's kernel row is [1, k*k], their product is the output plane.
+    const int64_t oh = conv_out_size(tc.h, tc.k, tc.stride, tc.pad);
+    const int64_t ow = conv_out_size(tc.w, tc.k, tc.stride, tc.pad);
+    const int64_t plane = oh * ow;
+    Tensor want({2, tc.c, oh, ow});
+    std::vector<float> cols(static_cast<size_t>(tc.k * tc.k * plane));
+    for (int64_t i = 0; i < 2; ++i) {
+      for (int64_t ch = 0; ch < tc.c; ++ch) {
+        im2col(x.data() + (i * tc.c + ch) * tc.h * tc.w, 1, tc.h, tc.w, tc.k,
+               tc.k, tc.stride, tc.stride, tc.pad, tc.pad, cols.data());
+        float* out = want.data() + (i * tc.c + ch) * plane;
+        gemm(false, false, 1, plane, tc.k * tc.k, 1.0f,
+             conv.weight().value.data() + ch * tc.k * tc.k, cols.data(), 0.0f,
+             out);
+        if (tc.bias) {
+          const float b = conv.bias().value.at(ch);
+          for (int64_t p = 0; p < plane; ++p) out[p] += b;
+        }
+      }
+    }
+    ASSERT_TRUE(got.same_shape(want))
+        << got.shape_str() << " vs " << want.shape_str();
+    EXPECT_LT(max_abs_diff(got, want), 1e-5f)
+        << "c=" << tc.c << " k=" << tc.k << " stride=" << tc.stride;
+  }
+}
 
 TEST(Conv2d, RejectsBadGroups) {
   EXPECT_THROW(Conv2d(Conv2dOptions(4, 6, 3).with_groups(5)),

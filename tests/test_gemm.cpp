@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-
+#include <limits>
 #include <vector>
 
 #include "tensor/gemm.h"
@@ -86,6 +86,96 @@ TEST(Gemm, AlphaZeroScalesOnly) {
   std::vector<float> c{3.0f};
   gemm(false, false, 1, 1, 1, 0.0f, a.data(), b.data(), 0.5f, c.data());
   EXPECT_FLOAT_EQ(c[0], 1.5f);
+}
+
+// Regression: the old kernel skipped the whole B row when an A element was
+// zero, silently dropping NaN/Inf that IEEE arithmetic must propagate
+// (0 * NaN == NaN, 0 * Inf == NaN). The packed kernel has no such branch.
+TEST(Gemm, ZeroTimesNaNPropagates) {
+  const int64_t m = 3, n = 4, k = 2;
+  std::vector<float> a(static_cast<size_t>(m * k), 0.0f);
+  std::vector<float> b(static_cast<size_t>(k * n), 1.0f);
+  b[static_cast<size_t>(0 * n + 2)] = std::nanf("");  // B[0][2]
+  std::vector<float> c(static_cast<size_t>(m * n), 7.0f);
+  gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      const float v = c[static_cast<size_t>(i * n + j)];
+      if (j == 2) {
+        EXPECT_TRUE(std::isnan(v)) << "0 * NaN must be NaN at (" << i << ", 2)";
+      } else {
+        EXPECT_FLOAT_EQ(v, 0.0f);
+      }
+    }
+  }
+}
+
+TEST(Gemm, ZeroTimesInfPropagatesAsNaN) {
+  const int64_t m = 2, n = 3, k = 3;
+  std::vector<float> a(static_cast<size_t>(m * k), 0.0f);
+  std::vector<float> b(static_cast<size_t>(k * n),
+                       std::numeric_limits<float>::infinity());
+  std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+  gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  for (float v : c) EXPECT_TRUE(std::isnan(v));
+}
+
+TEST(Gemm, NaNInALandsInItsRowOnly) {
+  // Large enough to take the forked, packed path; the NaN must poison
+  // exactly row 5 (every column) and nothing else.
+  const int64_t m = 64, n = 64, k = 64;
+  std::vector<float> a(static_cast<size_t>(m * k), 0.5f);
+  std::vector<float> b(static_cast<size_t>(k * n), 0.25f);
+  a[static_cast<size_t>(5 * k + 11)] = std::nanf("");
+  std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+  gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      const float v = c[static_cast<size_t>(i * n + j)];
+      if (i == 5) {
+        EXPECT_TRUE(std::isnan(v)) << "(" << i << ", " << j << ")";
+      } else {
+        EXPECT_FALSE(std::isnan(v)) << "(" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+TEST(Gemv, ZeroTimesNaNPropagatesOnTransPath) {
+  // Regression for the same zero-skip on gemv's transposed path: x[i] == 0
+  // used to drop A row i entirely, hiding its NaN.
+  const int64_t m = 2, n = 3;
+  std::vector<float> a(static_cast<size_t>(m * n), 1.0f);
+  a[1] = std::nanf("");  // A[0][1]
+  std::vector<float> x(static_cast<size_t>(m), 0.0f);
+  std::vector<float> y(static_cast<size_t>(n), 0.0f);
+  gemv(true, m, n, 1.0f, a.data(), x.data(), 0.0f, y.data());
+  EXPECT_FALSE(std::isnan(y[0]));
+  EXPECT_TRUE(std::isnan(y[1]));
+  EXPECT_FALSE(std::isnan(y[2]));
+}
+
+TEST(Gemv, BothPathsAccumulateInFloat) {
+  // The documented accumulation policy: float accumulation on both paths,
+  // so transposing a symmetric problem yields the same rounding class of
+  // result (here: exactly equal because the summands are identical).
+  const int64_t n = 64;
+  std::vector<float> a(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      a[static_cast<size_t>(i * n + j)] = 0.01f * static_cast<float>(i + j);
+    }
+  }
+  std::vector<float> x(static_cast<size_t>(n), 1.0f);
+  std::vector<float> y_nt(static_cast<size_t>(n), 0.0f);
+  std::vector<float> y_t(static_cast<size_t>(n), 0.0f);
+  gemv(false, n, n, 1.0f, a.data(), x.data(), 0.0f, y_nt.data());
+  // A is symmetric, so op(A) == A and both paths sum the same values.
+  gemv(true, n, n, 1.0f, a.data(), x.data(), 0.0f, y_t.data());
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y_nt[static_cast<size_t>(i)], y_t[static_cast<size_t>(i)],
+                1e-3f);
+  }
 }
 
 TEST(Gemv, MatchesGemm) {
