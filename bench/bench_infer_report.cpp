@@ -1,0 +1,336 @@
+// FlatModel inference-runtime report. Builds synthetic MobileNetV2- and
+// MCUNet-structured flat graphs (random int8 levels, variance-preserving
+// per-channel scales, relu6 activations — the op mix and shapes of the real
+// exports without needing the training stack), then times the planned fast
+// backend against the reference scalar interpreter across batch sizes and
+// writes machine-readable BENCH_infer.json: fast-vs-reference speedup,
+// output agreement, and the memory planner's arena accounting.
+//
+// Usage: bench_infer_report [--quick] [--out <path>]
+//   --quick  small graphs, fewer batches, short windows (the CI setting)
+//   --out    output path (default: BENCH_infer.json in the cwd)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "export/flat_model.h"
+#include "export/flat_synth.h"
+#include "export/infer_plan.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+#include "tensor/threadpool.h"
+
+namespace {
+
+using namespace nb;
+using namespace nb::exporter;
+
+// ----------------------------------------------------------------------
+// Flat-graph builders.
+
+// Activation quantization scales: the stem sees normalized input in [-1, 1],
+// everything downstream sees relu6 output in [0, 6]. Power-of-two scales
+// (a real TinyML deployment choice — shifts instead of multiplies on MCU)
+// keep every quantized activation an exact <=15-bit float, so every
+// level * activation product is exact and the fast backend agrees with the
+// reference interpreter bitwise instead of within FMA rounding.
+constexpr float kStemActScale = 1.0f / 128.0f;    // 2^-7, grid covers ~[-1, 1]
+constexpr float kRelu6ActScale = 1.0f / 16.0f;    // 2^-4, grid covers [0, 6+]
+
+struct StageSpec {
+  int64_t expand, channels, repeat, stride, kernel;
+};
+
+/// Inverted-residual backbone -> 1x1 head conv -> GAP -> linear, the shared
+/// skeleton of MobileNetV2 and MCUNet flat exports.
+FlatModel inverted_residual_graph(Rng& rng, int64_t res, int64_t stem,
+                                  const std::vector<StageSpec>& stages,
+                                  int64_t head, int64_t classes) {
+  FlatModel m;
+  m.set_input(res, 3);
+  m.push(synth::make_conv(rng, 3, stem, 3, 2, 1, FlatAct::relu6, true, kStemActScale));
+  int64_t c = stem;
+  for (const StageSpec& st : stages) {
+    for (int64_t r = 0; r < st.repeat; ++r) {
+      const int64_t stride = r == 0 ? st.stride : 1;
+      const bool residual = stride == 1 && c == st.channels;
+      const int64_t mid = c * st.expand;
+      if (residual) m.push(synth::make_marker(OpKind::save));
+      if (st.expand != 1) {
+        m.push(synth::make_conv(rng, c, mid, 1, 1, 1, FlatAct::relu6, false,
+                       kRelu6ActScale));
+      }
+      m.push(synth::make_conv(rng, mid, mid, st.kernel, stride, mid, FlatAct::relu6,
+                     true, kRelu6ActScale));
+      m.push(synth::make_conv(rng, mid, st.channels, 1, 1, 1, FlatAct::identity, true,
+                     kRelu6ActScale));
+      if (residual) m.push(synth::make_marker(OpKind::add_saved));
+      c = st.channels;
+    }
+  }
+  m.push(synth::make_conv(rng, c, head, 1, 1, 1, FlatAct::relu6, false,
+                 kRelu6ActScale));
+  m.push(synth::make_marker(OpKind::gap));
+  m.push(synth::make_linear(rng, head, classes, kRelu6ActScale));
+  return m;
+}
+
+int64_t round8(float v) {
+  const int64_t r = static_cast<int64_t>(v / 8.0f + 0.5f) * 8;
+  return std::max<int64_t>(8, r);
+}
+
+/// MobileNetV2 at the given width multiplier (standard stage table).
+FlatModel make_mbv2_flat(Rng& rng, float width, int64_t res,
+                         int64_t classes) {
+  std::vector<StageSpec> stages = {
+      {1, round8(16 * width), 1, 1, 3},  {6, round8(24 * width), 2, 2, 3},
+      {6, round8(32 * width), 3, 2, 3},  {6, round8(64 * width), 4, 2, 3},
+      {6, round8(96 * width), 3, 1, 3},  {6, round8(160 * width), 3, 2, 3},
+      {6, round8(320 * width), 1, 1, 3},
+  };
+  const int64_t head = width < 1.0f ? round8(1280 * width) : 1280;
+  return inverted_residual_graph(rng, res, round8(32 * width), stages, head,
+                                 classes);
+}
+
+/// MCUNet-style NAS result: the repo's fixed stage table (heterogeneous
+/// kernels and expansion ratios, see src/models/mcunet.cpp).
+FlatModel make_mcunet_flat(Rng& rng, int64_t res, int64_t classes) {
+  std::vector<StageSpec> stages = {
+      {1, 8, 1, 1, 3},  {4, 12, 1, 2, 5}, {5, 16, 2, 2, 3},
+      {4, 24, 2, 2, 7}, {6, 32, 1, 1, 5}, {6, 40, 1, 2, 3},
+  };
+  return inverted_residual_graph(rng, res, 12, stages, 80, classes);
+}
+
+// ----------------------------------------------------------------------
+// Timing: best-of repeated windows for the fast backend; the reference
+// interpreter is orders of magnitude slower, so it gets a bounded number of
+// plain runs instead of a filled window.
+
+struct Budget {
+  double window_s;
+  int repeats;
+};
+
+double bench_seconds(const Budget& budget, const std::function<void()>& fn) {
+  fn();  // warmup / first-touch
+  double best = 1e100;
+  for (int r = 0; r < budget.repeats; ++r) {
+    int64_t iters = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+      fn();
+      ++iters;
+      elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0)
+                    .count();
+    } while (elapsed < budget.window_s);
+    best = std::min(best, elapsed / static_cast<double>(iters));
+  }
+  return best;
+}
+
+double time_once(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct PoolSet {
+  ThreadPool one{0};   // NB_THREADS=1: no workers, caller only
+  ThreadPool four{3};  // NB_THREADS=4: 3 workers + caller
+  ThreadPool& get(int64_t threads) { return threads == 4 ? four : one; }
+
+  std::vector<int64_t> counts() const {
+    std::vector<int64_t> c{1};
+    if (std::thread::hardware_concurrency() >= 4) c.push_back(4);
+    return c;
+  }
+};
+
+struct Result {
+  std::string graph;
+  int64_t batch = 1;
+  int64_t threads = 1;
+  double fast_ms = 0.0;
+  double fast_images_per_s = 0.0;
+  double reference_ms = 0.0;  // 0 when the reference was not timed
+  double speedup = 0.0;       // reference_ms / fast_ms
+  double max_abs_diff = -1.0; // fast vs reference output; -1 when not checked
+  int64_t arena_bytes = 0;
+  int64_t no_reuse_bytes = 0;
+  int64_t peak_live_bytes = 0;
+  int64_t ops = 0;
+};
+
+void bench_graph(const std::string& name, const FlatModel& model, int64_t res,
+                 const std::vector<int64_t>& batches, PoolSet& pools,
+                 const Budget& budget, std::vector<Result>& out) {
+  Rng rng(4242);
+  for (size_t bi = 0; bi < batches.size(); ++bi) {
+    const int64_t batch = batches[bi];
+    Tensor x({batch, 3, res, res});
+    fill_uniform(x, rng, -1.0f, 1.0f);
+    const InferPlan plan(model, batch, 3, res, res);
+
+    // Reference interpreter and agreement, single thread, first batch only
+    // for the (slow) diff run at larger batches.
+    ThreadPool::set_global_override(&pools.get(1));
+    const double ref_s = time_once([&] { (void)model.forward(x, Backend::reference); });
+    double diff = -1.0;
+    if (bi == 0) {
+      diff = max_abs_diff(model.forward(x, Backend::reference), plan.run(x));
+    }
+    ThreadPool::set_global_override(nullptr);
+
+    for (const int64_t threads : pools.counts()) {
+      ThreadPool::set_global_override(&pools.get(threads));
+      const double fast_s = bench_seconds(budget, [&] { (void)plan.run(x); });
+      ThreadPool::set_global_override(nullptr);
+      Result r;
+      r.graph = name;
+      r.batch = batch;
+      r.threads = threads;
+      r.fast_ms = fast_s * 1e3;
+      r.fast_images_per_s = static_cast<double>(batch) / fast_s;
+      if (threads == 1) {
+        r.reference_ms = ref_s * 1e3;
+        r.speedup = ref_s / fast_s;
+        r.max_abs_diff = diff;
+      }
+      r.arena_bytes = plan.stats().arena_bytes();
+      r.no_reuse_bytes = plan.stats().no_reuse_bytes();
+      r.peak_live_bytes = plan.stats().peak_live_bytes();
+      r.ops = plan.stats().ops;
+      out.push_back(r);
+      std::fprintf(stderr, "  %s b%lld t%lld: fast %.3f ms%s\n", name.c_str(),
+                   static_cast<long long>(batch),
+                   static_cast<long long>(threads), r.fast_ms,
+                   threads == 1
+                       ? (" | ref " + std::to_string(r.reference_ms) +
+                          " ms | speedup " + std::to_string(r.speedup))
+                             .c_str()
+                       : "");
+    }
+  }
+}
+
+void write_json(const std::string& path, bool quick,
+                const std::vector<Result>& results) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  // Headline: MobileNetV2-flat, batch 1, single thread.
+  const Result* headline = nullptr;
+  for (const Result& r : results) {
+    if (r.graph.rfind("mbv2", 0) == 0 && r.batch == 1 && r.threads == 1) {
+      headline = &r;
+      break;
+    }
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"nb-bench-infer-v1\",\n");
+  std::fprintf(f, "  \"bench\": \"infer\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  if (headline != nullptr) {
+    std::fprintf(f, "  \"mbv2_b1_t1\": {\n");
+    std::fprintf(f, "    \"fast_ms\": %.4f,\n", headline->fast_ms);
+    std::fprintf(f, "    \"reference_ms\": %.4f,\n", headline->reference_ms);
+    std::fprintf(f, "    \"speedup_fast_vs_reference\": %.4f,\n",
+                 headline->speedup);
+    std::fprintf(f, "    \"max_abs_diff\": %.3g,\n", headline->max_abs_diff);
+    std::fprintf(f, "    \"arena_bytes\": %lld,\n",
+                 static_cast<long long>(headline->arena_bytes));
+    std::fprintf(f, "    \"no_reuse_bytes\": %lld\n",
+                 static_cast<long long>(headline->no_reuse_bytes));
+    std::fprintf(f, "  },\n");
+  }
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"graph\": \"%s\", \"batch\": %lld, \"threads\": %lld, "
+                 "\"ops\": %lld",
+                 r.graph.c_str(), static_cast<long long>(r.batch),
+                 static_cast<long long>(r.threads),
+                 static_cast<long long>(r.ops));
+    std::fprintf(f, ", \"fast_ms\": %.4f, \"fast_images_per_s\": %.2f",
+                 r.fast_ms, r.fast_images_per_s);
+    if (r.reference_ms > 0.0) {
+      std::fprintf(f, ", \"reference_ms\": %.4f, \"speedup\": %.4f",
+                   r.reference_ms, r.speedup);
+    }
+    if (r.max_abs_diff >= 0.0) {
+      std::fprintf(f, ", \"max_abs_diff\": %.3g", r.max_abs_diff);
+    }
+    std::fprintf(f,
+                 ", \"arena_bytes\": %lld, \"no_reuse_bytes\": %lld, "
+                 "\"peak_live_bytes\": %lld}%s\n",
+                 static_cast<long long>(r.arena_bytes),
+                 static_cast<long long>(r.no_reuse_bytes),
+                 static_cast<long long>(r.peak_live_bytes),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_infer.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_infer_report [--quick] [--out <path>]\n");
+      return 2;
+    }
+  }
+  const Budget budget = quick ? Budget{0.05, 2} : Budget{0.3, 4};
+
+  PoolSet pools;
+  std::vector<Result> results;
+  Rng rng(20260730);
+
+  if (quick) {
+    // Scaled-down graphs so the CI leg stays in seconds: the op mix is
+    // identical, only widths/resolutions shrink.
+    const FlatModel mbv2 = make_mbv2_flat(rng, 0.35f, 96, 100);
+    bench_graph("mbv2_w035_r96", mbv2, 96, {1, 4}, pools, budget, results);
+    const FlatModel mcunet = make_mcunet_flat(rng, 96, 100);
+    bench_graph("mcunet_r96", mcunet, 96, {1, 4}, pools, budget, results);
+  } else {
+    const FlatModel mbv2 = make_mbv2_flat(rng, 1.0f, 160, 1000);
+    bench_graph("mbv2_w100_r160", mbv2, 160, {1, 8, 32}, pools, budget,
+                results);
+    const FlatModel mcunet = make_mcunet_flat(rng, 176, 1000);
+    bench_graph("mcunet_r176", mcunet, 176, {1, 8, 32}, pools, budget,
+                results);
+  }
+
+  write_json(out_path, quick, results);
+  std::fprintf(stderr, "wrote %s (%zu results)\n", out_path.c_str(),
+               results.size());
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "export/infer_plan.h"
 #include "quant/quantize.h"
 
 namespace nb::exporter {
@@ -239,11 +240,20 @@ FlatModel FlatModel::load(const std::string& path) {
         if (c.has_bias) c.bias = read_vec<float>(in);
         c.act_scale = read_pod<float>(in);
         c.act_bits = read_pod<uint8_t>(in);
+        NB_CHECK(c.cout > 0 && c.cin > 0 && c.kernel > 0 && c.stride > 0 &&
+                     c.pad >= 0,
+                 "flat model: bad conv geometry");
+        NB_CHECK(c.groups > 0 && c.cin % c.groups == 0 &&
+                     c.cout % c.groups == 0,
+                 "flat model: conv groups must divide channels");
         NB_CHECK(static_cast<int64_t>(c.weights.size()) ==
                      c.cout * (c.cin / c.groups) * c.kernel * c.kernel,
                  "flat model: conv weight count mismatch");
         NB_CHECK(static_cast<int64_t>(c.weight_scales.size()) == c.cout,
                  "flat model: conv scale count mismatch");
+        NB_CHECK(!c.has_bias ||
+                     static_cast<int64_t>(c.bias.size()) == c.cout,
+                 "flat model: conv bias count mismatch");
         break;
       }
       case OpKind::linear: {
@@ -256,8 +266,13 @@ FlatModel FlatModel::load(const std::string& path) {
         l.bias = read_vec<float>(in);
         l.act_scale = read_pod<float>(in);
         l.act_bits = read_pod<uint8_t>(in);
+        NB_CHECK(l.in > 0 && l.out > 0, "flat model: bad linear geometry");
         NB_CHECK(static_cast<int64_t>(l.weights.size()) == l.in * l.out,
                  "flat model: linear weight count mismatch");
+        NB_CHECK(static_cast<int64_t>(l.weight_scales.size()) == l.out,
+                 "flat model: linear scale count mismatch");
+        NB_CHECK(static_cast<int64_t>(l.bias.size()) == l.out,
+                 "flat model: linear bias count mismatch");
         break;
       }
       default:
@@ -268,7 +283,49 @@ FlatModel FlatModel::load(const std::string& path) {
   return model;
 }
 
-Tensor FlatModel::forward(const Tensor& input) const {
+FlatModel::FlatModel() = default;
+FlatModel::~FlatModel() = default;
+FlatModel::FlatModel(FlatModel&&) noexcept = default;
+FlatModel& FlatModel::operator=(FlatModel&&) noexcept = default;
+
+FlatModel::FlatModel(const FlatModel& other)
+    : ops_(other.ops_),
+      input_res_(other.input_res_),
+      input_channels_(other.input_channels_) {}
+
+FlatModel& FlatModel::operator=(const FlatModel& other) {
+  if (this != &other) {
+    ops_ = other.ops_;
+    input_res_ = other.input_res_;
+    input_channels_ = other.input_channels_;
+    plan_.reset();
+  }
+  return *this;
+}
+
+void FlatModel::set_input(int64_t resolution, int64_t channels) {
+  input_res_ = resolution;
+  input_channels_ = channels;
+  plan_.reset();
+}
+
+void FlatModel::push(FlatOp op) {
+  ops_.push_back(std::move(op));
+  plan_.reset();
+}
+
+Tensor FlatModel::forward(const Tensor& input, Backend backend) const {
+  if (backend == Backend::fast) {
+    NB_CHECK(input.dim() == 4, "flat model: fast backend needs NCHW input");
+    if (plan_ == nullptr || plan_->stats().batch != input.size(0) ||
+        plan_->stats().channels != input.size(1) ||
+        plan_->stats().in_h != input.size(2) ||
+        plan_->stats().in_w != input.size(3)) {
+      plan_ = std::make_unique<InferPlan>(*this, input.size(0), input.size(1),
+                                          input.size(2), input.size(3));
+    }
+    return plan_->run(input);
+  }
   NB_CHECK(!ops_.empty(), "flat model: empty program");
   Tensor x = input.clone();
   std::vector<Tensor> saved;
@@ -298,6 +355,11 @@ Tensor FlatModel::forward(const Tensor& input) const {
     }
   }
   return x;
+}
+
+Tensor FlatModel::forward(const Tensor& input) const {
+  return forward(input,
+                 input.dim() == 4 ? Backend::fast : Backend::reference);
 }
 
 int64_t FlatModel::weight_bytes() const {

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,7 +33,16 @@
 
 namespace nb::exporter {
 
+class InferPlan;
+
 constexpr uint32_t kFlatVersion = 1;
+
+/// Which runtime executes FlatModel::forward.
+///   reference — the scalar direct-convolution interpreter: allocates every
+///               intermediate, single-threaded, kept as the semantic oracle.
+///   fast      — the planned arena runtime (see infer_plan.h): im2col +
+///               packed GEMM, direct depthwise, fused epilogues, threaded.
+enum class Backend : uint8_t { reference = 0, fast = 1 };
 
 enum class OpKind : uint8_t {
   save = 0,
@@ -82,11 +92,26 @@ struct FlatOp {
 /// A loaded (or about-to-be-written) flat model.
 class FlatModel {
  public:
+  FlatModel();
+  ~FlatModel();
+  FlatModel(FlatModel&&) noexcept;
+  FlatModel& operator=(FlatModel&&) noexcept;
+  // Copies share nothing; the cached inference plan stays with the source.
+  FlatModel(const FlatModel& other);
+  FlatModel& operator=(const FlatModel& other);
+
   static FlatModel load(const std::string& path);
 
-  /// Reference inference: dequantizes weights, re-quantizes activations at
-  /// each conv exactly as the training-side fake-quant pipeline does, and
-  /// runs direct convolution. Input is [N, C, H, W]; returns logits.
+  /// Inference on the selected backend. Both backends re-quantize
+  /// activations at each conv exactly as the training-side fake-quant
+  /// pipeline does and agree within float accumulation-order rounding.
+  /// Input is [N, C, H, W]; returns logits. The fast backend caches one
+  /// InferPlan keyed on the input geometry (rebuilt when it changes), so
+  /// repeated same-shape calls pay no planning cost; forward is therefore
+  /// not safe to call concurrently on one FlatModel.
+  Tensor forward(const Tensor& input, Backend backend) const;
+
+  /// forward on the fast backend (reference for non-NCHW programs).
   Tensor forward(const Tensor& input) const;
 
   const std::vector<FlatOp>& ops() const { return ops_; }
@@ -95,18 +120,17 @@ class FlatModel {
   /// Total serialized weight payload in bytes (int8 weights + f32 scales).
   int64_t weight_bytes() const;
 
-  // Writer-side mutators (used by write_flat_model).
-  void set_input(int64_t resolution, int64_t channels) {
-    input_res_ = resolution;
-    input_channels_ = channels;
-  }
-  void push(FlatOp op) { ops_.push_back(std::move(op)); }
+  // Writer-side mutators (used by write_flat_model). Both invalidate the
+  // cached fast-backend plan so a mutated program can never run stale.
+  void set_input(int64_t resolution, int64_t channels);
+  void push(FlatOp op);
   void save(const std::string& path) const;
 
  private:
   std::vector<FlatOp> ops_;
   int64_t input_res_ = 0;
   int64_t input_channels_ = 3;
+  mutable std::unique_ptr<InferPlan> plan_;  // fast-backend cache
 };
 
 }  // namespace nb::exporter

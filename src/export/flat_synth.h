@@ -1,0 +1,91 @@
+// Synthetic FlatModel builders shared by the inference bench and tests:
+// ops with random int8 levels and variance-preserving per-channel scales —
+// the op mix and tensor shapes of a real quantized export without needing
+// the training stack. Header-only; depends only on flat_model.h and Rng.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "export/flat_model.h"
+#include "tensor/rng.h"
+
+namespace nb::exporter::synth {
+
+inline int8_t random_level(Rng& rng) {
+  return static_cast<int8_t>(rng.randint(255) - 127);
+}
+
+/// Per-channel scale ~ 1/(qmax * sqrt(fan_in)): keeps activations near unit
+/// variance like a trained, calibrated network, so an absolute
+/// fast-vs-reference agreement bound stays meaningful.
+inline float realistic_scale(Rng& rng, int64_t fan_in) {
+  return rng.uniform(0.5f, 1.5f) /
+         (127.0f * std::sqrt(static_cast<float>(fan_in)));
+}
+
+/// Power-of-two activation scale (2^-4 .. 2^-6). Quantized activations are
+/// then exact <=15-bit floats, every level * activation product is exact,
+/// and the fast and reference backends differ only in the order of
+/// exact-product float additions — so tight agreement bounds hold on every
+/// kernel instance (the AVX2+FMA micro-kernel rounds inexact products
+/// differently, which a downstream fake-quant can amplify into a whole
+/// int8 level).
+inline float pow2_act_scale(Rng& rng) {
+  return std::ldexp(1.0f, -(4 + static_cast<int>(rng.randint(3))));
+}
+
+inline FlatOp make_conv(Rng& rng, int64_t cin, int64_t cout, int64_t k,
+                        int64_t stride, int64_t groups, FlatAct act,
+                        bool bias, float act_scale) {
+  FlatOp op;
+  op.kind = OpKind::conv;
+  FlatConv& c = op.conv;
+  c.act = act;
+  c.stride = stride;
+  c.pad = (k - 1) / 2;
+  c.groups = groups;
+  c.cout = cout;
+  c.cin = cin;
+  c.kernel = k;
+  c.weights.resize(static_cast<size_t>(cout * (cin / groups) * k * k));
+  for (int8_t& w : c.weights) w = random_level(rng);
+  c.weight_scales.resize(static_cast<size_t>(cout));
+  for (float& s : c.weight_scales) {
+    s = realistic_scale(rng, (cin / groups) * k * k);
+  }
+  c.has_bias = bias;
+  if (bias) {
+    c.bias.resize(static_cast<size_t>(cout));
+    for (float& b : c.bias) b = rng.uniform(-0.2f, 0.2f);
+  }
+  c.act_scale = act_scale;
+  c.act_bits = 8;
+  return op;
+}
+
+inline FlatOp make_marker(OpKind kind) {
+  FlatOp op;
+  op.kind = kind;
+  return op;
+}
+
+inline FlatOp make_linear(Rng& rng, int64_t in, int64_t out,
+                          float act_scale) {
+  FlatOp op;
+  op.kind = OpKind::linear;
+  FlatLinear& l = op.linear;
+  l.in = in;
+  l.out = out;
+  l.weights.resize(static_cast<size_t>(in * out));
+  for (int8_t& w : l.weights) w = random_level(rng);
+  l.weight_scales.resize(static_cast<size_t>(out));
+  for (float& s : l.weight_scales) s = realistic_scale(rng, in);
+  l.bias.resize(static_cast<size_t>(out));
+  for (float& b : l.bias) b = rng.uniform(-0.2f, 0.2f);
+  l.act_scale = act_scale;
+  l.act_bits = 8;
+  return op;
+}
+
+}  // namespace nb::exporter::synth

@@ -1,0 +1,363 @@
+#include "export/infer_plan.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "quant/quantize.h"
+#include "tensor/depthwise.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/threadpool.h"
+
+namespace nb::exporter {
+
+namespace {
+
+/// Fused epilogue over one contiguous output row: per-channel rescale of the
+/// raw integer-level accumulator, bias, and the activation clamp, all in the
+/// same store. Scalar expressions match the reference interpreter's
+/// `acc * scale + b` followed by apply_act_ exactly.
+void store_row(float* row, int64_t count, float scale, float b, FlatAct act) {
+  switch (act) {
+    case FlatAct::identity:
+      for (int64_t p = 0; p < count; ++p) row[p] = row[p] * scale + b;
+      return;
+    case FlatAct::relu:
+      for (int64_t p = 0; p < count; ++p) {
+        row[p] = std::max(row[p] * scale + b, 0.0f);
+      }
+      return;
+    case FlatAct::relu6:
+      for (int64_t p = 0; p < count; ++p) {
+        row[p] = std::clamp(row[p] * scale + b, 0.0f, 6.0f);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+InferPlan::InferPlan(const FlatModel& model, int64_t batch, int64_t channels,
+                     int64_t in_h, int64_t in_w) {
+  NB_CHECK(batch > 0 && channels > 0 && in_h > 0 && in_w > 0,
+           "infer plan: bad input geometry");
+  NB_CHECK(!model.ops().empty(), "flat model: empty program");
+
+  stats_.batch = batch;
+  stats_.channels = channels;
+  stats_.in_h = in_h;
+  stats_.in_w = in_w;
+  stats_.ops = static_cast<int64_t>(model.ops().size());
+
+  // Symbolic walk: current activation shape, ping-pong region, residual
+  // stack. Region ids and save depths are recorded per step and resolved to
+  // concrete arena offsets once every region's high-water mark is known.
+  bool spatial = true;
+  int64_t c = channels, h = in_h, w = in_w;
+  int64_t cur = batch * c * h * w;
+  int region = 0;
+  int64_t ping[2] = {cur, 0};
+  std::vector<int64_t> save_sizes;   // high-water mark per nesting depth
+  std::vector<int64_t> save_stack;   // numel of each live residual copy
+  int64_t saved_total = 0;
+  int64_t cols_max = 0;
+  std::vector<int> in_region, out_region, save_depth;
+
+  stats_.no_reuse_floats = cur;  // the executor's own copy of the input
+  stats_.peak_live_floats = cur;
+
+  for (const FlatOp& op : model.ops()) {
+    Step s;
+    s.kind = op.kind;
+    s.in_c = c;
+    s.in_h = h;
+    s.in_w = w;
+    s.in_floats = cur;
+    int in_reg = region, out_reg = region, depth = -1;
+    switch (op.kind) {
+      case OpKind::save: {
+        depth = static_cast<int>(save_stack.size());
+        if (static_cast<size_t>(depth) == save_sizes.size()) {
+          save_sizes.push_back(0);
+        }
+        save_sizes[static_cast<size_t>(depth)] =
+            std::max(save_sizes[static_cast<size_t>(depth)], cur);
+        save_stack.push_back(cur);
+        saved_total += cur;
+        s.out_floats = cur;
+        stats_.no_reuse_floats += cur;
+        break;
+      }
+      case OpKind::add_saved: {
+        NB_CHECK(!save_stack.empty(), "flat model: ADD without SAVE");
+        NB_CHECK(save_stack.back() == cur,
+                 "flat model: residual shape mismatch at ADD");
+        saved_total -= save_stack.back();
+        save_stack.pop_back();
+        depth = static_cast<int>(save_stack.size());
+        s.out_floats = cur;
+        break;
+      }
+      case OpKind::conv: {
+        const FlatConv& cv = op.conv;
+        NB_CHECK(spatial, "flat conv: input must be NCHW");
+        NB_CHECK(c == cv.cin, "flat conv: channel mismatch");
+        const int64_t oh = conv_out_size(h, cv.kernel, cv.stride, cv.pad);
+        const int64_t ow = conv_out_size(w, cv.kernel, cv.stride, cv.pad);
+        NB_CHECK(oh > 0 && ow > 0, "flat conv: empty output plane");
+        s.act = cv.act;
+        s.stride = cv.stride;
+        s.pad = cv.pad;
+        s.groups = cv.groups;
+        s.cout = cv.cout;
+        s.cin = cv.cin;
+        s.kernel = cv.kernel;
+        s.act_scale = cv.act_scale;
+        s.act_bits = cv.act_bits;
+        s.depthwise = cv.groups == cv.cin && cv.groups == cv.cout;
+        s.wf = quant::dequantize_levels(cv.weights.data(), cv.weights.size());
+        s.scales = cv.weight_scales;
+        if (cv.has_bias) s.bias = cv.bias;
+        s.out_h = oh;
+        s.out_w = ow;
+        const int64_t out = batch * cv.cout * oh * ow;
+        s.out_floats = out;
+        int64_t cols = 0;
+        if (!s.depthwise) {
+          cols = (cv.cin / cv.groups) * cv.kernel * cv.kernel * oh * ow;
+          cols_max = std::max(cols_max, cols);
+        }
+        out_reg = 1 - region;
+        region = out_reg;
+        ping[region] = std::max(ping[region], out);
+        stats_.peak_live_floats = std::max(
+            stats_.peak_live_floats, saved_total + cur + out + cols);
+        stats_.no_reuse_floats += out + cols;
+        c = cv.cout;
+        h = oh;
+        w = ow;
+        cur = out;
+        break;
+      }
+      case OpKind::gap: {
+        NB_CHECK(spatial, "flat gap: input must be NCHW");
+        const int64_t out = batch * c;
+        s.out_floats = out;
+        out_reg = 1 - region;
+        region = out_reg;
+        ping[region] = std::max(ping[region], out);
+        stats_.peak_live_floats =
+            std::max(stats_.peak_live_floats, saved_total + cur + out);
+        stats_.no_reuse_floats += out;
+        spatial = false;
+        h = 0;
+        w = 0;
+        cur = out;
+        break;
+      }
+      case OpKind::linear: {
+        const FlatLinear& ln = op.linear;
+        NB_CHECK(!spatial, "flat linear: input must be 2-D (run GAP first)");
+        NB_CHECK(c == ln.in, "flat linear: input feature mismatch");
+        s.cin = ln.in;
+        s.cout = ln.out;
+        s.act_scale = ln.act_scale;
+        s.act_bits = ln.act_bits;
+        s.wf = quant::dequantize_levels(ln.weights.data(), ln.weights.size());
+        s.scales = ln.weight_scales;
+        s.bias = ln.bias;
+        const int64_t out = batch * ln.out;
+        s.out_floats = out;
+        out_reg = 1 - region;
+        region = out_reg;
+        ping[region] = std::max(ping[region], out);
+        stats_.peak_live_floats =
+            std::max(stats_.peak_live_floats, saved_total + cur + out);
+        stats_.no_reuse_floats += out;
+        c = ln.out;
+        cur = out;
+        break;
+      }
+    }
+    stats_.weight_cache_floats += static_cast<int64_t>(s.wf.size());
+    stats_.peak_live_floats =
+        std::max(stats_.peak_live_floats, saved_total + cur);
+    in_region.push_back(in_reg);
+    out_region.push_back(out_reg);
+    save_depth.push_back(depth);
+    steps_.push_back(std::move(s));
+  }
+  stats_.peak_live_floats =
+      std::max(stats_.peak_live_floats, saved_total + cur);
+  stats_.save_depth = static_cast<int64_t>(save_sizes.size());
+
+  // Resolve the layout: [ ping | pong | save slots by depth | cols ].
+  const int64_t base[2] = {0, ping[0]};
+  std::vector<int64_t> save_base(save_sizes.size());
+  int64_t off = ping[0] + ping[1];
+  for (size_t d = 0; d < save_sizes.size(); ++d) {
+    save_base[d] = off;
+    off += save_sizes[d];
+  }
+  const int64_t cols_base = off;
+  stats_.arena_floats = off + cols_max;
+
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    Step& s = steps_[i];
+    s.in_off = base[in_region[i]];
+    s.out_off = base[out_region[i]];
+    s.cols_off = cols_base;
+    if (save_depth[i] >= 0) {
+      s.save_off = save_base[static_cast<size_t>(save_depth[i])];
+    }
+  }
+  out_shape_ = spatial ? std::vector<int64_t>{batch, c, h, w}
+                       : std::vector<int64_t>{batch, c};
+  out_off_ = base[region];
+  arena_.resize(static_cast<size_t>(stats_.arena_floats));
+}
+
+void InferPlan::run_conv(const Step& s, const float* in, float* out,
+                         float* cols) const {
+  const int64_t n = stats_.batch;
+  const int64_t plane = s.out_h * s.out_w;
+  const int64_t k = s.kernel;
+  if (s.depthwise) {
+    // One (image, channel) plane per work item, epilogue fused in.
+    const int64_t planes = n * s.cout;
+    const int64_t grain =
+        std::max<int64_t>(1, (int64_t{1} << 14) / std::max<int64_t>(plane, 1));
+    parallel_for(planes, grain, [&](int64_t p0, int64_t p1) {
+      for (int64_t pl = p0; pl < p1; ++pl) {
+        const int64_t ch = pl % s.cout;
+        float* orow = out + pl * plane;
+        depthwise_plane(in + pl * s.in_h * s.in_w, s.wf.data() + ch * k * k,
+                        orow, s.in_h, s.in_w, s.out_h, s.out_w, k, s.stride,
+                        s.pad, 0.0f);
+        const float b = s.bias.empty() ? 0.0f : s.bias[static_cast<size_t>(ch)];
+        store_row(orow, plane, s.scales[static_cast<size_t>(ch)], b, s.act);
+      }
+    });
+    return;
+  }
+
+  // Lowered path: im2col + packed GEMM over the cached float weight panel.
+  // The batch/group loop stays serial; nb::gemm parallelizes over output
+  // rows internally and is bitwise thread-invariant, so the plan is too.
+  const int64_t cin_g = s.cin / s.groups;
+  const int64_t cout_g = s.cout / s.groups;
+  const int64_t col_rows = cin_g * k * k;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t g = 0; g < s.groups; ++g) {
+      im2col(in + (i * s.cin + g * cin_g) * s.in_h * s.in_w, cin_g, s.in_h,
+             s.in_w, k, k, s.stride, s.stride, s.pad, s.pad, cols);
+      gemm(false, false, cout_g, plane, col_rows, 1.0f,
+           s.wf.data() + g * cout_g * col_rows, cols, 0.0f,
+           out + (i * s.cout + g * cout_g) * plane);
+    }
+  }
+  const int64_t rows = n * s.cout;
+  const int64_t grain =
+      std::max<int64_t>(1, 4096 / std::max<int64_t>(plane, 1));
+  parallel_for(rows, grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t o = r % s.cout;
+      const float b = s.bias.empty() ? 0.0f : s.bias[static_cast<size_t>(o)];
+      store_row(out + r * plane, plane, s.scales[static_cast<size_t>(o)], b,
+                s.act);
+    }
+  });
+}
+
+void InferPlan::run_gap(const Step& s, const float* in, float* out) const {
+  const int64_t hw = s.in_h * s.in_w;
+  const int64_t planes = stats_.batch * s.in_c;
+  const int64_t grain =
+      std::max<int64_t>(1, (int64_t{1} << 14) / std::max<int64_t>(hw, 1));
+  parallel_for(planes, grain, [&](int64_t p0, int64_t p1) {
+    for (int64_t pl = p0; pl < p1; ++pl) {
+      const float* plane = in + pl * hw;
+      double acc = 0.0;
+      for (int64_t t = 0; t < hw; ++t) acc += plane[t];
+      out[pl] = static_cast<float>(acc / static_cast<double>(hw));
+    }
+  });
+}
+
+void InferPlan::run_linear(const Step& s, const float* in, float* out) const {
+  // Double accumulation in ascending k, exactly the reference interpreter's
+  // order, so fast and reference logits agree bitwise here.
+  const int64_t features = s.cin;
+  const int64_t total = stats_.batch * s.cout;
+  parallel_for(total, 16, [&](int64_t r0, int64_t r1) {
+    for (int64_t idx = r0; idx < r1; ++idx) {
+      const int64_t i = idx / s.cout;
+      const int64_t o = idx % s.cout;
+      const float* wrow = s.wf.data() + o * features;
+      const float* xrow = in + i * features;
+      double acc = 0.0;
+      for (int64_t t = 0; t < features; ++t) {
+        acc += static_cast<double>(wrow[t]) * xrow[t];
+      }
+      const float b = s.bias.empty() ? 0.0f : s.bias[static_cast<size_t>(o)];
+      out[idx] =
+          static_cast<float>(acc) * s.scales[static_cast<size_t>(o)] + b;
+    }
+  });
+}
+
+Tensor InferPlan::run(const Tensor& input) const {
+  NB_CHECK(input.dim() == 4 && input.size(0) == stats_.batch &&
+               input.size(1) == stats_.channels &&
+               input.size(2) == stats_.in_h && input.size(3) == stats_.in_w,
+           "infer plan: input " + input.shape_str() +
+               " does not match the planned geometry");
+  float* arena = arena_.data();
+  std::memcpy(arena + steps_.front().in_off, input.data(),
+              static_cast<size_t>(input.numel()) * sizeof(float));
+
+  for (const Step& s : steps_) {
+    switch (s.kind) {
+      case OpKind::save:
+        std::memcpy(arena + s.save_off, arena + s.in_off,
+                    static_cast<size_t>(s.in_floats) * sizeof(float));
+        break;
+      case OpKind::add_saved: {
+        float* cur = arena + s.in_off;
+        const float* sv = arena + s.save_off;
+        parallel_for(s.in_floats, int64_t{1} << 14,
+                     [&](int64_t b, int64_t e) {
+                       for (int64_t t = b; t < e; ++t) cur[t] += sv[t];
+                     });
+        break;
+      }
+      case OpKind::conv:
+      case OpKind::linear: {
+        float* in = arena + s.in_off;
+        if (s.act_scale > 0.0f) {
+          parallel_for(s.in_floats, int64_t{1} << 14,
+                       [&](int64_t b, int64_t e) {
+                         quant::fake_quant_buffer(in + b, e - b, s.act_scale,
+                                                  s.act_bits);
+                       });
+        }
+        if (s.kind == OpKind::conv) {
+          run_conv(s, in, arena + s.out_off, arena + s.cols_off);
+        } else {
+          run_linear(s, in, arena + s.out_off);
+        }
+        break;
+      }
+      case OpKind::gap:
+        run_gap(s, arena + s.in_off, arena + s.out_off);
+        break;
+    }
+  }
+
+  Tensor out(out_shape_);
+  std::memcpy(out.data(), arena + out_off_,
+              static_cast<size_t>(out.numel()) * sizeof(float));
+  return out;
+}
+
+}  // namespace nb::exporter

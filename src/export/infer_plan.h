@@ -1,0 +1,110 @@
+// Ahead-of-time inference plan for FlatModel — the GEMM-backed "fast"
+// backend of the deployment runtime.
+//
+// A plan is built once per (batch, channels, height, width) input geometry.
+// Building it walks the op list symbolically, computes every intermediate
+// activation shape, and lays all of them out in ONE reusable float arena the
+// way a TinyML memory planner would:
+//
+//   [ ping | pong | save slot 0..D-1 | im2col cols ]
+//
+//   * ping/pong — two regions sized to the largest activation that ever
+//     lands in them; consecutive ops alternate, in-place ops (activation
+//     fake-quant, residual add) do not flip.
+//   * save slots — residual `save`/`add_saved` markers form a stack, so one
+//     region per nesting depth suffices and is reused by every residual at
+//     that depth.
+//   * cols — the im2col scratch for the largest lowered convolution.
+//
+// Weights are dequantized once at plan time: int8 levels become exact float
+// integers (scales are NOT folded in), so the packed nb::gemm over them
+// produces the same products as the reference int8 interpreter and the
+// per-channel scale + bias + activation clamp are applied in one fused pass
+// over the output store. Depthwise groups run through the direct
+// nb::depthwise_plane path; everything parallelizes over output rows /
+// (image, channel) planes via the threadpool, and because nb::gemm is
+// bitwise thread-invariant the whole plan is too.
+//
+// A plan owns copies of everything it needs (weights, scales, biases,
+// geometry), so it stays valid independently of the FlatModel it was built
+// from. run() reuses the arena, so a single plan must not be invoked from
+// two threads at once — build one plan per concurrent stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "export/flat_model.h"
+
+namespace nb::exporter {
+
+/// Memory-planner accounting, all in float counts (4 bytes each).
+struct PlanStats {
+  int64_t batch = 0;
+  int64_t channels = 0;
+  int64_t in_h = 0;
+  int64_t in_w = 0;
+  int64_t ops = 0;
+  /// Total planned activation arena (ping + pong + save slots + cols).
+  int64_t arena_floats = 0;
+  /// What a no-reuse executor allocates: input clone + every op output +
+  /// every residual copy + per-conv im2col scratch.
+  int64_t no_reuse_floats = 0;
+  /// Max floats simultaneously live at any single step — a lower bound for
+  /// any planner; arena_floats must land between this and no_reuse_floats.
+  int64_t peak_live_floats = 0;
+  /// Dequantized weight panels cached by the plan.
+  int64_t weight_cache_floats = 0;
+  /// Max residual save/add nesting depth.
+  int64_t save_depth = 0;
+
+  int64_t arena_bytes() const { return arena_floats * 4; }
+  int64_t no_reuse_bytes() const { return no_reuse_floats * 4; }
+  int64_t peak_live_bytes() const { return peak_live_floats * 4; }
+};
+
+class InferPlan {
+ public:
+  /// Shapes the whole program for an [batch, channels, in_h, in_w] input;
+  /// throws on geometry mismatches (e.g. first conv cin != channels, an op
+  /// producing an empty spatial output).
+  InferPlan(const FlatModel& model, int64_t batch, int64_t channels,
+            int64_t in_h, int64_t in_w);
+
+  /// Executes the program. `input` must match the planned geometry exactly.
+  /// Reuses the internal arena; not safe to call concurrently on one plan.
+  Tensor run(const Tensor& input) const;
+
+  const PlanStats& stats() const { return stats_; }
+
+ private:
+  struct Step {
+    OpKind kind = OpKind::save;
+    FlatAct act = FlatAct::identity;
+    int64_t stride = 1, pad = 0, groups = 1, cout = 0, cin = 0, kernel = 1;
+    float act_scale = 0.0f;
+    int act_bits = 8;
+    bool depthwise = false;
+    std::vector<float> wf;      // int8 levels as exact float integers
+    std::vector<float> scales;  // per output channel
+    std::vector<float> bias;    // empty => zero bias
+    // Input/output activation geometry (out_h/out_w unused for 2-D shapes).
+    int64_t in_c = 0, in_h = 0, in_w = 0;
+    int64_t out_h = 0, out_w = 0;
+    int64_t in_floats = 0, out_floats = 0;
+    // Float offsets into the arena, resolved after the shape walk.
+    int64_t in_off = 0, out_off = 0, cols_off = 0, save_off = 0;
+  };
+
+  void run_conv(const Step& s, const float* in, float* out, float* cols) const;
+  void run_gap(const Step& s, const float* in, float* out) const;
+  void run_linear(const Step& s, const float* in, float* out) const;
+
+  std::vector<Step> steps_;
+  std::vector<int64_t> out_shape_;
+  int64_t out_off_ = 0;  // where the final activation lands in the arena
+  mutable std::vector<float> arena_;
+  PlanStats stats_;
+};
+
+}  // namespace nb::exporter

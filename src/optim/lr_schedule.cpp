@@ -37,9 +37,9 @@ StepLr::StepLr(float base_lr, int64_t step_every, float gamma)
 
 float StepLr::lr_at(int64_t step) const {
   const int64_t drops = step / step_every_;
-  float lr = base_lr_;
-  for (int64_t i = 0; i < drops; ++i) lr *= gamma_;
-  return lr;
+  return base_lr_ *
+         static_cast<float>(std::pow(static_cast<double>(gamma_),
+                                     static_cast<double>(drops)));
 }
 
 }  // namespace nb::optim

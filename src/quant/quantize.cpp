@@ -19,14 +19,24 @@ float scale_from_absmax(float absmax, int bits) {
 }
 
 void fake_quant_(Tensor& t, float scale, int bits) {
+  fake_quant_buffer(t.data(), t.numel(), scale, bits);
+}
+
+void fake_quant_buffer(float* data, int64_t n, float scale, int bits) {
   NB_CHECK(scale > 0.0f, "quant: non-positive scale");
   const float q = static_cast<float>(qmax_for_bits(bits));
-  float* p = t.data();
-  const int64_t n = t.numel();
   for (int64_t i = 0; i < n; ++i) {
-    const float level = std::clamp(std::round(p[i] / scale), -q, q);
-    p[i] = level * scale;
+    const float level = std::clamp(std::round(data[i] / scale), -q, q);
+    data[i] = level * scale;
   }
+}
+
+std::vector<float> dequantize_levels(const int8_t* levels, size_t count) {
+  std::vector<float> out(count);
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = static_cast<float>(levels[i]);
+  }
+  return out;
 }
 
 std::vector<float> per_channel_absmax(const Tensor& weight) {

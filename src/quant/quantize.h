@@ -25,6 +25,16 @@ float scale_from_absmax(float absmax, int bits);
 /// Rounds every element to the grid: x -> clamp(round(x/s), -q, q) * s.
 void fake_quant_(Tensor& t, float scale, int bits);
 
+/// Raw-buffer core of fake_quant_, for runtimes that keep activations in a
+/// planned arena rather than in Tensors (see src/export/infer_plan.h).
+void fake_quant_buffer(float* data, int64_t n, float scale, int bits);
+
+/// Converts serialized integer weight levels to float, one float per level.
+/// Scales are deliberately NOT applied: keeping the levels exact integers in
+/// float lets a GEMM over them produce the same products as an int8 MAC
+/// pipeline, with the per-channel scale applied once after accumulation.
+std::vector<float> dequantize_levels(const int8_t* levels, size_t count);
+
 /// Max |w| per output channel (dim 0) of a conv/linear weight.
 std::vector<float> per_channel_absmax(const Tensor& weight);
 

@@ -1,0 +1,77 @@
+#include "tensor/depthwise.h"
+
+#include <algorithm>
+
+namespace nb {
+
+namespace {
+
+// K is a compile-time constant for the common kernels so the tap loops fully
+// unroll; KRT carries the runtime size for the generic instantiation (K==0).
+template <int K>
+void dw_plane(const float* img, const float* ker, float* out, int64_t h,
+              int64_t w, int64_t oh, int64_t ow, int64_t krt, int64_t s,
+              int64_t pad, float bias) {
+  const int64_t k = K > 0 ? K : krt;
+  // Output columns whose every horizontal tap is in bounds. The last such
+  // column satisfies ox*s - pad + k - 1 <= w - 1; the numerator can be
+  // negative (kernel wider than the plane), where C++ division truncates
+  // toward zero instead of flooring, so guard it explicitly.
+  const int64_t ox_lo = std::min(ow, (pad + s - 1) / s);
+  const int64_t interior_end = w - k + pad >= 0 ? (w - k + pad) / s + 1 : 0;
+  const int64_t ox_hi = std::max(ox_lo, std::min(ow, interior_end));
+  for (int64_t oy = 0; oy < oh; ++oy) {
+    const int64_t iy0 = oy * s - pad;
+    const int64_t ki_lo = std::max<int64_t>(0, -iy0);
+    const int64_t ki_hi = std::min<int64_t>(k, h - iy0);
+    float* orow = out + oy * ow;
+    const auto edge = [&](int64_t ox) {
+      float acc = bias;
+      for (int64_t ki = ki_lo; ki < ki_hi; ++ki) {
+        const float* srow = img + (iy0 + ki) * w;
+        const float* krow = ker + ki * k;
+        for (int64_t kj = 0; kj < k; ++kj) {
+          const int64_t ix = ox * s - pad + kj;
+          if (ix >= 0 && ix < w) acc += krow[kj] * srow[ix];
+        }
+      }
+      orow[ox] = acc;
+    };
+    for (int64_t ox = 0; ox < ox_lo; ++ox) edge(ox);
+    for (int64_t ox = ox_hi; ox < ow; ++ox) edge(ox);
+    // Interior fast path: every tap in bounds, no per-tap branches.
+    const float* base = img + iy0 * w - pad;
+    for (int64_t ox = ox_lo; ox < ox_hi; ++ox) {
+      const float* spix = base + ox * s;
+      float acc = bias;
+      for (int64_t ki = ki_lo; ki < ki_hi; ++ki) {
+        const float* srow = spix + ki * w;
+        const float* krow = ker + ki * k;
+        for (int64_t kj = 0; kj < (K > 0 ? K : krt); ++kj) {
+          acc += krow[kj] * srow[kj];
+        }
+      }
+      orow[ox] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+void depthwise_plane(const float* img, const float* ker, float* out,
+                     int64_t h, int64_t w, int64_t oh, int64_t ow, int64_t k,
+                     int64_t s, int64_t pad, float bias) {
+  switch (k) {
+    case 3:
+      dw_plane<3>(img, ker, out, h, w, oh, ow, k, s, pad, bias);
+      break;
+    case 5:
+      dw_plane<5>(img, ker, out, h, w, oh, ow, k, s, pad, bias);
+      break;
+    default:
+      dw_plane<0>(img, ker, out, h, w, oh, ow, k, s, pad, bias);
+      break;
+  }
+}
+
+}  // namespace nb

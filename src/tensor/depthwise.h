@@ -1,0 +1,19 @@
+// Direct depthwise convolution of one (H,W) plane — no im2col, no GEMM.
+// Shared by Conv2d's depthwise fast path and the FlatModel inference
+// runtime. Taps accumulate in ascending (ki, kj) order after the bias, the
+// same order for border and interior outputs, so splitting a plane changes
+// nothing numerically and results are bitwise identical to the naive loop.
+#pragma once
+
+#include <cstdint>
+
+namespace nb {
+
+/// out[oh, ow] = bias + sum_{ki,kj} ker[ki,kj] * img[oy*s+ki-pad, ox*s+kj-pad]
+/// with zero padding. `ker` is a k*k row-major kernel. Kernel sizes 3 and 5
+/// dispatch to fully unrolled tap loops.
+void depthwise_plane(const float* img, const float* ker, float* out,
+                     int64_t h, int64_t w, int64_t oh, int64_t ow, int64_t k,
+                     int64_t s, int64_t pad, float bias);
+
+}  // namespace nb

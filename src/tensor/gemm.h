@@ -8,10 +8,12 @@
 //
 // Accumulation policy (applies to gemm and both gemv paths):
 //   * every partial product accumulates in single precision (float);
-//   * the reduction over K runs in a fixed order — K blocks of 256 in
-//     ascending order, ascending within each block — that depends only on N
-//     and K, never on M or the worker count. Results are therefore bitwise
-//     identical for any NB_THREADS value and for row-at-a-time calls.
+//   * the reduction over K is one continuous chain in ascending order:
+//     K-blocking is pure tiling (later blocks resume from the stored
+//     partial sums), so the rounding sequence matches the naive ascending
+//     loop and never depends on M, N, or the worker count. Results are
+//     therefore bitwise identical for any NB_THREADS value and for
+//     row-at-a-time calls.
 //   * NaN/Inf propagate exactly as in the naive triple loop: there are no
 //     zero-skip shortcuts. Per BLAS convention, alpha == 0 (or k == 0)
 //     reduces to C = beta*C without reading A or B, and beta == 0 writes C

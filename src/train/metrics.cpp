@@ -3,6 +3,7 @@
 #include "data/dataloader.h"
 #include "nn/batchnorm.h"
 #include "nn/losses.h"
+#include "tensor/tensor_ops.h"
 
 namespace nb::train {
 
@@ -31,11 +32,14 @@ float evaluate(nn::Module& model, const data::ClassificationDataset& dataset,
                int64_t batch_size) {
   int64_t correct = 0;
   int64_t total = 0;
+  // Count argmax matches directly: reconstructing the count from the float
+  // per-batch accuracy (round(acc * batch)) drifts on large eval sets.
   for_each_eval_batch(model, dataset, batch_size,
                       [&](const Tensor& logits, const std::vector<int64_t>& labels) {
-                        const float acc = nn::accuracy(logits, labels);
-                        correct += static_cast<int64_t>(
-                            acc * static_cast<float>(labels.size()) + 0.5f);
+                        const std::vector<int64_t> pred = argmax_rows(logits);
+                        for (size_t i = 0; i < labels.size(); ++i) {
+                          correct += pred[i] == labels[i];
+                        }
                         total += static_cast<int64_t>(labels.size());
                       });
   return total > 0 ? static_cast<float>(correct) / static_cast<float>(total)
@@ -77,14 +81,20 @@ void recalibrate_batchnorm(nn::Module& model,
 float evaluate_loss(nn::Module& model,
                     const data::ClassificationDataset& dataset,
                     int64_t batch_size) {
+  // Weight each batch's mean loss by its sample count so a final partial
+  // batch is not overweighted in the dataset-level mean.
   double loss_sum = 0.0;
-  int64_t batches = 0;
+  int64_t samples = 0;
   for_each_eval_batch(model, dataset, batch_size,
                       [&](const Tensor& logits, const std::vector<int64_t>& labels) {
-                        loss_sum += nn::softmax_cross_entropy(logits, labels).loss;
-                        ++batches;
+                        const auto n = static_cast<double>(labels.size());
+                        loss_sum +=
+                            n * nn::softmax_cross_entropy(logits, labels).loss;
+                        samples += static_cast<int64_t>(labels.size());
                       });
-  return batches > 0 ? static_cast<float>(loss_sum / batches) : 0.0f;
+  return samples > 0
+             ? static_cast<float>(loss_sum / static_cast<double>(samples))
+             : 0.0f;
 }
 
 }  // namespace nb::train

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
 
 #include "data/task_registry.h"
 #include "export/flat_writer.h"
@@ -183,6 +184,77 @@ TEST(FlatModelIo, RejectsBadMagicAndTruncation) {
   }
   EXPECT_THROW(FlatModel::load(path), std::runtime_error);
   std::remove(path.c_str());
+}
+
+// A minimal hand-built conv/linear program; corrupting one field at a time
+// (via `tweak`, applied before the ops are pushed) must make load() reject
+// the file instead of reading out of bounds later.
+FlatModel tiny_program(
+    const std::function<void(FlatConv&, FlatLinear&)>& tweak = {}) {
+  FlatModel m;
+  m.set_input(4, 2);
+  FlatOp conv;
+  conv.kind = OpKind::conv;
+  conv.conv.cin = 2;
+  conv.conv.cout = 2;
+  conv.conv.kernel = 1;
+  conv.conv.weights = {10, -20, 30, -40};
+  conv.conv.weight_scales = {0.1f, 0.1f};
+  conv.conv.has_bias = true;
+  conv.conv.bias = {0.5f, -0.5f};
+  conv.conv.act_scale = 0.05f;
+  FlatOp gap;
+  gap.kind = OpKind::gap;
+  FlatOp lin;
+  lin.kind = OpKind::linear;
+  lin.linear.in = 2;
+  lin.linear.out = 3;
+  lin.linear.weights = {1, 2, 3, 4, 5, 6};
+  lin.linear.weight_scales = {0.1f, 0.1f, 0.1f};
+  lin.linear.bias = {0.0f, 0.1f, 0.2f};
+  lin.linear.act_scale = 0.05f;
+  if (tweak) tweak(conv.conv, lin.linear);
+  m.push(conv);
+  m.push(gap);
+  m.push(lin);
+  return m;
+}
+
+TEST(FlatModelIo, RoundTripsHandBuiltProgram) {
+  const std::string path = temp_file("nb_flat_tiny_ok.nbm");
+  tiny_program().save(path);
+  const FlatModel loaded = FlatModel::load(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.ops().size(), 3u);
+}
+
+void expect_load_rejects(const char* name,
+                         const std::function<void(FlatConv&, FlatLinear&)>& tweak) {
+  const std::string path = temp_file(name);
+  tiny_program(tweak).save(path);
+  EXPECT_THROW(FlatModel::load(path), std::runtime_error) << name;
+  std::remove(path.c_str());
+}
+
+TEST(FlatModelIo, RejectsConvBiasCountMismatch) {
+  expect_load_rejects("nb_flat_bad_bias.nbm",
+                      [](FlatConv& c, FlatLinear&) { c.bias.pop_back(); });
+}
+
+TEST(FlatModelIo, RejectsLinearScaleAndBiasCountMismatch) {
+  expect_load_rejects(
+      "nb_flat_bad_lscale.nbm",
+      [](FlatConv&, FlatLinear& l) { l.weight_scales.pop_back(); });
+  expect_load_rejects("nb_flat_bad_lbias.nbm",
+                      [](FlatConv&, FlatLinear& l) { l.bias.push_back(1.0f); });
+}
+
+TEST(FlatModelIo, RejectsBadConvGeometry) {
+  // groups = 3 does not divide cin = cout = 2.
+  expect_load_rejects("nb_flat_bad_groups.nbm",
+                      [](FlatConv& c, FlatLinear&) { c.groups = 3; });
+  expect_load_rejects("nb_flat_bad_stride.nbm",
+                      [](FlatConv& c, FlatLinear&) { c.stride = 0; });
 }
 
 TEST(FlatModelIo, MalformedProgramRejectedAtRun) {

@@ -1,0 +1,232 @@
+// Tests for the planned fast inference backend (src/export/infer_plan.h):
+// fast-vs-reference agreement on randomized flat graphs (grouped/depthwise
+// convs, residual save/add chains, batch > 1), arena-plan peak-memory
+// sanity, thread-count invariance, and geometry validation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "export/flat_model.h"
+#include "export/flat_synth.h"
+#include "export/infer_plan.h"
+#include "tensor/rng.h"
+#include "tensor/tensor_ops.h"
+#include "tensor/threadpool.h"
+
+namespace nb::exporter {
+namespace {
+
+// Thin wrappers over the shared synthetic-op builders: draw a power-of-two
+// activation scale first (deterministic order), then the op.
+FlatOp make_conv(Rng& rng, int64_t cin, int64_t cout, int64_t k,
+                 int64_t stride, int64_t groups, FlatAct act, bool bias) {
+  const float act_scale = synth::pow2_act_scale(rng);
+  return synth::make_conv(rng, cin, cout, k, stride, groups, act, bias,
+                          act_scale);
+}
+
+FlatOp make_marker(OpKind kind) { return synth::make_marker(kind); }
+
+FlatOp make_linear(Rng& rng, int64_t in, int64_t out) {
+  const float act_scale = synth::pow2_act_scale(rng);
+  return synth::make_linear(rng, in, out, act_scale);
+}
+
+/// A small inverted-residual-style graph exercising every op kind: stem,
+/// expand 1x1, depthwise 3x3, grouped conv, project + residual, 5x5
+/// depthwise stride 2, GAP, linear.
+FlatModel residual_graph(uint64_t seed) {
+  Rng rng(seed, 7);
+  FlatModel m;
+  m.set_input(16, 3);
+  m.push(make_conv(rng, 3, 16, 3, 2, 1, FlatAct::relu6, true));
+  m.push(make_marker(OpKind::save));
+  m.push(make_conv(rng, 16, 48, 1, 1, 1, FlatAct::relu6, false));
+  m.push(make_conv(rng, 48, 48, 3, 1, 48, FlatAct::relu6, true));
+  m.push(make_conv(rng, 48, 16, 1, 1, 1, FlatAct::identity, true));
+  m.push(make_marker(OpKind::add_saved));
+  m.push(make_conv(rng, 16, 32, 3, 1, 4, FlatAct::relu, true));
+  m.push(make_conv(rng, 32, 32, 5, 2, 32, FlatAct::relu6, false));
+  m.push(make_marker(OpKind::gap));
+  m.push(make_linear(rng, 32, 10));
+  return m;
+}
+
+Tensor random_input(Rng& rng, std::vector<int64_t> shape) {
+  Tensor x(std::move(shape));
+  fill_uniform(x, rng, -1.0f, 1.0f);
+  return x;
+}
+
+// Sets the nb::parallel_for pool for the lifetime of one scope.
+class PoolOverride {
+ public:
+  explicit PoolOverride(ThreadPool& pool) {
+    ThreadPool::set_global_override(&pool);
+  }
+  ~PoolOverride() { ThreadPool::set_global_override(nullptr); }
+};
+
+TEST(InferPlan, FastMatchesReferenceOnResidualGraph) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    const FlatModel m = residual_graph(seed);
+    Rng rng(100 + seed, 1);
+    const Tensor x = random_input(rng, {2, 3, 16, 16});
+    const Tensor ref = m.forward(x, Backend::reference);
+    const Tensor fast = m.forward(x, Backend::fast);
+    ASSERT_TRUE(ref.same_shape(fast));
+    EXPECT_LT(max_abs_diff(ref, fast), 1e-5f) << "seed=" << seed;
+  }
+}
+
+TEST(InferPlan, FastMatchesReferenceAcrossBatchSizes) {
+  const FlatModel m = residual_graph(21);
+  Rng rng(7, 1);
+  for (int64_t batch : {1, 3, 8}) {
+    const Tensor x = random_input(rng, {batch, 3, 16, 16});
+    EXPECT_LT(max_abs_diff(m.forward(x, Backend::reference),
+                           m.forward(x, Backend::fast)),
+              1e-5f)
+        << "batch=" << batch;
+  }
+}
+
+TEST(InferPlan, FastMatchesReferenceOnRandomizedConvChains) {
+  Rng graph_rng(99, 3);
+  for (int trial = 0; trial < 6; ++trial) {
+    FlatModel m;
+    m.set_input(12, 4);
+    int64_t c = 4;
+    const int64_t depth = 2 + graph_rng.randint(4);
+    for (int64_t d = 0; d < depth; ++d) {
+      const int64_t pick = graph_rng.randint(4);
+      const auto act = static_cast<FlatAct>(graph_rng.randint(3));
+      const bool bias = graph_rng.bernoulli(0.5f);
+      if (pick == 0) {  // pointwise, channel change
+        const int64_t cout = 4 + 4 * graph_rng.randint(5);
+        m.push(make_conv(graph_rng, c, cout, 1, 1, 1, act, bias));
+        c = cout;
+      } else if (pick == 1) {  // depthwise
+        m.push(make_conv(graph_rng, c, c, 3, 1 + graph_rng.randint(2), c, act,
+                         bias));
+      } else if (pick == 2) {  // grouped
+        m.push(make_conv(graph_rng, c, c * 2, 3, 1, 2, act, bias));
+        c *= 2;
+      } else {  // residual pair around a depthwise
+        m.push(make_marker(OpKind::save));
+        m.push(make_conv(graph_rng, c, c, 3, 1, c, act, bias));
+        m.push(make_marker(OpKind::add_saved));
+      }
+    }
+    Rng rng(500 + static_cast<uint64_t>(trial), 1);
+    const Tensor x = random_input(rng, {2, 4, 12, 12});
+    const Tensor ref = m.forward(x, Backend::reference);
+    const Tensor fast = m.forward(x, Backend::fast);
+    ASSERT_TRUE(ref.same_shape(fast)) << "trial=" << trial;
+    EXPECT_LT(max_abs_diff(ref, fast), 1e-5f) << "trial=" << trial;
+  }
+}
+
+TEST(InferPlan, BitwiseInvariantAcrossThreadCounts) {
+  ThreadPool one(0);
+  ThreadPool four(3);
+  const FlatModel m = residual_graph(33);
+  Rng rng(42, 1);
+  const Tensor x = random_input(rng, {4, 3, 16, 16});
+  InferPlan plan(m, 4, 3, 16, 16);
+  Tensor y1, y4;
+  {
+    PoolOverride po(one);
+    y1 = plan.run(x);
+  }
+  {
+    PoolOverride po(four);
+    y4 = plan.run(x);
+  }
+  ASSERT_TRUE(y1.same_shape(y4));
+  EXPECT_EQ(std::memcmp(y1.data(), y4.data(),
+                        static_cast<size_t>(y1.numel()) * sizeof(float)),
+            0);
+}
+
+TEST(InferPlan, ArenaIsSmallerThanPerOpAllocationsAndCoversPeak) {
+  const FlatModel m = residual_graph(55);
+  InferPlan plan(m, 1, 3, 16, 16);
+  const PlanStats& st = plan.stats();
+  EXPECT_GT(st.arena_floats, 0);
+  // Reuse must beat a no-reuse executor...
+  EXPECT_LT(st.arena_bytes(), st.no_reuse_bytes());
+  // ...while still covering the largest set of simultaneously-live buffers.
+  EXPECT_GE(st.arena_floats, st.peak_live_floats);
+  EXPECT_EQ(st.save_depth, 1);
+  EXPECT_EQ(st.ops, static_cast<int64_t>(m.ops().size()));
+
+  // Batch scales every activation buffer; the plan must track it.
+  InferPlan plan8(m, 8, 3, 16, 16);
+  EXPECT_GT(plan8.stats().arena_floats, st.arena_floats);
+}
+
+TEST(InferPlan, PlanIsReusableAndMatchesColdRuns) {
+  const FlatModel m = residual_graph(66);
+  InferPlan plan(m, 2, 3, 16, 16);
+  Rng rng(9, 1);
+  const Tensor a = random_input(rng, {2, 3, 16, 16});
+  const Tensor b = random_input(rng, {2, 3, 16, 16});
+  const Tensor ya1 = plan.run(a);
+  const Tensor yb = plan.run(b);   // arena reused in between
+  const Tensor ya2 = plan.run(a);  // must be untouched by b's run
+  EXPECT_EQ(max_abs_diff(ya1, ya2), 0.0f);
+  EXPECT_GT(max_abs_diff(ya1, yb), 0.0f);
+}
+
+TEST(InferPlan, RejectsGeometryMismatches) {
+  const FlatModel m = residual_graph(77);
+  // Plan/run input mismatch.
+  InferPlan plan(m, 1, 3, 16, 16);
+  Tensor wrong({1, 3, 20, 20});
+  EXPECT_THROW(plan.run(wrong), std::runtime_error);
+  // First conv expects 3 input channels.
+  EXPECT_THROW(InferPlan(m, 1, 4, 16, 16), std::runtime_error);
+  // Empty program.
+  FlatModel empty;
+  EXPECT_THROW(InferPlan(empty, 1, 3, 16, 16), std::runtime_error);
+  // ADD without SAVE fails at plan time.
+  FlatModel bad;
+  bad.push(make_marker(OpKind::add_saved));
+  EXPECT_THROW(InferPlan(bad, 1, 3, 8, 8), std::runtime_error);
+}
+
+TEST(InferPlan, MutatingModelInvalidatesCachedPlan) {
+  Rng rng(5, 2);
+  FlatModel m;
+  m.set_input(12, 3);
+  m.push(make_conv(rng, 3, 8, 3, 1, 1, FlatAct::relu6, true));
+  Rng xr(8, 1);
+  const Tensor x = random_input(xr, {1, 3, 12, 12});
+  const Tensor y1 = m.forward(x, Backend::fast);
+  // Same input geometry, longer program: push() must drop the cached plan.
+  m.push(make_conv(rng, 8, 8, 3, 1, 8, FlatAct::identity, true));
+  const Tensor y2 = m.forward(x, Backend::fast);
+  EXPECT_GT(max_abs_diff(y1, y2), 0.0f);
+  EXPECT_LT(max_abs_diff(y2, m.forward(x, Backend::reference)), 1e-5f);
+}
+
+TEST(InferPlan, ForwardCachesPlanAcrossShapeChanges) {
+  const FlatModel m = residual_graph(88);
+  Rng rng(31, 1);
+  const Tensor a = random_input(rng, {1, 3, 16, 16});
+  const Tensor b = random_input(rng, {2, 3, 16, 16});
+  // Alternating shapes rebuilds the plan; results must stay correct.
+  for (int round = 0; round < 2; ++round) {
+    EXPECT_LT(max_abs_diff(m.forward(a, Backend::fast),
+                           m.forward(a, Backend::reference)),
+              1e-5f);
+    EXPECT_LT(max_abs_diff(m.forward(b, Backend::fast),
+                           m.forward(b, Backend::reference)),
+              1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace nb::exporter

@@ -1,0 +1,116 @@
+// Deployment-artifact inspector and inference driver: loads an NBFM file,
+// prints the program summary and the memory planner's arena accounting,
+// then times inference on the chosen backend.
+//
+// Usage: flat_infer <model.nbfm> [--batch N] [--res R] [--backend fast|reference]
+//                   [--repeat K]
+//   --res defaults to the resolution recorded in the artifact header.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "export/flat_model.h"
+#include "export/infer_plan.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+using namespace nb;
+using namespace nb::exporter;
+
+int main(int argc, char** argv) {
+  std::string path;
+  int64_t batch = 1;
+  int64_t res = 0;
+  int repeat = 10;
+  Backend backend = Backend::fast;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--batch" && i + 1 < argc) {
+      batch = std::atoll(argv[++i]);
+    } else if (arg == "--res" && i + 1 < argc) {
+      res = std::atoll(argv[++i]);
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
+    } else if (arg == "--backend" && i + 1 < argc) {
+      const std::string b = argv[++i];
+      if (b == "fast") {
+        backend = Backend::fast;
+      } else if (b == "reference") {
+        backend = Backend::reference;
+      } else {
+        std::fprintf(stderr, "unknown backend: %s\n", b.c_str());
+        return 2;
+      }
+    } else if (path.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: flat_infer <model.nbfm> [--batch N] [--res R] "
+                   "[--backend fast|reference] [--repeat K]\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "flat_infer: no model file given\n");
+    return 2;
+  }
+
+  const FlatModel model = FlatModel::load(path);
+  if (res == 0) res = model.input_resolution();
+  if (res == 0) {
+    std::fprintf(stderr,
+                 "flat_infer: artifact has no recorded resolution; pass "
+                 "--res\n");
+    return 2;
+  }
+  const int64_t channels = model.input_channels();
+  std::printf("model:        %s\n", path.c_str());
+  std::printf("ops:          %lld\n",
+              static_cast<long long>(model.ops().size()));
+  std::printf("weight bytes: %lld\n",
+              static_cast<long long>(model.weight_bytes()));
+  std::printf("input:        [%lld, %lld, %lld, %lld]\n",
+              static_cast<long long>(batch), static_cast<long long>(channels),
+              static_cast<long long>(res), static_cast<long long>(res));
+
+  const InferPlan plan(model, batch, channels, res, res);
+  const PlanStats& st = plan.stats();
+  std::printf("planner:      arena %lld B (peak live %lld B, no-reuse %lld B, "
+              "%lld save slot%s)\n",
+              static_cast<long long>(st.arena_bytes()),
+              static_cast<long long>(st.peak_live_bytes()),
+              static_cast<long long>(st.no_reuse_bytes()),
+              static_cast<long long>(st.save_depth),
+              st.save_depth == 1 ? "" : "s");
+  std::printf("weight cache: %lld B (dequantized float panels)\n",
+              static_cast<long long>(st.weight_cache_floats * 4));
+
+  Rng rng(1);
+  Tensor x({batch, channels, res, res});
+  fill_uniform(x, rng, -1.0f, 1.0f);
+
+  Tensor y = backend == Backend::fast ? plan.run(x)
+                                      : model.forward(x, Backend::reference);
+  double best = 1e100;
+  for (int r = 0; r < repeat; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    y = backend == Backend::fast ? plan.run(x)
+                                 : model.forward(x, Backend::reference);
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    best = std::min(best, s);
+  }
+  const std::vector<int64_t> pred = y.dim() == 2 ? argmax_rows(y)
+                                                 : std::vector<int64_t>{};
+  std::printf("backend:      %s\n",
+              backend == Backend::fast ? "fast" : "reference");
+  std::printf("latency:      %.3f ms (best of %d), %.1f images/s\n",
+              best * 1e3, repeat, static_cast<double>(batch) / best);
+  if (!pred.empty()) {
+    std::printf("argmax[0]:    %lld\n", static_cast<long long>(pred[0]));
+  }
+  return 0;
+}
