@@ -1,0 +1,340 @@
+// Serving-runtime report: exercises the Engine/Session/CompiledModel stack
+// on a synthetic MobileNetV2-flat (and MCUNet-flat in the full run) and
+// writes machine-readable BENCH_serve.json:
+//
+//   * session scaling — N closed-loop streams, one Session per thread, all
+//     borrowing ONE CompiledModel's weight panels: aggregate throughput,
+//     per-request p50/p99, and the owned-vs-shared memory split.
+//   * batching policy — closed-loop clients against an Engine under
+//     sequential (max_batch=1) and micro-batching (max_batch 4/8)
+//     policies: throughput, latency percentiles, achieved batch size.
+//
+// The headline number is micro-batch-8 throughput over sequential
+// throughput on MobileNetV2-flat — the win dynamic batching buys at the
+// same hardware budget.
+//
+// Usage: bench_serve_report [--quick] [--out <path>]
+//   --quick  small graph, short windows (the CI setting)
+//   --out    output path (default: BENCH_serve.json in the cwd)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "export/flat_model.h"
+#include "export/flat_synth.h"
+#include "runtime/compiled_model.h"
+#include "runtime/engine.h"
+#include "runtime/percentile.h"
+#include "runtime/session.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace {
+
+using namespace nb;
+using namespace nb::runtime;
+using Clock = std::chrono::steady_clock;
+
+struct SessionResult {
+  std::string graph;
+  int64_t sessions = 0;
+  int64_t requests = 0;
+  double images_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  int64_t owned_arena_bytes_per_session = 0;
+  int64_t shared_weight_bytes = 0;
+};
+
+/// N closed-loop streams, each its own serial Session over one shared
+/// CompiledModel, running until the window closes.
+SessionResult bench_sessions(const std::string& graph,
+                             std::shared_ptr<const CompiledModel> model,
+                             int64_t sessions, double window_s) {
+  const int64_t res = model->input_resolution();
+  const int64_t channels = model->input_channels();
+  std::vector<std::vector<double>> lat(static_cast<size_t>(sessions));
+  std::vector<int64_t> owned(static_cast<size_t>(sessions), 0);
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+  const auto deadline = t0 + std::chrono::duration<double>(window_s);
+  for (int64_t s = 0; s < sessions; ++s) {
+    threads.emplace_back([&, s] {
+      Session session(model);  // default: serial per-stream execution
+      Rng rng(100 + static_cast<uint64_t>(s));
+      Tensor image({1, channels, res, res});
+      fill_uniform(image, rng, -1.0f, 1.0f);
+      (void)session.run(image);  // warmup: builds the plan
+      auto& mine = lat[static_cast<size_t>(s)];
+      while (Clock::now() < deadline) {
+        const auto t0 = Clock::now();
+        (void)session.run(image);
+        mine.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count());
+      }
+      owned[static_cast<size_t>(s)] = session.memory().owned_arena_floats * 4;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  SessionResult r;
+  r.graph = graph;
+  r.sessions = sessions;
+  std::vector<double> all;
+  for (auto& v : lat) {
+    r.requests += static_cast<int64_t>(v.size());
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end());
+  r.images_per_s = static_cast<double>(r.requests) / wall;
+  r.p50_ms = percentile_sorted(all, 0.50);
+  r.p99_ms = percentile_sorted(all, 0.99);
+  r.owned_arena_bytes_per_session = owned.empty() ? 0 : owned[0];
+  r.shared_weight_bytes = model->weight_panel_bytes();
+  return r;
+}
+
+struct EngineResult {
+  std::string graph;
+  std::string policy;
+  int64_t max_batch = 0;
+  int64_t max_wait_us = 0;
+  int64_t clients = 0;
+  int64_t workers = 0;
+  int64_t requests = 0;
+  double images_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double avg_batch = 0.0;
+  int64_t batches = 0;
+};
+
+/// Closed-loop clients against one Engine under the given batching policy.
+EngineResult bench_engine(const std::string& graph,
+                          std::shared_ptr<const CompiledModel> model,
+                          const std::string& policy, int64_t max_batch,
+                          int64_t max_wait_us, int64_t clients,
+                          double window_s) {
+  EngineOptions opts;
+  opts.batching.max_batch = max_batch;
+  opts.batching.max_wait_us = max_wait_us;
+  opts.workers = 1;
+
+  const int64_t res = model->input_resolution();
+  const int64_t channels = model->input_channels();
+
+  EngineResult r;
+  r.graph = graph;
+  r.policy = policy;
+  r.max_batch = max_batch;
+  r.max_wait_us = max_wait_us;
+  r.clients = clients;
+  r.workers = opts.workers;
+  {
+    Engine engine(opts);
+    engine.register_model("m", model);
+    // Warmup one request so the worker's session plans both geometries the
+    // window will see (batch 1 and batch max).
+    {
+      Rng rng(7);
+      Tensor image({channels, res, res});
+      fill_uniform(image, rng, -1.0f, 1.0f);
+      (void)engine.submit("m", image).get();
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<int64_t> done{0};
+    std::vector<std::thread> threads;
+    const auto t0 = Clock::now();
+    for (int64_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        Rng rng(300 + static_cast<uint64_t>(c));
+        Tensor image({channels, res, res});
+        fill_uniform(image, rng, -1.0f, 1.0f);
+        while (!stop.load(std::memory_order_relaxed)) {
+          (void)engine.submit("m", image).get();
+          done.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(window_s));
+    stop.store(true);
+    for (std::thread& t : threads) t.join();
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    const Engine::Stats st = engine.stats();
+    r.requests = done.load();
+    r.images_per_s = static_cast<double>(r.requests) / wall;
+    r.p50_ms = st.p50_ms;
+    r.p99_ms = st.p99_ms;
+    r.avg_batch = st.avg_batch;
+    r.batches = st.batches;
+  }
+  return r;
+}
+
+void write_json(const std::string& path, bool quick,
+                const std::vector<SessionResult>& sessions,
+                const std::vector<EngineResult>& engines) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  // Headline: MobileNetV2-flat, best micro-batching policy (batch <= 8) vs
+  // sequential throughput. The sweet spot is hardware-dependent (batch 8
+  // stresses cache on small cores; batch 4 usually wins there), so the
+  // headline reports the best policy by name next to its throughput.
+  const EngineResult* seq = nullptr;
+  const EngineResult* best = nullptr;
+  for (const EngineResult& r : engines) {
+    if (r.graph.rfind("mbv2", 0) != 0) continue;
+    if (r.policy == "sequential") {
+      seq = &r;
+    } else if (best == nullptr || r.images_per_s > best->images_per_s) {
+      best = &r;
+    }
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"nb-bench-serve-v1\",\n");
+  std::fprintf(f, "  \"bench\": \"serve\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  if (seq != nullptr && best != nullptr) {
+    std::fprintf(f, "  \"mbv2_batching\": {\n");
+    std::fprintf(f, "    \"sequential_images_per_s\": %.2f,\n",
+                 seq->images_per_s);
+    std::fprintf(f, "    \"best_policy\": \"%s\",\n", best->policy.c_str());
+    std::fprintf(f, "    \"best_policy_images_per_s\": %.2f,\n",
+                 best->images_per_s);
+    std::fprintf(f, "    \"speedup_microbatch_vs_sequential\": %.4f,\n",
+                 best->images_per_s / seq->images_per_s);
+    std::fprintf(f, "    \"best_policy_avg_batch\": %.2f\n", best->avg_batch);
+    std::fprintf(f, "  },\n");
+  }
+  std::fprintf(f, "  \"session_scaling\": [\n");
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    const SessionResult& r = sessions[i];
+    std::fprintf(
+        f,
+        "    {\"graph\": \"%s\", \"sessions\": %lld, \"requests\": %lld, "
+        "\"images_per_s\": %.2f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+        "\"owned_arena_bytes_per_session\": %lld, "
+        "\"shared_weight_bytes\": %lld}%s\n",
+        r.graph.c_str(), static_cast<long long>(r.sessions),
+        static_cast<long long>(r.requests), r.images_per_s, r.p50_ms,
+        r.p99_ms, static_cast<long long>(r.owned_arena_bytes_per_session),
+        static_cast<long long>(r.shared_weight_bytes),
+        i + 1 < sessions.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"engine\": [\n");
+  for (size_t i = 0; i < engines.size(); ++i) {
+    const EngineResult& r = engines[i];
+    std::fprintf(
+        f,
+        "    {\"graph\": \"%s\", \"policy\": \"%s\", \"max_batch\": %lld, "
+        "\"max_wait_us\": %lld, \"clients\": %lld, \"workers\": %lld, "
+        "\"requests\": %lld, \"images_per_s\": %.2f, \"p50_ms\": %.4f, "
+        "\"p99_ms\": %.4f, \"avg_batch\": %.2f, \"batches\": %lld}%s\n",
+        r.graph.c_str(), r.policy.c_str(),
+        static_cast<long long>(r.max_batch),
+        static_cast<long long>(r.max_wait_us),
+        static_cast<long long>(r.clients), static_cast<long long>(r.workers),
+        static_cast<long long>(r.requests), r.images_per_s, r.p50_ms,
+        r.p99_ms, r.avg_batch, static_cast<long long>(r.batches),
+        i + 1 < engines.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve_report [--quick] [--out <path>]\n");
+      return 2;
+    }
+  }
+  const double window_s = quick ? 0.4 : 2.0;
+  const int64_t clients = 8;
+
+  Rng rng(20260730);
+  std::vector<std::pair<std::string, std::shared_ptr<const CompiledModel>>>
+      graphs;
+  if (quick) {
+    graphs.emplace_back(
+        "mbv2_w035_r96",
+        CompiledModel::compile(exporter::synth::make_mbv2_flat(
+            rng, 0.35f, 96, 100)));
+  } else {
+    graphs.emplace_back(
+        "mbv2_w035_r96",
+        CompiledModel::compile(exporter::synth::make_mbv2_flat(
+            rng, 0.35f, 96, 100)));
+    graphs.emplace_back("mcunet_r96",
+                        CompiledModel::compile(
+                            exporter::synth::make_mcunet_flat(rng, 96, 100)));
+  }
+
+  std::vector<SessionResult> session_results;
+  std::vector<EngineResult> engine_results;
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::vector<int64_t> session_counts{1, 2};
+  if (hw >= 4) session_counts.push_back(4);
+
+  for (auto& [name, model] : graphs) {
+    for (const int64_t n : session_counts) {
+      SessionResult r = bench_sessions(name, model, n, window_s);
+      session_results.push_back(r);
+      std::fprintf(stderr,
+                   "  %s sessions=%lld: %.1f images/s p50 %.3f ms p99 %.3f "
+                   "ms (weights shared: %lld B)\n",
+                   name.c_str(), static_cast<long long>(n), r.images_per_s,
+                   r.p50_ms, r.p99_ms,
+                   static_cast<long long>(r.shared_weight_bytes));
+    }
+    for (const auto& [policy, max_batch, wait_us] :
+         std::vector<std::tuple<std::string, int64_t, int64_t>>{
+             {"sequential", 1, 0},
+             {"microbatch4", 4, 2000},
+             {"microbatch8", 8, 2000}}) {
+      EngineResult r = bench_engine(name, model, policy, max_batch, wait_us,
+                                    clients, window_s);
+      engine_results.push_back(r);
+      std::fprintf(stderr,
+                   "  %s %s: %.1f images/s p50 %.3f ms p99 %.3f ms avg "
+                   "batch %.2f\n",
+                   name.c_str(), policy.c_str(), r.images_per_s, r.p50_ms,
+                   r.p99_ms, r.avg_batch);
+    }
+  }
+
+  write_json(out_path, quick, session_results, engine_results);
+  std::fprintf(stderr, "wrote %s (%zu session rows, %zu engine rows)\n",
+               out_path.c_str(), session_results.size(),
+               engine_results.size());
+  return 0;
+}

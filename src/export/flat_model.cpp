@@ -4,8 +4,10 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 
 #include "export/infer_plan.h"
+#include "export/weight_panels.h"
 #include "quant/quantize.h"
 
 namespace nb::exporter {
@@ -20,30 +22,48 @@ void write_pod(std::ofstream& out, const T& value) {
 }
 
 template <typename T>
-T read_pod(std::ifstream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  NB_CHECK(static_cast<bool>(in), "flat model: truncated file");
-  return value;
-}
-
-template <typename T>
 void write_vec(std::ofstream& out, const std::vector<T>& v) {
   write_pod<int64_t>(out, static_cast<int64_t>(v.size()));
   out.write(reinterpret_cast<const char*>(v.data()),
             static_cast<std::streamsize>(v.size() * sizeof(T)));
 }
 
-template <typename T>
-std::vector<T> read_vec(std::ifstream& in) {
-  const int64_t n = read_pod<int64_t>(in);
-  NB_CHECK(n >= 0 && n < (int64_t{1} << 32), "flat model: bad vector length");
-  std::vector<T> v(static_cast<size_t>(n));
-  in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(v.size() * sizeof(T)));
-  NB_CHECK(static_cast<bool>(in), "flat model: truncated vector");
-  return v;
-}
+/// Bounds-checked cursor over an in-memory NBFM image — the one parser
+/// behind both load(path) and load_from_buffer.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  void raw(void* dst, size_t n) {
+    NB_CHECK(n <= size_ - off_, "flat model: truncated file");
+    std::memcpy(dst, data_ + off_, n);
+    off_ += n;
+  }
+
+  template <typename T>
+  T pod() {
+    T value{};
+    raw(&value, sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> vec() {
+    const int64_t n = pod<int64_t>();
+    NB_CHECK(n >= 0 && n < (int64_t{1} << 32),
+             "flat model: bad vector length");
+    NB_CHECK(static_cast<uint64_t>(n) * sizeof(T) <= size_ - off_,
+             "flat model: truncated vector");
+    std::vector<T> v(static_cast<size_t>(n));
+    raw(v.data(), v.size() * sizeof(T));
+    return v;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t off_ = 0;
+};
 
 /// Fake-quantizes an activation tensor the same way QuantConv2d does.
 void quantize_activation_(Tensor& x, float scale, int bits) {
@@ -204,21 +224,36 @@ void FlatModel::save(const std::string& path) const {
 FlatModel FlatModel::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   NB_CHECK(static_cast<bool>(in), "flat model: cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  NB_CHECK(size >= 0, "flat model: read failed for " + path);
+  in.seekg(0, std::ios::beg);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(bytes.data()), size);
+    NB_CHECK(static_cast<bool>(in), "flat model: read failed for " + path);
+  }
+  return load_from_buffer(bytes.data(), bytes.size());
+}
+
+FlatModel FlatModel::load_from_buffer(const uint8_t* data, size_t size) {
+  NB_CHECK(data != nullptr || size == 0, "flat model: null buffer");
+  ByteReader in(data, size);
   char magic[4] = {};
-  in.read(magic, 4);
-  NB_CHECK(static_cast<bool>(in) && std::memcmp(magic, kMagic, 4) == 0,
+  in.raw(magic, 4);
+  NB_CHECK(std::memcmp(magic, kMagic, 4) == 0,
            "flat model: bad magic (not an NBFM file)");
-  const auto version = read_pod<uint32_t>(in);
+  const auto version = in.pod<uint32_t>();
   NB_CHECK(version == kFlatVersion, "flat model: unsupported version " +
                                         std::to_string(version));
   FlatModel model;
-  model.input_res_ = read_pod<int64_t>(in);
-  model.input_channels_ = read_pod<int64_t>(in);
-  const auto op_count = read_pod<uint32_t>(in);
+  model.input_res_ = in.pod<int64_t>();
+  model.input_channels_ = in.pod<int64_t>();
+  const auto op_count = in.pod<uint32_t>();
   NB_CHECK(op_count < 100000, "flat model: implausible op count");
   for (uint32_t i = 0; i < op_count; ++i) {
     FlatOp op;
-    op.kind = static_cast<OpKind>(read_pod<uint8_t>(in));
+    op.kind = static_cast<OpKind>(in.pod<uint8_t>());
     switch (op.kind) {
       case OpKind::save:
       case OpKind::add_saved:
@@ -226,20 +261,20 @@ FlatModel FlatModel::load(const std::string& path) {
         break;
       case OpKind::conv: {
         FlatConv& c = op.conv;
-        c.act = static_cast<FlatAct>(read_pod<uint8_t>(in));
-        c.stride = read_pod<int64_t>(in);
-        c.pad = read_pod<int64_t>(in);
-        c.groups = read_pod<int64_t>(in);
-        c.cout = read_pod<int64_t>(in);
-        c.cin = read_pod<int64_t>(in);
-        c.kernel = read_pod<int64_t>(in);
-        c.weight_bits = read_pod<uint8_t>(in);
-        c.weights = read_vec<int8_t>(in);
-        c.weight_scales = read_vec<float>(in);
-        c.has_bias = read_pod<uint8_t>(in) != 0;
-        if (c.has_bias) c.bias = read_vec<float>(in);
-        c.act_scale = read_pod<float>(in);
-        c.act_bits = read_pod<uint8_t>(in);
+        c.act = static_cast<FlatAct>(in.pod<uint8_t>());
+        c.stride = in.pod<int64_t>();
+        c.pad = in.pod<int64_t>();
+        c.groups = in.pod<int64_t>();
+        c.cout = in.pod<int64_t>();
+        c.cin = in.pod<int64_t>();
+        c.kernel = in.pod<int64_t>();
+        c.weight_bits = in.pod<uint8_t>();
+        c.weights = in.vec<int8_t>();
+        c.weight_scales = in.vec<float>();
+        c.has_bias = in.pod<uint8_t>() != 0;
+        if (c.has_bias) c.bias = in.vec<float>();
+        c.act_scale = in.pod<float>();
+        c.act_bits = in.pod<uint8_t>();
         NB_CHECK(c.cout > 0 && c.cin > 0 && c.kernel > 0 && c.stride > 0 &&
                      c.pad >= 0,
                  "flat model: bad conv geometry");
@@ -258,14 +293,14 @@ FlatModel FlatModel::load(const std::string& path) {
       }
       case OpKind::linear: {
         FlatLinear& l = op.linear;
-        l.in = read_pod<int64_t>(in);
-        l.out = read_pod<int64_t>(in);
-        l.weight_bits = read_pod<uint8_t>(in);
-        l.weights = read_vec<int8_t>(in);
-        l.weight_scales = read_vec<float>(in);
-        l.bias = read_vec<float>(in);
-        l.act_scale = read_pod<float>(in);
-        l.act_bits = read_pod<uint8_t>(in);
+        l.in = in.pod<int64_t>();
+        l.out = in.pod<int64_t>();
+        l.weight_bits = in.pod<uint8_t>();
+        l.weights = in.vec<int8_t>();
+        l.weight_scales = in.vec<float>();
+        l.bias = in.vec<float>();
+        l.act_scale = in.pod<float>();
+        l.act_bits = in.pod<uint8_t>();
         NB_CHECK(l.in > 0 && l.out > 0, "flat model: bad linear geometry");
         NB_CHECK(static_cast<int64_t>(l.weights.size()) == l.in * l.out,
                  "flat model: linear weight count mismatch");
@@ -283,7 +318,18 @@ FlatModel FlatModel::load(const std::string& path) {
   return model;
 }
 
-FlatModel::FlatModel() = default;
+// The lazily-created single session behind forward(fast): the compiled
+// weight panels (shared with copies of this model and with
+// runtime::CompiledModel) plus one geometry-keyed InferPlan, behind a mutex
+// so concurrent forward() calls are safe (they serialize; real concurrency
+// lives in runtime::Session).
+struct FlatModel::FastShim {
+  std::mutex mu;
+  std::shared_ptr<const WeightPanels> panels;
+  std::unique_ptr<InferPlan> plan;
+};
+
+FlatModel::FlatModel() : shim_(std::make_shared<FastShim>()) {}
 FlatModel::~FlatModel() = default;
 FlatModel::FlatModel(FlatModel&&) noexcept = default;
 FlatModel& FlatModel::operator=(FlatModel&&) noexcept = default;
@@ -291,40 +337,69 @@ FlatModel& FlatModel::operator=(FlatModel&&) noexcept = default;
 FlatModel::FlatModel(const FlatModel& other)
     : ops_(other.ops_),
       input_res_(other.input_res_),
-      input_channels_(other.input_channels_) {}
+      input_channels_(other.input_channels_),
+      // Copies share the whole shim: the panels are built at most once
+      // across all copies even when the copy happens before the first
+      // build, and the plan cache is shared too (same program, and
+      // forward() serializes on the shim mutex anyway). Mutators detach.
+      shim_(other.shim_ != nullptr ? other.shim_
+                                   : std::make_shared<FastShim>()) {}
 
 FlatModel& FlatModel::operator=(const FlatModel& other) {
   if (this != &other) {
-    ops_ = other.ops_;
-    input_res_ = other.input_res_;
-    input_channels_ = other.input_channels_;
-    plan_.reset();
+    FlatModel copy(other);
+    *this = std::move(copy);
   }
   return *this;
+}
+
+// Rebuilds the shim after a move left it null; single-threaded by contract
+// (only reached when reusing a moved-from model).
+FlatModel::FastShim& FlatModel::ensure_shim() const {
+  if (shim_ == nullptr) shim_ = std::make_shared<FastShim>();
+  return *shim_;
+}
+
+void FlatModel::invalidate_compiled() {
+  // Detach instead of clearing: copies sharing the old shim keep their
+  // (still valid) compiled state for the unmutated program; this model
+  // starts a fresh one for the new program.
+  shim_ = std::make_shared<FastShim>();
 }
 
 void FlatModel::set_input(int64_t resolution, int64_t channels) {
   input_res_ = resolution;
   input_channels_ = channels;
-  plan_.reset();
+  invalidate_compiled();
 }
 
 void FlatModel::push(FlatOp op) {
   ops_.push_back(std::move(op));
-  plan_.reset();
+  invalidate_compiled();
+}
+
+std::shared_ptr<const WeightPanels> FlatModel::compiled_panels() const {
+  FastShim& shim = ensure_shim();
+  std::lock_guard<std::mutex> lock(shim.mu);
+  if (shim.panels == nullptr) shim.panels = WeightPanels::build(*this);
+  return shim.panels;
 }
 
 Tensor FlatModel::forward(const Tensor& input, Backend backend) const {
   if (backend == Backend::fast) {
     NB_CHECK(input.dim() == 4, "flat model: fast backend needs NCHW input");
-    if (plan_ == nullptr || plan_->stats().batch != input.size(0) ||
-        plan_->stats().channels != input.size(1) ||
-        plan_->stats().in_h != input.size(2) ||
-        plan_->stats().in_w != input.size(3)) {
-      plan_ = std::make_unique<InferPlan>(*this, input.size(0), input.size(1),
-                                          input.size(2), input.size(3));
+    FastShim& shim = ensure_shim();
+    std::lock_guard<std::mutex> lock(shim.mu);
+    if (shim.panels == nullptr) shim.panels = WeightPanels::build(*this);
+    if (shim.plan == nullptr || shim.plan->stats().batch != input.size(0) ||
+        shim.plan->stats().channels != input.size(1) ||
+        shim.plan->stats().in_h != input.size(2) ||
+        shim.plan->stats().in_w != input.size(3)) {
+      shim.plan = std::make_unique<InferPlan>(*this, shim.panels,
+                                              input.size(0), input.size(1),
+                                              input.size(2), input.size(3));
     }
-    return plan_->run(input);
+    return shim.plan->run(input);
   }
   NB_CHECK(!ops_.empty(), "flat model: empty program");
   Tensor x = input.clone();

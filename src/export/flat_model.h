@@ -34,6 +34,7 @@
 namespace nb::exporter {
 
 class InferPlan;
+class WeightPanels;
 
 constexpr uint32_t kFlatVersion = 1;
 
@@ -96,23 +97,39 @@ class FlatModel {
   ~FlatModel();
   FlatModel(FlatModel&&) noexcept;
   FlatModel& operator=(FlatModel&&) noexcept;
-  // Copies share nothing; the cached inference plan stays with the source.
+  // Copies share the compiled state (weight panels and plan cache, built
+  // at most once across all copies — even copies made before the first
+  // forward); mutating any copy detaches it onto fresh compiled state, so
+  // a mutated program never runs stale and never invalidates its siblings.
   FlatModel(const FlatModel& other);
   FlatModel& operator=(const FlatModel& other);
 
   static FlatModel load(const std::string& path);
+  /// Parses an NBFM image straight from memory (blob store, embedded
+  /// artifact, network buffer) — same validation as load(path), no temp
+  /// files. The bytes are copied out; the buffer may be freed afterwards.
+  static FlatModel load_from_buffer(const uint8_t* data, size_t size);
 
   /// Inference on the selected backend. Both backends re-quantize
   /// activations at each conv exactly as the training-side fake-quant
   /// pipeline does and agree within float accumulation-order rounding.
-  /// Input is [N, C, H, W]; returns logits. The fast backend caches one
-  /// InferPlan keyed on the input geometry (rebuilt when it changes), so
-  /// repeated same-shape calls pay no planning cost; forward is therefore
-  /// not safe to call concurrently on one FlatModel.
+  /// Input is [N, C, H, W]; returns logits.
+  ///
+  /// The fast backend is a thin shim over a lazily-created single serving
+  /// session: compiled weight panels shared with every copy of this model
+  /// (and with runtime::CompiledModel), plus one InferPlan keyed on the
+  /// input geometry. The shim is mutex-guarded, so concurrent forward()
+  /// calls are safe but serialize; use runtime::Session (one per stream)
+  /// for parallel serving.
   Tensor forward(const Tensor& input, Backend backend) const;
 
   /// forward on the fast backend (reference for non-NCHW programs).
   Tensor forward(const Tensor& input) const;
+
+  /// The shared compiled weight panels for this program, built on first
+  /// use. Copies of this model and runtime::CompiledModel::compile reuse
+  /// the same panels; mutators (push/set_input) detach them.
+  std::shared_ptr<const WeightPanels> compiled_panels() const;
 
   const std::vector<FlatOp>& ops() const { return ops_; }
   int64_t input_resolution() const { return input_res_; }
@@ -121,16 +138,23 @@ class FlatModel {
   int64_t weight_bytes() const;
 
   // Writer-side mutators (used by write_flat_model). Both invalidate the
-  // cached fast-backend plan so a mutated program can never run stale.
+  // compiled panels and the cached fast-backend plan so a mutated program
+  // can never run stale.
   void set_input(int64_t resolution, int64_t channels);
   void push(FlatOp op);
   void save(const std::string& path) const;
 
  private:
+  // The lazily-created single session behind forward(fast): shared panels
+  // + one geometry-keyed plan, guarded by a mutex (defined in the .cpp).
+  struct FastShim;
+  FastShim& ensure_shim() const;
+  void invalidate_compiled();
+
   std::vector<FlatOp> ops_;
   int64_t input_res_ = 0;
   int64_t input_channels_ = 3;
-  mutable std::unique_ptr<InferPlan> plan_;  // fast-backend cache
+  mutable std::shared_ptr<FastShim> shim_;
 };
 
 }  // namespace nb::exporter

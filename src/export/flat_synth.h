@@ -4,8 +4,10 @@
 // the training stack. Header-only; depends only on flat_model.h and Rng.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "export/flat_model.h"
 #include "tensor/rng.h"
@@ -86,6 +88,87 @@ inline FlatOp make_linear(Rng& rng, int64_t in, int64_t out,
   l.act_scale = act_scale;
   l.act_bits = 8;
   return op;
+}
+
+// ----------------------------------------------------------------------
+// Whole-network builders shared by bench_infer_report, bench_serve_report
+// and the serving tools/tests.
+
+// Activation quantization scales: the stem sees normalized input in [-1, 1],
+// everything downstream sees relu6 output in [0, 6]. Power-of-two scales
+// (a real TinyML deployment choice — shifts instead of multiplies on MCU)
+// keep every quantized activation an exact <=15-bit float, so every
+// level * activation product is exact and the fast backend agrees with the
+// reference interpreter bitwise instead of within FMA rounding.
+constexpr float kStemActScale = 1.0f / 128.0f;   // 2^-7, grid covers ~[-1, 1]
+constexpr float kRelu6ActScale = 1.0f / 16.0f;   // 2^-4, grid covers [0, 6+]
+
+struct StageSpec {
+  int64_t expand, channels, repeat, stride, kernel;
+};
+
+/// Inverted-residual backbone -> 1x1 head conv -> GAP -> linear, the shared
+/// skeleton of MobileNetV2 and MCUNet flat exports.
+inline FlatModel inverted_residual_graph(Rng& rng, int64_t res, int64_t stem,
+                                         const std::vector<StageSpec>& stages,
+                                         int64_t head, int64_t classes) {
+  FlatModel m;
+  m.set_input(res, 3);
+  m.push(make_conv(rng, 3, stem, 3, 2, 1, FlatAct::relu6, true,
+                   kStemActScale));
+  int64_t c = stem;
+  for (const StageSpec& st : stages) {
+    for (int64_t r = 0; r < st.repeat; ++r) {
+      const int64_t stride = r == 0 ? st.stride : 1;
+      const bool residual = stride == 1 && c == st.channels;
+      const int64_t mid = c * st.expand;
+      if (residual) m.push(make_marker(OpKind::save));
+      if (st.expand != 1) {
+        m.push(make_conv(rng, c, mid, 1, 1, 1, FlatAct::relu6, false,
+                         kRelu6ActScale));
+      }
+      m.push(make_conv(rng, mid, mid, st.kernel, stride, mid, FlatAct::relu6,
+                       true, kRelu6ActScale));
+      m.push(make_conv(rng, mid, st.channels, 1, 1, 1, FlatAct::identity,
+                       true, kRelu6ActScale));
+      if (residual) m.push(make_marker(OpKind::add_saved));
+      c = st.channels;
+    }
+  }
+  m.push(make_conv(rng, c, head, 1, 1, 1, FlatAct::relu6, false,
+                   kRelu6ActScale));
+  m.push(make_marker(OpKind::gap));
+  m.push(make_linear(rng, head, classes, kRelu6ActScale));
+  return m;
+}
+
+inline int64_t round8(float v) {
+  const int64_t r = static_cast<int64_t>(v / 8.0f + 0.5f) * 8;
+  return std::max<int64_t>(8, r);
+}
+
+/// MobileNetV2 at the given width multiplier (standard stage table).
+inline FlatModel make_mbv2_flat(Rng& rng, float width, int64_t res,
+                                int64_t classes) {
+  const std::vector<StageSpec> stages = {
+      {1, round8(16 * width), 1, 1, 3},  {6, round8(24 * width), 2, 2, 3},
+      {6, round8(32 * width), 3, 2, 3},  {6, round8(64 * width), 4, 2, 3},
+      {6, round8(96 * width), 3, 1, 3},  {6, round8(160 * width), 3, 2, 3},
+      {6, round8(320 * width), 1, 1, 3},
+  };
+  const int64_t head = width < 1.0f ? round8(1280 * width) : 1280;
+  return inverted_residual_graph(rng, res, round8(32 * width), stages, head,
+                                 classes);
+}
+
+/// MCUNet-style NAS result: the repo's fixed stage table (heterogeneous
+/// kernels and expansion ratios, see src/models/mcunet.cpp).
+inline FlatModel make_mcunet_flat(Rng& rng, int64_t res, int64_t classes) {
+  const std::vector<StageSpec> stages = {
+      {1, 8, 1, 1, 3},  {4, 12, 1, 2, 5}, {5, 16, 2, 2, 3},
+      {4, 24, 2, 2, 7}, {6, 32, 1, 1, 5}, {6, 40, 1, 2, 3},
+  };
+  return inverted_residual_graph(rng, res, 12, stages, 80, classes);
 }
 
 }  // namespace nb::exporter::synth

@@ -38,10 +38,19 @@ void store_row(float* row, int64_t count, float scale, float b, FlatAct act) {
 }  // namespace
 
 InferPlan::InferPlan(const FlatModel& model, int64_t batch, int64_t channels,
-                     int64_t in_h, int64_t in_w) {
+                     int64_t in_h, int64_t in_w)
+    : InferPlan(model, WeightPanels::build(model), batch, channels, in_h,
+                in_w) {}
+
+InferPlan::InferPlan(const FlatModel& model,
+                     std::shared_ptr<const WeightPanels> panels, int64_t batch,
+                     int64_t channels, int64_t in_h, int64_t in_w)
+    : panels_(std::move(panels)) {
   NB_CHECK(batch > 0 && channels > 0 && in_h > 0 && in_w > 0,
            "infer plan: bad input geometry");
   NB_CHECK(!model.ops().empty(), "flat model: empty program");
+  NB_CHECK(panels_ != nullptr && panels_->op_count() == model.ops().size(),
+           "infer plan: weight panels do not match the program");
 
   stats_.batch = batch;
   stats_.channels = channels;
@@ -66,7 +75,9 @@ InferPlan::InferPlan(const FlatModel& model, int64_t batch, int64_t channels,
   stats_.no_reuse_floats = cur;  // the executor's own copy of the input
   stats_.peak_live_floats = cur;
 
-  for (const FlatOp& op : model.ops()) {
+  for (size_t op_i = 0; op_i < model.ops().size(); ++op_i) {
+    const FlatOp& op = model.ops()[op_i];
+    const OpPanel& panel = panels_->at(op_i);
     Step s;
     s.kind = op.kind;
     s.in_c = c;
@@ -115,9 +126,9 @@ InferPlan::InferPlan(const FlatModel& model, int64_t batch, int64_t channels,
         s.act_scale = cv.act_scale;
         s.act_bits = cv.act_bits;
         s.depthwise = cv.groups == cv.cin && cv.groups == cv.cout;
-        s.wf = quant::dequantize_levels(cv.weights.data(), cv.weights.size());
-        s.scales = cv.weight_scales;
-        if (cv.has_bias) s.bias = cv.bias;
+        s.wf = panel.wf.data();
+        s.scales = panel.scales.data();
+        s.bias = panel.bias.empty() ? nullptr : panel.bias.data();
         s.out_h = oh;
         s.out_w = ow;
         const int64_t out = batch * cv.cout * oh * ow;
@@ -163,9 +174,9 @@ InferPlan::InferPlan(const FlatModel& model, int64_t batch, int64_t channels,
         s.cout = ln.out;
         s.act_scale = ln.act_scale;
         s.act_bits = ln.act_bits;
-        s.wf = quant::dequantize_levels(ln.weights.data(), ln.weights.size());
-        s.scales = ln.weight_scales;
-        s.bias = ln.bias;
+        s.wf = panel.wf.data();
+        s.scales = panel.scales.data();
+        s.bias = panel.bias.empty() ? nullptr : panel.bias.data();
         const int64_t out = batch * ln.out;
         s.out_floats = out;
         out_reg = 1 - region;
@@ -179,7 +190,6 @@ InferPlan::InferPlan(const FlatModel& model, int64_t batch, int64_t channels,
         break;
       }
     }
-    stats_.weight_cache_floats += static_cast<int64_t>(s.wf.size());
     stats_.peak_live_floats =
         std::max(stats_.peak_live_floats, saved_total + cur);
     in_region.push_back(in_reg);
@@ -190,6 +200,7 @@ InferPlan::InferPlan(const FlatModel& model, int64_t batch, int64_t channels,
   stats_.peak_live_floats =
       std::max(stats_.peak_live_floats, saved_total + cur);
   stats_.save_depth = static_cast<int64_t>(save_sizes.size());
+  stats_.weight_cache_floats = panels_->total_floats();
 
   // Resolve the layout: [ ping | pong | save slots by depth | cols ].
   const int64_t base[2] = {0, ping[0]};
@@ -231,11 +242,11 @@ void InferPlan::run_conv(const Step& s, const float* in, float* out,
       for (int64_t pl = p0; pl < p1; ++pl) {
         const int64_t ch = pl % s.cout;
         float* orow = out + pl * plane;
-        depthwise_plane(in + pl * s.in_h * s.in_w, s.wf.data() + ch * k * k,
-                        orow, s.in_h, s.in_w, s.out_h, s.out_w, k, s.stride,
-                        s.pad, 0.0f);
-        const float b = s.bias.empty() ? 0.0f : s.bias[static_cast<size_t>(ch)];
-        store_row(orow, plane, s.scales[static_cast<size_t>(ch)], b, s.act);
+        depthwise_plane(in + pl * s.in_h * s.in_w, s.wf + ch * k * k, orow,
+                        s.in_h, s.in_w, s.out_h, s.out_w, k, s.stride, s.pad,
+                        0.0f);
+        const float b = s.bias == nullptr ? 0.0f : s.bias[ch];
+        store_row(orow, plane, s.scales[ch], b, s.act);
       }
     });
     return;
@@ -252,7 +263,7 @@ void InferPlan::run_conv(const Step& s, const float* in, float* out,
       im2col(in + (i * s.cin + g * cin_g) * s.in_h * s.in_w, cin_g, s.in_h,
              s.in_w, k, k, s.stride, s.stride, s.pad, s.pad, cols);
       gemm(false, false, cout_g, plane, col_rows, 1.0f,
-           s.wf.data() + g * cout_g * col_rows, cols, 0.0f,
+           s.wf + g * cout_g * col_rows, cols, 0.0f,
            out + (i * s.cout + g * cout_g) * plane);
     }
   }
@@ -262,9 +273,8 @@ void InferPlan::run_conv(const Step& s, const float* in, float* out,
   parallel_for(rows, grain, [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       const int64_t o = r % s.cout;
-      const float b = s.bias.empty() ? 0.0f : s.bias[static_cast<size_t>(o)];
-      store_row(out + r * plane, plane, s.scales[static_cast<size_t>(o)], b,
-                s.act);
+      const float b = s.bias == nullptr ? 0.0f : s.bias[o];
+      store_row(out + r * plane, plane, s.scales[o], b, s.act);
     }
   });
 }
@@ -293,15 +303,14 @@ void InferPlan::run_linear(const Step& s, const float* in, float* out) const {
     for (int64_t idx = r0; idx < r1; ++idx) {
       const int64_t i = idx / s.cout;
       const int64_t o = idx % s.cout;
-      const float* wrow = s.wf.data() + o * features;
+      const float* wrow = s.wf + o * features;
       const float* xrow = in + i * features;
       double acc = 0.0;
       for (int64_t t = 0; t < features; ++t) {
         acc += static_cast<double>(wrow[t]) * xrow[t];
       }
-      const float b = s.bias.empty() ? 0.0f : s.bias[static_cast<size_t>(o)];
-      out[idx] =
-          static_cast<float>(acc) * s.scales[static_cast<size_t>(o)] + b;
+      const float b = s.bias == nullptr ? 0.0f : s.bias[o];
+      out[idx] = static_cast<float>(acc) * s.scales[o] + b;
     }
   });
 }

@@ -16,25 +16,29 @@
 //     that depth.
 //   * cols — the im2col scratch for the largest lowered convolution.
 //
-// Weights are dequantized once at plan time: int8 levels become exact float
-// integers (scales are NOT folded in), so the packed nb::gemm over them
-// produces the same products as the reference int8 interpreter and the
-// per-channel scale + bias + activation clamp are applied in one fused pass
-// over the output store. Depthwise groups run through the direct
+// Weights come from a shared WeightPanels: int8 levels dequantized once to
+// exact float integers (scales are NOT folded in), so the packed nb::gemm
+// over them produces the same products as the reference int8 interpreter
+// and the per-channel scale + bias + activation clamp are applied in one
+// fused pass over the output store. Depthwise groups run through the direct
 // nb::depthwise_plane path; everything parallelizes over output rows /
 // (image, channel) planes via the threadpool, and because nb::gemm is
 // bitwise thread-invariant the whole plan is too.
 //
-// A plan owns copies of everything it needs (weights, scales, biases,
-// geometry), so it stays valid independently of the FlatModel it was built
-// from. run() reuses the arena, so a single plan must not be invoked from
-// two threads at once — build one plan per concurrent stream.
+// A plan BORROWS its weight panels (it holds a shared_ptr keeping them
+// alive but owns no weight copies); what it owns is only the per-geometry
+// arena and step table, so building one plan per concurrent stream costs
+// arena memory, never weight memory. run() reuses the arena, so a single
+// plan must not be invoked from two threads at once — runtime::Session
+// wraps one plan cache per stream.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "export/flat_model.h"
+#include "export/weight_panels.h"
 
 namespace nb::exporter {
 
@@ -45,7 +49,8 @@ struct PlanStats {
   int64_t in_h = 0;
   int64_t in_w = 0;
   int64_t ops = 0;
-  /// Total planned activation arena (ping + pong + save slots + cols).
+  /// Total planned activation arena (ping + pong + save slots + cols) —
+  /// the memory the plan OWNS.
   int64_t arena_floats = 0;
   /// What a no-reuse executor allocates: input clone + every op output +
   /// every residual copy + per-conv im2col scratch.
@@ -53,7 +58,9 @@ struct PlanStats {
   /// Max floats simultaneously live at any single step — a lower bound for
   /// any planner; arena_floats must land between this and no_reuse_floats.
   int64_t peak_live_floats = 0;
-  /// Dequantized weight panels cached by the plan.
+  /// Dequantized weight-panel floats the plan executes against. BORROWED
+  /// from the shared WeightPanels, not owned: every plan (and session) on
+  /// the same compiled model reports the same figure for the same bytes.
   int64_t weight_cache_floats = 0;
   /// Max residual save/add nesting depth.
   int64_t save_depth = 0;
@@ -65,9 +72,15 @@ struct PlanStats {
 
 class InferPlan {
  public:
-  /// Shapes the whole program for an [batch, channels, in_h, in_w] input;
-  /// throws on geometry mismatches (e.g. first conv cin != channels, an op
-  /// producing an empty spatial output).
+  /// Shapes the whole program for an [batch, channels, in_h, in_w] input
+  /// against an existing set of shared weight panels (the zero-copy path
+  /// used by runtime::Session); throws on geometry mismatches (e.g. first
+  /// conv cin != channels, an op producing an empty spatial output).
+  InferPlan(const FlatModel& model,
+            std::shared_ptr<const WeightPanels> panels, int64_t batch,
+            int64_t channels, int64_t in_h, int64_t in_w);
+
+  /// Convenience: builds (and solely owns) fresh panels for `model`.
   InferPlan(const FlatModel& model, int64_t batch, int64_t channels,
             int64_t in_h, int64_t in_w);
 
@@ -77,6 +90,12 @@ class InferPlan {
 
   const PlanStats& stats() const { return stats_; }
 
+  /// The shared weight panels this plan borrows (identity comparable:
+  /// two plans on one compiled model return the same pointer).
+  const std::shared_ptr<const WeightPanels>& panels() const {
+    return panels_;
+  }
+
  private:
   struct Step {
     OpKind kind = OpKind::save;
@@ -85,9 +104,10 @@ class InferPlan {
     float act_scale = 0.0f;
     int act_bits = 8;
     bool depthwise = false;
-    std::vector<float> wf;      // int8 levels as exact float integers
-    std::vector<float> scales;  // per output channel
-    std::vector<float> bias;    // empty => zero bias
+    // Borrowed views into the shared WeightPanels (kept alive by panels_).
+    const float* wf = nullptr;      // int8 levels as exact float integers
+    const float* scales = nullptr;  // per output channel
+    const float* bias = nullptr;    // nullptr => zero bias
     // Input/output activation geometry (out_h/out_w unused for 2-D shapes).
     int64_t in_c = 0, in_h = 0, in_w = 0;
     int64_t out_h = 0, out_w = 0;
@@ -100,6 +120,7 @@ class InferPlan {
   void run_gap(const Step& s, const float* in, float* out) const;
   void run_linear(const Step& s, const float* in, float* out) const;
 
+  std::shared_ptr<const WeightPanels> panels_;
   std::vector<Step> steps_;
   std::vector<int64_t> out_shape_;
   int64_t out_off_ = 0;  // where the final activation lands in the arena

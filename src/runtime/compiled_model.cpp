@@ -1,0 +1,27 @@
+#include "runtime/compiled_model.h"
+
+namespace nb::runtime {
+
+std::shared_ptr<const CompiledModel> CompiledModel::compile(
+    exporter::FlatModel model) {
+  NB_CHECK(!model.ops().empty(), "compiled model: empty program");
+  // compiled_panels() builds the panels on first use and reuses them when
+  // the source model (or any copy of it) already compiled lazily — one
+  // shared compiled path for FlatModel::forward and the serving stack.
+  std::shared_ptr<const exporter::WeightPanels> panels =
+      model.compiled_panels();
+  return std::shared_ptr<const CompiledModel>(
+      new CompiledModel(std::move(model), std::move(panels)));
+}
+
+std::shared_ptr<const CompiledModel> CompiledModel::compile_file(
+    const std::string& path) {
+  return compile(exporter::FlatModel::load(path));
+}
+
+std::shared_ptr<const CompiledModel> CompiledModel::compile_buffer(
+    const uint8_t* data, size_t size) {
+  return compile(exporter::FlatModel::load_from_buffer(data, size));
+}
+
+}  // namespace nb::runtime

@@ -1,0 +1,71 @@
+// CompiledModel — the immutable, shareable unit of the serving runtime.
+//
+// Compiling takes a FlatModel (from an NBFM file, an in-memory buffer, or a
+// writer-produced program), validates it, and freezes it together with the
+// dequantized weight panels built exactly once. The result is handed around
+// as shared_ptr<const CompiledModel>: any number of Sessions (and Engine
+// registry entries) execute against the same panels, so serving N
+// concurrent streams costs N small arenas and ONE copy of the weights —
+// the TinyML memory discipline carried into the serving tier.
+//
+//   auto model    = CompiledModel::compile_file("model.nbfm");
+//   Session a(model), b(model);        // zero extra weight memory
+//   Tensor logits = a.run(image);      // a and b run concurrently
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "export/flat_model.h"
+#include "export/weight_panels.h"
+
+namespace nb::runtime {
+
+class CompiledModel {
+ public:
+  /// Compiles a flat program: builds (or adopts, when the model already
+  /// compiled lazily) the shared weight panels and freezes the op list.
+  /// Takes the model by value — move in to avoid copying the int8 payload.
+  static std::shared_ptr<const CompiledModel> compile(
+      exporter::FlatModel model);
+
+  /// Loads + compiles an NBFM file.
+  static std::shared_ptr<const CompiledModel> compile_file(
+      const std::string& path);
+
+  /// Parses + compiles an NBFM image straight from memory (blob store,
+  /// embedded artifact) — no temp files.
+  static std::shared_ptr<const CompiledModel> compile_buffer(
+      const uint8_t* data, size_t size);
+
+  /// The frozen op program (const access only; a CompiledModel never
+  /// mutates after compile()).
+  const exporter::FlatModel& program() const { return program_; }
+
+  /// The shared dequantized weight panels. Identity-comparable: every
+  /// Session on this model borrows exactly this object.
+  const std::shared_ptr<const exporter::WeightPanels>& panels() const {
+    return panels_;
+  }
+
+  /// Shared weight-panel memory, paid once regardless of session count.
+  int64_t weight_panel_floats() const { return panels_->total_floats(); }
+  int64_t weight_panel_bytes() const { return panels_->total_bytes(); }
+
+  int64_t input_resolution() const { return program_.input_resolution(); }
+  int64_t input_channels() const { return program_.input_channels(); }
+  int64_t op_count() const {
+    return static_cast<int64_t>(program_.ops().size());
+  }
+
+ private:
+  CompiledModel(exporter::FlatModel program,
+                std::shared_ptr<const exporter::WeightPanels> panels)
+      : program_(std::move(program)), panels_(std::move(panels)) {}
+
+  exporter::FlatModel program_;
+  std::shared_ptr<const exporter::WeightPanels> panels_;
+};
+
+}  // namespace nb::runtime

@@ -1,0 +1,284 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "runtime/percentile.h"
+
+namespace nb::runtime {
+
+namespace {
+
+// Latency samples kept for percentile reporting; enough for any bench or
+// serving window we run, bounded so a long-lived engine cannot grow without
+// limit (after the cap, percentiles describe the first kCap requests).
+constexpr size_t kMaxLatencySamples = size_t{1} << 20;
+
+}  // namespace
+
+Engine::Engine(EngineOptions options) : options_(options) {
+  NB_CHECK(options_.batching.max_batch >= 1, "engine: max_batch must be >= 1");
+  NB_CHECK(options_.batching.max_wait_us >= 0,
+           "engine: max_wait_us must be >= 0");
+  NB_CHECK(options_.workers >= 1, "engine: workers must be >= 1");
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int64_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void Engine::register_model(const std::string& name,
+                            std::shared_ptr<const CompiledModel> model) {
+  NB_CHECK(model != nullptr, "engine: null model for '" + name + "'");
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  registry_[name] = std::move(model);
+  registry_generation_.fetch_add(1, std::memory_order_release);
+}
+
+bool Engine::unregister_model(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const bool erased = registry_.erase(name) > 0;
+  if (erased) {
+    registry_generation_.fetch_add(1, std::memory_order_release);
+  }
+  return erased;
+}
+
+std::shared_ptr<const CompiledModel> Engine::model(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const auto it = registry_.find(name);
+  return it == registry_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> Engine::model_names() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::vector<std::string> names;
+  names.reserve(registry_.size());
+  for (const auto& [name, model] : registry_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::future<Tensor> Engine::submit(const std::string& name,
+                                   const Tensor& image) {
+  std::shared_ptr<const CompiledModel> model = this->model(name);
+  NB_CHECK(model != nullptr, "engine: unknown model '" + name + "'");
+  NB_CHECK(image.dim() == 3 || (image.dim() == 4 && image.size(0) == 1),
+           "engine: submit expects one [C, H, W] image, got " +
+               image.shape_str());
+
+  Request req;
+  // Own the pixels: the caller may reuse its tensor the moment we return.
+  req.input = image.dim() == 3
+                  ? image.reshape({1, image.size(0), image.size(1),
+                                   image.size(2)})
+                        .clone()
+                  : image.clone();
+  req.model = std::move(model);
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<Tensor> fut = req.promise.get_future();
+
+  // Count the submit before enqueueing so stats() never observes
+  // completed > submitted; roll back if the enqueue is refused.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++submitted_;
+  }
+  try {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    NB_CHECK(!stopping_, "engine: submit after shutdown");
+    queue_.push_back(std::move(req));
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    --submitted_;
+    throw;
+  }
+  // notify_all: both idle workers and workers holding a partial batch open
+  // for peers must see the new arrival.
+  queue_cv_.notify_all();
+  return fut;
+}
+
+bool Engine::matches(const Request& a, const Request& b) const {
+  return a.model.get() == b.model.get() &&
+         a.input.size(1) == b.input.size(1) &&
+         a.input.size(2) == b.input.size(2) &&
+         a.input.size(3) == b.input.size(3);
+}
+
+void Engine::worker_loop() {
+  // One session per model this worker has served; sessions are per-stream
+  // state, so worker-local means no cross-worker synchronization.
+  std::map<const CompiledModel*, std::unique_ptr<Session>> sessions;
+  uint64_t seen_generation = 0;
+
+  // Drops sessions whose model is no longer registered (replaced or
+  // removed), releasing its weight panels; runs only when the registry
+  // actually changed. In-flight requests still hold their own shared_ptr.
+  const auto prune_sessions = [&] {
+    const uint64_t gen =
+        registry_generation_.load(std::memory_order_acquire);
+    if (gen == seen_generation) return;
+    seen_generation = gen;
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    std::erase_if(sessions, [&](const auto& entry) {
+      for (const auto& [name, model] : registry_) {
+        if (model.get() == entry.first) return false;
+      }
+      return true;
+    });
+  };
+
+  // Pulls every queued request coalescible with batch.front() (same model,
+  // same geometry) into the batch, up to max_batch. queue_mu_ must be held.
+  const auto gather = [&](std::vector<Request>& batch) {
+    for (auto it = queue_.begin();
+         it != queue_.end() &&
+         static_cast<int64_t>(batch.size()) < options_.batching.max_batch;) {
+      if (matches(*it, batch.front())) {
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;  // drained: every accepted request served
+      continue;
+    }
+
+    std::vector<Request> batch;
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    gather(batch);
+
+    // Dynamic micro-batching: hold the (partial) batch open until it fills
+    // or the head request has waited max_wait_us. Shutdown flushes
+    // immediately.
+    const auto deadline =
+        batch.front().enqueued +
+        std::chrono::microseconds(options_.batching.max_wait_us);
+    while (static_cast<int64_t>(batch.size()) < options_.batching.max_batch &&
+           options_.batching.max_wait_us > 0 && !stopping_ &&
+           std::chrono::steady_clock::now() < deadline) {
+      queue_cv_.wait_until(lock, deadline);
+      gather(batch);
+    }
+    lock.unlock();
+    prune_sessions();
+
+    const CompiledModel* key = batch.front().model.get();
+    auto it = sessions.find(key);
+    if (it == sessions.end()) {
+      it = sessions
+               .emplace(key, std::make_unique<Session>(batch.front().model,
+                                                       options_.session))
+               .first;
+    }
+    execute_batch(batch, *it->second);
+    lock.lock();
+  }
+}
+
+void Engine::execute_batch(std::vector<Request>& batch, Session& session) {
+  const auto launched = std::chrono::steady_clock::now();
+  try {
+    const Tensor& first = batch.front().input;
+    const int64_t b = static_cast<int64_t>(batch.size());
+    const int64_t chw = first.numel();
+    Tensor stacked({b, first.size(1), first.size(2), first.size(3)});
+    for (int64_t i = 0; i < b; ++i) {
+      std::memcpy(stacked.data() + i * chw, batch[static_cast<size_t>(i)].input.data(),
+                  static_cast<size_t>(chw) * sizeof(float));
+    }
+    Tensor out = session.run(stacked);
+    NB_CHECK(out.dim() >= 1 && out.size(0) == b,
+             "engine: batched output lost the batch dimension");
+    const int64_t row = out.numel() / b;
+    std::vector<int64_t> row_shape{1};
+    for (int64_t d = 1; d < out.dim(); ++d) row_shape.push_back(out.size(d));
+    std::vector<Tensor> rows;
+    rows.reserve(batch.size());
+    for (int64_t i = 0; i < b; ++i) {
+      Tensor one(row_shape);
+      std::memcpy(one.data(), out.data() + i * row,
+                  static_cast<size_t>(row) * sizeof(float));
+      rows.push_back(std::move(one));
+    }
+    // Record before fulfilling: a client that just resolved its future must
+    // see its own request in stats().
+    record_batch(batch, launched, /*failed=*/false);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(std::move(rows[i]));
+    }
+  } catch (...) {
+    const std::exception_ptr err = std::current_exception();
+    record_batch(batch, launched, /*failed=*/true);
+    for (Request& req : batch) {
+      req.promise.set_exception(err);
+    }
+  }
+}
+
+void Engine::record_batch(const std::vector<Request>& batch,
+                          std::chrono::steady_clock::time_point launched,
+                          bool failed) {
+  const auto done = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++batches_;
+  for (const Request& req : batch) {
+    if (failed) {
+      ++failed_;
+      continue;
+    }
+    ++completed_;
+    queue_ms_sum_ +=
+        std::chrono::duration<double, std::milli>(launched - req.enqueued)
+            .count();
+    if (latencies_ms_.size() < kMaxLatencySamples) {
+      latencies_ms_.push_back(
+          std::chrono::duration<double, std::milli>(done - req.enqueued)
+              .count());
+    }
+  }
+}
+
+Engine::Stats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  Stats s;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.failed = failed_;
+  s.batches = batches_;
+  s.avg_batch = batches_ > 0 ? static_cast<double>(completed_ + failed_) /
+                                   static_cast<double>(batches_)
+                             : 0.0;
+  s.avg_queue_ms =
+      completed_ > 0 ? queue_ms_sum_ / static_cast<double>(completed_) : 0.0;
+  std::vector<double> sorted = latencies_ms_;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50_ms = percentile_sorted(sorted, 0.50);
+  s.p99_ms = percentile_sorted(sorted, 0.99);
+  s.max_ms = sorted.empty() ? 0.0 : sorted.back();
+  return s;
+}
+
+}  // namespace nb::runtime

@@ -1,0 +1,143 @@
+// Engine — the serving front end: a multi-model registry plus a dynamic
+// micro-batching request queue.
+//
+// Clients submit single images against a model name and get a
+// std::future<Tensor> back. Dispatcher workers coalesce queued requests
+// that target the same (model, geometry) into one batched run — the head
+// request waits at most `max_wait_us` for peers, batches cap at
+// `max_batch` — so under load the GEMMs run at batch 4–8 efficiency while
+// a lone request still leaves after one wait window. Batched execution is
+// bitwise identical to running each request alone (per-image im2col/GEMM
+// over the same shared weight panels), so batching is purely a
+// throughput/latency policy, never a semantics change.
+//
+//   Engine engine({.batching = {.max_batch = 8, .max_wait_us = 500}});
+//   engine.register_model("mbv2", CompiledModel::compile_file(path));
+//   std::future<Tensor> f = engine.submit("mbv2", image);  // [C,H,W]
+//   Tensor logits = f.get();                               // [1, classes]
+//
+// Latency accounting: every request's queue wait and total submit->done
+// time is recorded; stats() reports p50/p99 plus batch-size averages, the
+// numbers BENCH_serve.json tracks.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/compiled_model.h"
+#include "runtime/session.h"
+#include "tensor/tensor.h"
+
+namespace nb::runtime {
+
+struct BatchingPolicy {
+  /// Largest coalesced batch; 1 disables micro-batching (pure FIFO).
+  int64_t max_batch = 8;
+  /// How long the head-of-line request waits for same-geometry peers
+  /// before its (possibly partial) batch launches; 0 = never wait.
+  int64_t max_wait_us = 200;
+};
+
+struct EngineOptions {
+  BatchingPolicy batching;
+  /// Dispatcher threads executing batches (each owns one Session per
+  /// model). More workers overlap batches of different models/geometries.
+  int64_t workers = 1;
+  /// Thread budget for the per-worker sessions (serial by default so
+  /// workers never contend on the shared pool).
+  SessionOptions session;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  /// Drains every accepted request, then stops the workers.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // ---- model registry ----------------------------------------------------
+
+  /// Registers (or replaces) a model under `name`. In-flight requests keep
+  /// the CompiledModel they resolved alive; replacement affects only new
+  /// submits.
+  void register_model(const std::string& name,
+                      std::shared_ptr<const CompiledModel> model);
+  /// Removes `name`; returns false when unknown.
+  bool unregister_model(const std::string& name);
+  std::shared_ptr<const CompiledModel> model(const std::string& name) const;
+  std::vector<std::string> model_names() const;
+
+  // ---- request path ------------------------------------------------------
+
+  /// Submits one image ([C, H, W] or [1, C, H, W]) for `name`. Throws
+  /// immediately on an unknown model or a non-image shape; execution
+  /// errors (e.g. geometry rejected by the planner) surface through the
+  /// future. The future resolves to the logits row [1, classes].
+  std::future<Tensor> submit(const std::string& name, const Tensor& image);
+
+  // ---- accounting --------------------------------------------------------
+
+  struct Stats {
+    int64_t submitted = 0;
+    int64_t completed = 0;
+    int64_t failed = 0;
+    int64_t batches = 0;
+    double avg_batch = 0.0;     // completed / batches
+    double p50_ms = 0.0;        // total submit -> resolve latency
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+    double avg_queue_ms = 0.0;  // submit -> batch launch
+  };
+  Stats stats() const;
+
+ private:
+  struct Request {
+    std::promise<Tensor> promise;
+    Tensor input;  // [1, C, H, W]
+    std::shared_ptr<const CompiledModel> model;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  bool matches(const Request& a, const Request& b) const;
+  void execute_batch(std::vector<Request>& batch, Session& session);
+  void record_batch(const std::vector<Request>& batch,
+                    std::chrono::steady_clock::time_point launched,
+                    bool failed);
+
+  EngineOptions options_;
+
+  mutable std::mutex registry_mu_;
+  std::map<std::string, std::shared_ptr<const CompiledModel>> registry_;
+  // Bumped on every register/unregister; workers re-check their local
+  // session maps against the registry when it changes, so a replaced or
+  // removed model's weight panels are released instead of staying pinned
+  // for the Engine's lifetime.
+  std::atomic<uint64_t> registry_generation_{0};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mu_;
+  int64_t submitted_ = 0, completed_ = 0, failed_ = 0, batches_ = 0;
+  double queue_ms_sum_ = 0.0;
+  std::vector<double> latencies_ms_;  // capped; see engine.cpp
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace nb::runtime

@@ -1,0 +1,20 @@
+// Shared latency-percentile helper for the serving stack: Engine::stats(),
+// tools/flat_infer, tools/flat_serve and bench_serve_report all report
+// p50/p99 through this one definition (nearest-rank on a sorted sample).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace nb::runtime {
+
+/// q-th percentile (q in [0, 1]) of an ascending-sorted sample; 0 when the
+/// sample is empty.
+inline double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t idx = static_cast<size_t>(pos + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace nb::runtime

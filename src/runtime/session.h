@@ -1,0 +1,84 @@
+// Session — cheap per-stream execution state over a shared CompiledModel.
+//
+// A Session owns only what one stream needs: a small LRU cache of
+// geometry-keyed InferPlans (each plan = arena + step table, borrowing the
+// model's weight panels) and a thread budget. Creating a Session never
+// copies weights; MemoryStats splits owned arena floats from borrowed
+// panel floats so the zero-duplication invariant is assertable.
+//
+// Concurrency model: one Session per stream. run() is thread-confined (no
+// internal lock — call it from one thread at a time), but any number of
+// Sessions over the same CompiledModel run() concurrently and produce
+// bitwise-identical results to a single-threaded run. With the default
+// `serial` thread budget each stream executes entirely on its calling
+// thread (an nb::SerialScope), so N streams scale without contending on
+// the process-wide pool; `shared_pool` opts a low-traffic stream back into
+// intra-op parallelism.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+
+#include "export/infer_plan.h"
+#include "runtime/compiled_model.h"
+#include "tensor/tensor.h"
+
+namespace nb::runtime {
+
+struct SessionOptions {
+  /// Intra-op thread budget for run().
+  ///   serial      — the whole run executes on the calling thread; the
+  ///                 right choice when many sessions run concurrently.
+  ///   shared_pool — kernels parallelize on the process-wide nb::ThreadPool;
+  ///                 fastest for a single stream on an idle process.
+  enum class Threads { serial, shared_pool };
+  Threads threads = Threads::serial;
+
+  /// Plans kept per session before the least-recently-used is evicted
+  /// (each distinct input geometry needs one plan).
+  size_t max_cached_plans = 4;
+};
+
+class Session {
+ public:
+  explicit Session(std::shared_ptr<const CompiledModel> model,
+                   SessionOptions options = {});
+
+  /// Runs one [N, C, H, W] batch and returns logits. Plans are built on
+  /// first sight of a geometry and reused after; results are bitwise
+  /// independent of the thread budget and of other sessions.
+  Tensor run(const Tensor& input);
+
+  const CompiledModel& model() const { return *model_; }
+  const SessionOptions& options() const { return options_; }
+
+  /// Owned-vs-borrowed memory accounting (PlanStats-style).
+  struct MemoryStats {
+    /// Arena floats this session owns across its cached plans.
+    int64_t owned_arena_floats = 0;
+    /// Weight-panel floats the plans execute against — borrowed from the
+    /// shared CompiledModel, NOT owned; identical for every session on it.
+    int64_t borrowed_weight_floats = 0;
+    /// Identity of the borrowed panels (equal across sessions on one
+    /// model — the zero-duplication assertion).
+    const void* weight_panel_addr = nullptr;
+    size_t cached_plans = 0;
+  };
+  MemoryStats memory() const;
+
+  /// Total run() calls served by this session.
+  int64_t runs() const { return runs_; }
+
+ private:
+  const exporter::InferPlan& plan_for(int64_t batch, int64_t channels,
+                                      int64_t h, int64_t w);
+
+  std::shared_ptr<const CompiledModel> model_;
+  SessionOptions options_;
+  // MRU-first plan cache; geometry lives in each plan's stats.
+  std::list<exporter::InferPlan> plans_;
+  int64_t runs_ = 0;
+};
+
+}  // namespace nb::runtime

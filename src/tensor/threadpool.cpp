@@ -26,7 +26,15 @@ thread_local bool tls_in_parallel_body = false;
 
 std::atomic<ThreadPool*> g_pool_override{nullptr};
 
+// Nesting depth of SerialScope on this thread; > 0 forces inline loops.
+thread_local int tls_serial_depth = 0;
+
 }  // namespace
+
+SerialScope::SerialScope() { ++tls_serial_depth; }
+SerialScope::~SerialScope() { --tls_serial_depth; }
+
+bool in_serial_scope() { return tls_serial_depth > 0; }
 
 ThreadPool::ThreadPool(int64_t num_workers) {
   workers_.reserve(static_cast<size_t>(std::max<int64_t>(num_workers, 0)));
@@ -185,6 +193,12 @@ ThreadPool& ThreadPool::effective() {
 
 void parallel_for(int64_t total, int64_t grain,
                   const std::function<void(int64_t, int64_t)>& fn) {
+  if (in_serial_scope()) {
+    if (total > 0) {
+      fn(0, total);
+    }
+    return;
+  }
   ThreadPool& pool = ThreadPool::effective();
   if (total < grain || pool.num_workers() == 0) {
     if (total > 0) {

@@ -87,8 +87,27 @@ class ThreadPool {
   std::atomic<int64_t> pending_{0};
 };
 
+/// While an instance is alive on a thread, every nb::parallel_for issued
+/// from that thread runs inline on the caller instead of entering the shared
+/// pool. Chunk boundaries never change what a loop computes, so results are
+/// bitwise identical to the pooled run. This is how concurrent serving
+/// sessions share one process: each stream pins its work to its own thread
+/// and N streams scale without contending on the pool's one-job-at-a-time
+/// submit lock. Scopes nest; copying is disallowed.
+class SerialScope {
+ public:
+  SerialScope();
+  ~SerialScope();
+  SerialScope(const SerialScope&) = delete;
+  SerialScope& operator=(const SerialScope&) = delete;
+};
+
+/// True when a SerialScope is active on the calling thread.
+bool in_serial_scope();
+
 /// parallel_for over ThreadPool::effective(); falls back to a serial call
-/// when the range is small (< grain) or the pool has no workers.
+/// when the range is small (< grain), the pool has no workers, or the
+/// calling thread holds a SerialScope.
 void parallel_for(int64_t total, int64_t grain,
                   const std::function<void(int64_t, int64_t)>& fn);
 

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <iterator>
 
 #include "data/task_registry.h"
 #include "export/flat_writer.h"
@@ -226,6 +227,71 @@ TEST(FlatModelIo, RoundTripsHandBuiltProgram) {
   const FlatModel loaded = FlatModel::load(path);
   std::remove(path.c_str());
   EXPECT_EQ(loaded.ops().size(), 3u);
+}
+
+TEST(FlatModelIo, LoadFromBufferRoundTripsWithoutFiles) {
+  const FlatModel original = tiny_program();
+  const std::string path = temp_file("nb_flat_buffer.nbm");
+  original.save(path);
+  std::ifstream in(path, std::ios::binary);
+  const std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+  in.close();
+  std::remove(path.c_str());
+
+  const FlatModel loaded =
+      FlatModel::load_from_buffer(bytes.data(), bytes.size());
+  ASSERT_EQ(loaded.ops().size(), original.ops().size());
+  EXPECT_EQ(loaded.input_resolution(), original.input_resolution());
+  EXPECT_EQ(loaded.input_channels(), original.input_channels());
+  EXPECT_EQ(loaded.weight_bytes(), original.weight_bytes());
+
+  // Same program, same execution — on both backends.
+  Tensor x({1, 2, 4, 4});
+  Rng rng(3, 1);
+  fill_uniform(x, rng, -1.0f, 1.0f);
+  EXPECT_EQ(max_abs_diff(loaded.forward(x, Backend::reference),
+                         original.forward(x, Backend::reference)),
+            0.0f);
+  EXPECT_EQ(max_abs_diff(loaded.forward(x, Backend::fast),
+                         original.forward(x, Backend::fast)),
+            0.0f);
+
+  // Every truncation of the image must be rejected up front.
+  for (const size_t keep : {size_t{0}, size_t{3}, bytes.size() / 2,
+                            bytes.size() - 1}) {
+    EXPECT_THROW(FlatModel::load_from_buffer(bytes.data(), keep),
+                 std::runtime_error)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(FlatModelIo, CopiesShareCompiledPanels) {
+  // Copies made BEFORE the first compile share too: the compiled state is
+  // per copy-family, not per instance.
+  const FlatModel original = tiny_program();
+  const FlatModel early_copy(original);
+  const auto panels = original.compiled_panels();
+  EXPECT_EQ(early_copy.compiled_panels().get(), panels.get());
+
+  const FlatModel copy(original);
+  FlatModel assigned;
+  assigned = original;
+  EXPECT_EQ(copy.compiled_panels().get(), panels.get());
+  EXPECT_EQ(assigned.compiled_panels().get(), panels.get());
+
+  // Mutating one copy detaches it without touching its siblings.
+  FlatModel mutated(original);
+  mutated.set_input(8, 2);
+  EXPECT_NE(mutated.compiled_panels().get(), panels.get());
+  EXPECT_EQ(copy.compiled_panels().get(), panels.get());
+  // Copies also agree numerically on the fast backend, of course.
+  Tensor x({2, 2, 4, 4});
+  Rng rng(9, 1);
+  fill_uniform(x, rng, -1.0f, 1.0f);
+  EXPECT_EQ(max_abs_diff(copy.forward(x, Backend::fast),
+                         original.forward(x, Backend::fast)),
+            0.0f);
 }
 
 void expect_load_rejects(const char* name,

@@ -1,0 +1,320 @@
+// Tests for the serving runtime (src/runtime): CompiledModel weight-panel
+// sharing (zero duplication across sessions and FlatModel copies),
+// concurrent Session bitwise equivalence with single-threaded execution,
+// Engine micro-batching vs sequential equivalence, the model registry, and
+// error propagation through request futures.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <iterator>
+#include <thread>
+#include <vector>
+
+#include "export/flat_model.h"
+#include "export/flat_synth.h"
+#include "export/infer_plan.h"
+#include "runtime/compiled_model.h"
+#include "runtime/engine.h"
+#include "runtime/session.h"
+#include "tensor/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace nb::runtime {
+namespace {
+
+using exporter::FlatAct;
+using exporter::FlatModel;
+using exporter::FlatOp;
+using exporter::OpKind;
+namespace synth = exporter::synth;
+
+/// A small inverted-residual-style graph exercising every op kind, with
+/// power-of-two activation scales so agreement bounds are bitwise.
+FlatModel small_graph(uint64_t seed, int64_t classes = 10) {
+  Rng rng(seed, 7);
+  FlatModel m;
+  m.set_input(16, 3);
+  m.push(synth::make_conv(rng, 3, 16, 3, 2, 1, FlatAct::relu6, true,
+                          synth::pow2_act_scale(rng)));
+  m.push(synth::make_marker(OpKind::save));
+  m.push(synth::make_conv(rng, 16, 48, 1, 1, 1, FlatAct::relu6, false,
+                          synth::pow2_act_scale(rng)));
+  m.push(synth::make_conv(rng, 48, 48, 3, 1, 48, FlatAct::relu6, true,
+                          synth::pow2_act_scale(rng)));
+  m.push(synth::make_conv(rng, 48, 16, 1, 1, 1, FlatAct::identity, true,
+                          synth::pow2_act_scale(rng)));
+  m.push(synth::make_marker(OpKind::add_saved));
+  m.push(synth::make_conv(rng, 16, 32, 3, 1, 4, FlatAct::relu, true,
+                          synth::pow2_act_scale(rng)));
+  m.push(synth::make_conv(rng, 32, 32, 5, 2, 32, FlatAct::relu6, false,
+                          synth::pow2_act_scale(rng)));
+  m.push(synth::make_marker(OpKind::gap));
+  m.push(synth::make_linear(rng, 32, classes, synth::pow2_act_scale(rng)));
+  return m;
+}
+
+Tensor random_input(uint64_t seed, std::vector<int64_t> shape) {
+  Rng rng(seed, 1);
+  Tensor x(std::move(shape));
+  fill_uniform(x, rng, -1.0f, 1.0f);
+  return x;
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+TEST(CompiledModel, SharesPanelsWithFlatModelAndItsCopies) {
+  FlatModel m = small_graph(11);
+  const auto panels = m.compiled_panels();
+  ASSERT_NE(panels, nullptr);
+  // A copy routes through the same compiled path: same panels object.
+  const FlatModel copy(m);
+  EXPECT_EQ(copy.compiled_panels().get(), panels.get());
+  // compile() adopts the already-built panels instead of rebuilding.
+  const auto compiled = CompiledModel::compile(m);
+  EXPECT_EQ(compiled->panels().get(), panels.get());
+  EXPECT_EQ(compiled->weight_panel_floats(), panels->total_floats());
+}
+
+TEST(CompiledModel, MutationDetachesCompiledPanels) {
+  FlatModel m = small_graph(12);
+  const auto before = m.compiled_panels();
+  Rng rng(5, 3);
+  m.push(synth::make_linear(rng, 10, 4, synth::pow2_act_scale(rng)));
+  const auto after = m.compiled_panels();
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_EQ(after->op_count(), m.ops().size());
+}
+
+TEST(CompiledModel, CompileBufferMatchesFileLoad) {
+  const FlatModel m = small_graph(13);
+  const std::string path = ::testing::TempDir() + "nb_rt_buffer.nbfm";
+  m.save(path);
+  const auto from_file = CompiledModel::compile_file(path);
+  std::ifstream in(path, std::ios::binary);
+  const std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+  in.close();
+  std::remove(path.c_str());
+  const auto from_buffer =
+      CompiledModel::compile_buffer(bytes.data(), bytes.size());
+
+  EXPECT_EQ(from_buffer->op_count(), from_file->op_count());
+  EXPECT_EQ(from_buffer->op_count(), static_cast<int64_t>(m.ops().size()));
+  EXPECT_EQ(from_buffer->input_resolution(), 16);
+  EXPECT_EQ(from_buffer->input_channels(), 3);
+  EXPECT_EQ(from_buffer->weight_panel_floats(),
+            from_file->weight_panel_floats());
+  // Both compiled models serve bitwise-identical results.
+  Session a(from_file), b(from_buffer);
+  const Tensor x = random_input(4, {1, 3, 16, 16});
+  EXPECT_TRUE(bitwise_equal(a.run(x), b.run(x)));
+}
+
+TEST(Session, TwoSessionsAddZeroWeightPanelMemory) {
+  const auto model = CompiledModel::compile(small_graph(21));
+  Session a(model), b(model);
+  const Tensor x = random_input(1, {1, 3, 16, 16});
+  (void)a.run(x);
+  (void)b.run(x);
+
+  const Session::MemoryStats ma = a.memory();
+  const Session::MemoryStats mb = b.memory();
+  // Identical borrowed panels — the same object, not an equal-sized copy.
+  EXPECT_EQ(ma.weight_panel_addr, model->panels().get());
+  EXPECT_EQ(mb.weight_panel_addr, model->panels().get());
+  EXPECT_EQ(ma.borrowed_weight_floats, model->weight_panel_floats());
+  EXPECT_EQ(mb.borrowed_weight_floats, model->weight_panel_floats());
+  // What each session owns is exactly its plan arena — no weight floats.
+  const exporter::InferPlan reference_plan(model->program(),
+                                           model->panels(), 1, 3, 16, 16);
+  EXPECT_EQ(ma.owned_arena_floats, reference_plan.stats().arena_floats);
+  EXPECT_EQ(mb.owned_arena_floats, reference_plan.stats().arena_floats);
+  EXPECT_GT(ma.owned_arena_floats, 0);
+}
+
+TEST(Session, MatchesFlatModelForwardBitwise) {
+  FlatModel m = small_graph(31);
+  const Tensor x = random_input(2, {2, 3, 16, 16});
+  const Tensor expected = m.forward(x, exporter::Backend::fast);
+  Session session(CompiledModel::compile(std::move(m)));
+  EXPECT_TRUE(bitwise_equal(session.run(x), expected));
+}
+
+TEST(Session, SharedPoolAndSerialBudgetsAgreeBitwise) {
+  const auto model = CompiledModel::compile(small_graph(32));
+  SessionOptions pooled;
+  pooled.threads = SessionOptions::Threads::shared_pool;
+  Session serial(model), shared(model, pooled);
+  const Tensor x = random_input(3, {4, 3, 16, 16});
+  EXPECT_TRUE(bitwise_equal(serial.run(x), shared.run(x)));
+}
+
+TEST(Session, PlanCacheEvictsLeastRecentlyUsed) {
+  const auto model = CompiledModel::compile(small_graph(33));
+  SessionOptions opts;
+  opts.max_cached_plans = 2;
+  Session session(model, opts);
+  for (int64_t batch : {1, 2, 3, 1, 3}) {
+    const Tensor x = random_input(40 + static_cast<uint64_t>(batch),
+                                  {batch, 3, 16, 16});
+    const Tensor y = session.run(x);
+    EXPECT_EQ(y.size(0), batch);
+    EXPECT_LE(session.memory().cached_plans, 2u);
+  }
+  EXPECT_EQ(session.runs(), 5);
+}
+
+// The acceptance stress: >= 4 threads over one shared CompiledModel, each
+// with a private Session and a distinct input stream, must reproduce the
+// single-threaded goldens bit for bit (no arena cross-talk, no weight
+// races).
+TEST(Session, ConcurrentSessionsAreBitwiseEqualToSingleThread) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 5;
+  const auto model = CompiledModel::compile(small_graph(55));
+
+  std::vector<Tensor> inputs, goldens;
+  for (int t = 0; t < kThreads; ++t) {
+    inputs.push_back(
+        random_input(900 + static_cast<uint64_t>(t), {1, 3, 16, 16}));
+    Session golden(model);
+    goldens.push_back(golden.run(inputs.back()));
+  }
+
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Session session(model);
+      for (int r = 0; r < kRounds; ++r) {
+        const Tensor y = session.run(inputs[static_cast<size_t>(t)]);
+        if (!bitwise_equal(y, goldens[static_cast<size_t>(t)])) {
+          ++mismatches[static_cast<size_t>(t)];
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[static_cast<size_t>(t)], 0) << "thread " << t;
+  }
+}
+
+TEST(Engine, MicroBatchingIsBitwiseEqualToSequentialRuns) {
+  constexpr int kRequests = 16;
+  const auto model = CompiledModel::compile(small_graph(66));
+
+  // Goldens: each image alone through a plain Session (batch 1).
+  std::vector<Tensor> images, goldens;
+  Session golden(model);
+  for (int i = 0; i < kRequests; ++i) {
+    images.push_back(random_input(700 + static_cast<uint64_t>(i), {3, 16, 16}));
+    goldens.push_back(golden.run(images.back().reshape({1, 3, 16, 16})));
+  }
+
+  EngineOptions opts;
+  opts.batching.max_batch = 8;
+  opts.batching.max_wait_us = 50000;  // generous: force real coalescing
+  Engine engine(opts);
+  engine.register_model("m", model);
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(engine.submit("m", images[static_cast<size_t>(i)]));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    const Tensor y = futures[static_cast<size_t>(i)].get();
+    EXPECT_TRUE(bitwise_equal(y, goldens[static_cast<size_t>(i)]))
+        << "request " << i;
+  }
+  const Engine::Stats st = engine.stats();
+  EXPECT_EQ(st.completed, kRequests);
+  EXPECT_EQ(st.failed, 0);
+  // Batching must actually have coalesced (fewer batches than requests).
+  EXPECT_LT(st.batches, kRequests);
+  EXPECT_GT(st.avg_batch, 1.0);
+}
+
+TEST(Engine, SequentialPolicyServesEveryRequest) {
+  const auto model = CompiledModel::compile(small_graph(77));
+  EngineOptions opts;
+  opts.batching.max_batch = 1;  // micro-batching off
+  opts.batching.max_wait_us = 0;
+  Engine engine(opts);
+  engine.register_model("m", model);
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(engine.submit(
+        "m", random_input(50 + static_cast<uint64_t>(i), {3, 16, 16})));
+  }
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().size(1), 10);
+  }
+  const Engine::Stats st = engine.stats();
+  EXPECT_EQ(st.completed, 6);
+  EXPECT_EQ(st.batches, 6);  // every batch is a single request
+  EXPECT_DOUBLE_EQ(st.avg_batch, 1.0);
+}
+
+TEST(Engine, ServesMultipleRegisteredModels) {
+  const auto ten = CompiledModel::compile(small_graph(88, 10));
+  const auto four = CompiledModel::compile(small_graph(89, 4));
+  Engine engine;
+  engine.register_model("ten", ten);
+  engine.register_model("four", four);
+  EXPECT_EQ(engine.model_names().size(), 2u);
+  EXPECT_EQ(engine.model("ten").get(), ten.get());
+
+  auto f10 = engine.submit("ten", random_input(1, {3, 16, 16}));
+  auto f4 = engine.submit("four", random_input(2, {3, 16, 16}));
+  EXPECT_EQ(f10.get().size(1), 10);
+  EXPECT_EQ(f4.get().size(1), 4);
+
+  EXPECT_TRUE(engine.unregister_model("four"));
+  EXPECT_FALSE(engine.unregister_model("four"));
+  EXPECT_THROW(engine.submit("four", random_input(3, {3, 16, 16})),
+               std::runtime_error);
+}
+
+TEST(Engine, HotSwappingAModelServesTheNewVersion) {
+  const auto v1 = CompiledModel::compile(small_graph(90, 10));
+  const auto v2 = CompiledModel::compile(small_graph(91, 6));
+  Engine engine;
+  engine.register_model("m", v1);
+  EXPECT_EQ(engine.submit("m", random_input(4, {3, 16, 16})).get().size(1),
+            10);
+  // Replace under the same name: new submits resolve against v2 (and the
+  // worker releases its v1 session at the next registry-change check).
+  engine.register_model("m", v2);
+  EXPECT_EQ(engine.submit("m", random_input(5, {3, 16, 16})).get().size(1),
+            6);
+  EXPECT_EQ(engine.model("m").get(), v2.get());
+}
+
+TEST(Engine, RejectsBadSubmitsAndPropagatesExecutionErrors) {
+  const auto model = CompiledModel::compile(small_graph(99));
+  Engine engine;
+  engine.register_model("m", model);
+  // Unknown model and non-image shapes fail fast, in the caller.
+  EXPECT_THROW(engine.submit("nope", random_input(1, {3, 16, 16})),
+               std::runtime_error);
+  EXPECT_THROW(engine.submit("m", random_input(1, {2, 3, 16, 16})),
+               std::runtime_error);
+  // Geometry the planner rejects (wrong channel count) surfaces through
+  // the future, not a crash — and the engine keeps serving afterwards.
+  auto bad = engine.submit("m", random_input(1, {4, 16, 16}));
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  auto good = engine.submit("m", random_input(1, {3, 16, 16}));
+  EXPECT_EQ(good.get().size(1), 10);
+  const Engine::Stats st = engine.stats();
+  EXPECT_EQ(st.failed, 1);
+  EXPECT_GE(st.completed, 1);
+}
+
+}  // namespace
+}  // namespace nb::runtime

@@ -100,6 +100,34 @@ TEST(ParallelFor, SmallRangeFallsBackToSerial) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(ParallelFor, SerialScopeForcesInlineExecution) {
+  ThreadPool pool(3);
+  ThreadPool::set_global_override(&pool);
+  EXPECT_FALSE(in_serial_scope());
+  {
+    SerialScope scope;
+    EXPECT_TRUE(in_serial_scope());
+    // One inline call covering the whole range, on the calling thread,
+    // even though the pool has workers and the range is large.
+    const std::thread::id caller = std::this_thread::get_id();
+    int64_t calls = 0;
+    parallel_for(10000, /*grain=*/1, [&](int64_t b, int64_t e) {
+      ++calls;  // safe: single-threaded by the property under test
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      EXPECT_EQ(b, 0);
+      EXPECT_EQ(e, 10000);
+    });
+    EXPECT_EQ(calls, 1);
+    {
+      SerialScope nested;  // scopes nest
+      EXPECT_TRUE(in_serial_scope());
+    }
+    EXPECT_TRUE(in_serial_scope());
+  }
+  EXPECT_FALSE(in_serial_scope());
+  ThreadPool::set_global_override(nullptr);
+}
+
 // The GEMM contract: the threaded row-partitioned path must equal the serial
 // path bit-for-bit (same per-row arithmetic order).
 class GemmParallelEquivalence

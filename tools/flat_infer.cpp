@@ -1,29 +1,49 @@
 // Deployment-artifact inspector and inference driver: loads an NBFM file,
 // prints the program summary and the memory planner's arena accounting,
-// then times inference on the chosen backend.
+// then times inference on the chosen backend. With --sessions N it runs N
+// concurrent serving streams (one runtime::Session per thread, all sharing
+// one CompiledModel's weight panels) and reports per-session latency
+// percentiles plus aggregate throughput.
 //
-// Usage: flat_infer <model.nbfm> [--batch N] [--res R] [--backend fast|reference]
-//                   [--repeat K]
-//   --res defaults to the resolution recorded in the artifact header.
+// Usage: flat_infer <model.nbfm> [--batch N] [--res R]
+//                   [--backend fast|reference] [--repeat K]
+//                   [--sessions N] [--threads T]
+//   --res      defaults to the resolution recorded in the artifact header.
+//   --sessions closed-loop concurrent streams (default 1 = single-stream
+//              plan timing, the pre-serving behavior).
+//   --threads  shared-pool size for the process (default: NB_THREADS
+//              semantics). Multi-session runs execute serially per stream
+//              regardless, so streams scale without pool contention.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "export/flat_model.h"
 #include "export/infer_plan.h"
+#include "runtime/compiled_model.h"
+#include "runtime/percentile.h"
+#include "runtime/session.h"
 #include "tensor/rng.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
+#include "tensor/threadpool.h"
 
 using namespace nb;
 using namespace nb::exporter;
+using nb::runtime::percentile_sorted;
 
 int main(int argc, char** argv) {
   std::string path;
   int64_t batch = 1;
   int64_t res = 0;
   int repeat = 10;
+  int64_t sessions = 1;
+  int64_t threads = 0;  // 0 = leave the global pool as NB_THREADS sized it
   Backend backend = Backend::fast;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -33,6 +53,10 @@ int main(int argc, char** argv) {
       res = std::atoll(argv[++i]);
     } else if (arg == "--repeat" && i + 1 < argc) {
       repeat = std::atoi(argv[++i]);
+    } else if (arg == "--sessions" && i + 1 < argc) {
+      sessions = std::atoll(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoll(argv[++i]);
     } else if (arg == "--backend" && i + 1 < argc) {
       const std::string b = argv[++i];
       if (b == "fast") {
@@ -48,12 +72,23 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: flat_infer <model.nbfm> [--batch N] [--res R] "
-                   "[--backend fast|reference] [--repeat K]\n");
+                   "[--backend fast|reference] [--repeat K] [--sessions N] "
+                   "[--threads T]\n");
       return 2;
     }
   }
   if (path.empty()) {
     std::fprintf(stderr, "flat_infer: no model file given\n");
+    return 2;
+  }
+  if (sessions < 1 || repeat < 1) {
+    std::fprintf(stderr, "flat_infer: --sessions and --repeat must be >= 1\n");
+    return 2;
+  }
+  if (sessions > 1 && backend != Backend::fast) {
+    std::fprintf(stderr,
+                 "flat_infer: --sessions drives the fast serving runtime; "
+                 "--backend reference is not supported with it\n");
     return 2;
   }
 
@@ -75,7 +110,17 @@ int main(int argc, char** argv) {
               static_cast<long long>(batch), static_cast<long long>(channels),
               static_cast<long long>(res), static_cast<long long>(res));
 
-  const InferPlan plan(model, batch, channels, res, res);
+  // Optional shared-pool resize for this process (workers = threads - 1).
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) {
+    pool = std::make_unique<ThreadPool>(threads - 1);
+    ThreadPool::set_global_override(pool.get());
+  }
+
+  // Compile the panels once; the inspection plan borrows them, and in
+  // serving mode CompiledModel::compile adopts the same object.
+  const InferPlan plan(model, model.compiled_panels(), batch, channels, res,
+                       res);
   const PlanStats& st = plan.stats();
   std::printf("planner:      arena %lld B (peak live %lld B, no-reuse %lld B, "
               "%lld save slot%s)\n",
@@ -84,12 +129,65 @@ int main(int argc, char** argv) {
               static_cast<long long>(st.no_reuse_bytes()),
               static_cast<long long>(st.save_depth),
               st.save_depth == 1 ? "" : "s");
-  std::printf("weight cache: %lld B (dequantized float panels)\n",
+  std::printf("weight cache: %lld B (dequantized float panels, shared across "
+              "sessions)\n",
               static_cast<long long>(st.weight_cache_floats * 4));
 
   Rng rng(1);
   Tensor x({batch, channels, res, res});
   fill_uniform(x, rng, -1.0f, 1.0f);
+
+  if (sessions > 1) {
+    // Serving mode: N closed-loop streams over one shared CompiledModel.
+    auto compiled = runtime::CompiledModel::compile(model);
+    runtime::SessionOptions opts;
+    opts.threads = runtime::SessionOptions::Threads::serial;
+    std::vector<std::vector<double>> lat_ms(static_cast<size_t>(sessions));
+    std::vector<std::thread> streams;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int64_t sidx = 0; sidx < sessions; ++sidx) {
+      streams.emplace_back([&, sidx] {
+        runtime::Session session(compiled, opts);
+        Tensor input = x.clone();
+        (void)session.run(input);  // warmup / plan build
+        auto& lat = lat_ms[static_cast<size_t>(sidx)];
+        lat.reserve(static_cast<size_t>(repeat));
+        for (int r = 0; r < repeat; ++r) {
+          const auto s0 = std::chrono::steady_clock::now();
+          (void)session.run(input);
+          lat.push_back(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - s0)
+                            .count());
+        }
+      });
+    }
+    for (std::thread& t : streams) t.join();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("sessions:     %lld concurrent (serial per-stream, shared "
+                "weight panels: %lld B once)\n",
+                static_cast<long long>(sessions),
+                static_cast<long long>(compiled->weight_panel_bytes()));
+    std::vector<double> all;
+    for (int64_t sidx = 0; sidx < sessions; ++sidx) {
+      auto& lat = lat_ms[static_cast<size_t>(sidx)];
+      std::sort(lat.begin(), lat.end());
+      all.insert(all.end(), lat.begin(), lat.end());
+      std::printf(
+          "  session %lld: p50 %.3f ms  p90 %.3f ms  p99 %.3f ms (%d runs)\n",
+          static_cast<long long>(sidx), percentile_sorted(lat, 0.50),
+          percentile_sorted(lat, 0.90), percentile_sorted(lat, 0.99), repeat);
+    }
+    std::sort(all.begin(), all.end());
+    const double images =
+        static_cast<double>(sessions) * repeat * static_cast<double>(batch);
+    std::printf("aggregate:    p50 %.3f ms  p99 %.3f ms  %.1f images/s\n",
+                percentile_sorted(all, 0.50), percentile_sorted(all, 0.99),
+                images / wall);
+    ThreadPool::set_global_override(nullptr);
+    return 0;
+  }
 
   Tensor y = backend == Backend::fast ? plan.run(x)
                                       : model.forward(x, Backend::reference);
@@ -112,5 +210,6 @@ int main(int argc, char** argv) {
   if (!pred.empty()) {
     std::printf("argmax[0]:    %lld\n", static_cast<long long>(pred[0]));
   }
+  ThreadPool::set_global_override(nullptr);
   return 0;
 }
