@@ -16,6 +16,16 @@ namespace {
 
 constexpr char kMagic[4] = {'N', 'B', 'F', 'M'};
 
+// Plausibility ceilings for loaded geometry. A corrupted field (random bit
+// flip, fuzzed stream) can otherwise carry values like 2^56 into the
+// weight-count checks, whose int64 products would overflow — UB — before
+// the mismatch is ever detected. Bounding each factor first keeps every
+// product comfortably inside int64: 2^20 * 2^20 * 2^9 * 2^9 < 2^60.
+constexpr int64_t kMaxLoadChannels = int64_t{1} << 20;
+constexpr int64_t kMaxLoadKernel = 512;
+constexpr int64_t kMaxLoadStridePad = int64_t{1} << 16;
+constexpr int64_t kMaxLoadResolution = int64_t{1} << 20;
+
 template <typename T>
 void write_pod(std::ofstream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
@@ -249,6 +259,11 @@ FlatModel FlatModel::load_from_buffer(const uint8_t* data, size_t size) {
   FlatModel model;
   model.input_res_ = in.pod<int64_t>();
   model.input_channels_ = in.pod<int64_t>();
+  NB_CHECK(model.input_res_ >= 0 && model.input_res_ <= kMaxLoadResolution,
+           "flat model: implausible input resolution");
+  NB_CHECK(model.input_channels_ > 0 &&
+               model.input_channels_ <= kMaxLoadChannels,
+           "flat model: implausible input channel count");
   const auto op_count = in.pod<uint32_t>();
   NB_CHECK(op_count < 100000, "flat model: implausible op count");
   for (uint32_t i = 0; i < op_count; ++i) {
@@ -261,7 +276,10 @@ FlatModel FlatModel::load_from_buffer(const uint8_t* data, size_t size) {
         break;
       case OpKind::conv: {
         FlatConv& c = op.conv;
-        c.act = static_cast<FlatAct>(in.pod<uint8_t>());
+        const uint8_t act_raw = in.pod<uint8_t>();
+        NB_CHECK(act_raw <= static_cast<uint8_t>(FlatAct::relu6),
+                 "flat model: unknown conv activation");
+        c.act = static_cast<FlatAct>(act_raw);
         c.stride = in.pod<int64_t>();
         c.pad = in.pod<int64_t>();
         c.groups = in.pod<int64_t>();
@@ -278,6 +296,17 @@ FlatModel FlatModel::load_from_buffer(const uint8_t* data, size_t size) {
         NB_CHECK(c.cout > 0 && c.cin > 0 && c.kernel > 0 && c.stride > 0 &&
                      c.pad >= 0,
                  "flat model: bad conv geometry");
+        // Plausibility bounds BEFORE any count product: a corrupted huge
+        // field must reject here, not overflow the int64 arithmetic below.
+        NB_CHECK(c.cout <= kMaxLoadChannels && c.cin <= kMaxLoadChannels &&
+                     c.kernel <= kMaxLoadKernel &&
+                     c.stride <= kMaxLoadStridePad &&
+                     c.pad <= kMaxLoadStridePad,
+                 "flat model: implausible conv geometry");
+        NB_CHECK(c.weight_bits >= 1 && c.weight_bits <= 8,
+                 "flat model: implausible conv weight bits");
+        NB_CHECK(c.act_bits >= 1 && c.act_bits <= 32,
+                 "flat model: implausible conv activation bits");
         NB_CHECK(c.groups > 0 && c.cin % c.groups == 0 &&
                      c.cout % c.groups == 0,
                  "flat model: conv groups must divide channels");
@@ -302,6 +331,12 @@ FlatModel FlatModel::load_from_buffer(const uint8_t* data, size_t size) {
         l.act_scale = in.pod<float>();
         l.act_bits = in.pod<uint8_t>();
         NB_CHECK(l.in > 0 && l.out > 0, "flat model: bad linear geometry");
+        NB_CHECK(l.in <= kMaxLoadChannels && l.out <= kMaxLoadChannels,
+                 "flat model: implausible linear geometry");
+        NB_CHECK(l.weight_bits >= 1 && l.weight_bits <= 8,
+                 "flat model: implausible linear weight bits");
+        NB_CHECK(l.act_bits >= 1 && l.act_bits <= 32,
+                 "flat model: implausible linear activation bits");
         NB_CHECK(static_cast<int64_t>(l.weights.size()) == l.in * l.out,
                  "flat model: linear weight count mismatch");
         NB_CHECK(static_cast<int64_t>(l.weight_scales.size()) == l.out,

@@ -13,10 +13,10 @@ namespace nb::exporter {
 
 namespace {
 
-/// Fused epilogue over one contiguous output row: per-channel rescale of the
-/// raw integer-level accumulator, bias, and the activation clamp, all in the
-/// same store. Scalar expressions match the reference interpreter's
-/// `acc * scale + b` followed by apply_act_ exactly.
+/// Fused epilogue, in place over one contiguous output row: per-channel
+/// rescale of the raw integer-level accumulator, bias, and the activation
+/// clamp, all in the same store. Scalar expressions match the reference
+/// interpreter's `acc * scale + b` followed by apply_act_ exactly.
 void store_row(float* row, int64_t count, float scale, float b, FlatAct act) {
   switch (act) {
     case FlatAct::identity:
@@ -135,7 +135,10 @@ InferPlan::InferPlan(const FlatModel& model,
         s.out_floats = out;
         int64_t cols = 0;
         if (!s.depthwise) {
-          cols = (cv.cin / cv.groups) * cv.kernel * cv.kernel * oh * ow;
+          // Columns of the whole micro-batch side by side (x batch): ONE
+          // GEMM per group lowers every image at once, and its output is
+          // already the batch-interleaved layout of the next activation.
+          cols = (cv.cin / cv.groups) * cv.kernel * cv.kernel * batch * oh * ow;
           cols_max = std::max(cols_max, cols);
         }
         out_reg = 1 - region;
@@ -211,6 +214,7 @@ InferPlan::InferPlan(const FlatModel& model,
     off += save_sizes[d];
   }
   const int64_t cols_base = off;
+  stats_.cols_floats = cols_max;
   stats_.arena_floats = off + cols_max;
 
   for (size_t i = 0; i < steps_.size(); ++i) {
@@ -231,18 +235,23 @@ InferPlan::InferPlan(const FlatModel& model,
 void InferPlan::run_conv(const Step& s, const float* in, float* out,
                          float* cols) const {
   const int64_t n = stats_.batch;
-  const int64_t plane = s.out_h * s.out_w;
+  const int64_t in_hw = s.in_h * s.in_w;
+  const int64_t plane = s.out_h * s.out_w;  // one image's output plane
+  const int64_t row = n * plane;  // one channel's batch-interleaved row
   const int64_t k = s.kernel;
   if (s.depthwise) {
-    // One (image, channel) plane per work item, epilogue fused in.
-    const int64_t planes = n * s.cout;
+    // One (channel, image) plane per work item, epilogue fused in. In the
+    // batch-interleaved layout channel ch of image i reads the contiguous
+    // plane at ch*n*in_hw + i*in_hw and writes ch*row + i*plane.
+    const int64_t planes = s.cout * n;
     const int64_t grain =
         std::max<int64_t>(1, (int64_t{1} << 14) / std::max<int64_t>(plane, 1));
     parallel_for(planes, grain, [&](int64_t p0, int64_t p1) {
       for (int64_t pl = p0; pl < p1; ++pl) {
-        const int64_t ch = pl % s.cout;
-        float* orow = out + pl * plane;
-        depthwise_plane(in + pl * s.in_h * s.in_w, s.wf + ch * k * k, orow,
+        const int64_t ch = pl / n;
+        const int64_t i = pl % n;
+        float* orow = out + ch * row + i * plane;
+        depthwise_plane(in + (ch * n + i) * in_hw, s.wf + ch * k * k, orow,
                         s.in_h, s.in_w, s.out_h, s.out_w, k, s.stride, s.pad,
                         0.0f);
         const float b = s.bias == nullptr ? 0.0f : s.bias[ch];
@@ -252,44 +261,54 @@ void InferPlan::run_conv(const Step& s, const float* in, float* out,
     return;
   }
 
-  // Lowered path: im2col + packed GEMM over the cached float weight panel.
-  // The batch/group loop stays serial; nb::gemm parallelizes over output
-  // rows internally and is bitwise thread-invariant, so the plan is too.
+  // Lowered path: ONE batched im2col + packed GEMM per group covers the
+  // whole micro-batch — the columns of every image sit side by side in a
+  // [col_rows, n*plane] panel, so weight-panel packing and micro-kernel
+  // fringes amortize across the batch, and the [cout_g, n*plane] output
+  // lands directly in ping/pong as the next activation's layout (no
+  // staging, no scatter). The GEMM's per-element rounding is independent
+  // of M/N (one continuous ascending K chain), so every element is bitwise
+  // identical to a per-image lowering.
   const int64_t cin_g = s.cin / s.groups;
   const int64_t cout_g = s.cout / s.groups;
   const int64_t col_rows = cin_g * k * k;
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t g = 0; g < s.groups; ++g) {
-      im2col(in + (i * s.cin + g * cin_g) * s.in_h * s.in_w, cin_g, s.in_h,
-             s.in_w, k, k, s.stride, s.stride, s.pad, s.pad, cols);
-      gemm(false, false, cout_g, plane, col_rows, 1.0f,
-           s.wf + g * cout_g * col_rows, cols, 0.0f,
-           out + (i * s.cout + g * cout_g) * plane);
-    }
+  for (int64_t g = 0; g < s.groups; ++g) {
+    im2col_batched(in + g * cin_g * n * in_hw, n, in_hw, n * in_hw, cin_g,
+                   s.in_h, s.in_w, k, k, s.stride, s.stride, s.pad, s.pad,
+                   cols);
+    gemm(false, false, cout_g, row, col_rows, 1.0f,
+         s.wf + g * cout_g * col_rows, cols, 0.0f, out + g * cout_g * row);
   }
-  const int64_t rows = n * s.cout;
+  // Fused epilogue, one batch-interleaved channel row at a time (the
+  // per-channel scale/bias covers the whole row).
   const int64_t grain =
-      std::max<int64_t>(1, 4096 / std::max<int64_t>(plane, 1));
-  parallel_for(rows, grain, [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const int64_t o = r % s.cout;
+      std::max<int64_t>(1, 4096 / std::max<int64_t>(row, 1));
+  parallel_for(s.cout, grain, [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      float* orow = out + o * row;
       const float b = s.bias == nullptr ? 0.0f : s.bias[o];
-      store_row(out + r * plane, plane, s.scales[o], b, s.act);
+      store_row(orow, row, s.scales[o], b, s.act);
     }
   });
 }
 
 void InferPlan::run_gap(const Step& s, const float* in, float* out) const {
+  // Reads the batch-interleaved input and emits standard [batch, channels]
+  // rows — the layout the linear head consumes — so GAP doubles as the
+  // exit from the interleaved world for classifier programs.
   const int64_t hw = s.in_h * s.in_w;
-  const int64_t planes = stats_.batch * s.in_c;
+  const int64_t n = stats_.batch;
+  const int64_t planes = s.in_c * n;
   const int64_t grain =
       std::max<int64_t>(1, (int64_t{1} << 14) / std::max<int64_t>(hw, 1));
   parallel_for(planes, grain, [&](int64_t p0, int64_t p1) {
     for (int64_t pl = p0; pl < p1; ++pl) {
+      const int64_t ch = pl / n;
+      const int64_t i = pl % n;
       const float* plane = in + pl * hw;
       double acc = 0.0;
       for (int64_t t = 0; t < hw; ++t) acc += plane[t];
-      out[pl] = static_cast<float>(acc / static_cast<double>(hw));
+      out[i * s.in_c + ch] = static_cast<float>(acc / static_cast<double>(hw));
     }
   });
 }
@@ -322,8 +341,30 @@ Tensor InferPlan::run(const Tensor& input) const {
            "infer plan: input " + input.shape_str() +
                " does not match the planned geometry");
   float* arena = arena_.data();
-  std::memcpy(arena + steps_.front().in_off, input.data(),
-              static_cast<size_t>(input.numel()) * sizeof(float));
+  // Entry: NCHW -> batch-interleaved gather (a plain copy at batch == 1,
+  // where the layouts coincide).
+  const int64_t n = stats_.batch;
+  {
+    const int64_t c = stats_.channels;
+    const int64_t hw = stats_.in_h * stats_.in_w;
+    float* entry = arena + steps_.front().in_off;
+    if (n == 1) {
+      std::memcpy(entry, input.data(),
+                  static_cast<size_t>(input.numel()) * sizeof(float));
+    } else {
+      const float* src = input.data();
+      const int64_t grain =
+          std::max<int64_t>(1, (int64_t{1} << 14) / std::max<int64_t>(hw, 1));
+      parallel_for(n * c, grain, [&](int64_t p0, int64_t p1) {
+        for (int64_t pl = p0; pl < p1; ++pl) {
+          const int64_t i = pl / c;
+          const int64_t ch = pl % c;
+          std::memcpy(entry + (ch * n + i) * hw, src + pl * hw,
+                      static_cast<size_t>(hw) * sizeof(float));
+        }
+      });
+    }
+  }
 
   for (const Step& s : steps_) {
     switch (s.kind) {
@@ -364,8 +405,28 @@ Tensor InferPlan::run(const Tensor& input) const {
   }
 
   Tensor out(out_shape_);
-  std::memcpy(out.data(), arena + out_off_,
-              static_cast<size_t>(out.numel()) * sizeof(float));
+  if (out_shape_.size() == 4 && n > 1) {
+    // The program ended spatially: scatter the batch-interleaved result
+    // back to NCHW. (GAP already emitted [batch, channels] rows, so
+    // classifier programs skip this.)
+    const int64_t c = out_shape_[1];
+    const int64_t hw = out_shape_[2] * out_shape_[3];
+    const float* res = arena + out_off_;
+    float* dst = out.data();
+    const int64_t grain =
+        std::max<int64_t>(1, (int64_t{1} << 14) / std::max<int64_t>(hw, 1));
+    parallel_for(n * c, grain, [&](int64_t p0, int64_t p1) {
+      for (int64_t pl = p0; pl < p1; ++pl) {
+        const int64_t i = pl / c;
+        const int64_t ch = pl % c;
+        std::memcpy(dst + pl * hw, res + (ch * n + i) * hw,
+                    static_cast<size_t>(hw) * sizeof(float));
+      }
+    });
+  } else {
+    std::memcpy(out.data(), arena + out_off_,
+                static_cast<size_t>(out.numel()) * sizeof(float));
+  }
   return out;
 }
 

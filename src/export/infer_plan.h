@@ -14,7 +14,28 @@
 //   * save slots — residual `save`/`add_saved` markers form a stack, so one
 //     region per nesting depth suffices and is reused by every residual at
 //     that depth.
-//   * cols — the im2col scratch for the largest lowered convolution.
+//   * cols — the im2col panel for the largest lowered convolution, sized
+//     x batch: the columns of every image in the micro-batch sit side by
+//     side ([K, batch*out_h*out_w]) so ONE packed GEMM per conv (per group)
+//     lowers the whole batch, amortizing weight-panel packing and
+//     micro-kernel fringes across it.
+//
+// Batched activation layout: inside the arena every spatial activation is
+// kept BATCH-INTERLEAVED — [channels, batch*H*W], each channel holding the
+// batch's planes side by side — instead of NCHW. That is exactly the
+// [cout, batch*out_h*out_w] panel the batched GEMM emits, so each conv's
+// output is already the next conv's input and no staging buffer or
+// scatter-back pass exists anywhere in the hot loop; NCHW is converted to
+// the interleaved form once on entry and back once on exit (only when the
+// program ends spatially). At batch == 1 the two layouts coincide, so the
+// single-image plan is the same code path with no conversion cost.
+//
+// Because the packed GEMM's per-element rounding is independent of M and N
+// (one continuous ascending K chain) and every other kernel is applied
+// per-plane or per-element, the batched lowering is bitwise identical to
+// running each image through its own batch-1 plan — micro-batching is
+// purely a throughput decision, never a semantics change (test-enforced in
+// tests/test_batched_lowering.cpp).
 //
 // Weights come from a shared WeightPanels: int8 levels dequantized once to
 // exact float integers (scales are NOT folded in), so the packed nb::gemm
@@ -50,8 +71,15 @@ struct PlanStats {
   int64_t in_w = 0;
   int64_t ops = 0;
   /// Total planned activation arena (ping + pong + save slots + cols) —
-  /// the memory the plan OWNS.
+  /// the memory the plan OWNS. Every region holds the whole micro-batch,
+  /// so the arena scales exactly x batch (assertable:
+  /// arena_floats(batch) == batch * arena_floats(1)).
   int64_t arena_floats = 0;
+  /// The im2col cols region: the largest lowered conv's column panel with
+  /// every image side by side — scales exactly x batch. The batched GEMM
+  /// writes straight into ping/pong (its [cout, batch*oh*ow] output IS the
+  /// batch-interleaved activation layout), so no staging region exists.
+  int64_t cols_floats = 0;
   /// What a no-reuse executor allocates: input clone + every op output +
   /// every residual copy + per-conv im2col scratch.
   int64_t no_reuse_floats = 0;

@@ -5,11 +5,14 @@
 // std::future<Tensor> back. Dispatcher workers coalesce queued requests
 // that target the same (model, geometry) into one batched run — the head
 // request waits at most `max_wait_us` for peers, batches cap at
-// `max_batch` — so under load the GEMMs run at batch 4–8 efficiency while
-// a lone request still leaves after one wait window. Batched execution is
-// bitwise identical to running each request alone (per-image im2col/GEMM
-// over the same shared weight panels), so batching is purely a
-// throughput/latency policy, never a semantics change.
+// `max_batch` — and the whole batch executes as ONE plan: every conv step
+// is a single packed GEMM over the im2col columns of all images laid side
+// by side (see infer_plan.h), so weight-panel packing and kernel fringes
+// amortize across the batch and micro-batching buys real throughput on
+// tiny models, not just dispatch amortization. Batched execution is
+// bitwise identical to running each request alone (the GEMM's rounding is
+// independent of M/N), so batching is purely a throughput/latency policy,
+// never a semantics change.
 //
 //   Engine engine({.batching = {.max_batch = 8, .max_wait_us = 500}});
 //   engine.register_model("mbv2", CompiledModel::compile_file(path));

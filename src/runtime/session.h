@@ -45,9 +45,12 @@ class Session {
   explicit Session(std::shared_ptr<const CompiledModel> model,
                    SessionOptions options = {});
 
-  /// Runs one [N, C, H, W] batch and returns logits. Plans are built on
-  /// first sight of a geometry and reused after; results are bitwise
-  /// independent of the thread budget and of other sessions.
+  /// Runs one [N, C, H, W] batch and returns logits. Plans are keyed on
+  /// the FULL batch geometry — an Engine worker serving micro-batches
+  /// caches its batch-4/8 plans (one GEMM per conv across the batch)
+  /// alongside the batch-1 plan — built on first sight and reused after;
+  /// results are bitwise independent of the batch size the images arrive
+  /// in, of the thread budget, and of other sessions.
   Tensor run(const Tensor& input);
 
   const CompiledModel& model() const { return *model_; }

@@ -2,19 +2,29 @@
 
 #include <algorithm>
 
+#include "tensor/threadpool.h"
+
 namespace nb {
 
-void im2col(const float* img, int64_t channels, int64_t height, int64_t width,
-            int64_t kh, int64_t kw, int64_t stride_h, int64_t stride_w,
-            int64_t pad_h, int64_t pad_w, float* cols) {
+namespace {
+
+/// Core expansion of one image into the column range starting at `col_off`
+/// of a row-major [channels*kh*kw, ld] panel. `ld == oh*ow, col_off == 0`
+/// is the classic single-image layout; a batched caller passes
+/// `ld == batch*oh*ow` to lay every image's columns side by side.
+/// `chan_stride` is the float distance between this image's channel planes
+/// (H*W for NCHW, batch*H*W for the batch-interleaved activation layout).
+void im2col_into(const float* img, int64_t chan_stride, int64_t channels,
+                 int64_t height, int64_t width, int64_t kh, int64_t kw,
+                 int64_t stride_h, int64_t stride_w, int64_t pad_h,
+                 int64_t pad_w, float* cols, int64_t ld, int64_t col_off) {
   const int64_t oh = conv_out_size(height, kh, stride_h, pad_h);
   const int64_t ow = conv_out_size(width, kw, stride_w, pad_w);
-  const int64_t plane = oh * ow;
   for (int64_t c = 0; c < channels; ++c) {
-    const float* src = img + c * height * width;
+    const float* src = img + c * chan_stride;
     for (int64_t ki = 0; ki < kh; ++ki) {
       for (int64_t kj = 0; kj < kw; ++kj) {
-        float* dst = cols + ((c * kh + ki) * kw + kj) * plane;
+        float* dst = cols + ((c * kh + ki) * kw + kj) * ld + col_off;
         for (int64_t oy = 0; oy < oh; ++oy) {
           const int64_t iy = oy * stride_h + ki - pad_h;
           if (iy < 0 || iy >= height) {
@@ -31,6 +41,35 @@ void im2col(const float* img, int64_t channels, int64_t height, int64_t width,
       }
     }
   }
+}
+
+}  // namespace
+
+void im2col(const float* img, int64_t channels, int64_t height, int64_t width,
+            int64_t kh, int64_t kw, int64_t stride_h, int64_t stride_w,
+            int64_t pad_h, int64_t pad_w, float* cols) {
+  const int64_t oh = conv_out_size(height, kh, stride_h, pad_h);
+  const int64_t ow = conv_out_size(width, kw, stride_w, pad_w);
+  im2col_into(img, height * width, channels, height, width, kh, kw, stride_h,
+              stride_w, pad_h, pad_w, cols, oh * ow, 0);
+}
+
+void im2col_batched(const float* imgs, int64_t batch, int64_t img_stride,
+                    int64_t chan_stride, int64_t channels, int64_t height,
+                    int64_t width, int64_t kh, int64_t kw, int64_t stride_h,
+                    int64_t stride_w, int64_t pad_h, int64_t pad_w,
+                    float* cols) {
+  const int64_t oh = conv_out_size(height, kh, stride_h, pad_h);
+  const int64_t ow = conv_out_size(width, kw, stride_w, pad_w);
+  const int64_t plane = oh * ow;
+  const int64_t ld = batch * plane;
+  parallel_for(batch, 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t i = b0; i < b1; ++i) {
+      im2col_into(imgs + i * img_stride, chan_stride, channels, height,
+                  width, kh, kw, stride_h, stride_w, pad_h, pad_w, cols, ld,
+                  i * plane);
+    }
+  });
 }
 
 void col2im(const float* cols, int64_t channels, int64_t height, int64_t width,

@@ -12,6 +12,24 @@ void im2col(const float* img, int64_t channels, int64_t height, int64_t width,
             int64_t kh, int64_t kw, int64_t stride_h, int64_t stride_w,
             int64_t pad_h, int64_t pad_w, float* cols);
 
+/// Expands a batch of images into ONE column panel [C*kh*kw, batch*oh*ow]:
+/// image i's columns occupy the contiguous column range
+/// [i*oh*ow, (i+1)*oh*ow), so a single GEMM against a weight panel lowers
+/// the convolution for the whole batch at once. The input addressing is
+/// fully strided — channel c of image i starts at
+/// `imgs + c*chan_stride + i*img_stride` — which covers both plain NCHW
+/// (img_stride = C*H*W, chan_stride = H*W) and the batch-interleaved
+/// [C, batch*H*W] layout the batched inference runtime keeps activations
+/// in (img_stride = H*W, chan_stride = batch*H*W), including a grouped
+/// convolution's channel slice of either. Parallelizes over images; writes
+/// are disjoint, so the panel is bitwise identical for any worker count and
+/// each image's columns equal a per-image im2col exactly.
+void im2col_batched(const float* imgs, int64_t batch, int64_t img_stride,
+                    int64_t chan_stride, int64_t channels, int64_t height,
+                    int64_t width, int64_t kh, int64_t kw, int64_t stride_h,
+                    int64_t stride_w, int64_t pad_h, int64_t pad_w,
+                    float* cols);
+
 /// Scatters columns back into an image (accumulating), the adjoint of im2col.
 void col2im(const float* cols, int64_t channels, int64_t height, int64_t width,
             int64_t kh, int64_t kw, int64_t stride_h, int64_t stride_w,

@@ -81,5 +81,59 @@ TEST(Im2col, StridedColumnsSubsample) {
   EXPECT_EQ(cols[3], 10.0f);
 }
 
+TEST(Im2colBatched, EachImageColumnRangeMatchesPerImageIm2col) {
+  Rng rng(7);
+  const int64_t n = 3, c = 2, h = 5, w = 4, k = 3;
+  const int64_t oh = conv_out_size(h, k, 1, 1);
+  const int64_t ow = conv_out_size(w, k, 1, 1);
+  const int64_t plane = oh * ow;
+  std::vector<float> imgs(static_cast<size_t>(n * c * h * w));
+  for (auto& v : imgs) v = rng.normal();
+
+  // NCHW addressing: image stride c*h*w, channel stride h*w.
+  std::vector<float> batched(static_cast<size_t>(c * k * k * n * plane));
+  im2col_batched(imgs.data(), n, c * h * w, h * w, c, h, w, k, k, 1, 1, 1, 1,
+                 batched.data());
+
+  std::vector<float> single(static_cast<size_t>(c * k * k * plane));
+  for (int64_t i = 0; i < n; ++i) {
+    im2col(imgs.data() + i * c * h * w, c, h, w, k, k, 1, 1, 1, 1,
+           single.data());
+    for (int64_t r = 0; r < c * k * k; ++r) {
+      for (int64_t p = 0; p < plane; ++p) {
+        EXPECT_EQ(batched[static_cast<size_t>(r * n * plane + i * plane + p)],
+                  single[static_cast<size_t>(r * plane + p)])
+            << "image " << i << " row " << r << " col " << p;
+      }
+    }
+  }
+}
+
+TEST(Im2colBatched, InterleavedInputAddressingMatchesNchw) {
+  // The batch-interleaved activation layout ([C, batch*H*W]) must expand to
+  // the exact same panel as NCHW: only the input strides differ.
+  Rng rng(9);
+  const int64_t n = 2, c = 3, h = 4, w = 4, k = 3;
+  const int64_t plane = conv_out_size(h, k, 1, 1) * conv_out_size(w, k, 1, 1);
+  std::vector<float> nchw(static_cast<size_t>(n * c * h * w));
+  for (auto& v : nchw) v = rng.normal();
+  std::vector<float> inter(nchw.size());
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      for (int64_t t = 0; t < h * w; ++t) {
+        inter[static_cast<size_t>((ch * n + i) * h * w + t)] =
+            nchw[static_cast<size_t>((i * c + ch) * h * w + t)];
+      }
+    }
+  }
+  std::vector<float> a(static_cast<size_t>(c * k * k * n * plane));
+  std::vector<float> b(a.size());
+  im2col_batched(nchw.data(), n, c * h * w, h * w, c, h, w, k, k, 1, 1, 1, 1,
+                 a.data());
+  im2col_batched(inter.data(), n, h * w, n * h * w, c, h, w, k, k, 1, 1, 1,
+                 1, b.data());
+  EXPECT_EQ(a, b);
+}
+
 }  // namespace
 }  // namespace nb

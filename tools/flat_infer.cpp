@@ -9,6 +9,11 @@
 //                   [--backend fast|reference] [--repeat K]
 //                   [--sessions N] [--threads T]
 //   --res      defaults to the resolution recorded in the artifact header.
+//   --batch    plans the batched one-GEMM-per-conv lowering at this size;
+//              for N > 1 the fast backend also times the N images run one
+//              at a time through a batch-1 plan and prints per-image vs
+//              per-batch latency, the batched speedup, and a bitwise
+//              cross-check of the two outputs.
 //   --sessions closed-loop concurrent streams (default 1 = single-stream
 //              plan timing, the pre-serving behavior).
 //   --threads  shared-pool size for the process (default: NB_THREADS
@@ -205,8 +210,50 @@ int main(int argc, char** argv) {
                                                  : std::vector<int64_t>{};
   std::printf("backend:      %s\n",
               backend == Backend::fast ? "fast" : "reference");
-  std::printf("latency:      %.3f ms (best of %d), %.1f images/s\n",
-              best * 1e3, repeat, static_cast<double>(batch) / best);
+  std::printf("latency:      %.3f ms per batch of %lld (best of %d), "
+              "%.3f ms per image, %.1f images/s\n",
+              best * 1e3, static_cast<long long>(batch), repeat,
+              best * 1e3 / static_cast<double>(batch),
+              static_cast<double>(batch) / best);
+
+  if (batch > 1 && backend == Backend::fast) {
+    // Per-image sequential baseline over a batch-1 plan: what the same
+    // images cost without the batched one-GEMM-per-conv lowering — the
+    // amortization the CLI exists to make inspectable.
+    const InferPlan plan1(model, model.compiled_panels(), 1, channels, res,
+                          res);
+    Tensor xi({1, channels, res, res});
+    const int64_t chw = xi.numel();
+    std::vector<Tensor> rows;
+    double seq_best = 1e100;
+    for (int r = 0; r < repeat; ++r) {
+      rows.clear();
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int64_t i = 0; i < batch; ++i) {
+        std::memcpy(xi.data(), x.data() + i * chw,
+                    static_cast<size_t>(chw) * sizeof(float));
+        rows.push_back(plan1.run(xi));
+      }
+      const double s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      seq_best = std::min(seq_best, s);
+    }
+    bool bitwise = true;
+    const int64_t row = y.numel() / batch;
+    for (int64_t i = 0; i < batch && bitwise; ++i) {
+      bitwise = std::memcmp(y.data() + i * row,
+                            rows[static_cast<size_t>(i)].data(),
+                            static_cast<size_t>(row) * sizeof(float)) == 0;
+    }
+    std::printf("sequential:   %.3f ms for %lld images one at a time "
+                "(%.3f ms per image)\n",
+                seq_best * 1e3, static_cast<long long>(batch),
+                seq_best * 1e3 / static_cast<double>(batch));
+    std::printf("batched:      %.2fx vs sequential, outputs %s\n",
+                seq_best / best,
+                bitwise ? "bitwise identical" : "DIVERGED (bug!)");
+  }
   if (!pred.empty()) {
     std::printf("argmax[0]:    %lld\n", static_cast<long long>(pred[0]));
   }
