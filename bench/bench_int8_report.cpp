@@ -1,0 +1,271 @@
+// True-int8 inference-path report. Builds the same synthetic MobileNetV2-
+// and MCUNet-structured flat graphs as bench_infer_report, then times the
+// Backend::int8 plan (offset-u8 quantize + packed int8 GEMM with fused
+// per-channel requantization) against the float fast backend across batch
+// sizes and thread counts, and writes machine-readable BENCH_int8.json.
+//
+// Two claims are recorded per geometry:
+//   * throughput: int8_ms vs fast_ms and their ratio (speedup_int8_vs_fast)
+//   * exactness:  the int8 output is memcmp-identical to the QModel integer
+//     oracle (reported as "exact_vs_qmodel") — not a tolerance check.
+// The selected GEMM micro-kernel (s8-vnni / s8-avx2 / s8-generic) is
+// reported so regressions can be attributed to dispatch changes.
+//
+// Usage: bench_int8_report [--quick] [--out <path>]
+//   --quick  small graphs, fewer batches, short windows (the CI setting)
+//   --out    output path (default: BENCH_int8.json in the cwd)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "export/flat_model.h"
+#include "export/flat_synth.h"
+#include "export/infer_plan.h"
+#include "export/qmodel.h"
+#include "tensor/gemm_s8.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+#include "tensor/threadpool.h"
+
+namespace {
+
+using namespace nb;
+using namespace nb::exporter;
+
+using synth::make_mbv2_flat;
+using synth::make_mcunet_flat;
+
+struct Budget {
+  double window_s;
+  int repeats;
+};
+
+double bench_seconds(const Budget& budget, const std::function<void()>& fn) {
+  fn();  // warmup / first-touch
+  double best = 1e100;
+  for (int r = 0; r < budget.repeats; ++r) {
+    int64_t iters = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+      fn();
+      ++iters;
+      elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0)
+                    .count();
+    } while (elapsed < budget.window_s);
+    best = std::min(best, elapsed / static_cast<double>(iters));
+  }
+  return best;
+}
+
+struct PoolSet {
+  ThreadPool one{0};   // NB_THREADS=1: no workers, caller only
+  ThreadPool four{3};  // NB_THREADS=4: 3 workers + caller
+  ThreadPool& get(int64_t threads) { return threads == 4 ? four : one; }
+
+  std::vector<int64_t> counts() const {
+    std::vector<int64_t> c{1};
+    if (std::thread::hardware_concurrency() >= 4) c.push_back(4);
+    return c;
+  }
+};
+
+struct Result {
+  std::string graph;
+  int64_t batch = 1;
+  int64_t threads = 1;
+  double int8_ms = 0.0;
+  double int8_images_per_s = 0.0;
+  double fast_ms = 0.0;
+  double speedup = 0.0;        // fast_ms / int8_ms
+  int exact_vs_qmodel = -1;    // 1 = memcmp equal, 0 = mismatch, -1 = not run
+  int64_t arena_bytes = 0;       // float arena of the int8 plan
+  int64_t arena_int8_bytes = 0;  // byte arena (quantized input + u8 cols)
+  int64_t fast_arena_bytes = 0;  // float fast plan, for the memory delta
+  int64_t ops = 0;
+};
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+void bench_graph(const std::string& name, const FlatModel& model, int64_t res,
+                 const std::vector<int64_t>& batches, PoolSet& pools,
+                 const Budget& budget, std::vector<Result>& out) {
+  Rng rng(4242);
+  const QModel oracle(model);
+  for (size_t bi = 0; bi < batches.size(); ++bi) {
+    const int64_t batch = batches[bi];
+    Tensor x({batch, 3, res, res});
+    fill_uniform(x, rng, -1.0f, 1.0f);
+    const InferPlan plan_i8(model, batch, 3, res, res, Backend::int8);
+    const InferPlan plan_f32(model, batch, 3, res, res, Backend::fast);
+
+    // Exactness vs the scalar integer oracle: first batch only (the oracle
+    // is a deliberately slow per-tap interpreter).
+    int exact = -1;
+    if (bi == 0) {
+      ThreadPool::set_global_override(&pools.get(1));
+      exact = bitwise_equal(plan_i8.run(x), oracle.forward(x)) ? 1 : 0;
+      ThreadPool::set_global_override(nullptr);
+    }
+
+    for (const int64_t threads : pools.counts()) {
+      ThreadPool::set_global_override(&pools.get(threads));
+      const double i8_s = bench_seconds(budget, [&] { (void)plan_i8.run(x); });
+      const double f32_s =
+          bench_seconds(budget, [&] { (void)plan_f32.run(x); });
+      ThreadPool::set_global_override(nullptr);
+      Result r;
+      r.graph = name;
+      r.batch = batch;
+      r.threads = threads;
+      r.int8_ms = i8_s * 1e3;
+      r.int8_images_per_s = static_cast<double>(batch) / i8_s;
+      r.fast_ms = f32_s * 1e3;
+      r.speedup = f32_s / i8_s;
+      r.exact_vs_qmodel = threads == 1 ? exact : -1;
+      r.arena_bytes = plan_i8.stats().arena_bytes();
+      r.arena_int8_bytes = plan_i8.stats().arena_int8_bytes;
+      r.fast_arena_bytes = plan_f32.stats().arena_bytes();
+      r.ops = plan_i8.stats().ops;
+      out.push_back(r);
+      std::fprintf(stderr,
+                   "  %s b%lld t%lld: int8 %.3f ms | fast %.3f ms | "
+                   "speedup %.2fx%s\n",
+                   name.c_str(), static_cast<long long>(batch),
+                   static_cast<long long>(threads), r.int8_ms, r.fast_ms,
+                   r.speedup,
+                   r.exact_vs_qmodel == 1   ? " | exact"
+                   : r.exact_vs_qmodel == 0 ? " | MISMATCH"
+                                            : "");
+    }
+  }
+}
+
+void write_json(const std::string& path, bool quick,
+                const std::vector<Result>& results) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  // Headline: MobileNetV2-flat, batch 1, single thread.
+  const Result* headline = nullptr;
+  for (const Result& r : results) {
+    if (r.graph.rfind("mbv2", 0) == 0 && r.batch == 1 && r.threads == 1) {
+      headline = &r;
+      break;
+    }
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"nb-bench-int8-v1\",\n");
+  std::fprintf(f, "  \"bench\": \"int8\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"kernel\": \"%s\",\n", gemm_s8_kernel_name());
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  if (headline != nullptr) {
+    std::fprintf(f, "  \"mbv2_b1_t1\": {\n");
+    std::fprintf(f, "    \"int8_ms\": %.4f,\n", headline->int8_ms);
+    std::fprintf(f, "    \"fast_ms\": %.4f,\n", headline->fast_ms);
+    std::fprintf(f, "    \"speedup_int8_vs_fast\": %.4f,\n",
+                 headline->speedup);
+    std::fprintf(f, "    \"exact_vs_qmodel\": %s,\n",
+                 headline->exact_vs_qmodel == 1 ? "true" : "false");
+    std::fprintf(f, "    \"arena_bytes\": %lld,\n",
+                 static_cast<long long>(headline->arena_bytes));
+    std::fprintf(f, "    \"arena_int8_bytes\": %lld,\n",
+                 static_cast<long long>(headline->arena_int8_bytes));
+    std::fprintf(f, "    \"fast_arena_bytes\": %lld\n",
+                 static_cast<long long>(headline->fast_arena_bytes));
+    std::fprintf(f, "  },\n");
+  }
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"graph\": \"%s\", \"batch\": %lld, \"threads\": %lld, "
+                 "\"ops\": %lld",
+                 r.graph.c_str(), static_cast<long long>(r.batch),
+                 static_cast<long long>(r.threads),
+                 static_cast<long long>(r.ops));
+    std::fprintf(f,
+                 ", \"int8_ms\": %.4f, \"int8_images_per_s\": %.2f, "
+                 "\"fast_ms\": %.4f, \"speedup\": %.4f",
+                 r.int8_ms, r.int8_images_per_s, r.fast_ms, r.speedup);
+    if (r.exact_vs_qmodel >= 0) {
+      std::fprintf(f, ", \"exact_vs_qmodel\": %s",
+                   r.exact_vs_qmodel == 1 ? "true" : "false");
+    }
+    std::fprintf(f,
+                 ", \"arena_bytes\": %lld, \"arena_int8_bytes\": %lld, "
+                 "\"fast_arena_bytes\": %lld}%s\n",
+                 static_cast<long long>(r.arena_bytes),
+                 static_cast<long long>(r.arena_int8_bytes),
+                 static_cast<long long>(r.fast_arena_bytes),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_int8.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_int8_report [--quick] [--out <path>]\n");
+      return 2;
+    }
+  }
+  // Full mode uses many best-of windows: single-core containers see heavy
+  // tenancy noise, and the int8-vs-float ratio is only trustworthy when both
+  // sides report their genuine best window.
+  const Budget budget = quick ? Budget{0.05, 2} : Budget{0.25, 10};
+
+  std::fprintf(stderr, "int8 GEMM kernel: %s\n", gemm_s8_kernel_name());
+  PoolSet pools;
+  std::vector<Result> results;
+  Rng rng(20260730);
+
+  if (quick) {
+    // Scaled-down graphs so the CI leg stays in seconds: the op mix is
+    // identical, only widths/resolutions shrink.
+    const FlatModel mbv2 = make_mbv2_flat(rng, 0.35f, 96, 100);
+    bench_graph("mbv2_w035_r96", mbv2, 96, {1, 4}, pools, budget, results);
+    const FlatModel mcunet = make_mcunet_flat(rng, 96, 100);
+    bench_graph("mcunet_r96", mcunet, 96, {1, 4}, pools, budget, results);
+  } else {
+    const FlatModel mbv2 = make_mbv2_flat(rng, 1.0f, 160, 1000);
+    bench_graph("mbv2_w100_r160", mbv2, 160, {1, 8, 32}, pools, budget,
+                results);
+    const FlatModel mcunet = make_mcunet_flat(rng, 176, 1000);
+    bench_graph("mcunet_r176", mcunet, 176, {1, 8, 32}, pools, budget,
+                results);
+  }
+
+  write_json(out_path, quick, results);
+  std::fprintf(stderr, "wrote %s (%zu results)\n", out_path.c_str(),
+               results.size());
+  return 0;
+}

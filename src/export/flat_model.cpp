@@ -361,7 +361,10 @@ FlatModel FlatModel::load_from_buffer(const uint8_t* data, size_t size) {
 struct FlatModel::FastShim {
   std::mutex mu;
   std::shared_ptr<const WeightPanels> panels;
-  std::unique_ptr<InferPlan> plan;
+  std::unique_ptr<InferPlan> plan;     // Backend::fast
+  std::unique_ptr<InferPlan> plan_i8;  // Backend::int8 (separate slot so
+                                       // alternating backends never thrash
+                                       // the geometry-keyed cache)
 };
 
 FlatModel::FlatModel() : shim_(std::make_shared<FastShim>()) {}
@@ -421,20 +424,22 @@ std::shared_ptr<const WeightPanels> FlatModel::compiled_panels() const {
 }
 
 Tensor FlatModel::forward(const Tensor& input, Backend backend) const {
-  if (backend == Backend::fast) {
-    NB_CHECK(input.dim() == 4, "flat model: fast backend needs NCHW input");
+  if (backend == Backend::fast || backend == Backend::int8) {
+    NB_CHECK(input.dim() == 4, "flat model: planned backends need NCHW input");
     FastShim& shim = ensure_shim();
     std::lock_guard<std::mutex> lock(shim.mu);
     if (shim.panels == nullptr) shim.panels = WeightPanels::build(*this);
-    if (shim.plan == nullptr || shim.plan->stats().batch != input.size(0) ||
-        shim.plan->stats().channels != input.size(1) ||
-        shim.plan->stats().in_h != input.size(2) ||
-        shim.plan->stats().in_w != input.size(3)) {
-      shim.plan = std::make_unique<InferPlan>(*this, shim.panels,
-                                              input.size(0), input.size(1),
-                                              input.size(2), input.size(3));
+    std::unique_ptr<InferPlan>& plan =
+        backend == Backend::int8 ? shim.plan_i8 : shim.plan;
+    if (plan == nullptr || plan->stats().batch != input.size(0) ||
+        plan->stats().channels != input.size(1) ||
+        plan->stats().in_h != input.size(2) ||
+        plan->stats().in_w != input.size(3)) {
+      plan = std::make_unique<InferPlan>(*this, shim.panels, input.size(0),
+                                         input.size(1), input.size(2),
+                                         input.size(3), backend);
     }
-    return shim.plan->run(input);
+    return plan->run(input);
   }
   NB_CHECK(!ops_.empty(), "flat model: empty program");
   Tensor x = input.clone();

@@ -43,7 +43,13 @@ constexpr uint32_t kFlatVersion = 1;
 ///               intermediate, single-threaded, kept as the semantic oracle.
 ///   fast      — the planned arena runtime (see infer_plan.h): im2col +
 ///               packed GEMM, direct depthwise, fused epilogues, threaded.
-enum class Backend : uint8_t { reference = 0, fast = 1 };
+///   int8      — the planned runtime over TRUE int8 execution: activations
+///               quantized to integer levels, int8xint8->int32 packed GEMM
+///               (gemm_s8), per-channel requantize fused into the output
+///               store. Requires a fully calibrated program (act_scale > 0,
+///               act_bits <= 8 everywhere; see int8_compatible in qmodel.h)
+///               and is bit-exact against the QModel integer oracle.
+enum class Backend : uint8_t { reference = 0, fast = 1, int8 = 2 };
 
 enum class OpKind : uint8_t {
   save = 0,

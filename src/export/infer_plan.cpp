@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstring>
 
+#include "export/qmodel.h"
 #include "quant/quantize.h"
 #include "tensor/depthwise.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_s8.h"
 #include "tensor/im2col.h"
 #include "tensor/threadpool.h"
 
@@ -38,20 +40,29 @@ void store_row(float* row, int64_t count, float scale, float b, FlatAct act) {
 }  // namespace
 
 InferPlan::InferPlan(const FlatModel& model, int64_t batch, int64_t channels,
-                     int64_t in_h, int64_t in_w)
+                     int64_t in_h, int64_t in_w, Backend backend)
     : InferPlan(model, WeightPanels::build(model), batch, channels, in_h,
-                in_w) {}
+                in_w, backend) {}
 
 InferPlan::InferPlan(const FlatModel& model,
                      std::shared_ptr<const WeightPanels> panels, int64_t batch,
-                     int64_t channels, int64_t in_h, int64_t in_w)
+                     int64_t channels, int64_t in_h, int64_t in_w,
+                     Backend backend)
     : panels_(std::move(panels)) {
   NB_CHECK(batch > 0 && channels > 0 && in_h > 0 && in_w > 0,
            "infer plan: bad input geometry");
   NB_CHECK(!model.ops().empty(), "flat model: empty program");
   NB_CHECK(panels_ != nullptr && panels_->op_count() == model.ops().size(),
            "infer plan: weight panels do not match the program");
+  NB_CHECK(backend != Backend::reference,
+           "infer plan: the reference interpreter has no plan");
+  if (backend == Backend::int8) {
+    std::string reason;
+    NB_CHECK(int8_compatible(model, &reason),
+             "infer plan: program not int8-compatible: " + reason);
+  }
 
+  stats_.backend = backend;
   stats_.batch = batch;
   stats_.channels = channels;
   stats_.in_h = in_h;
@@ -70,6 +81,9 @@ InferPlan::InferPlan(const FlatModel& model,
   std::vector<int64_t> save_stack;   // numel of each live residual copy
   int64_t saved_total = 0;
   int64_t cols_max = 0;
+  // Largest conv/linear input in elements — the int8 plan's quantized-input
+  // byte region must hold any of them (one byte per element).
+  int64_t qin_max = 0;
   std::vector<int> in_region, out_region, save_depth;
 
   stats_.no_reuse_floats = cur;  // the executor's own copy of the input
@@ -127,8 +141,21 @@ InferPlan::InferPlan(const FlatModel& model,
         s.act_bits = cv.act_bits;
         s.depthwise = cv.groups == cv.cin && cv.groups == cv.cout;
         s.wf = panel.wf.data();
+        s.wq = panel.wq.data();
         s.scales = panel.scales.data();
         s.bias = panel.bias.empty() ? nullptr : panel.bias.data();
+        if (backend == Backend::int8) {
+          NB_CHECK((cv.cin / cv.groups) * cv.kernel * cv.kernel <=
+                       kGemmS8MaxK,
+                   "infer plan: conv reduction exceeds the int32-exact "
+                   "bound of the int8 backend");
+          qin_max = std::max(qin_max, s.in_floats);
+          s.eff.resize(static_cast<size_t>(cv.cout));
+          for (int64_t o = 0; o < cv.cout; ++o) {
+            s.eff[static_cast<size_t>(o)] =
+                panel.scales[static_cast<size_t>(o)] * cv.act_scale;
+          }
+        }
         s.out_h = oh;
         s.out_w = ow;
         const int64_t out = batch * cv.cout * oh * ow;
@@ -178,8 +205,20 @@ InferPlan::InferPlan(const FlatModel& model,
         s.act_scale = ln.act_scale;
         s.act_bits = ln.act_bits;
         s.wf = panel.wf.data();
+        s.wq = panel.wq.data();
         s.scales = panel.scales.data();
         s.bias = panel.bias.empty() ? nullptr : panel.bias.data();
+        if (backend == Backend::int8) {
+          NB_CHECK(ln.in <= kGemmS8MaxK,
+                   "infer plan: linear reduction exceeds the int32-exact "
+                   "bound of the int8 backend");
+          qin_max = std::max(qin_max, s.in_floats);
+          s.eff.resize(static_cast<size_t>(ln.out));
+          for (int64_t o = 0; o < ln.out; ++o) {
+            s.eff[static_cast<size_t>(o)] =
+                panel.scales[static_cast<size_t>(o)] * ln.act_scale;
+          }
+        }
         const int64_t out = batch * ln.out;
         s.out_floats = out;
         out_reg = 1 - region;
@@ -214,8 +253,20 @@ InferPlan::InferPlan(const FlatModel& model,
     off += save_sizes[d];
   }
   const int64_t cols_base = off;
-  stats_.cols_floats = cols_max;
-  stats_.arena_floats = off + cols_max;
+  if (backend == Backend::int8) {
+    // The int8 plan never touches the float cols region — its im2col panel
+    // is the byte qarena instead, alongside the quantized-input region.
+    // Accumulators need no region of their own: the int32 GEMM output is
+    // requantized in place over the float out region (4 bytes either way).
+    stats_.cols_floats = 0;
+    stats_.arena_floats = off;
+    stats_.arena_int8_bytes = qin_max + cols_max;
+    qcols_off_ = qin_max;
+    qarena_.resize(static_cast<size_t>(stats_.arena_int8_bytes));
+  } else {
+    stats_.cols_floats = cols_max;
+    stats_.arena_floats = off + cols_max;
+  }
 
   for (size_t i = 0; i < steps_.size(); ++i) {
     Step& s = steps_[i];
@@ -292,6 +343,67 @@ void InferPlan::run_conv(const Step& s, const float* in, float* out,
   });
 }
 
+void InferPlan::run_conv_s8(const Step& s, const uint8_t* in, float* out,
+                            uint8_t* cols) const {
+  // Mirror of run_conv over integer levels. The int32 accumulators are
+  // written straight into the float out region (both are 4 bytes per
+  // element) and requantize_row rewrites them as floats IN PLACE — element
+  // i is read before it is written, so the aliasing is benign, and no
+  // separate accumulator arena exists. The epilogue itself is the shared
+  // out-of-line function from qmodel.cpp, which is what makes this path
+  // memcmp-equal to the QModel oracle.
+  const int64_t n = stats_.batch;
+  const int64_t in_hw = s.in_h * s.in_w;
+  const int64_t plane = s.out_h * s.out_w;
+  const int64_t row = n * plane;
+  const int64_t k = s.kernel;
+  if (s.depthwise) {
+    const int64_t planes = s.cout * n;
+    const int64_t grain =
+        std::max<int64_t>(1, (int64_t{1} << 14) / std::max<int64_t>(plane, 1));
+    parallel_for(planes, grain, [&](int64_t p0, int64_t p1) {
+      for (int64_t pl = p0; pl < p1; ++pl) {
+        const int64_t ch = pl / n;
+        const int64_t i = pl % n;
+        float* orow = out + ch * row + i * plane;
+        int32_t* acc = reinterpret_cast<int32_t*>(orow);
+        depthwise_plane_s8(in + (ch * n + i) * in_hw, s.wq + ch * k * k, acc,
+                           s.in_h, s.in_w, s.out_h, s.out_w, k, s.stride,
+                           s.pad);
+        const float b = s.bias == nullptr ? 0.0f : s.bias[ch];
+        requantize_row(orow, acc, plane, s.eff[static_cast<size_t>(ch)], b,
+                       s.act);
+      }
+    });
+    return;
+  }
+
+  // Lowered path: ONE byte im2col + int8 GEMM per group covers the whole
+  // micro-batch, exactly like the float path — and because the GEMM is
+  // integer-exact, batched-vs-sequential and thread-count invariance hold
+  // bitwise by construction rather than by rounding-order discipline.
+  const int64_t cin_g = s.cin / s.groups;
+  const int64_t cout_g = s.cout / s.groups;
+  const int64_t col_rows = cin_g * k * k;
+  for (int64_t g = 0; g < s.groups; ++g) {
+    im2col_s8_batched(in + g * cin_g * n * in_hw, n, in_hw, n * in_hw, cin_g,
+                      s.in_h, s.in_w, k, k, s.stride, s.stride, s.pad, s.pad,
+                      cols);
+    gemm_s8(cout_g, row, col_rows, s.wq + g * cout_g * col_rows, cols,
+            reinterpret_cast<int32_t*>(out + g * cout_g * row));
+  }
+  const int64_t grain =
+      std::max<int64_t>(1, 4096 / std::max<int64_t>(row, 1));
+  parallel_for(s.cout, grain, [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      float* orow = out + o * row;
+      const float b = s.bias == nullptr ? 0.0f : s.bias[o];
+      requantize_row(orow, reinterpret_cast<const int32_t*>(orow), row,
+                     s.eff[static_cast<size_t>(o)], b, s.act);
+    }
+  });
+}
+
 void InferPlan::run_gap(const Step& s, const float* in, float* out) const {
   // Reads the batch-interleaved input and emits standard [batch, channels]
   // rows — the layout the linear head consumes — so GAP doubles as the
@@ -332,6 +444,35 @@ void InferPlan::run_linear(const Step& s, const float* in, float* out) const {
       out[idx] = static_cast<float>(acc) * s.scales[o] + b;
     }
   });
+}
+
+void InferPlan::run_linear_s8(const Step& s, const uint8_t* in,
+                              float* out) const {
+  // Exact int32 dot products staged over the out region (the head is tiny:
+  // batch * classes rows over <= 2^17 features), then one shared epilogue
+  // per image row — scalar loops suffice, and integer exactness keeps the
+  // result thread-invariant for free.
+  const int64_t features = s.cin;
+  const int64_t total = stats_.batch * s.cout;
+  int32_t* acc = reinterpret_cast<int32_t*>(out);
+  parallel_for(total, 16, [&](int64_t r0, int64_t r1) {
+    for (int64_t idx = r0; idx < r1; ++idx) {
+      const int64_t i = idx / s.cout;
+      const int64_t o = idx % s.cout;
+      const int8_t* wrow = s.wq + o * features;
+      const uint8_t* xrow = in + i * features;
+      int32_t a = 0;
+      for (int64_t t = 0; t < features; ++t) {
+        a += static_cast<int32_t>(wrow[t]) *
+             (static_cast<int32_t>(xrow[t]) - 128);
+      }
+      acc[idx] = a;
+    }
+  });
+  for (int64_t i = 0; i < stats_.batch; ++i) {
+    requantize_linear_row(out + i * s.cout, acc + i * s.cout, s.eff.data(),
+                          s.bias, s.cout);
+  }
 }
 
 Tensor InferPlan::run(const Tensor& input) const {
@@ -384,6 +525,25 @@ Tensor InferPlan::run(const Tensor& input) const {
       case OpKind::conv:
       case OpKind::linear: {
         float* in = arena + s.in_off;
+        if (stats_.backend == Backend::int8) {
+          // True int8: quantize the float activation to offset-u8 levels
+          // (the same rounding fake_quant_buffer applies, via the shared
+          // quantize_levels_u8) and run the integer kernels. The float
+          // input region is left untouched — it is dead after this op.
+          uint8_t* qin = qarena_.data();
+          parallel_for(s.in_floats, int64_t{1} << 14,
+                       [&](int64_t b, int64_t e) {
+                         quant::quantize_levels_u8(in + b, qin + b, e - b,
+                                                   s.act_scale, s.act_bits);
+                       });
+          if (s.kind == OpKind::conv) {
+            run_conv_s8(s, qin, arena + s.out_off,
+                        qarena_.data() + qcols_off_);
+          } else {
+            run_linear_s8(s, qin, arena + s.out_off);
+          }
+          break;
+        }
         if (s.act_scale > 0.0f) {
           parallel_for(s.in_floats, int64_t{1} << 14,
                        [&](int64_t b, int64_t e) {

@@ -46,6 +46,19 @@
 // (image, channel) planes via the threadpool, and because nb::gemm is
 // bitwise thread-invariant the whole plan is too.
 //
+// Backend::int8 builds the same plan over the TRUE integer path: before
+// each conv/linear the float activation is quantized once to offset-u8
+// levels (shared quantize_levels_u8, the same rounding fake-quant applies),
+// the byte im2col + gemm_s8 accumulate exact int32, and the shared
+// requantize_row epilogue (see qmodel.h) rescales per channel in place over
+// the output region. The int32 accumulators live IN the float arena's
+// output region (4 bytes per element either way); the plan additionally
+// owns a small byte arena [ quantized input | byte cols ] and drops the
+// float cols region entirely. Because every accumulation is an exact
+// integer sum, thread-count and batched-vs-sequential invariance are
+// bitwise by construction, and the whole backend is memcmp-equal to the
+// scalar QModel oracle (enforced in tests/test_infer_runtime.cpp).
+//
 // A plan BORROWS its weight panels (it holds a shared_ptr keeping them
 // alive but owns no weight copies); what it owns is only the per-geometry
 // arena and step table, so building one plan per concurrent stream costs
@@ -65,6 +78,9 @@ namespace nb::exporter {
 
 /// Memory-planner accounting, all in float counts (4 bytes each).
 struct PlanStats {
+  /// Which execution mode this plan was built for (fast or int8; a plan is
+  /// never built for the reference interpreter).
+  Backend backend = Backend::fast;
   int64_t batch = 0;
   int64_t channels = 0;
   int64_t in_h = 0;
@@ -92,6 +108,13 @@ struct PlanStats {
   int64_t weight_cache_floats = 0;
   /// Max residual save/add nesting depth.
   int64_t save_depth = 0;
+  /// Byte arena owned by an int8 plan on top of the float arena: the
+  /// quantized-input region (largest conv/linear input, one byte per
+  /// element) plus the byte im2col cols panel (which REPLACES the float
+  /// cols region — cols_floats is 0 for int8 plans, so the int8 arena is
+  /// smaller overall: the 4-byte cols region becomes 1-byte). Zero for
+  /// float plans.
+  int64_t arena_int8_bytes = 0;
 
   int64_t arena_bytes() const { return arena_floats * 4; }
   int64_t no_reuse_bytes() const { return no_reuse_floats * 4; }
@@ -104,13 +127,20 @@ class InferPlan {
   /// against an existing set of shared weight panels (the zero-copy path
   /// used by runtime::Session); throws on geometry mismatches (e.g. first
   /// conv cin != channels, an op producing an empty spatial output).
+  /// `backend` selects the execution mode: Backend::fast runs the float
+  /// fast path over dequantized weight levels; Backend::int8 runs the true
+  /// integer path (quantized activations, gemm_s8, fused requantize) and
+  /// requires an int8_compatible program (throws otherwise, naming the
+  /// offending op). Backend::reference is rejected — plans ARE the
+  /// non-reference runtime.
   InferPlan(const FlatModel& model,
             std::shared_ptr<const WeightPanels> panels, int64_t batch,
-            int64_t channels, int64_t in_h, int64_t in_w);
+            int64_t channels, int64_t in_h, int64_t in_w,
+            Backend backend = Backend::fast);
 
   /// Convenience: builds (and solely owns) fresh panels for `model`.
   InferPlan(const FlatModel& model, int64_t batch, int64_t channels,
-            int64_t in_h, int64_t in_w);
+            int64_t in_h, int64_t in_w, Backend backend = Backend::fast);
 
   /// Executes the program. `input` must match the planned geometry exactly.
   /// Reuses the internal arena; not safe to call concurrently on one plan.
@@ -134,8 +164,13 @@ class InferPlan {
     bool depthwise = false;
     // Borrowed views into the shared WeightPanels (kept alive by panels_).
     const float* wf = nullptr;      // int8 levels as exact float integers
+    const int8_t* wq = nullptr;     // the same levels raw, for Backend::int8
     const float* scales = nullptr;  // per output channel
     const float* bias = nullptr;    // nullptr => zero bias
+    // Int8 effective requantize scales, scales[o] * act_scale (empty for
+    // float plans). Owned by the step: per-plan, not per-panel, because it
+    // folds in the per-op activation scale.
+    std::vector<float> eff;
     // Input/output activation geometry (out_h/out_w unused for 2-D shapes).
     int64_t in_c = 0, in_h = 0, in_w = 0;
     int64_t out_h = 0, out_w = 0;
@@ -147,12 +182,22 @@ class InferPlan {
   void run_conv(const Step& s, const float* in, float* out, float* cols) const;
   void run_gap(const Step& s, const float* in, float* out) const;
   void run_linear(const Step& s, const float* in, float* out) const;
+  // Int8 twins: `in` is the quantized offset-u8 activation, the int32
+  // accumulators land in (and are requantized in place over) the float
+  // arena's output region, and `cols` is the byte im2col panel.
+  void run_conv_s8(const Step& s, const uint8_t* in, float* out,
+                   uint8_t* cols) const;
+  void run_linear_s8(const Step& s, const uint8_t* in, float* out) const;
 
   std::shared_ptr<const WeightPanels> panels_;
   std::vector<Step> steps_;
   std::vector<int64_t> out_shape_;
   int64_t out_off_ = 0;  // where the final activation lands in the arena
   mutable std::vector<float> arena_;
+  // Byte arena for Backend::int8: [ quantized input | byte im2col cols ].
+  // Empty for float plans.
+  mutable std::vector<uint8_t> qarena_;
+  int64_t qcols_off_ = 0;  // byte offset of the cols region in qarena_
   PlanStats stats_;
 };
 

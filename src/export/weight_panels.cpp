@@ -24,6 +24,7 @@ std::shared_ptr<const WeightPanels> WeightPanels::build(
       NB_CHECK(!c.has_bias || static_cast<int64_t>(c.bias.size()) == c.cout,
                "weight panels: conv bias count mismatch");
       p.wf = quant::dequantize_levels(c.weights.data(), c.weights.size());
+      p.wq = c.weights;
       p.scales = c.weight_scales;
       if (c.has_bias) p.bias = c.bias;
     } else if (op.kind == OpKind::linear) {
@@ -35,12 +36,14 @@ std::shared_ptr<const WeightPanels> WeightPanels::build(
       NB_CHECK(l.bias.empty() || static_cast<int64_t>(l.bias.size()) == l.out,
                "weight panels: linear bias count mismatch");
       p.wf = quant::dequantize_levels(l.weights.data(), l.weights.size());
+      p.wq = l.weights;
       p.scales = l.weight_scales;
       p.bias = l.bias;
     }
     panels->total_floats_ += static_cast<int64_t>(p.wf.size()) +
                              static_cast<int64_t>(p.scales.size()) +
                              static_cast<int64_t>(p.bias.size());
+    panels->total_quant_bytes_ += static_cast<int64_t>(p.wq.size());
   }
   return panels;
 }

@@ -23,6 +23,7 @@ class FlatModel;
 /// Per-op compiled weights. Marker/gap ops keep all vectors empty.
 struct OpPanel {
   std::vector<float> wf;      // int8 levels as exact float integers
+  std::vector<int8_t> wq;     // the same levels as raw int8, for Backend::int8
   std::vector<float> scales;  // per output channel
   std::vector<float> bias;    // empty => zero bias
 };
@@ -41,13 +42,16 @@ class WeightPanels {
 
   /// Total floats held across all panels (the shared weight memory).
   int64_t total_floats() const { return total_floats_; }
-  int64_t total_bytes() const { return total_floats_ * 4; }
+  int64_t total_bytes() const { return total_floats_ * 4 + total_quant_bytes_; }
+  /// Bytes of raw int8 levels kept for the int8 backend.
+  int64_t total_quant_bytes() const { return total_quant_bytes_; }
 
  private:
   WeightPanels() = default;
 
   std::vector<OpPanel> panels_;  // indexed by op position in the program
   int64_t total_floats_ = 0;
+  int64_t total_quant_bytes_ = 0;
 };
 
 }  // namespace nb::exporter

@@ -5,6 +5,13 @@
 
 namespace nb::quant {
 
+#if defined(NB_QUANT_U8_AVX2)
+namespace detail {
+void quantize_levels_u8_avx2(const float* src, uint8_t* dst, int64_t n,
+                             float scale, float q);
+}  // namespace detail
+#endif
+
 int64_t qmax_for_bits(int bits) {
   NB_CHECK(bits >= 2 && bits <= 16, "quant: bits must be in [2, 16]");
   return (int64_t{1} << (bits - 1)) - 1;
@@ -28,6 +35,28 @@ void fake_quant_buffer(float* data, int64_t n, float scale, int bits) {
   for (int64_t i = 0; i < n; ++i) {
     const float level = std::clamp(std::round(data[i] / scale), -q, q);
     data[i] = level * scale;
+  }
+}
+
+void quantize_levels_u8(const float* src, uint8_t* dst, int64_t n, float scale,
+                        int bits) {
+  NB_CHECK(scale > 0.0f, "quant: non-positive scale");
+  NB_CHECK(bits <= 8, "quantize_levels_u8: bits must fit int8");
+  const float q = static_cast<float>(qmax_for_bits(bits));
+  // This pass runs once per conv/linear input on the int8 backend, so it is
+  // bandwidth-critical; the AVX2 instance reproduces the scalar expression
+  // below bit for bit (vdivps + exact half-away tie repair — see
+  // quantize_u8_avx2.cpp).
+#if defined(NB_QUANT_U8_AVX2)
+  static const bool use_avx2 = __builtin_cpu_supports("avx2");
+  if (use_avx2) {
+    detail::quantize_levels_u8_avx2(src, dst, n, scale, q);
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) {
+    const float level = std::clamp(std::round(src[i] / scale), -q, q);
+    dst[i] = static_cast<uint8_t>(static_cast<int32_t>(level) + 128);
   }
 }
 

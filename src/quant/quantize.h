@@ -29,6 +29,18 @@ void fake_quant_(Tensor& t, float scale, int bits);
 /// planned arena rather than in Tensors (see src/export/infer_plan.h).
 void fake_quant_buffer(float* data, int64_t n, float scale, int bits);
 
+/// Quantizes float activations to offset-u8 levels for the true int8 path:
+/// dst[i] = clamp(round(src[i]/scale), -q, q) + 128, bits <= 8. The rounding
+/// expression is the SAME as fake_quant_buffer's, so the integer level here
+/// equals the level a fake-quantized float value implies — this is what makes
+/// the int8 backend bit-exact against the fake-quant oracle. Inputs must be
+/// finite (a float->int cast of NaN is undefined); every value a NetBooster
+/// graph produces is, since weights/bias/activations are finite by
+/// construction. Offset-u8 (level + 128) rather than int8 because the packed
+/// GEMM consumes unsigned activations; level 0 is byte 128.
+void quantize_levels_u8(const float* src, uint8_t* dst, int64_t n, float scale,
+                        int bits);
+
 /// Converts serialized integer weight levels to float, one float per level.
 /// Scales are deliberately NOT applied: keeping the levels exact integers in
 /// float lets a GEMM over them produce the same products as an int8 MAC

@@ -1,0 +1,76 @@
+// AVX2 instance of quantize_levels_u8 (see quantize.h). Compiled with
+// -mavx2 only; quantize.cpp selects it at runtime via __builtin_cpu_supports
+// so the library still runs on pre-AVX2 machines.
+//
+// The vector path must be BIT-IDENTICAL to the scalar expression
+//
+//   dst[i] = u8(int(clamp(round(src[i] / scale), -q, q)) + 128)
+//
+// because the int8 plan, the QModel oracle and the float reference all
+// derive their agreement from this one rounding. Two subtleties:
+//
+//   * the division stays a division (vdivps) — multiplying by the
+//     reciprocal rounds differently;
+//   * std::round rounds halves AWAY from zero, vroundps rounds them to
+//     even. Ties are repaired exactly: with t the quotient and r its
+//     nearest-even rounding, d = t - r is computed without error (|d| <=
+//     0.5, so Sterbenz / small-magnitude cases apply), and d == +-0.5
+//     flags a tie. A tie rounds away iff nearest-even pulled it toward
+//     zero, i.e. d == +0.5 with t > 0 (bump +1) or d == -0.5 with t < 0
+//     (bump -1). Non-finite inputs fall through unchanged: d becomes NaN,
+//     no tie fires, and the clamp still lands on +-q exactly as the scalar
+//     path does for +-inf.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include <immintrin.h>
+
+namespace nb::quant::detail {
+
+void quantize_levels_u8_avx2(const float* src, uint8_t* dst, int64_t n,
+                             float scale, float q) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  const __m256 vq = _mm256_set1_ps(q);
+  const __m256 vnq = _mm256_set1_ps(-q);
+  const __m256 vhalf = _mm256_set1_ps(0.5f);
+  const __m256 vnhalf = _mm256_set1_ps(-0.5f);
+  const __m256 vone = _mm256_set1_ps(1.0f);
+  const __m256 vzero = _mm256_setzero_ps();
+  const __m256i voff = _mm256_set1_epi32(128);
+
+  const auto levels8 = [&](const float* p) -> __m256i {
+    const __m256 t = _mm256_div_ps(_mm256_loadu_ps(p), vscale);
+    __m256 r =
+        _mm256_round_ps(t, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    const __m256 d = _mm256_sub_ps(t, r);
+    const __m256 up = _mm256_and_ps(_mm256_cmp_ps(d, vhalf, _CMP_EQ_OQ),
+                                    _mm256_cmp_ps(t, vzero, _CMP_GT_OQ));
+    const __m256 dn = _mm256_and_ps(_mm256_cmp_ps(d, vnhalf, _CMP_EQ_OQ),
+                                    _mm256_cmp_ps(t, vzero, _CMP_LT_OQ));
+    r = _mm256_add_ps(r, _mm256_and_ps(up, vone));
+    r = _mm256_sub_ps(r, _mm256_and_ps(dn, vone));
+    r = _mm256_min_ps(_mm256_max_ps(r, vnq), vq);
+    return _mm256_add_epi32(_mm256_cvtps_epi32(r), voff);
+  };
+
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i lo = levels8(src + i);
+    const __m256i hi = levels8(src + i + 8);
+    // packus interleaves 128-bit lanes; permute restores element order.
+    const __m256i w16 = _mm256_permute4x64_epi64(
+        _mm256_packus_epi32(lo, hi), _MM_SHUFFLE(3, 1, 2, 0));
+    const __m128i bytes =
+        _mm_packus_epi16(_mm256_castsi256_si128(w16),
+                         _mm256_extracti128_si256(w16, 1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), bytes);
+  }
+  for (; i < n; ++i) {
+    // Scalar tail, same expression as the portable path.
+    const float level = std::clamp(std::round(src[i] / scale), -q, q);
+    dst[i] = static_cast<uint8_t>(static_cast<int32_t>(level) + 128);
+  }
+}
+
+}  // namespace nb::quant::detail

@@ -27,17 +27,25 @@ class CompiledModel {
   /// Compiles a flat program: builds (or adopts, when the model already
   /// compiled lazily) the shared weight panels and freezes the op list.
   /// Takes the model by value — move in to avoid copying the int8 payload.
+  /// `backend` selects the execution mode every Session on this model
+  /// runs: Backend::fast (float path over dequantized levels, default) or
+  /// Backend::int8 (true integer path; requires a calibrated program —
+  /// throws at compile time naming the offending op otherwise).
+  /// Backend::reference is rejected: the serving stack is planned-only.
   static std::shared_ptr<const CompiledModel> compile(
-      exporter::FlatModel model);
+      exporter::FlatModel model,
+      exporter::Backend backend = exporter::Backend::fast);
 
   /// Loads + compiles an NBFM file.
   static std::shared_ptr<const CompiledModel> compile_file(
-      const std::string& path);
+      const std::string& path,
+      exporter::Backend backend = exporter::Backend::fast);
 
   /// Parses + compiles an NBFM image straight from memory (blob store,
   /// embedded artifact) — no temp files.
   static std::shared_ptr<const CompiledModel> compile_buffer(
-      const uint8_t* data, size_t size);
+      const uint8_t* data, size_t size,
+      exporter::Backend backend = exporter::Backend::fast);
 
   /// The frozen op program (const access only; a CompiledModel never
   /// mutates after compile()).
@@ -59,13 +67,21 @@ class CompiledModel {
     return static_cast<int64_t>(program_.ops().size());
   }
 
+  /// The execution mode this model was compiled for; every Session plan
+  /// inherits it.
+  exporter::Backend backend() const { return backend_; }
+
  private:
   CompiledModel(exporter::FlatModel program,
-                std::shared_ptr<const exporter::WeightPanels> panels)
-      : program_(std::move(program)), panels_(std::move(panels)) {}
+                std::shared_ptr<const exporter::WeightPanels> panels,
+                exporter::Backend backend)
+      : program_(std::move(program)),
+        panels_(std::move(panels)),
+        backend_(backend) {}
 
   exporter::FlatModel program_;
   std::shared_ptr<const exporter::WeightPanels> panels_;
+  exporter::Backend backend_ = exporter::Backend::fast;
 };
 
 }  // namespace nb::runtime

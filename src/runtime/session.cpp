@@ -23,7 +23,7 @@ const exporter::InferPlan& Session::plan_for(int64_t batch, int64_t channels,
     }
   }
   plans_.emplace_front(model_->program(), model_->panels(), batch, channels,
-                       h, w);
+                       h, w, model_->backend());
   while (plans_.size() > options_.max_cached_plans) {
     plans_.pop_back();
   }

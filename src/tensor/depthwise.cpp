@@ -4,6 +4,14 @@
 
 namespace nb {
 
+#if defined(NB_DW_S8_AVX2)
+namespace detail {
+void depthwise_plane_s8_avx2(const uint8_t* img, const int8_t* ker,
+                             int32_t* out, int64_t h, int64_t w, int64_t oh,
+                             int64_t ow, int64_t k, int64_t pad);
+}  // namespace detail
+#endif
+
 namespace {
 
 // K is a compile-time constant for the common kernels so the tap loops fully
@@ -56,6 +64,52 @@ void dw_plane(const float* img, const float* ker, float* out, int64_t h,
   }
 }
 
+// Integer twin of dw_plane for the int8 path: same interior/edge split,
+// int32 accumulation of ker * (img - 128), skipped taps contribute nothing
+// (offset level 0). Max |acc| is k*k * 127 * 255 — nowhere near int32.
+template <int K>
+void dw_plane_s8(const uint8_t* img, const int8_t* ker, int32_t* out,
+                 int64_t h, int64_t w, int64_t oh, int64_t ow, int64_t krt,
+                 int64_t s, int64_t pad) {
+  const int64_t k = K > 0 ? K : krt;
+  const int64_t ox_lo = std::min(ow, (pad + s - 1) / s);
+  const int64_t interior_end = w - k + pad >= 0 ? (w - k + pad) / s + 1 : 0;
+  const int64_t ox_hi = std::max(ox_lo, std::min(ow, interior_end));
+  for (int64_t oy = 0; oy < oh; ++oy) {
+    const int64_t iy0 = oy * s - pad;
+    const int64_t ki_lo = std::max<int64_t>(0, -iy0);
+    const int64_t ki_hi = std::min<int64_t>(k, h - iy0);
+    int32_t* orow = out + oy * ow;
+    const auto edge = [&](int64_t ox) {
+      int32_t acc = 0;
+      for (int64_t ki = ki_lo; ki < ki_hi; ++ki) {
+        const uint8_t* srow = img + (iy0 + ki) * w;
+        const int8_t* krow = ker + ki * k;
+        for (int64_t kj = 0; kj < k; ++kj) {
+          const int64_t ix = ox * s - pad + kj;
+          if (ix >= 0 && ix < w) acc += krow[kj] * (srow[ix] - 128);
+        }
+      }
+      orow[ox] = acc;
+    };
+    for (int64_t ox = 0; ox < ox_lo; ++ox) edge(ox);
+    for (int64_t ox = ox_hi; ox < ow; ++ox) edge(ox);
+    const uint8_t* base = img + iy0 * w - pad;
+    for (int64_t ox = ox_lo; ox < ox_hi; ++ox) {
+      const uint8_t* spix = base + ox * s;
+      int32_t acc = 0;
+      for (int64_t ki = ki_lo; ki < ki_hi; ++ki) {
+        const uint8_t* srow = spix + ki * w;
+        const int8_t* krow = ker + ki * k;
+        for (int64_t kj = 0; kj < (K > 0 ? K : krt); ++kj) {
+          acc += krow[kj] * (srow[kj] - 128);
+        }
+      }
+      orow[ox] = acc;
+    }
+  }
+}
+
 }  // namespace
 
 void depthwise_plane(const float* img, const float* ker, float* out,
@@ -70,6 +124,32 @@ void depthwise_plane(const float* img, const float* ker, float* out,
       break;
     default:
       dw_plane<0>(img, ker, out, h, w, oh, ow, k, s, pad, bias);
+      break;
+  }
+}
+
+void depthwise_plane_s8(const uint8_t* img, const int8_t* ker, int32_t* out,
+                        int64_t h, int64_t w, int64_t oh, int64_t ow,
+                        int64_t k, int64_t s, int64_t pad) {
+#if defined(NB_DW_S8_AVX2)
+  // Stride-1 planes (the bulk of depthwise work) take the 8-wide AVX2
+  // instance; the integer arithmetic is exact either way, so routing is a
+  // pure performance decision.
+  static const bool use_avx2 = __builtin_cpu_supports("avx2");
+  if (use_avx2 && s == 1) {
+    detail::depthwise_plane_s8_avx2(img, ker, out, h, w, oh, ow, k, pad);
+    return;
+  }
+#endif
+  switch (k) {
+    case 3:
+      dw_plane_s8<3>(img, ker, out, h, w, oh, ow, k, s, pad);
+      break;
+    case 5:
+      dw_plane_s8<5>(img, ker, out, h, w, oh, ow, k, s, pad);
+      break;
+    default:
+      dw_plane_s8<0>(img, ker, out, h, w, oh, ow, k, s, pad);
       break;
   }
 }

@@ -16,4 +16,15 @@ void depthwise_plane(const float* img, const float* ker, float* out,
                      int64_t h, int64_t w, int64_t oh, int64_t ow, int64_t k,
                      int64_t s, int64_t pad, float bias);
 
+/// Integer twin for the int8 inference path: `img` holds offset-u8 levels
+/// (level + 128), `ker` int8 weight levels, and every output is the EXACT
+/// int32 sum of ker * (img - 128) over the in-bounds taps — out-of-bounds
+/// taps are offset level 0 and contribute nothing, matching the float
+/// path's zero padding. No bias and no scaling here; the caller fuses the
+/// requantize epilogue into its store. Exact integers mean the result is
+/// bitwise invariant to plane splitting, tap order, and ISA.
+void depthwise_plane_s8(const uint8_t* img, const int8_t* ker, int32_t* out,
+                        int64_t h, int64_t w, int64_t oh, int64_t ow,
+                        int64_t k, int64_t s, int64_t pad);
+
 }  // namespace nb

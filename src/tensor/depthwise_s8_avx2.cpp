@@ -1,0 +1,107 @@
+// AVX2 instance of the int8 depthwise plane (stride 1), selected at runtime
+// by depthwise.cpp. Interior output columns run 16-wide: per tap, 16 input
+// bytes widen to i16 lanes and multiply a broadcast kernel value; the
+// uniform -128 activation offset is hoisted out of the tap loop as
+// 128 * sum(included kernel taps) and subtracted once per vector. All
+// arithmetic is exact int32, so this produces the same numbers as the
+// scalar path by arithmetic identity — there is no rounding to keep in
+// step, only the offset bookkeeping.
+#include <algorithm>
+#include <cstdint>
+
+#include <immintrin.h>
+
+namespace nb::detail {
+
+void depthwise_plane_s8_avx2(const uint8_t* img, const int8_t* ker,
+                             int32_t* out, int64_t h, int64_t w, int64_t oh,
+                             int64_t ow, int64_t k, int64_t pad) {
+  const int64_t s = 1;  // the dispatcher only routes stride-1 planes here
+  const int64_t ox_lo = std::min(ow, pad);
+  const int64_t interior_end = w - k + pad >= 0 ? (w - k + pad) / s + 1 : 0;
+  const int64_t ox_hi = std::max(ox_lo, std::min(ow, interior_end));
+  for (int64_t oy = 0; oy < oh; ++oy) {
+    const int64_t iy0 = oy * s - pad;
+    const int64_t ki_lo = std::max<int64_t>(0, -iy0);
+    const int64_t ki_hi = std::min<int64_t>(k, h - iy0);
+    int32_t* orow = out + oy * ow;
+    const auto edge = [&](int64_t ox) {
+      int32_t acc = 0;
+      for (int64_t ki = ki_lo; ki < ki_hi; ++ki) {
+        const uint8_t* srow = img + (iy0 + ki) * w;
+        const int8_t* krow = ker + ki * k;
+        for (int64_t kj = 0; kj < k; ++kj) {
+          const int64_t ix = ox * s - pad + kj;
+          if (ix >= 0 && ix < w) acc += krow[kj] * (srow[ix] - 128);
+        }
+      }
+      orow[ox] = acc;
+    };
+    for (int64_t ox = 0; ox < ox_lo; ++ox) edge(ox);
+    for (int64_t ox = ox_hi; ox < ow; ++ox) edge(ox);
+
+    // 128 * (sum of the taps this row range includes): the offset term of
+    // every interior output in this row.
+    int32_t ksum = 0;
+    for (int64_t ki = ki_lo; ki < ki_hi; ++ki) {
+      for (int64_t kj = 0; kj < k; ++kj) ksum += ker[ki * k + kj];
+    }
+    const __m256i voffset = _mm256_set1_epi32(ksum * 128);
+
+    const uint8_t* base = img + iy0 * w - pad;
+    // 16 outputs per iteration. Each tap multiplies 16 widened u8 values by
+    // the broadcast kernel tap in i16 — exact, since |ker| * 255 <= 32385
+    // fits int16 — and sign-extends the products into two i32 accumulators.
+    // i16 multiplies are single-uop/low-latency where vpmulld is not, and
+    // the accumulator dependency chain is adds only, so the 9-tap (k=3)
+    // reduction pipelines instead of serializing on multiply latency.
+    //
+    // The interior tail re-runs one overlapping vector at ox_hi - 16
+    // instead of falling back to scalar: integer results are exact, so the
+    // overlapped stores rewrite identical values and the whole interior
+    // stays vectorized whenever it is at least one vector wide.
+    const auto interior16 = [&](int64_t ox) {
+      const uint8_t* spix = base + ox;
+      __m256i lo = _mm256_setzero_si256();
+      __m256i hi = _mm256_setzero_si256();
+      for (int64_t ki = ki_lo; ki < ki_hi; ++ki) {
+        const uint8_t* srow = spix + ki * w;
+        const int8_t* krow = ker + ki * k;
+        for (int64_t kj = 0; kj < k; ++kj) {
+          const __m256i v = _mm256_cvtepu8_epi16(_mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(srow + kj)));
+          const __m256i p =
+              _mm256_mullo_epi16(v, _mm256_set1_epi16(krow[kj]));
+          lo = _mm256_add_epi32(
+              lo, _mm256_cvtepi16_epi32(_mm256_castsi256_si128(p)));
+          hi = _mm256_add_epi32(
+              hi, _mm256_cvtepi16_epi32(_mm256_extracti128_si256(p, 1)));
+        }
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(orow + ox),
+                          _mm256_sub_epi32(lo, voffset));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(orow + ox + 8),
+                          _mm256_sub_epi32(hi, voffset));
+    };
+    int64_t ox = ox_lo;
+    for (; ox + 16 <= ox_hi; ox += 16) interior16(ox);
+    if (ox < ox_hi && ox_hi - ox_lo >= 16) {
+      interior16(ox_hi - 16);
+      ox = ox_hi;
+    }
+    for (; ox < ox_hi; ++ox) {
+      const uint8_t* spix = base + ox;
+      int32_t acc = 0;
+      for (int64_t ki = ki_lo; ki < ki_hi; ++ki) {
+        const uint8_t* srow = spix + ki * w;
+        const int8_t* krow = ker + ki * k;
+        for (int64_t kj = 0; kj < k; ++kj) {
+          acc += krow[kj] * (srow[kj] - 128);
+        }
+      }
+      orow[ox] = acc;
+    }
+  }
+}
+
+}  // namespace nb::detail

@@ -1,0 +1,52 @@
+// Quantized int8 GEMM — the integer core of the Backend::int8 inference
+// path. Computes exact int32 accumulations of int8 weight levels against
+// offset-u8 activation levels:
+//
+//   C[i,j] = sum_p A[i,p] * (int(B[p,j]) - 128)
+//
+// A is the [M,K] row-major int8 weight panel (levels in [-127, 127]); B is
+// the [K,N] row-major uint8 activation/column panel storing each level
+// OFFSET BY +128 (level L is the byte L+128, so level 0 — and therefore
+// im2col zero padding — is the byte 128). C is int32, overwritten.
+//
+// Every kernel instance (generic, AVX2 maddubs, AVX512-VNNI vpdpbusd)
+// produces the mathematically exact integer sum, so results are bitwise
+// identical across ISAs, worker counts, and M partitions — unlike the float
+// GEMM there is no rounding to keep in order, which is what makes the int8
+// backend's thread/batch invariance hold by construction. The unsigned
+// offset is compensated exactly: each K block accumulates sum(A*B_u8) and
+// subtracts 128 * rowsum(A) once per row, both in int32.
+//
+// Exactness bound: |C| <= K * 127 * 127 and the largest intermediate is
+// |C| + kc * 127 * 255, so K <= 2^17 keeps every partial sum inside int32
+// (checked; far above any conv lowering's cin/groups * k * k).
+#pragma once
+
+#include <cstdint>
+
+namespace nb {
+
+/// Largest K for which the int32 accumulation is guaranteed exact (the
+/// largest intermediate is (K - 256)*127*127 + 256*127*255 < 2^31 here).
+/// gemm_s8 rejects larger K; the int8 plan/oracle validate against this at
+/// build time so no graph ever reaches the rejection mid-inference.
+constexpr int64_t kGemmS8MaxK = int64_t{1} << 17;
+
+/// C[M,N] = A[M,K] * (B[K,N] - 128), exact int32, row-major, overwrite.
+void gemm_s8(int64_t m, int64_t n, int64_t k, const int8_t* a,
+             const uint8_t* b, int32_t* c);
+
+/// Name of the instance chosen at runtime ("s8-vnni", "s8-avx2" or
+/// "s8-generic"); surfaced by the int8 bench report.
+const char* gemm_s8_kernel_name();
+
+/// Test hooks: every compiled instance this CPU can execute, generic first.
+/// The bitwise cross-ISA claim is only a claim if each instance is actually
+/// exercised — the dispatcher alone would always hide the slower ones.
+int gemm_s8_instance_count();
+const char* gemm_s8_instance_name(int i);
+/// Runs instance i with the same contract (and K bound) as gemm_s8.
+void gemm_s8_run_instance(int i, int64_t m, int64_t n, int64_t k,
+                          const int8_t* a, const uint8_t* b, int32_t* c);
+
+}  // namespace nb

@@ -43,6 +43,39 @@ void im2col_into(const float* img, int64_t chan_stride, int64_t channels,
   }
 }
 
+/// Byte twin of im2col_into for the int8 path: identical traversal, but the
+/// elements are offset-u8 levels and padding writes 128 (offset level 0).
+void im2col_s8_into(const uint8_t* img, int64_t chan_stride, int64_t channels,
+                    int64_t height, int64_t width, int64_t kh, int64_t kw,
+                    int64_t stride_h, int64_t stride_w, int64_t pad_h,
+                    int64_t pad_w, uint8_t* cols, int64_t ld,
+                    int64_t col_off) {
+  const int64_t oh = conv_out_size(height, kh, stride_h, pad_h);
+  const int64_t ow = conv_out_size(width, kw, stride_w, pad_w);
+  for (int64_t c = 0; c < channels; ++c) {
+    const uint8_t* src = img + c * chan_stride;
+    for (int64_t ki = 0; ki < kh; ++ki) {
+      for (int64_t kj = 0; kj < kw; ++kj) {
+        uint8_t* dst = cols + ((c * kh + ki) * kw + kj) * ld + col_off;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t iy = oy * stride_h + ki - pad_h;
+          if (iy < 0 || iy >= height) {
+            std::fill(dst, dst + ow, static_cast<uint8_t>(128));
+            dst += ow;
+            continue;
+          }
+          const uint8_t* srow = src + iy * width;
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t ix = ox * stride_w + kj - pad_w;
+            *dst++ = (ix >= 0 && ix < width) ? srow[ix]
+                                             : static_cast<uint8_t>(128);
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void im2col(const float* img, int64_t channels, int64_t height, int64_t width,
@@ -68,6 +101,24 @@ void im2col_batched(const float* imgs, int64_t batch, int64_t img_stride,
       im2col_into(imgs + i * img_stride, chan_stride, channels, height,
                   width, kh, kw, stride_h, stride_w, pad_h, pad_w, cols, ld,
                   i * plane);
+    }
+  });
+}
+
+void im2col_s8_batched(const uint8_t* imgs, int64_t batch, int64_t img_stride,
+                       int64_t chan_stride, int64_t channels, int64_t height,
+                       int64_t width, int64_t kh, int64_t kw,
+                       int64_t stride_h, int64_t stride_w, int64_t pad_h,
+                       int64_t pad_w, uint8_t* cols) {
+  const int64_t oh = conv_out_size(height, kh, stride_h, pad_h);
+  const int64_t ow = conv_out_size(width, kw, stride_w, pad_w);
+  const int64_t plane = oh * ow;
+  const int64_t ld = batch * plane;
+  parallel_for(batch, 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t i = b0; i < b1; ++i) {
+      im2col_s8_into(imgs + i * img_stride, chan_stride, channels, height,
+                     width, kh, kw, stride_h, stride_w, pad_h, pad_w, cols,
+                     ld, i * plane);
     }
   });
 }

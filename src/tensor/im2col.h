@@ -30,6 +30,17 @@ void im2col_batched(const float* imgs, int64_t batch, int64_t img_stride,
                     int64_t stride_w, int64_t pad_h, int64_t pad_w,
                     float* cols);
 
+/// im2col_batched over offset-u8 activation levels for the int8 inference
+/// path: same strided addressing and column layout, but elements are bytes
+/// storing level+128 and PADDING WRITES 128 (offset level 0), so a
+/// gemm_s8 over the panel sees exactly zero contribution from out-of-bounds
+/// taps — the same semantics as the float panel's 0.0f padding.
+void im2col_s8_batched(const uint8_t* imgs, int64_t batch, int64_t img_stride,
+                       int64_t chan_stride, int64_t channels, int64_t height,
+                       int64_t width, int64_t kh, int64_t kw,
+                       int64_t stride_h, int64_t stride_w, int64_t pad_h,
+                       int64_t pad_w, uint8_t* cols);
+
 /// Scatters columns back into an image (accumulating), the adjoint of im2col.
 void col2im(const float* cols, int64_t channels, int64_t height, int64_t width,
             int64_t kh, int64_t kw, int64_t stride_h, int64_t stride_w,

@@ -15,6 +15,7 @@
 #include "export/flat_model.h"
 #include "export/flat_synth.h"
 #include "export/infer_plan.h"
+#include "export/qmodel.h"
 #include "runtime/compiled_model.h"
 #include "runtime/session.h"
 #include "tensor/rng.h"
@@ -229,6 +230,106 @@ TEST(BatchedLowering, BatchedSessionsShareOneWeightCopy) {
   EXPECT_EQ(ma.weight_panel_addr, mb.weight_panel_addr);
   EXPECT_EQ(ma.borrowed_weight_floats, mb.borrowed_weight_floats);
   EXPECT_EQ(ma.borrowed_weight_floats, compiled->weight_panel_floats());
+}
+
+// ---------------------------------------------------------------------------
+// Int8 batched lowering: the one-GEMM-per-conv batching must hold on the
+// integer path too — and there "bitwise" is not a property to defend but a
+// consequence of exact int32 accumulation, so any mismatch is a scatter or
+// quantization bug, never rounding.
+
+TEST(BatchedLowering, Int8BitwiseEqualsSequentialOnRandomGraphs) {
+  const int64_t kH = 13, kW = 11;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const FlatModel m = random_graph(seed);
+    const auto panels = m.compiled_panels();
+    const QModel oracle(m);
+    const int64_t batch = 1 + static_cast<int64_t>(seed - 1) % 8;
+    Rng rng(1300 + seed, 1);
+    const Tensor x = random_input(rng, {batch, 4, kH, kW});
+
+    const InferPlan planb(m, panels, batch, 4, kH, kW, Backend::int8);
+    const InferPlan plan1(m, panels, 1, 4, kH, kW, Backend::int8);
+    const Tensor batched = planb.run(x);
+    EXPECT_TRUE(bitwise_equal(batched, run_sequential(plan1, x)))
+        << "seed=" << seed << " batch=" << batch;
+    // The batched int8 result is also memcmp-equal to the QModel oracle:
+    // batching and quantized lowering are proven exact at once.
+    EXPECT_TRUE(bitwise_equal(batched, oracle.forward(x)))
+        << "seed=" << seed << " batch=" << batch;
+  }
+}
+
+TEST(BatchedLowering, Int8ThreadCountInvariantAtBatchAboveOne) {
+  ThreadPool one(0);
+  ThreadPool four(3);
+  const FlatModel m = random_graph(7);
+  Rng rng(23, 1);
+  const Tensor x = random_input(rng, {6, 4, 13, 11});
+  const InferPlan plan(m, m.compiled_panels(), 6, 4, 13, 11, Backend::int8);
+  Tensor y1, y4;
+  {
+    PoolOverride po(one);
+    y1 = plan.run(x);
+  }
+  {
+    PoolOverride po(four);
+    y4 = plan.run(x);
+  }
+  EXPECT_TRUE(bitwise_equal(y1, y4));
+}
+
+TEST(BatchedLowering, Int8ArenaScalesAsDocumentedWithBatch) {
+  const FlatModel m = random_graph(3);
+  const auto panels = m.compiled_panels();
+  const InferPlan plan1(m, panels, 1, 4, 13, 11, Backend::int8);
+  const PlanStats& s1 = plan1.stats();
+  EXPECT_EQ(s1.cols_floats, 0);
+  EXPECT_GT(s1.arena_int8_bytes, 0);
+  for (const int64_t b : {2, 4, 8}) {
+    const InferPlan planb(m, panels, b, 4, 13, 11, Backend::int8);
+    const PlanStats& sb = planb.stats();
+    // The byte arena (quantized input + u8 cols panel) scales exactly
+    // x batch, same as every float region.
+    EXPECT_EQ(sb.arena_int8_bytes, b * s1.arena_int8_bytes) << "batch=" << b;
+    EXPECT_EQ(sb.arena_floats, b * s1.arena_floats) << "batch=" << b;
+  }
+}
+
+TEST(BatchedLowering, Int8SessionBatchedRunMatchesQModel) {
+  // End to end through the serving tier on the integer backend: compile
+  // with Backend::int8, run a stacked batch, and demand memcmp equality
+  // against both single-image sessions and the QModel oracle.
+  const FlatModel m = random_graph(19);
+  auto compiled = runtime::CompiledModel::compile(m, Backend::int8);
+  EXPECT_EQ(compiled->backend(), Backend::int8);
+  const QModel oracle(m);
+  runtime::Session batched(compiled);
+  runtime::Session single(compiled);
+  Rng rng(41, 1);
+  const Tensor x = random_input(rng, {5, 4, 13, 11});
+  const Tensor out = batched.run(x);
+  EXPECT_TRUE(bitwise_equal(out, oracle.forward(x)));
+
+  const int64_t chw = x.numel() / x.size(0);
+  const int64_t row = out.numel() / out.size(0);
+  Tensor xi({1, 4, 13, 11});
+  for (int64_t i = 0; i < x.size(0); ++i) {
+    std::memcpy(xi.data(), x.data() + i * chw,
+                static_cast<size_t>(chw) * sizeof(float));
+    const Tensor yi = single.run(xi);
+    ASSERT_EQ(yi.numel(), row);
+    EXPECT_EQ(std::memcmp(yi.data(), out.data() + i * row,
+                          static_cast<size_t>(row) * sizeof(float)),
+              0)
+        << "image " << i;
+  }
+}
+
+TEST(BatchedLowering, CompileRejectsReferenceBackend) {
+  const FlatModel m = random_graph(5);
+  EXPECT_THROW(runtime::CompiledModel::compile(m, Backend::reference),
+               std::runtime_error);
 }
 
 TEST(BatchedLowering, SessionBatchedRunBitwiseEqualsSingleImageRuns) {

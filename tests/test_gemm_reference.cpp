@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "tensor/gemm.h"
+#include "tensor/gemm_s8.h"
 #include "tensor/rng.h"
 #include "tensor/threadpool.h"
 
@@ -135,6 +136,179 @@ TEST(GemmReference, RowAtATimeMatchesWholeProductBitwise) {
          c_rows.data() + i * n);
   }
   EXPECT_EQ(std::memcmp(c.data(), c_rows.data(), c.size() * sizeof(float)), 0);
+}
+
+// ----------------------------------------------------------------------
+// Int8 GEMM (gemm_s8): the contract is exact int32, so every comparison
+// below is memcmp — zero tolerance, on every compiled kernel instance.
+
+// The obviously-correct reference: int64 accumulation of the documented
+// contract C[i,j] = sum_p A[i,p] * (B[p,j] - 128).
+void naive_gemm_s8(int64_t m, int64_t n, int64_t k, const int8_t* a,
+                   const uint8_t* b, int32_t* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      int64_t acc = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<int64_t>(a[i * k + p]) *
+               (static_cast<int64_t>(b[p * n + j]) - 128);
+      }
+      ASSERT_GE(acc, INT32_MIN) << "test shape itself overflows int32";
+      ASSERT_LE(acc, INT32_MAX) << "test shape itself overflows int32";
+      c[i * n + j] = static_cast<int32_t>(acc);
+    }
+  }
+}
+
+void fill_levels_s8(std::vector<int8_t>& v, Rng& rng) {
+  for (int8_t& x : v) x = static_cast<int8_t>(rng.randint(255) - 127);
+}
+
+void fill_levels_u8(std::vector<uint8_t>& v, Rng& rng) {
+  // Offset-u8 levels: level in [-127, 127] stored as byte level + 128.
+  for (uint8_t& x : v) x = static_cast<uint8_t>(rng.randint(255) + 1);
+}
+
+TEST(GemmS8, RandomizedShapesMatchNaiveOnEveryInstance) {
+  // M/N cover micro-tile remainders (kMr = kNr = 8); K covers the 4-wide
+  // packing remainder (k % 4 != 0), the kc = 256 block boundary, and
+  // straddles of it. Every compiled instance must agree with the naive
+  // reference bit for bit.
+  const int64_t ms[] = {1, 3, 8, 9, 17, 33};
+  const int64_t ns[] = {1, 7, 8, 15, 40, 129};
+  const int64_t ks[] = {1, 2, 3, 4, 5, 63, 64, 255, 256, 257, 300};
+  ASSERT_GE(gemm_s8_instance_count(), 1);
+  Rng rng(20260807);
+  int case_idx = 0;
+  for (int64_t m : ms) {
+    for (int64_t n : ns) {
+      // Cycle K deterministically so the size grid stays affordable.
+      const int64_t k = ks[case_idx++ % (sizeof(ks) / sizeof(ks[0]))];
+      std::vector<int8_t> a(static_cast<size_t>(m * k));
+      std::vector<uint8_t> b(static_cast<size_t>(k * n));
+      fill_levels_s8(a, rng);
+      fill_levels_u8(b, rng);
+      if (m > 2) {
+        // A zero row and a zero-level (byte 128) B column exercise the
+        // offset compensation: both must come out exactly zero.
+        std::fill(a.begin() + static_cast<size_t>(k),
+                  a.begin() + static_cast<size_t>(2 * k), int8_t{0});
+        for (int64_t p = 0; p < k; ++p) b[static_cast<size_t>(p * n)] = 128;
+      }
+      std::vector<int32_t> c_ref(static_cast<size_t>(m * n));
+      naive_gemm_s8(m, n, k, a.data(), b.data(), c_ref.data());
+      for (int i = 0; i < gemm_s8_instance_count(); ++i) {
+        std::vector<int32_t> c(static_cast<size_t>(m * n), -1);
+        gemm_s8_run_instance(i, m, n, k, a.data(), b.data(), c.data());
+        EXPECT_EQ(std::memcmp(c.data(), c_ref.data(),
+                              c.size() * sizeof(int32_t)),
+                  0)
+            << gemm_s8_instance_name(i) << " m=" << m << " n=" << n
+            << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(GemmS8, DispatchedKernelMatchesGenericBitwise) {
+  const int64_t m = 40, n = 200, k = 300;
+  Rng rng(11);
+  std::vector<int8_t> a(static_cast<size_t>(m * k));
+  std::vector<uint8_t> b(static_cast<size_t>(k * n));
+  fill_levels_s8(a, rng);
+  fill_levels_u8(b, rng);
+  std::vector<int32_t> c_gen(static_cast<size_t>(m * n));
+  std::vector<int32_t> c(static_cast<size_t>(m * n));
+  gemm_s8_run_instance(0, m, n, k, a.data(), b.data(), c_gen.data());
+  gemm_s8(m, n, k, a.data(), b.data(), c.data());
+  EXPECT_EQ(
+      std::memcmp(c.data(), c_gen.data(), c.size() * sizeof(int32_t)), 0)
+      << "dispatched " << gemm_s8_kernel_name() << " diverges from generic";
+}
+
+TEST(GemmS8, BitwiseInvariantAcrossThreadCounts) {
+  // Shapes past the fork threshold (m*n*k > 2^17) so the parallel row-block
+  // and B-pack paths actually run with workers.
+  ThreadPool one(0);
+  ThreadPool four(3);
+  const struct {
+    int64_t m, n, k;
+  } shapes[] = {{129, 129, 129}, {64, 1100, 65}, {17, 64, 300}};
+  Rng rng(42);
+  for (const auto& s : shapes) {
+    std::vector<int8_t> a(static_cast<size_t>(s.m * s.k));
+    std::vector<uint8_t> b(static_cast<size_t>(s.k * s.n));
+    fill_levels_s8(a, rng);
+    fill_levels_u8(b, rng);
+    std::vector<int32_t> c1(static_cast<size_t>(s.m * s.n), 0);
+    std::vector<int32_t> c4 = c1;
+    {
+      PoolOverride po(one);
+      gemm_s8(s.m, s.n, s.k, a.data(), b.data(), c1.data());
+    }
+    {
+      PoolOverride po(four);
+      gemm_s8(s.m, s.n, s.k, a.data(), b.data(), c4.data());
+    }
+    EXPECT_EQ(std::memcmp(c1.data(), c4.data(), c1.size() * sizeof(int32_t)),
+              0)
+        << "thread-count-dependent result at m=" << s.m << " n=" << s.n
+        << " k=" << s.k;
+  }
+}
+
+TEST(GemmS8, RowAtATimeMatchesWholeProductBitwise) {
+  const int64_t m = 19, n = 129, k = 260;
+  Rng rng(7);
+  std::vector<int8_t> a(static_cast<size_t>(m * k));
+  std::vector<uint8_t> b(static_cast<size_t>(k * n));
+  fill_levels_s8(a, rng);
+  fill_levels_u8(b, rng);
+  std::vector<int32_t> c(static_cast<size_t>(m * n), 0);
+  std::vector<int32_t> c_rows(static_cast<size_t>(m * n), 0);
+  gemm_s8(m, n, k, a.data(), b.data(), c.data());
+  for (int64_t i = 0; i < m; ++i) {
+    gemm_s8(1, n, k, a.data() + i * k, b.data(), c_rows.data() + i * n);
+  }
+  EXPECT_EQ(std::memcmp(c.data(), c_rows.data(), c.size() * sizeof(int32_t)),
+            0);
+}
+
+TEST(GemmS8, SaturatedInputsAtMaxExactKStayExact) {
+  // The documented worst case: every A level +-127, every B byte 255
+  // (level +127) or 1 (level -127), K at the exactness bound. |C| reaches
+  // 2^17 * 127 * 127 = 2,114,060,288 — within ~33M of INT32_MAX — and the
+  // AVX2 maddubs path additionally proves its i16 pair sums can't saturate
+  // (that failure mode would show up at far smaller K). Run on every
+  // instance.
+  const int64_t k = kGemmS8MaxK;
+  const int64_t m = 2, n = 2;
+  std::vector<int8_t> a(static_cast<size_t>(m * k));
+  std::vector<uint8_t> b(static_cast<size_t>(k * n));
+  // Row 0: +127; row 1: -127. Col 0: level +127 (byte 255); col 1: level
+  // -127 (byte 1).
+  std::fill(a.begin(), a.begin() + static_cast<size_t>(k), int8_t{127});
+  std::fill(a.begin() + static_cast<size_t>(k), a.end(), int8_t{-127});
+  for (int64_t p = 0; p < k; ++p) {
+    b[static_cast<size_t>(p * n)] = 255;
+    b[static_cast<size_t>(p * n + 1)] = 1;
+  }
+  const int32_t big = static_cast<int32_t>(k * 127 * 127);
+  const int32_t expect[] = {big, -big, -big, big};
+  for (int i = 0; i < gemm_s8_instance_count(); ++i) {
+    std::vector<int32_t> c(4, 0);
+    gemm_s8_run_instance(i, m, n, k, a.data(), b.data(), c.data());
+    EXPECT_EQ(std::memcmp(c.data(), expect, sizeof(expect)), 0)
+        << gemm_s8_instance_name(i);
+  }
+}
+
+TEST(GemmS8, RejectsKBeyondExactBound) {
+  std::vector<int8_t> a(static_cast<size_t>(kGemmS8MaxK + 1), 1);
+  std::vector<uint8_t> b(static_cast<size_t>(kGemmS8MaxK + 1), 200);
+  int32_t c = 0;
+  EXPECT_THROW(gemm_s8(1, 1, kGemmS8MaxK + 1, a.data(), b.data(), &c),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "export/flat_model.h"
 #include "export/flat_synth.h"
 #include "export/infer_plan.h"
+#include "export/qmodel.h"
 #include "tensor/rng.h"
 #include "tensor/tensor_ops.h"
 #include "tensor/threadpool.h"
@@ -226,6 +227,193 @@ TEST(InferPlan, ForwardCachesPlanAcrossShapeChanges) {
                            m.forward(b, Backend::reference)),
               1e-5f);
   }
+}
+
+// ---------------------------------------------------------------------------
+// True int8 backend: the contract is memcmp equality against the QModel
+// integer oracle — exact int32 accumulation makes bitwise the natural unit
+// of agreement, not a tolerance.
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+TEST(Int8Plan, MatchesQModelBitwiseOnResidualGraph) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    const FlatModel m = residual_graph(seed);
+    const QModel oracle(m);
+    Rng rng(100 + seed, 1);
+    const Tensor x = random_input(rng, {2, 3, 16, 16});
+    EXPECT_TRUE(bitwise_equal(m.forward(x, Backend::int8), oracle.forward(x)))
+        << "seed=" << seed;
+  }
+}
+
+TEST(Int8Plan, MatchesQModelOnRandomizedGraphsAtOddSizes) {
+  // Randomized grouped/depthwise/residual graphs over odd, non-square
+  // inputs and batches 1..8: every lowering shape (fringe tiles, K % 4,
+  // group slices, residual joins) must still land memcmp-equal.
+  Rng graph_rng(271, 3);
+  const int64_t batches[] = {1, 2, 5, 8};
+  for (int trial = 0; trial < 6; ++trial) {
+    FlatModel m;
+    m.set_input(0, 4);
+    int64_t c = 4;
+    const int64_t depth = 2 + graph_rng.randint(4);
+    for (int64_t d = 0; d < depth; ++d) {
+      const int64_t pick = graph_rng.randint(4);
+      const auto act = static_cast<FlatAct>(graph_rng.randint(3));
+      const bool bias = graph_rng.bernoulli(0.5f);
+      if (pick == 0) {
+        const int64_t cout = 4 + 4 * graph_rng.randint(5);
+        m.push(make_conv(graph_rng, c, cout, 1, 1, 1, act, bias));
+        c = cout;
+      } else if (pick == 1) {
+        m.push(make_conv(graph_rng, c, c, 3, 1 + graph_rng.randint(2), c, act,
+                         bias));
+      } else if (pick == 2) {
+        m.push(make_conv(graph_rng, c, c * 2, 3, 1, 2, act, bias));
+        c *= 2;
+      } else {
+        m.push(make_marker(OpKind::save));
+        m.push(make_conv(graph_rng, c, c, 3, 1, c, act, bias));
+        m.push(make_marker(OpKind::add_saved));
+      }
+    }
+    m.push(make_marker(OpKind::gap));
+    m.push(make_linear(graph_rng, c, 7));
+
+    const QModel oracle(m);
+    const int64_t batch = batches[trial % 4];
+    Rng rng(600 + static_cast<uint64_t>(trial), 1);
+    const Tensor x = random_input(rng, {batch, 4, 13, 11});
+    InferPlan plan(m, batch, 4, 13, 11, Backend::int8);
+    EXPECT_TRUE(bitwise_equal(plan.run(x), oracle.forward(x)))
+        << "trial=" << trial << " batch=" << batch;
+  }
+}
+
+TEST(Int8Plan, QModelMatchesReferenceBitwiseOnPow2Scales) {
+  // Grounding: with power-of-two activation scales and these reduction
+  // sizes, every float product and partial sum in the reference interpreter
+  // is exact, and scale * act_scale is an exact pow2 rescale — so the
+  // integer oracle and the float reference compute the same reals, rounded
+  // identically. This pins QModel's semantics to the established oracle
+  // instead of only to itself.
+  for (uint64_t seed : {11u, 34u}) {
+    const FlatModel m = residual_graph(seed);
+    const QModel oracle(m);
+    Rng rng(300 + seed, 1);
+    const Tensor x = random_input(rng, {2, 3, 16, 16});
+    EXPECT_TRUE(
+        bitwise_equal(oracle.forward(x), m.forward(x, Backend::reference)))
+        << "seed=" << seed;
+  }
+}
+
+TEST(Int8Plan, BitwiseInvariantAcrossThreadCounts) {
+  ThreadPool one(0);
+  ThreadPool four(3);
+  const FlatModel m = residual_graph(33);
+  Rng rng(42, 1);
+  const Tensor x = random_input(rng, {4, 3, 16, 16});
+  InferPlan plan(m, 4, 3, 16, 16, Backend::int8);
+  Tensor y1, y4;
+  {
+    PoolOverride po(one);
+    y1 = plan.run(x);
+  }
+  {
+    PoolOverride po(four);
+    y4 = plan.run(x);
+  }
+  EXPECT_TRUE(bitwise_equal(y1, y4));
+}
+
+TEST(Int8Plan, SaturatedInputsAndExtremeScalesMatchQModel) {
+  // Saturation corners: inputs far past the activation grid (every level
+  // clamps to +-127) against per-channel weight scales at representable
+  // extremes. Exactness of the integer core is scale-independent, so the
+  // memcmp contract must survive even where the float values blow up to
+  // inf — both sides compute them through the same epilogue. The extreme
+  // conv is last so no non-finite value is ever re-quantized.
+  Rng rng(2026, 7);
+  FlatModel m;
+  m.set_input(9, 4);
+  m.push(synth::make_conv(rng, 4, 8, 3, 1, 1, FlatAct::relu6, true,
+                          1.0f / 16.0f));
+  FlatOp extreme = synth::make_conv(rng, 8, 8, 3, 1, 2, FlatAct::identity,
+                                    true, 1.0f / 16.0f);
+  for (size_t o = 0; o < extreme.conv.weight_scales.size(); ++o) {
+    extreme.conv.weight_scales[o] = (o % 2 == 0) ? 1e-30f : 1e30f;
+  }
+  m.push(std::move(extreme));
+  const QModel oracle(m);
+
+  Tensor x({2, 4, 9, 9});
+  float* p = x.data();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    p[i] = (i % 3 == 0) ? 1e6f : -1e6f;  // saturates every level to +-127
+  }
+  EXPECT_TRUE(bitwise_equal(m.forward(x, Backend::int8), oracle.forward(x)));
+}
+
+TEST(Int8Plan, RejectsUncalibratedPrograms) {
+  Rng rng(5, 2);
+  // act_scale == 0 (uncalibrated) must fail at plan-build time.
+  {
+    FlatModel m;
+    m.set_input(8, 3);
+    m.push(synth::make_conv(rng, 3, 8, 3, 1, 1, FlatAct::relu6, true, 0.0f));
+    EXPECT_FALSE(int8_compatible(m));
+    EXPECT_THROW(InferPlan(m, 1, 3, 8, 8, Backend::int8), std::runtime_error);
+    // The same program still plans fine as a float fast-path model.
+    InferPlan ok(m, 1, 3, 8, 8, Backend::fast);
+  }
+  // act_bits > 8 cannot feed the byte pipeline.
+  {
+    FlatModel m;
+    m.set_input(8, 3);
+    FlatOp op =
+        synth::make_conv(rng, 3, 8, 3, 1, 1, FlatAct::relu6, true, 0.5f);
+    op.conv.act_bits = 16;
+    m.push(std::move(op));
+    std::string reason;
+    EXPECT_FALSE(int8_compatible(m, &reason));
+    EXPECT_NE(reason.find("act_bits"), std::string::npos);
+    EXPECT_THROW(InferPlan(m, 1, 3, 8, 8, Backend::int8), std::runtime_error);
+    EXPECT_THROW(QModel{m}, std::runtime_error);
+  }
+}
+
+TEST(Int8Plan, StatsReportBackendAndByteArena) {
+  const FlatModel m = residual_graph(21);
+  InferPlan f(m, 2, 3, 16, 16);
+  EXPECT_EQ(f.stats().backend, Backend::fast);
+  EXPECT_EQ(f.stats().arena_int8_bytes, 0);
+  EXPECT_GT(f.stats().cols_floats, 0);
+
+  InferPlan q(m, 2, 3, 16, 16, Backend::int8);
+  EXPECT_EQ(q.stats().backend, Backend::int8);
+  EXPECT_GT(q.stats().arena_int8_bytes, 0);
+  // The float cols region is replaced by the byte panel: the int8 plan's
+  // float arena is strictly smaller.
+  EXPECT_EQ(q.stats().cols_floats, 0);
+  EXPECT_LT(q.stats().arena_floats, f.stats().arena_floats);
+}
+
+TEST(Int8Plan, ForwardCachesSeparatePlansPerBackend) {
+  const FlatModel m = residual_graph(88);
+  Rng rng(31, 1);
+  const Tensor x = random_input(rng, {2, 3, 16, 16});
+  const Tensor fast1 = m.forward(x, Backend::fast);
+  const Tensor q1 = m.forward(x, Backend::int8);
+  // Alternating backends must not thrash or cross-contaminate the cached
+  // plans: each backend's result is bitwise reproducible.
+  EXPECT_TRUE(bitwise_equal(fast1, m.forward(x, Backend::fast)));
+  EXPECT_TRUE(bitwise_equal(q1, m.forward(x, Backend::int8)));
 }
 
 }  // namespace

@@ -104,5 +104,51 @@ TEST(QuantProperties, ObserverScaleInvariantToBatching) {
   EXPECT_EQ(one.samples(), chunked.samples());
 }
 
+TEST(QuantProperties, OffsetU8LevelsMatchPortableExpressionBitwise) {
+  // quantize_levels_u8 dispatches to an AVX2 instance on x86 that MUST be
+  // byte-identical to the portable expression
+  //   clamp(round(x / scale), -q, q) + 128
+  // including round's half-away-from-zero ties (the SIMD round instruction
+  // ties to even and is repaired) and the clamp on saturating magnitudes.
+  // The sweep stresses exact tie points (k + 0.5) * scale with pow2 scales
+  // (where x/scale reproduces k + 0.5 exactly), denormal-scale products,
+  // signed zeros, and buffer lengths around the 16-wide vector step.
+  for (const int bits : {2, 4, 8}) {
+    const int64_t q = (int64_t{1} << (bits - 1)) - 1;
+    for (const float scale : {0.25f, 1.0f / 64.0f, 0.0375f, 3.1f}) {
+      std::vector<float> src;
+      for (int64_t k = -2 * q; k <= 2 * q; ++k) {
+        src.push_back((static_cast<float>(k) + 0.5f) * scale);
+        src.push_back(static_cast<float>(k) * scale);
+      }
+      src.push_back(0.0f);
+      src.push_back(-0.0f);
+      src.push_back(1e30f);
+      src.push_back(-1e30f);
+      Rng rng(1234 + bits, 7);
+      for (int64_t i = 0; i < 97; ++i) {
+        src.push_back((rng.uniform() * 2.0f - 1.0f) * 4.0f *
+                      static_cast<float>(q) * scale);
+      }
+      // Lengths around the vector width: full 16-blocks plus every tail.
+      for (size_t n = src.size() - 19; n <= src.size(); ++n) {
+        std::vector<uint8_t> got(n, 0xAA);
+        quantize_levels_u8(src.data(), got.data(), static_cast<int64_t>(n),
+                           scale, bits);
+        for (size_t i = 0; i < n; ++i) {
+          const float level = std::round(src[i] / scale);
+          const float clamped =
+              std::clamp(level, -static_cast<float>(q), static_cast<float>(q));
+          const auto want =
+              static_cast<uint8_t>(static_cast<int32_t>(clamped) + 128);
+          ASSERT_EQ(got[i], want)
+              << "x=" << src[i] << " scale=" << scale << " bits=" << bits
+              << " i=" << i << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace nb::quant

@@ -6,9 +6,14 @@
 // percentiles plus aggregate throughput.
 //
 // Usage: flat_infer <model.nbfm> [--batch N] [--res R]
-//                   [--backend fast|reference] [--repeat K]
+//                   [--backend fast|int8|reference] [--repeat K]
 //                   [--sessions N] [--threads T]
 //   --res      defaults to the resolution recorded in the artifact header.
+//   --backend  fast (float over dequantized panels), int8 (true integer
+//              path: quantized activations + packed s8 GEMM with fused
+//              requantization; requires a calibrated artifact), or the
+//              reference interpreter. int8 works in both plan and
+//              --sessions modes and prints the dispatched s8 kernel.
 //   --batch    plans the batched one-GEMM-per-conv lowering at this size;
 //              for N > 1 the fast backend also times the N images run one
 //              at a time through a batch-1 plan and prints per-image vs
@@ -33,6 +38,7 @@
 #include "runtime/compiled_model.h"
 #include "runtime/percentile.h"
 #include "runtime/session.h"
+#include "tensor/gemm_s8.h"
 #include "tensor/rng.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
@@ -66,6 +72,8 @@ int main(int argc, char** argv) {
       const std::string b = argv[++i];
       if (b == "fast") {
         backend = Backend::fast;
+      } else if (b == "int8") {
+        backend = Backend::int8;
       } else if (b == "reference") {
         backend = Backend::reference;
       } else {
@@ -77,8 +85,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: flat_infer <model.nbfm> [--batch N] [--res R] "
-                   "[--backend fast|reference] [--repeat K] [--sessions N] "
-                   "[--threads T]\n");
+                   "[--backend fast|int8|reference] [--repeat K] "
+                   "[--sessions N] [--threads T]\n");
       return 2;
     }
   }
@@ -90,9 +98,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "flat_infer: --sessions and --repeat must be >= 1\n");
     return 2;
   }
-  if (sessions > 1 && backend != Backend::fast) {
+  if (sessions > 1 && backend == Backend::reference) {
     std::fprintf(stderr,
-                 "flat_infer: --sessions drives the fast serving runtime; "
+                 "flat_infer: --sessions drives the serving runtime; "
                  "--backend reference is not supported with it\n");
     return 2;
   }
@@ -123,9 +131,13 @@ int main(int argc, char** argv) {
   }
 
   // Compile the panels once; the inspection plan borrows them, and in
-  // serving mode CompiledModel::compile adopts the same object.
+  // serving mode CompiledModel::compile adopts the same object. The plan is
+  // built for the requested backend (reference gets a fast plan purely for
+  // the arena printout — plans reject Backend::reference by design).
+  const Backend plan_backend =
+      backend == Backend::reference ? Backend::fast : backend;
   const InferPlan plan(model, model.compiled_panels(), batch, channels, res,
-                       res);
+                       res, plan_backend);
   const PlanStats& st = plan.stats();
   std::printf("planner:      arena %lld B (peak live %lld B, no-reuse %lld B, "
               "%lld save slot%s)\n",
@@ -137,6 +149,12 @@ int main(int argc, char** argv) {
   std::printf("weight cache: %lld B (dequantized float panels, shared across "
               "sessions)\n",
               static_cast<long long>(st.weight_cache_floats * 4));
+  if (plan_backend == Backend::int8) {
+    std::printf("int8 arena:   %lld B (quantized activations + byte im2col; "
+                "kernel %s)\n",
+                static_cast<long long>(st.arena_int8_bytes),
+                gemm_s8_kernel_name());
+  }
 
   Rng rng(1);
   Tensor x({batch, channels, res, res});
@@ -144,7 +162,7 @@ int main(int argc, char** argv) {
 
   if (sessions > 1) {
     // Serving mode: N closed-loop streams over one shared CompiledModel.
-    auto compiled = runtime::CompiledModel::compile(model);
+    auto compiled = runtime::CompiledModel::compile(model, backend);
     runtime::SessionOptions opts;
     opts.threads = runtime::SessionOptions::Threads::serial;
     std::vector<std::vector<double>> lat_ms(static_cast<size_t>(sessions));
@@ -194,13 +212,12 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  Tensor y = backend == Backend::fast ? plan.run(x)
-                                      : model.forward(x, Backend::reference);
+  const bool planned = backend != Backend::reference;
+  Tensor y = planned ? plan.run(x) : model.forward(x, Backend::reference);
   double best = 1e100;
   for (int r = 0; r < repeat; ++r) {
     const auto t0 = std::chrono::steady_clock::now();
-    y = backend == Backend::fast ? plan.run(x)
-                                 : model.forward(x, Backend::reference);
+    y = planned ? plan.run(x) : model.forward(x, Backend::reference);
     const double s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -208,20 +225,23 @@ int main(int argc, char** argv) {
   }
   const std::vector<int64_t> pred = y.dim() == 2 ? argmax_rows(y)
                                                  : std::vector<int64_t>{};
-  std::printf("backend:      %s\n",
-              backend == Backend::fast ? "fast" : "reference");
+  std::printf("backend:      %s\n", backend == Backend::fast   ? "fast"
+                                    : backend == Backend::int8 ? "int8"
+                                                               : "reference");
   std::printf("latency:      %.3f ms per batch of %lld (best of %d), "
               "%.3f ms per image, %.1f images/s\n",
               best * 1e3, static_cast<long long>(batch), repeat,
               best * 1e3 / static_cast<double>(batch),
               static_cast<double>(batch) / best);
 
-  if (batch > 1 && backend == Backend::fast) {
+  if (batch > 1 && planned) {
     // Per-image sequential baseline over a batch-1 plan: what the same
     // images cost without the batched one-GEMM-per-conv lowering — the
-    // amortization the CLI exists to make inspectable.
+    // amortization the CLI exists to make inspectable. Runs on the same
+    // backend as the batched plan, so for int8 the bitwise cross-check also
+    // witnesses the integer path's batched-vs-sequential exactness.
     const InferPlan plan1(model, model.compiled_panels(), 1, channels, res,
-                          res);
+                          res, plan_backend);
     Tensor xi({1, channels, res, res});
     const int64_t chw = xi.numel();
     std::vector<Tensor> rows;
