@@ -7,11 +7,20 @@
 //     per-request p50/p99, and the owned-vs-shared memory split.
 //   * batching policy — closed-loop clients against an Engine under
 //     sequential (max_batch=1) and micro-batching (max_batch 4/8)
-//     policies: throughput, latency percentiles, achieved batch size.
+//     policies, plus a workers {2,4} sweep of the micro-batch-8 policy:
+//     throughput, latency percentiles, achieved batch size.
+//   * workers sweep (open loop) — seeded Poisson arrivals at a FIXED
+//     offered load (fraction of measured capacity) with a mid-window burst,
+//     per-request SLO deadlines, workers {1,2,4}: goodput, shed rate and
+//     p99-of-accepted under load the server does not control.
+//   * overload — offered load >= 2x measured capacity against a bounded
+//     queue with deadlines, workers > 1: the engine must shed (typed
+//     rejections) while p99 of ACCEPTED requests stays within the SLO and
+//     every future resolves. This is the graceful-degradation contract.
 //
-// The headline number is micro-batch-8 throughput over sequential
-// throughput on MobileNetV2-flat — the win dynamic batching buys at the
-// same hardware budget.
+// The headline numbers are micro-batch throughput over sequential
+// (mbv2_batching, unchanged) and the overload row's bounded-p99 + shed
+// rate.
 //
 // Usage: bench_serve_report [--quick] [--out <path>]
 //   --quick  small graph, short windows (the CI setting)
@@ -29,6 +38,7 @@
 #include "export/flat_synth.h"
 #include "runtime/compiled_model.h"
 #include "runtime/engine.h"
+#include "runtime/loadgen.h"
 #include "runtime/percentile.h"
 #include "runtime/session.h"
 #include "tensor/rng.h"
@@ -118,16 +128,17 @@ struct EngineResult {
   int64_t batches = 0;
 };
 
-/// Closed-loop clients against one Engine under the given batching policy.
+/// Closed-loop clients against one Engine under the given batching policy
+/// and worker count.
 EngineResult bench_engine(const std::string& graph,
                           std::shared_ptr<const CompiledModel> model,
                           const std::string& policy, int64_t max_batch,
                           int64_t max_wait_us, int64_t clients,
-                          double window_s) {
+                          int64_t workers, double window_s) {
   EngineOptions opts;
   opts.batching.max_batch = max_batch;
   opts.batching.max_wait_us = max_wait_us;
-  opts.workers = 1;
+  opts.workers = workers;
 
   const int64_t res = model->input_resolution();
   const int64_t channels = model->input_channels();
@@ -138,7 +149,7 @@ EngineResult bench_engine(const std::string& graph,
   r.max_batch = max_batch;
   r.max_wait_us = max_wait_us;
   r.clients = clients;
-  r.workers = opts.workers;
+  r.workers = workers;
   {
     Engine engine(opts);
     engine.register_model("m", model);
@@ -183,6 +194,85 @@ EngineResult bench_engine(const std::string& graph,
   return r;
 }
 
+struct OpenLoopRow {
+  std::string graph;
+  std::string mode;  // "fixed_load" | "overload"
+  int64_t workers = 0;
+  int64_t queue_depth = 0;
+  int64_t slo_ms = 0;
+  double offered_per_s = 0.0;
+  double capacity_per_s = 0.0;  // the closed-loop measurement it scales from
+  int64_t offered = 0;
+  int64_t completed = 0;
+  int64_t completed_within_slo = 0;
+  int64_t rejected_queue_full = 0;
+  int64_t dropped_deadline = 0;
+  int64_t shed = 0;
+  int64_t unresolved = 0;  // must be 0: every request got an outcome
+  double goodput_per_s = 0.0;
+  double shed_rate = 0.0;
+  double p50_accepted_ms = 0.0;
+  double p99_accepted_ms = 0.0;
+  double max_lag_ms = 0.0;
+};
+
+/// Seeded open-loop run: Poisson arrivals (optionally with a burst window)
+/// against a bounded-queue, deadline-enforcing Engine.
+OpenLoopRow bench_open_loop(const std::string& graph,
+                            std::shared_ptr<const CompiledModel> model,
+                            const std::string& mode, int64_t workers,
+                            double offered_per_s, double capacity_per_s,
+                            int64_t queue_depth, int64_t slo_ms,
+                            const std::vector<BurstSpec>& bursts,
+                            double window_s, uint64_t seed) {
+  EngineOptions opts;
+  opts.batching.max_batch = 8;
+  opts.batching.max_wait_us = 2000;
+  opts.workers = workers;
+  opts.default_qos.max_queue_depth = queue_depth;
+
+  OpenLoopRow row;
+  row.graph = graph;
+  row.mode = mode;
+  row.workers = workers;
+  row.queue_depth = queue_depth;
+  row.slo_ms = slo_ms;
+  row.offered_per_s = offered_per_s;
+  row.capacity_per_s = capacity_per_s;
+
+  Engine engine(opts);
+  engine.register_model("m", model);
+  const int64_t res = model->input_resolution();
+  Rng rng(42);
+  Tensor image({model->input_channels(), res, res});
+  fill_uniform(image, rng, -1.0f, 1.0f);
+  // Warmup so plan compilation doesn't eat the first arrivals' budget.
+  (void)engine.submit("m", image).get();
+
+  OpenLoopSpec spec;
+  spec.rate_per_s = offered_per_s;
+  spec.duration_s = window_s;
+  spec.seed = seed;
+  spec.bursts = bursts;
+  const OpenLoopResult r = run_open_loop(
+      engine, {{"m", image}}, spec, slo_ms * 1000);
+  const Engine::Stats st = engine.stats();
+
+  row.offered = r.offered;
+  row.completed = r.completed;
+  row.completed_within_slo = st.completed_within_deadline;
+  row.rejected_queue_full = r.rejected_queue_full;
+  row.dropped_deadline = r.dropped_deadline + r.rejected_deadline;
+  row.shed = r.shed();
+  row.unresolved = r.offered - r.completed - r.shed() - r.faulted;
+  row.goodput_per_s = r.goodput_per_s();
+  row.shed_rate = r.shed_rate();
+  row.p50_accepted_ms = st.p50_ms;
+  row.p99_accepted_ms = st.p99_ms;
+  row.max_lag_ms = r.max_lag_s * 1e3;
+  return row;
+}
+
 /// Per-graph batching headline: best micro-batching policy vs that same
 /// graph's sequential baseline.
 struct BatchingHeadline {
@@ -207,9 +297,36 @@ void print_headline(FILE* f, const char* key, const BatchingHeadline& h,
   std::fprintf(f, "  }%s\n", trailer);
 }
 
+void print_open_loop_row(FILE* f, const OpenLoopRow& r, const char* indent,
+                         const char* trailer) {
+  std::fprintf(
+      f,
+      "%s{\"graph\": \"%s\", \"mode\": \"%s\", \"workers\": %lld, "
+      "\"queue_depth\": %lld, \"slo_ms\": %lld, \"offered_per_s\": %.2f, "
+      "\"capacity_per_s\": %.2f, \"offered\": %lld, \"completed\": %lld, "
+      "\"completed_within_slo\": %lld, \"rejected_queue_full\": %lld, "
+      "\"dropped_deadline\": %lld, \"shed\": %lld, \"unresolved\": %lld, "
+      "\"goodput_per_s\": %.2f, \"shed_rate\": %.4f, "
+      "\"p50_accepted_ms\": %.4f, \"p99_accepted_ms\": %.4f, "
+      "\"max_lag_ms\": %.4f}%s\n",
+      indent, r.graph.c_str(), r.mode.c_str(),
+      static_cast<long long>(r.workers),
+      static_cast<long long>(r.queue_depth),
+      static_cast<long long>(r.slo_ms), r.offered_per_s, r.capacity_per_s,
+      static_cast<long long>(r.offered), static_cast<long long>(r.completed),
+      static_cast<long long>(r.completed_within_slo),
+      static_cast<long long>(r.rejected_queue_full),
+      static_cast<long long>(r.dropped_deadline),
+      static_cast<long long>(r.shed),
+      static_cast<long long>(r.unresolved), r.goodput_per_s, r.shed_rate,
+      r.p50_accepted_ms, r.p99_accepted_ms, r.max_lag_ms, trailer);
+}
+
 void write_json(const std::string& path, bool quick,
                 const std::vector<SessionResult>& sessions,
-                const std::vector<EngineResult>& engines) {
+                const std::vector<EngineResult>& engines,
+                const std::vector<OpenLoopRow>& sweep,
+                const OpenLoopRow* overload) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -249,7 +366,7 @@ void write_json(const std::string& path, bool quick,
   }
 
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"nb-bench-serve-v1\",\n");
+  std::fprintf(f, "  \"schema\": \"nb-bench-serve-v2\",\n");
   std::fprintf(f, "  \"bench\": \"serve\",\n");
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
@@ -257,6 +374,16 @@ void write_json(const std::string& path, bool quick,
   if (mbv2 != nullptr) {
     print_headline(f, "mbv2_batching", *mbv2, ",");
   }
+  if (overload != nullptr) {
+    std::fprintf(f, "  \"overload\":\n");
+    print_open_loop_row(f, *overload, "    ", ",");
+  }
+  std::fprintf(f, "  \"workers_sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    print_open_loop_row(f, sweep[i], "    ",
+                        i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"batching_by_graph\": [\n");
   for (size_t i = 0; i < headlines.size(); ++i) {
     const BatchingHeadline& h = headlines[i];
@@ -327,7 +454,9 @@ int main(int argc, char** argv) {
     }
   }
   const double window_s = quick ? 0.4 : 2.0;
+  const double open_loop_window_s = quick ? 1.0 : 3.0;
   const int64_t clients = 8;
+  const uint64_t seed = 20260807;
 
   Rng rng(20260730);
   std::vector<std::pair<std::string, std::shared_ptr<const CompiledModel>>>
@@ -366,25 +495,89 @@ int main(int argc, char** argv) {
                    r.p50_ms, r.p99_ms,
                    static_cast<long long>(r.shared_weight_bytes));
     }
-    for (const auto& [policy, max_batch, wait_us] :
-         std::vector<std::tuple<std::string, int64_t, int64_t>>{
-             {"sequential", 1, 0},
-             {"microbatch4", 4, 2000},
-             {"microbatch8", 8, 2000}}) {
+    // Policy sweep at workers=1 (the historical baseline), then the
+    // micro-batch-8 policy across the workers sweep.
+    for (const auto& [policy, max_batch, wait_us, workers] :
+         std::vector<std::tuple<std::string, int64_t, int64_t, int64_t>>{
+             {"sequential", 1, 0, 1},
+             {"microbatch4", 4, 2000, 1},
+             {"microbatch8", 8, 2000, 1},
+             {"microbatch8_w2", 8, 2000, 2},
+             {"microbatch8_w4", 8, 2000, 4}}) {
       EngineResult r = bench_engine(name, model, policy, max_batch, wait_us,
-                                    clients, window_s);
+                                    clients, workers, window_s);
       engine_results.push_back(r);
       std::fprintf(stderr,
                    "  %s %s: %.1f images/s p50 %.3f ms p99 %.3f ms avg "
-                   "batch %.2f\n",
+                   "batch %.2f (workers %lld)\n",
                    name.c_str(), policy.c_str(), r.images_per_s, r.p50_ms,
-                   r.p99_ms, r.avg_batch);
+                   r.p99_ms, r.avg_batch, static_cast<long long>(workers));
     }
   }
 
-  write_json(out_path, quick, session_results, engine_results);
-  std::fprintf(stderr, "wrote %s (%zu session rows, %zu engine rows)\n",
+  // Open-loop rows run on the tiny-serving graph (the regime the Engine
+  // targets). Capacity = the best closed-loop throughput measured above at
+  // workers=1, so offered loads are defined relative to THIS machine.
+  const std::string ol_graph = "mbv2_w035_r32";
+  std::shared_ptr<const CompiledModel> ol_model = graphs.front().second;
+  double capacity = 0.0;
+  for (const EngineResult& r : engine_results) {
+    if (r.graph == ol_graph && r.workers == 1) {
+      capacity = std::max(capacity, r.images_per_s);
+    }
+  }
+
+  // Fixed offered load at 60% of capacity with a 3x burst through the
+  // middle fifth of the window: the sweep shows what extra workers buy in
+  // tail latency / burst absorption at the SAME offered load.
+  std::vector<OpenLoopRow> sweep;
+  {
+    const double rate = 0.6 * capacity;
+    const int64_t depth = 256;
+    const int64_t slo = 500;  // generous: shedding here comes only from
+                              // the burst window (3x on 0.6 = 1.8x capacity)
+    const std::vector<BurstSpec> bursts{
+        {0.4 * open_loop_window_s, 0.2 * open_loop_window_s, 3.0}};
+    for (const int64_t workers : {int64_t{1}, int64_t{2}, int64_t{4}}) {
+      OpenLoopRow r =
+          bench_open_loop(ol_graph, ol_model, "fixed_load", workers, rate,
+                          capacity, depth, slo, bursts, open_loop_window_s,
+                          seed);
+      sweep.push_back(r);
+      std::fprintf(stderr,
+                   "  open-loop fixed %.0f/s w%lld: goodput %.1f/s shed "
+                   "%.1f%% p99 %.3f ms (lag max %.2f ms)\n",
+                   rate, static_cast<long long>(workers), r.goodput_per_s,
+                   r.shed_rate * 100.0, r.p99_accepted_ms, r.max_lag_ms);
+    }
+  }
+
+  // Overload: 2x capacity against a bounded queue with an SLO sized at 4x
+  // the full-queue drain time — the engine must shed the excess with typed
+  // rejections while accepted work stays within the SLO.
+  const int64_t ol_depth = 64;
+  const int64_t ol_slo_ms = std::max<int64_t>(
+      100, static_cast<int64_t>(4.0 * 1000.0 *
+                                static_cast<double>(ol_depth) /
+                                std::max(capacity, 1.0)));
+  OpenLoopRow overload = bench_open_loop(
+      ol_graph, ol_model, "overload", /*workers=*/2, 2.0 * capacity,
+      capacity, ol_depth, ol_slo_ms, {}, open_loop_window_s, seed + 1);
+  std::fprintf(stderr,
+               "  open-loop OVERLOAD %.0f/s (2x capacity) w2: goodput "
+               "%.1f/s shed %.1f%% p99(accepted) %.3f ms (slo %lld ms, "
+               "unresolved %lld)\n",
+               2.0 * capacity, overload.goodput_per_s,
+               overload.shed_rate * 100.0, overload.p99_accepted_ms,
+               static_cast<long long>(ol_slo_ms),
+               static_cast<long long>(overload.unresolved));
+
+  write_json(out_path, quick, session_results, engine_results, sweep,
+             &overload);
+  std::fprintf(stderr,
+               "wrote %s (%zu session rows, %zu engine rows, %zu open-loop "
+               "rows + overload)\n",
                out_path.c_str(), session_results.size(),
-               engine_results.size());
+               engine_results.size(), sweep.size());
   return 0;
 }

@@ -1,0 +1,44 @@
+// FaultInjector — a deterministic fault seam for the serving Engine.
+//
+// Production serving bugs live in the error paths: a plan that fails to
+// compile for a geometry, a worker that stalls mid-batch, an exception
+// thrown after requests were already dequeued. None of those are reachable
+// from a healthy model, so the Engine exposes one narrow hook object that
+// tests (and only tests) install via EngineOptions::fault_injector. The
+// Engine calls the hooks at the two spots where real faults originate —
+// worker-side session creation (the plan-compile path) and batch execution
+// — and whatever the hook throws propagates exactly the way a real fault
+// would: through the batch's promises into every client future.
+//
+// Hooks run on worker threads with NO Engine lock held, so an injector may
+// sleep (modelling a slow worker under load) without stalling admission.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nb::runtime {
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Called on a worker right before it builds the Session for a model it
+  /// has not served yet (the plan-compile path). Throwing fails every
+  /// request in the batch that triggered the creation.
+  virtual void on_session_create(const std::string& model_name) {
+    (void)model_name;
+  }
+
+  /// Called inside execute_batch after the batch is final (deadline-expired
+  /// requests already dropped) and before the plan runs. Sleep here to model
+  /// a slow worker; throw to model a worker fault — the exception resolves
+  /// every future in the batch.
+  virtual void on_batch_execute(const std::string& model_name,
+                                int64_t batch_size) {
+    (void)model_name;
+    (void)batch_size;
+  }
+};
+
+}  // namespace nb::runtime

@@ -1,0 +1,168 @@
+#include "runtime/loadgen.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "tensor/rng.h"
+
+namespace nb::runtime {
+
+using Clock = std::chrono::steady_clock;
+
+double rate_multiplier_at(const OpenLoopSpec& spec, double t_s) {
+  double m = 1.0;
+  for (const BurstSpec& b : spec.bursts) {
+    if (t_s >= b.start_s && t_s < b.start_s + b.duration_s) {
+      m *= b.multiplier;
+    }
+  }
+  return m;
+}
+
+namespace {
+
+/// Peak multiplier any instant can reach: the product of every burst's
+/// multiplier bounds the overlap case. Floors at 1 so thinning acceptance
+/// probabilities stay in (0, 1].
+double peak_multiplier(const OpenLoopSpec& spec) {
+  double peak = 1.0;
+  for (const BurstSpec& b : spec.bursts) {
+    if (b.multiplier > 1.0) peak *= b.multiplier;
+  }
+  return peak;
+}
+
+int32_t pick_stream(Rng& rng, const std::vector<double>& weights,
+                    double total) {
+  if (weights.empty()) return 0;
+  // One uniform draw regardless of outcome keeps the draw sequence (and so
+  // the rest of the schedule) stable under weight edits.
+  const double u = static_cast<double>(rng.uniform()) * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return static_cast<int32_t>(i);
+  }
+  return static_cast<int32_t>(weights.size() - 1);
+}
+
+}  // namespace
+
+std::vector<Arrival> make_open_loop_schedule(const OpenLoopSpec& spec) {
+  NB_CHECK(spec.rate_per_s > 0, "loadgen: rate_per_s must be > 0");
+  NB_CHECK(spec.duration_s > 0, "loadgen: duration_s must be > 0");
+  NB_CHECK(spec.high_lane_fraction >= 0.0 && spec.high_lane_fraction <= 1.0,
+           "loadgen: high_lane_fraction must be in [0, 1]");
+  double weight_total = 0.0;
+  for (const double w : spec.mix_weights) {
+    NB_CHECK(w >= 0, "loadgen: mix weights must be >= 0");
+    weight_total += w;
+  }
+  NB_CHECK(spec.mix_weights.empty() || weight_total > 0,
+           "loadgen: mix weights must not all be zero");
+  for (const BurstSpec& b : spec.bursts) {
+    NB_CHECK(b.multiplier > 0, "loadgen: burst multiplier must be > 0");
+    NB_CHECK(b.duration_s >= 0, "loadgen: burst duration must be >= 0");
+  }
+
+  // Lewis-Shedler thinning: draw a homogeneous Poisson process at the peak
+  // rate, keep each candidate with probability rate(t)/peak_rate. Every
+  // candidate consumes a fixed number of draws, so the schedule is a pure
+  // function of (spec, seed).
+  const double peak_rate = spec.rate_per_s * peak_multiplier(spec);
+  Rng rng(spec.seed, 0x10adULL);
+  std::vector<Arrival> schedule;
+  schedule.reserve(static_cast<size_t>(spec.rate_per_s * spec.duration_s));
+  double t = 0.0;
+  for (;;) {
+    const double u = static_cast<double>(rng.uniform());
+    t += -std::log1p(-u) / peak_rate;
+    if (t >= spec.duration_s) break;
+    const double keep = static_cast<double>(rng.uniform());
+    if (keep * peak_rate >= spec.rate_per_s * rate_multiplier_at(spec, t)) {
+      continue;
+    }
+    Arrival a;
+    a.t_s = t;
+    a.stream = pick_stream(rng, spec.mix_weights, weight_total);
+    a.lane = static_cast<double>(rng.uniform()) < spec.high_lane_fraction
+                 ? Lane::high
+                 : Lane::normal;
+    schedule.push_back(a);
+  }
+  return schedule;
+}
+
+OpenLoopResult run_open_loop(Engine& engine,
+                             const std::vector<ModelTraffic>& mix,
+                             const OpenLoopSpec& spec, int64_t slo_us) {
+  NB_CHECK(!mix.empty(), "loadgen: empty model mix");
+  NB_CHECK(spec.mix_weights.empty()
+               ? mix.size() == 1
+               : mix.size() == spec.mix_weights.size(),
+           "loadgen: mix size must match mix_weights");
+  const std::vector<Arrival> schedule = make_open_loop_schedule(spec);
+
+  OpenLoopResult r;
+  std::vector<std::future<Tensor>> futures;
+  futures.reserve(schedule.size());
+  const auto t0 = Clock::now();
+  for (const Arrival& a : schedule) {
+    const auto scheduled =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(a.t_s));
+    std::this_thread::sleep_until(scheduled);
+    const double lag_s =
+        std::chrono::duration<double>(Clock::now() - scheduled).count();
+    if (lag_s > r.max_lag_s) r.max_lag_s = lag_s;
+
+    const ModelTraffic& traffic = mix[static_cast<size_t>(a.stream)];
+    SubmitOptions opts;
+    opts.lane = a.lane;
+    if (slo_us > 0) {
+      // Anchored to the scheduled arrival: if the generator (or the queue)
+      // runs late, that lateness counts against the SLO.
+      opts.deadline = scheduled + std::chrono::microseconds(slo_us);
+    }
+    ++r.offered;
+    try {
+      futures.push_back(engine.submit(traffic.name, traffic.image, opts));
+    } catch (const RejectedError& e) {
+      switch (e.reason()) {
+        case RejectReason::QueueFull:
+          ++r.rejected_queue_full;
+          break;
+        case RejectReason::Deadline:
+          ++r.rejected_deadline;
+          break;
+        case RejectReason::ShuttingDown:
+          ++r.rejected_shutdown;
+          break;
+        default:
+          ++r.rejected_other;
+          break;
+      }
+    }
+  }
+  for (std::future<Tensor>& f : futures) {
+    try {
+      (void)f.get();
+      ++r.completed;
+    } catch (const RejectedError& e) {
+      if (e.reason() == RejectReason::Deadline) {
+        ++r.dropped_deadline;
+      } else if (e.reason() == RejectReason::ShuttingDown) {
+        ++r.dropped_shutdown;
+      } else {
+        ++r.rejected_other;
+      }
+    } catch (...) {
+      ++r.faulted;
+    }
+  }
+  r.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  return r;
+}
+
+}  // namespace nb::runtime

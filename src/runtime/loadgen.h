@@ -1,0 +1,113 @@
+// Open-loop load generation for the serving Engine.
+//
+// Closed-loop clients (submit, wait, submit again) can never overload a
+// server: their offered rate collapses to the server's capacity, so queues
+// stay short and the overload path goes untested. Real traffic is
+// open-loop — arrivals happen on the *users'* schedule, independent of how
+// the fleet is doing — and that is the regime where admission control,
+// deadlines and shedding earn their keep.
+//
+// This module supplies the two halves:
+//
+//   * make_open_loop_schedule — a seed-deterministic Poisson arrival
+//     schedule with burst replay (rate multipliers over time windows),
+//     multi-model mixes and a high-lane fraction. Same seed, same spec ->
+//     bit-identical schedule on every platform (PCG32 underneath), so an
+//     overload run is comparable across commits.
+//   * run_open_loop — replays a schedule against an Engine: one generator
+//     thread submits each request at its scheduled instant with an
+//     absolute deadline anchored to the SCHEDULED arrival (generator lag
+//     counts against the SLO, as it would for a real user), then harvests
+//     every future and buckets the outcomes by the rejection taxonomy.
+//
+// Goodput / shed-rate / tail-latency numbers derived from these runs are
+// what BENCH_serve.json's workers sweep and overload rows report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/engine.h"
+#include "tensor/tensor.h"
+
+namespace nb::runtime {
+
+/// A burst window: while t in [start_s, start_s + duration_s) the offered
+/// rate is scaled by `multiplier` (overlapping bursts multiply).
+struct BurstSpec {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double multiplier = 1.0;
+};
+
+struct OpenLoopSpec {
+  /// Base offered rate, all models combined, images/s.
+  double rate_per_s = 100.0;
+  double duration_s = 1.0;
+  /// Seed for the whole schedule (arrival times, model picks, lane picks).
+  uint64_t seed = 1;
+  std::vector<BurstSpec> bursts;
+  /// Relative traffic weight per model stream; empty = one stream.
+  std::vector<double> mix_weights;
+  /// Probability an arrival rides Lane::high (interactive traffic share).
+  double high_lane_fraction = 0.0;
+};
+
+struct Arrival {
+  double t_s = 0.0;    // offset from run start
+  int32_t stream = 0;  // index into the model mix
+  Lane lane = Lane::normal;
+};
+
+/// Instantaneous rate multiplier at time t (1.0 outside every burst).
+double rate_multiplier_at(const OpenLoopSpec& spec, double t_s);
+
+/// The seed-deterministic arrival schedule (Poisson via thinning against
+/// the burst-peak rate), sorted by time.
+std::vector<Arrival> make_open_loop_schedule(const OpenLoopSpec& spec);
+
+/// One model stream of an open-loop mix: every arrival on this stream
+/// submits `image` ([C, H, W]) against `name`.
+struct ModelTraffic {
+  std::string name;
+  Tensor image;
+};
+
+struct OpenLoopResult {
+  int64_t offered = 0;  // arrivals replayed
+  // Admission-time outcomes (submit threw RejectedError).
+  int64_t rejected_queue_full = 0;
+  int64_t rejected_deadline = 0;
+  int64_t rejected_shutdown = 0;
+  int64_t rejected_other = 0;
+  // Future outcomes for admitted requests.
+  int64_t completed = 0;         // delivered a value
+  int64_t dropped_deadline = 0;  // RejectedError{Deadline} while queued
+  int64_t dropped_shutdown = 0;  // RejectedError{ShuttingDown} (drop policy)
+  int64_t faulted = 0;           // any non-rejection error
+  double wall_s = 0.0;     // replay start -> last future resolved
+  double max_lag_s = 0.0;  // worst generator lateness vs the schedule
+
+  int64_t shed() const {
+    return rejected_queue_full + rejected_deadline + rejected_shutdown +
+           rejected_other + dropped_deadline + dropped_shutdown;
+  }
+  double shed_rate() const {
+    return offered > 0
+               ? static_cast<double>(shed()) / static_cast<double>(offered)
+               : 0.0;
+  }
+  double goodput_per_s() const {
+    return wall_s > 0 ? static_cast<double>(completed) / wall_s : 0.0;
+  }
+};
+
+/// Replays `spec` against `engine`. `mix` must have one entry per mix
+/// weight (or exactly one when weights are empty). `slo_us` > 0 attaches an
+/// absolute deadline of scheduled-arrival + slo_us to every request.
+OpenLoopResult run_open_loop(Engine& engine,
+                             const std::vector<ModelTraffic>& mix,
+                             const OpenLoopSpec& spec, int64_t slo_us);
+
+}  // namespace nb::runtime

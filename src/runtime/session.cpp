@@ -22,6 +22,7 @@ const exporter::InferPlan& Session::plan_for(int64_t batch, int64_t channels,
       return plans_.front();
     }
   }
+  if (options_.on_plan_build) options_.on_plan_build(batch);
   plans_.emplace_front(model_->program(), model_->panels(), batch, channels,
                        h, w, model_->backend());
   while (plans_.size() > options_.max_cached_plans) {

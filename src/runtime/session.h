@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 
@@ -38,6 +39,13 @@ struct SessionOptions {
   /// Plans kept per session before the least-recently-used is evicted
   /// (each distinct input geometry needs one plan).
   size_t max_cached_plans = 4;
+
+  /// Test seam: invoked right before a plan is built for a geometry this
+  /// session has not cached (the plan-compile path). Throwing propagates
+  /// out of run() exactly like a real planner rejection, so serving-layer
+  /// error handling is testable without crafting a model that fails to
+  /// plan. Null in production.
+  std::function<void(int64_t batch)> on_plan_build;
 };
 
 class Session {

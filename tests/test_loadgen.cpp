@@ -1,0 +1,190 @@
+// Tests for the open-loop load generator (src/runtime/loadgen): seed
+// determinism of the Poisson schedule, burst-window rate shaping, model-mix
+// and lane-fraction statistics, spec validation, and an end-to-end
+// run_open_loop smoke test against a live Engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "export/flat_model.h"
+#include "export/flat_synth.h"
+#include "runtime/engine.h"
+#include "runtime/loadgen.h"
+#include "tensor/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace nb::runtime {
+namespace {
+
+using exporter::FlatAct;
+using exporter::FlatModel;
+using exporter::OpKind;
+namespace synth = exporter::synth;
+
+bool same_schedule(const std::vector<Arrival>& a,
+                   const std::vector<Arrival>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].t_s != b[i].t_s || a[i].stream != b[i].stream ||
+        a[i].lane != b[i].lane) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(LoadGen, SameSeedSameScheduleDifferentSeedDiffers) {
+  OpenLoopSpec spec;
+  spec.rate_per_s = 800.0;
+  spec.duration_s = 2.0;
+  spec.seed = 42;
+  spec.bursts = {{0.5, 0.4, 3.0}};
+  spec.mix_weights = {3.0, 1.0};
+  spec.high_lane_fraction = 0.25;
+
+  const auto a = make_open_loop_schedule(spec);
+  const auto b = make_open_loop_schedule(spec);
+  EXPECT_TRUE(same_schedule(a, b)) << "same seed must be bit-identical";
+
+  spec.seed = 43;
+  const auto c = make_open_loop_schedule(spec);
+  EXPECT_FALSE(same_schedule(a, c)) << "different seed must differ";
+}
+
+TEST(LoadGen, ScheduleIsSortedAndInWindow) {
+  OpenLoopSpec spec;
+  spec.rate_per_s = 500.0;
+  spec.duration_s = 1.5;
+  spec.seed = 7;
+  spec.bursts = {{0.2, 0.3, 2.0}, {1.0, 0.2, 4.0}};
+  const auto sched = make_open_loop_schedule(spec);
+  ASSERT_FALSE(sched.empty());
+  EXPECT_TRUE(std::is_sorted(
+      sched.begin(), sched.end(),
+      [](const Arrival& x, const Arrival& y) { return x.t_s < y.t_s; }));
+  EXPECT_GE(sched.front().t_s, 0.0);
+  EXPECT_LT(sched.back().t_s, spec.duration_s);
+}
+
+TEST(LoadGen, CountTracksRateTimesDuration) {
+  OpenLoopSpec spec;
+  spec.rate_per_s = 2000.0;
+  spec.duration_s = 4.0;
+  spec.seed = 11;
+  const auto sched = make_open_loop_schedule(spec);
+  // Poisson with mean 8000: +-5 sigma is ~±447.
+  const double mean = spec.rate_per_s * spec.duration_s;
+  EXPECT_NEAR(static_cast<double>(sched.size()), mean,
+              5.0 * std::sqrt(mean));
+}
+
+TEST(LoadGen, BurstWindowCarriesTheMultipliedDensity) {
+  OpenLoopSpec spec;
+  spec.rate_per_s = 1000.0;
+  spec.duration_s = 4.0;
+  spec.seed = 13;
+  spec.bursts = {{1.0, 1.0, 3.0}};
+  const auto sched = make_open_loop_schedule(spec);
+  int64_t in_burst = 0, before = 0;
+  for (const Arrival& a : sched) {
+    if (a.t_s >= 1.0 && a.t_s < 2.0) ++in_burst;
+    if (a.t_s < 1.0) ++before;
+  }
+  // The burst second offers 3x the base second's traffic.
+  const double ratio =
+      static_cast<double>(in_burst) / static_cast<double>(before);
+  EXPECT_NEAR(ratio, 3.0, 0.45);
+}
+
+TEST(LoadGen, RateMultiplierComposesOverlappingBursts) {
+  OpenLoopSpec spec;
+  spec.bursts = {{1.0, 2.0, 3.0}, {2.0, 2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(rate_multiplier_at(spec, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(rate_multiplier_at(spec, 1.5), 3.0);
+  EXPECT_DOUBLE_EQ(rate_multiplier_at(spec, 2.5), 6.0);  // overlap multiplies
+  EXPECT_DOUBLE_EQ(rate_multiplier_at(spec, 3.5), 2.0);
+  EXPECT_DOUBLE_EQ(rate_multiplier_at(spec, 4.5), 1.0);
+  // Window is half-open: [start, start + duration).
+  EXPECT_DOUBLE_EQ(rate_multiplier_at(spec, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(rate_multiplier_at(spec, 4.0), 1.0);
+}
+
+TEST(LoadGen, MixWeightsAndLaneFractionAreRespected) {
+  OpenLoopSpec spec;
+  spec.rate_per_s = 3000.0;
+  spec.duration_s = 3.0;
+  spec.seed = 17;
+  spec.mix_weights = {3.0, 1.0};
+  spec.high_lane_fraction = 0.2;
+  const auto sched = make_open_loop_schedule(spec);
+  ASSERT_GT(sched.size(), 4000u);
+  int64_t s0 = 0, high = 0;
+  for (const Arrival& a : sched) {
+    if (a.stream == 0) ++s0;
+    if (a.lane == Lane::high) ++high;
+  }
+  const double n = static_cast<double>(sched.size());
+  EXPECT_NEAR(static_cast<double>(s0) / n, 0.75, 0.03);
+  EXPECT_NEAR(static_cast<double>(high) / n, 0.2, 0.03);
+}
+
+TEST(LoadGen, InvalidSpecsThrow) {
+  {
+    OpenLoopSpec s;
+    s.rate_per_s = 0.0;
+    EXPECT_THROW(make_open_loop_schedule(s), std::exception);
+  }
+  {
+    OpenLoopSpec s;
+    s.duration_s = -1.0;
+    EXPECT_THROW(make_open_loop_schedule(s), std::exception);
+  }
+  {
+    OpenLoopSpec s;
+    s.high_lane_fraction = 1.5;
+    EXPECT_THROW(make_open_loop_schedule(s), std::exception);
+  }
+  {
+    OpenLoopSpec s;
+    s.mix_weights = {0.0, 0.0};
+    EXPECT_THROW(make_open_loop_schedule(s), std::exception);
+  }
+  {
+    OpenLoopSpec s;
+    s.bursts = {{0.0, 0.5, -2.0}};
+    EXPECT_THROW(make_open_loop_schedule(s), std::exception);
+  }
+}
+
+TEST(LoadGen, RunOpenLoopAccountsForEveryArrival) {
+  Rng mrng(31, 7);
+  FlatModel m;
+  m.set_input(8, 3);
+  m.push(synth::make_conv(mrng, 3, 8, 3, 2, 1, FlatAct::relu, true,
+                          synth::pow2_act_scale(mrng)));
+  m.push(synth::make_marker(OpKind::gap));
+  m.push(synth::make_linear(mrng, 8, 4, synth::pow2_act_scale(mrng)));
+  Engine engine;
+  engine.register_model("tiny", CompiledModel::compile(m));
+
+  Rng irng(32, 1);
+  Tensor image({3, 8, 8});
+  fill_uniform(image, irng, -1.0f, 1.0f);
+
+  OpenLoopSpec spec;
+  spec.rate_per_s = 300.0;
+  spec.duration_s = 0.3;
+  spec.seed = 5;
+  const OpenLoopResult r =
+      run_open_loop(engine, {{"tiny", image}}, spec, /*slo_us=*/0);
+  EXPECT_GT(r.offered, 0);
+  EXPECT_EQ(r.offered, r.completed + r.shed() + r.faulted);
+  EXPECT_EQ(r.faulted, 0);
+  EXPECT_GT(r.goodput_per_s(), 0.0);
+  engine.shutdown();
+}
+
+}  // namespace
+}  // namespace nb::runtime

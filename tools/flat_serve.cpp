@@ -1,26 +1,48 @@
-// Closed-loop load generator for the serving Engine: registers a model
-// (an NBFM artifact, or a synthetic MobileNetV2-flat with --synth), spins
-// up N client threads that each submit one image at a time and wait for
-// the future, and reports throughput, latency percentiles and the
-// micro-batching behavior actually achieved.
+// Load generator for the serving Engine, in two modes:
 //
-// Usage: flat_serve <model.nbfm> | --synth
+//   closed-loop (default) — N client threads each submit one image and
+//     wait for the future: measures capacity (offered rate collapses to
+//     whatever the engine sustains, queues stay short).
+//   open-loop (--open-loop) — seeded Poisson arrivals at a fixed offered
+//     rate with optional burst replay, per-request SLO deadlines and a
+//     priority-lane share: measures overload behavior (goodput, typed shed
+//     breakdown, tail latency of ACCEPTED work). Same --seed, same
+//     schedule, on every machine — overload runs are comparable across
+//     commits.
+//
+// Usage: flat_serve <model.nbfm> | --synth [--mix]
 //          [--clients N] [--seconds S] [--max-batch B] [--max-wait-us U]
-//          [--workers W] [--res R]
+//          [--workers W] [--res R] [--queue-depth D] [--deadline-ms MS]
+//          [--open-loop --rate R [--seed S] [--slo-ms MS]
+//           [--burst START:DUR:MULT]... [--high-lane-frac F]]
+//          [--drop-on-shutdown] [--save <path>]
 //
-//   --clients      concurrent closed-loop clients (default 8)
-//   --seconds      measurement window (default 3)
-//   --max-batch    batching policy: largest coalesced batch (default 8;
-//                  1 = sequential FIFO serving)
-//   --max-wait-us  how long the queue head waits for peers (default 1000)
-//   --workers      engine dispatcher threads (default 1)
-//   --synth        serve a synthetic MobileNetV2-flat (w0.35, r96, 100
-//                  classes) instead of a file — handy for demos and CI
-//   --save <path>  with --synth: also write the synthetic artifact as an
-//                  NBFM file (for feeding flat_infer)
+//   --clients         closed-loop clients (default 8)
+//   --seconds         measurement window (default 3)
+//   --max-batch       batching policy: largest coalesced batch (default 8)
+//   --max-wait-us     how long the queue head waits for peers (default 1000)
+//   --workers         engine dispatcher threads (default 1)
+//   --queue-depth     per-model admission bound (default 256)
+//   --deadline-ms     per-model default deadline (default none)
+//   --open-loop       switch to open-loop arrivals
+//   --rate            open-loop offered load, images/s (default 200)
+//   --seed            schedule seed (default 1); same seed = same schedule
+//   --slo-ms          per-request deadline anchored to the scheduled
+//                     arrival (default none)
+//   --burst           rate multiplier window, e.g. 1.0:0.5:4 = 4x offered
+//                     load for 0.5 s starting at t=1 s; repeatable
+//   --high-lane-frac  fraction of arrivals on Lane::high (default 0)
+//   --drop-on-shutdown  resolve still-queued requests with ShuttingDown
+//                     instead of draining them
+//   --synth           serve a synthetic MobileNetV2-flat (w0.35, r96, 100
+//                     classes) instead of a file
+//   --mix             with --synth: serve TWO models (r32 tiny-serving +
+//                     r96) with a 3:1 open-loop traffic mix
+//   --save <path>     with --synth: also write the artifact as NBFM
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <future>
 #include <string>
 #include <thread>
@@ -30,6 +52,7 @@
 #include "export/flat_synth.h"
 #include "runtime/compiled_model.h"
 #include "runtime/engine.h"
+#include "runtime/loadgen.h"
 #include "tensor/rng.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
@@ -37,13 +60,48 @@
 using namespace nb;
 using namespace nb::runtime;
 
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: flat_serve <model.nbfm> | --synth [--mix] [--clients N] "
+      "[--seconds S]\n"
+      "         [--max-batch B] [--max-wait-us U] [--workers W] [--res R]\n"
+      "         [--queue-depth D] [--deadline-ms MS] [--drop-on-shutdown]\n"
+      "         [--open-loop --rate R [--seed S] [--slo-ms MS]\n"
+      "          [--burst START:DUR:MULT]... [--high-lane-frac F]]\n"
+      "         [--save <path>]\n");
+  return 2;
+}
+
+bool parse_burst(const std::string& s, BurstSpec& out) {
+  const size_t a = s.find(':');
+  const size_t b = s.find(':', a + 1);
+  if (a == std::string::npos || b == std::string::npos) return false;
+  out.start_s = std::atof(s.substr(0, a).c_str());
+  out.duration_s = std::atof(s.substr(a + 1, b - a - 1).c_str());
+  out.multiplier = std::atof(s.substr(b + 1).c_str());
+  return out.duration_s > 0 && out.multiplier > 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string path;
   std::string save_path;
   bool synth = false;
+  bool mix = false;
+  bool open_loop = false;
+  bool drop_on_shutdown = false;
   int64_t clients = 8;
   double seconds = 3.0;
   int64_t res = 0;
+  double rate = 200.0;
+  uint64_t seed = 1;
+  int64_t slo_ms = 0;
+  double high_lane_frac = 0.0;
+  std::vector<BurstSpec> bursts;
   EngineOptions opts;
   opts.batching.max_batch = 8;
   opts.batching.max_wait_us = 1000;
@@ -61,30 +119,63 @@ int main(int argc, char** argv) {
       opts.workers = std::atoll(argv[++i]);
     } else if (arg == "--res" && i + 1 < argc) {
       res = std::atoll(argv[++i]);
+    } else if (arg == "--queue-depth" && i + 1 < argc) {
+      opts.default_qos.max_queue_depth = std::atoll(argv[++i]);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      opts.default_qos.default_deadline_us = std::atoll(argv[++i]) * 1000;
+    } else if (arg == "--open-loop") {
+      open_loop = true;
+    } else if (arg == "--rate" && i + 1 < argc) {
+      rate = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--slo-ms" && i + 1 < argc) {
+      slo_ms = std::atoll(argv[++i]);
+    } else if (arg == "--high-lane-frac" && i + 1 < argc) {
+      high_lane_frac = std::atof(argv[++i]);
+    } else if (arg == "--burst" && i + 1 < argc) {
+      BurstSpec b;
+      if (!parse_burst(argv[++i], b)) {
+        std::fprintf(stderr, "flat_serve: bad --burst '%s' "
+                     "(want START:DUR:MULT)\n", argv[i]);
+        return 2;
+      }
+      bursts.push_back(b);
+    } else if (arg == "--drop-on-shutdown") {
+      drop_on_shutdown = true;
     } else if (arg == "--synth") {
       synth = true;
+    } else if (arg == "--mix") {
+      mix = true;
     } else if (arg == "--save" && i + 1 < argc) {
       save_path = argv[++i];
     } else if (path.empty() && arg[0] != '-') {
       path = arg;
     } else {
-      std::fprintf(stderr,
-                   "usage: flat_serve <model.nbfm> | --synth [--clients N] "
-                   "[--seconds S] [--max-batch B] [--max-wait-us U] "
-                   "[--workers W] [--res R]\n");
-      return 2;
+      return usage();
     }
   }
   if (path.empty() && !synth) {
     std::fprintf(stderr, "flat_serve: pass a model file or --synth\n");
     return 2;
   }
+  if (mix && !synth) {
+    std::fprintf(stderr, "flat_serve: --mix requires --synth\n");
+    return 2;
+  }
   if (clients < 1) {
     std::fprintf(stderr, "flat_serve: --clients must be >= 1\n");
     return 2;
   }
+  if (drop_on_shutdown) opts.on_shutdown = DrainPolicy::drop;
 
-  std::shared_ptr<const CompiledModel> model;
+  // Resolve the model (or the --mix pair) into registry entries.
+  struct Served {
+    std::string name;
+    std::shared_ptr<const CompiledModel> model;
+    double weight;
+  };
+  std::vector<Served> served;
   if (synth) {
     Rng rng(20260730);
     exporter::FlatModel flat =
@@ -93,34 +184,97 @@ int main(int argc, char** argv) {
       flat.save(save_path);
       std::printf("saved synthetic artifact to %s\n", save_path.c_str());
     }
-    model = CompiledModel::compile(std::move(flat));
+    if (mix) {
+      Rng rng32(20260731);
+      served.push_back({"mbv2_r32",
+                        CompiledModel::compile(exporter::synth::make_mbv2_flat(
+                            rng32, 0.35f, 32, 100)),
+                        3.0});
+      served.push_back({"mbv2_r96", CompiledModel::compile(std::move(flat)),
+                        1.0});
+    } else {
+      served.push_back(
+          {"m", CompiledModel::compile(std::move(flat)), 1.0});
+    }
   } else {
-    model = CompiledModel::compile_file(path);
+    served.push_back({"m", CompiledModel::compile_file(path), 1.0});
   }
-  if (res == 0) res = model->input_resolution();
-  if (res == 0) {
-    std::fprintf(stderr,
-                 "flat_serve: artifact has no recorded resolution; pass "
-                 "--res\n");
-    return 2;
-  }
-  const int64_t channels = model->input_channels();
 
-  std::printf("model:         %s (%lld ops, %lld B shared weight panels)\n",
-              synth ? "synthetic mbv2-flat w0.35 r96" : path.c_str(),
-              static_cast<long long>(model->op_count()),
-              static_cast<long long>(model->weight_panel_bytes()));
+  Engine engine(opts);
+  std::vector<ModelTraffic> traffic;
+  for (const Served& s : served) {
+    engine.register_model(s.name, s.model);
+    int64_t r = res != 0 ? res : s.model->input_resolution();
+    if (r == 0) {
+      std::fprintf(stderr,
+                   "flat_serve: artifact has no recorded resolution; pass "
+                   "--res\n");
+      return 2;
+    }
+    Rng rng(77);
+    Tensor image({s.model->input_channels(), r, r});
+    fill_uniform(image, rng, -1.0f, 1.0f);
+    traffic.push_back({s.name, std::move(image)});
+    std::printf("model %-9s %s (%lld ops, %lld B shared weight panels)\n",
+                s.name.c_str(),
+                synth ? "synthetic mbv2-flat w0.35" : path.c_str(),
+                static_cast<long long>(s.model->op_count()),
+                static_cast<long long>(s.model->weight_panel_bytes()));
+  }
   std::printf("policy:        max_batch %lld, max_wait %lld us, %lld "
-              "worker%s, %lld client%s\n",
+              "worker%s, queue depth %lld%s\n",
               static_cast<long long>(opts.batching.max_batch),
               static_cast<long long>(opts.batching.max_wait_us),
               static_cast<long long>(opts.workers),
-              opts.workers == 1 ? "" : "s", static_cast<long long>(clients),
-              clients == 1 ? "" : "s");
+              opts.workers == 1 ? "" : "s",
+              static_cast<long long>(opts.default_qos.max_queue_depth),
+              drop_on_shutdown ? ", drop-on-shutdown" : "");
 
-  Engine engine(opts);
-  engine.register_model("m", model);
+  if (open_loop) {
+    OpenLoopSpec spec;
+    spec.rate_per_s = rate;
+    spec.duration_s = seconds;
+    spec.seed = seed;
+    spec.bursts = bursts;
+    spec.high_lane_fraction = high_lane_frac;
+    if (served.size() > 1) {
+      for (const Served& s : served) spec.mix_weights.push_back(s.weight);
+    }
+    std::printf("open loop:     %.1f images/s offered for %.1f s, seed "
+                "%llu, %zu burst%s, slo %lld ms, high-lane %.0f%%\n",
+                rate, seconds, static_cast<unsigned long long>(seed),
+                bursts.size(), bursts.size() == 1 ? "" : "s",
+                static_cast<long long>(slo_ms), high_lane_frac * 100.0);
 
+    const OpenLoopResult r =
+        run_open_loop(engine, traffic, spec, slo_ms * 1000);
+    const Engine::Stats st = engine.stats();
+    std::printf("offered:       %lld requests (max generator lag %.3f ms)\n",
+                static_cast<long long>(r.offered), r.max_lag_s * 1e3);
+    std::printf("goodput:       %lld completed -> %.1f images/s "
+                "(within-SLO completions: %lld)\n",
+                static_cast<long long>(r.completed), r.goodput_per_s(),
+                static_cast<long long>(st.completed_within_deadline));
+    std::printf("shed:          %lld (%.1f%%) — queue-full %lld, "
+                "deadline@admit %lld, deadline@launch %lld, shutdown %lld, "
+                "other %lld, faulted %lld\n",
+                static_cast<long long>(r.shed()), r.shed_rate() * 100.0,
+                static_cast<long long>(r.rejected_queue_full),
+                static_cast<long long>(r.rejected_deadline),
+                static_cast<long long>(r.dropped_deadline),
+                static_cast<long long>(r.rejected_shutdown +
+                                       r.dropped_shutdown),
+                static_cast<long long>(r.rejected_other),
+                static_cast<long long>(r.faulted));
+    std::printf("latency:       accepted p50 %.3f ms  p99 %.3f ms  max "
+                "%.3f ms (queue avg %.3f ms)\n",
+                st.p50_ms, st.p99_ms, st.max_ms, st.avg_queue_ms);
+    std::printf("batching:      %lld batches, avg batch %.2f\n",
+                static_cast<long long>(st.batches), st.avg_batch);
+    return 0;
+  }
+
+  // Closed loop: clients round-robin over the served models.
   std::atomic<bool> stop{false};
   std::atomic<int64_t> done{0};
   std::vector<std::thread> threads;
@@ -128,12 +282,16 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   for (int64_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      Rng rng(77 + static_cast<uint64_t>(c));
-      Tensor image({channels, res, res});
-      fill_uniform(image, rng, -1.0f, 1.0f);
+      const ModelTraffic& mine =
+          traffic[static_cast<size_t>(c) % traffic.size()];
       while (!stop.load(std::memory_order_relaxed)) {
-        (void)engine.submit("m", image).get();
-        done.fetch_add(1, std::memory_order_relaxed);
+        try {
+          (void)engine.submit(mine.name, mine.image).get();
+          done.fetch_add(1, std::memory_order_relaxed);
+        } catch (const RejectedError&) {
+          // Bounded queue + many clients can reject at the edge; closed
+          // loop just retries.
+        }
       }
     });
   }
@@ -153,5 +311,6 @@ int main(int argc, char** argv) {
               st.p50_ms, st.p99_ms, st.max_ms, st.avg_queue_ms);
   std::printf("batching:      %lld batches, avg batch %.2f\n",
               static_cast<long long>(st.batches), st.avg_batch);
+  engine.shutdown();
   return 0;
 }
