@@ -4,11 +4,11 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
-#include <mutex>
 
 #include "export/infer_plan.h"
 #include "export/weight_panels.h"
 #include "quant/quantize.h"
+#include "util/thread_safety.h"
 
 namespace nb::exporter {
 
@@ -74,6 +74,13 @@ class ByteReader {
   size_t size_;
   size_t off_ = 0;
 };
+
+bool all_finite(const std::vector<float>& v) {
+  for (const float x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
 
 /// Fake-quantizes an activation tensor the same way QuantConv2d does.
 void quantize_activation_(Tensor& x, float scale, int bits) {
@@ -318,6 +325,15 @@ FlatModel FlatModel::load_from_buffer(const uint8_t* data, size_t size) {
         NB_CHECK(!c.has_bias ||
                      static_cast<int64_t>(c.bias.size()) == c.cout,
                  "flat model: conv bias count mismatch");
+        // Int8-era numeric fields: a NaN/Inf/negative scale would load
+        // "successfully" and only misbehave at quantization or plan-build
+        // time (or silently disable fake-quant). Reject at the trust
+        // boundary instead.
+        NB_CHECK(std::isfinite(c.act_scale) && c.act_scale >= 0.0f,
+                 "flat model: conv act_scale must be finite and >= 0");
+        NB_CHECK(all_finite(c.weight_scales),
+                 "flat model: non-finite conv weight scale");
+        NB_CHECK(all_finite(c.bias), "flat model: non-finite conv bias");
         break;
       }
       case OpKind::linear: {
@@ -343,6 +359,11 @@ FlatModel FlatModel::load_from_buffer(const uint8_t* data, size_t size) {
                  "flat model: linear scale count mismatch");
         NB_CHECK(static_cast<int64_t>(l.bias.size()) == l.out,
                  "flat model: linear bias count mismatch");
+        NB_CHECK(std::isfinite(l.act_scale) && l.act_scale >= 0.0f,
+                 "flat model: linear act_scale must be finite and >= 0");
+        NB_CHECK(all_finite(l.weight_scales),
+                 "flat model: non-finite linear weight scale");
+        NB_CHECK(all_finite(l.bias), "flat model: non-finite linear bias");
         break;
       }
       default:
@@ -359,12 +380,12 @@ FlatModel FlatModel::load_from_buffer(const uint8_t* data, size_t size) {
 // so concurrent forward() calls are safe (they serialize; real concurrency
 // lives in runtime::Session).
 struct FlatModel::FastShim {
-  std::mutex mu;
-  std::shared_ptr<const WeightPanels> panels;
-  std::unique_ptr<InferPlan> plan;     // Backend::fast
-  std::unique_ptr<InferPlan> plan_i8;  // Backend::int8 (separate slot so
-                                       // alternating backends never thrash
-                                       // the geometry-keyed cache)
+  Mutex mu;
+  std::shared_ptr<const WeightPanels> panels NB_GUARDED_BY(mu);
+  std::unique_ptr<InferPlan> plan NB_GUARDED_BY(mu);  // Backend::fast
+  std::unique_ptr<InferPlan> plan_i8 NB_GUARDED_BY(mu);  // Backend::int8
+      // (separate slot so alternating backends never thrash the
+      // geometry-keyed cache)
 };
 
 FlatModel::FlatModel() : shim_(std::make_shared<FastShim>()) {}
@@ -418,7 +439,7 @@ void FlatModel::push(FlatOp op) {
 
 std::shared_ptr<const WeightPanels> FlatModel::compiled_panels() const {
   FastShim& shim = ensure_shim();
-  std::lock_guard<std::mutex> lock(shim.mu);
+  MutexLock lock(shim.mu);
   if (shim.panels == nullptr) shim.panels = WeightPanels::build(*this);
   return shim.panels;
 }
@@ -427,7 +448,7 @@ Tensor FlatModel::forward(const Tensor& input, Backend backend) const {
   if (backend == Backend::fast || backend == Backend::int8) {
     NB_CHECK(input.dim() == 4, "flat model: planned backends need NCHW input");
     FastShim& shim = ensure_shim();
-    std::lock_guard<std::mutex> lock(shim.mu);
+    MutexLock lock(shim.mu);
     if (shim.panels == nullptr) shim.panels = WeightPanels::build(*this);
     std::unique_ptr<InferPlan>& plan =
         backend == Backend::int8 ? shim.plan_i8 : shim.plan;

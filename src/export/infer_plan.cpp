@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "export/plan_verify.h"
 #include "export/qmodel.h"
 #include "quant/quantize.h"
 #include "tensor/depthwise.h"
@@ -281,6 +282,13 @@ InferPlan::InferPlan(const FlatModel& model,
                        : std::vector<int64_t>{batch, c};
   out_off_ = base[region];
   arena_.resize(static_cast<size_t>(stats_.arena_floats));
+#ifndef NDEBUG
+  // Debug builds prove every freshly-built plan safe before it can run:
+  // live-range disjointness, dataflow, bounds, epilogue legality — see
+  // plan_verify.h. Release builds expose the same check via
+  // SessionOptions::verify_plans and `flat_infer --verify`.
+  check_plan(*this);
+#endif
 }
 
 void InferPlan::run_conv(const Step& s, const float* in, float* out,

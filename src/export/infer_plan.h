@@ -76,6 +76,12 @@
 
 namespace nb::exporter {
 
+class InferPlan;
+struct PlanTables;
+/// Declared in plan_verify.h; friend of InferPlan so the static verifier
+/// can snapshot the region/step tables it proves safe.
+PlanTables plan_tables(const InferPlan& plan);
+
 /// Memory-planner accounting, all in float counts (4 bytes each).
 struct PlanStats {
   /// Which execution mode this plan was built for (fast or int8; a plan is
@@ -155,6 +161,8 @@ class InferPlan {
   }
 
  private:
+  friend PlanTables plan_tables(const InferPlan& plan);
+
   struct Step {
     OpKind kind = OpKind::save;
     FlatAct act = FlatAct::identity;

@@ -1,0 +1,143 @@
+// Static verifier for InferPlan — proves the memory planner's safety
+// contract from the plan's region/step tables alone, without executing a
+// single kernel.
+//
+// An InferPlan is a little compiler: it lays every intermediate activation,
+// residual copy and im2col panel into ONE reusable arena, and the int8
+// backend additionally requantizes int32 accumulators IN PLACE over the
+// float output region. Each of those decisions is an aliasing proof
+// obligation the executor silently relies on. This verifier discharges
+// them explicitly:
+//
+//   * geometry      — every step's recorded shapes follow from the conv
+//                     arithmetic (out = (in + 2p - k)/s + 1) and the input
+//                     geometry; float counts match batch*C*H*W.
+//   * dataflow      — each step consumes exactly the region the previous
+//                     step produced (produced-before-consumed, no step
+//                     reads a region nothing wrote).
+//   * bounds        — every [offset, offset+size) interval (inputs,
+//                     outputs, save slots, cols panels, the quantized-input
+//                     byte region) lies inside PlanStats::arena_floats /
+//                     arena_int8_bytes.
+//   * disjointness  — per step, the regions it reads and writes do not
+//                     overlap (in vs out, cols vs both), and no write
+//                     clobbers a LIVE residual save slot (the save stack is
+//                     simulated across the whole program).
+//   * epilogue      — the int8 in-place requantize+clamp is legal: the
+//                     rewrite covers exactly the accumulator region it
+//                     reads (same offset, same float count) and carries a
+//                     full per-channel effective-scale table.
+//   * stats         — the published PlanStats figures (cols_floats,
+//                     arena_int8_bytes split) are consistent with the step
+//                     tables, so accounting cannot drift from reality.
+//   * batch scaling — arena(batch) == batch * arena(1), exactly (checked
+//                     against a separately extracted batch-1 table).
+//
+// Debug builds run check_plan() automatically at the end of every plan
+// construction; `flat_infer --verify` and SessionOptions::verify_plans run
+// it on demand in any build. Every violation carries a typed PlanDiag so
+// corruption tests can assert the exact failure class, not just "threw".
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "export/flat_model.h"
+
+namespace nb::exporter {
+
+class InferPlan;
+
+/// Failure classes. One per independently-corruptible property of the
+/// tables, so a mutation test can pin the diagnostic it expects.
+enum class PlanDiag {
+  geometry_broken,       // shapes don't follow from the conv arithmetic
+  dataflow_broken,       // step consumes a region nothing produced
+  offset_out_of_bounds,  // float-arena interval escapes arena_floats
+  region_overlap,        // read and write regions of one step alias
+  save_clobbered,        // a write lands on a live residual save slot
+  save_stack_broken,     // save/add_saved pairing or size mismatch
+  epilogue_broken,       // int8 in-place requantize not provably legal
+  qarena_out_of_bounds,  // byte-arena interval escapes arena_int8_bytes
+  stats_inconsistent,    // PlanStats disagrees with the step tables
+  batch_scaling_broken,  // arena(batch) != batch * arena(1)
+};
+
+const char* to_string(PlanDiag diag);
+
+struct PlanFinding {
+  PlanDiag diag;
+  int64_t step = -1;  // step index, or -1 for a whole-plan property
+  std::string detail;
+};
+
+/// What a verification pass concluded: empty findings == every obligation
+/// discharged; `proved` lists the invariants in human-readable form (what
+/// `flat_infer --verify` prints).
+struct VerifyReport {
+  std::vector<PlanFinding> findings;
+  std::vector<std::string> proved;
+  bool ok() const { return findings.empty(); }
+};
+
+/// Thrown by check_plan(); diag() is the FIRST violated property.
+class PlanVerifyError : public std::runtime_error {
+ public:
+  PlanVerifyError(PlanDiag diag, const std::string& what)
+      : std::runtime_error(what), diag_(diag) {}
+  PlanDiag diag() const { return diag_; }
+
+ private:
+  PlanDiag diag_;
+};
+
+/// Pure-data snapshot of one step's table row (no borrowed pointers), so
+/// verification — and the mutation tests that corrupt rows — operate on
+/// plain values.
+struct StepTable {
+  OpKind kind = OpKind::save;
+  bool depthwise = false;
+  int64_t stride = 1, pad = 0, groups = 1, cout = 0, cin = 0, kernel = 1;
+  float act_scale = 0.0f;
+  int64_t eff_count = 0;  // per-channel requantize scales (int8 plans)
+  int64_t in_c = 0, in_h = 0, in_w = 0;
+  int64_t out_h = 0, out_w = 0;
+  int64_t in_floats = 0, out_floats = 0;
+  int64_t in_off = 0, out_off = 0, cols_off = 0, save_off = 0;
+};
+
+/// Everything verification needs, snapshotted out of a built plan.
+struct PlanTables {
+  Backend backend = Backend::fast;
+  int64_t batch = 0, channels = 0, in_h = 0, in_w = 0;
+  int64_t arena_floats = 0;
+  int64_t cols_floats = 0;
+  int64_t arena_int8_bytes = 0;
+  int64_t qcols_off = 0;
+  int64_t out_off = 0;
+  std::vector<int64_t> out_shape;
+  std::vector<StepTable> steps;
+};
+
+/// Extracts the verifiable tables from a built plan (friend of InferPlan).
+PlanTables plan_tables(const InferPlan& plan);
+
+/// The verifier proper: pure function over the tables. Checks every
+/// property listed in the header comment except batch scaling (which needs
+/// a second geometry — see verify_batch_scaling).
+VerifyReport verify_tables(const PlanTables& t);
+
+/// Convenience: snapshot + verify.
+VerifyReport verify_plan(const InferPlan& plan);
+
+/// Exact arena(batch) == batch * arena(1) scaling, `unit` being the tables
+/// of a batch-1 plan for the same program/geometry/backend.
+VerifyReport verify_batch_scaling(const PlanTables& t, const PlanTables& unit);
+
+/// Throws PlanVerifyError on the first finding; no-op on a sound plan.
+/// Debug plan builds call this automatically.
+void check_plan(const InferPlan& plan);
+
+}  // namespace nb::exporter

@@ -31,7 +31,16 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
   NB_CHECK(options_.stats_window >= 1, "engine: stats_window must be >= 1");
   NB_CHECK(options_.default_qos.max_queue_depth >= 1,
            "engine: max_queue_depth must be >= 1");
-  latency_ring_.reserve(options_.stats_window);
+  {
+    MutexLock lock(stats_mu_);
+    latency_ring_.reserve(options_.stats_window);
+  }
+  // The annotation pass flagged this: workers_ is guarded by lifecycle_mu_
+  // (shutdown joins under it), and the old constructor populated it bare —
+  // benign only as long as no thread calls shutdown() while the Engine is
+  // still constructing, which a subclass or a ctor-spawned callback could
+  // violate. Hold the lock for the spawn loop.
+  MutexLock lock(lifecycle_mu_);
   workers_.reserve(static_cast<size_t>(options_.workers));
   for (int64_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -45,7 +54,7 @@ void Engine::shutdown(DrainPolicy policy) {
   // RejectedError{ShuttingDown}; the first caller's policy wins.
   std::vector<Request> dropped;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (phase_ == Phase::running) {
       phase_ = policy == DrainPolicy::drop ? Phase::dropping
                                            : Phase::draining;
@@ -71,7 +80,7 @@ void Engine::shutdown(DrainPolicy policy) {
   queue_cv_.notify_all();
   if (!dropped.empty()) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       dropped_shutdown_ += static_cast<int64_t>(dropped.size());
     }
     for (Request& req : dropped) {
@@ -80,7 +89,7 @@ void Engine::shutdown(DrainPolicy policy) {
     }
   }
   // Phase 2 (drain flavor) happens inside the workers; phase 3: join them.
-  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  MutexLock lock(lifecycle_mu_);
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
@@ -99,7 +108,7 @@ void Engine::register_model(const std::string& name,
            "engine: max_queue_depth must be >= 1 for '" + name + "'");
   NB_CHECK(qos.default_deadline_us >= 0,
            "engine: default_deadline_us must be >= 0 for '" + name + "'");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = registry_.find(name);
   if (it == registry_.end()) {
     auto entry = std::make_shared<ModelEntry>();
@@ -117,7 +126,7 @@ void Engine::register_model(const std::string& name,
 }
 
 bool Engine::unregister_model(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = registry_.find(name);
   if (it == registry_.end()) return false;
   // The entry may still sit in active_ with queued requests; those were
@@ -130,13 +139,13 @@ bool Engine::unregister_model(const std::string& name) {
 
 std::shared_ptr<const CompiledModel> Engine::model(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = registry_.find(name);
   return it == registry_.end() ? nullptr : it->second->model;
 }
 
 std::vector<std::string> Engine::model_names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(registry_.size());
   for (const auto& [name, entry] : registry_) {
@@ -176,7 +185,7 @@ std::future<Tensor> Engine::submit(const std::string& name,
   RejectReason reason = RejectReason::Unknown;
   std::string what;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto now = Clock::now();
     req.enqueued = now;
     if (phase_ != Phase::running) {
@@ -224,7 +233,7 @@ std::future<Tensor> Engine::submit(const std::string& name,
     }
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++submitted_;
     if (!rejected) {
       ++accepted_;
@@ -285,7 +294,7 @@ bool Engine::pop_next(Request& out) {
         q.pop_front();
         --queued_total_;
         {
-          std::lock_guard<std::mutex> slock(stats_mu_);
+          MutexLock slock(stats_mu_);
           ++dropped_deadline_;
         }
         reject(expired, RejectReason::Deadline,
@@ -326,7 +335,7 @@ void Engine::gather_peers(ModelEntry& entry, std::vector<Request>& batch) {
       --queued_total_;
       if (req.has_deadline() && req.deadline < now) {
         {
-          std::lock_guard<std::mutex> slock(stats_mu_);
+          MutexLock slock(stats_mu_);
           ++dropped_deadline_;
         }
         reject(req, RejectReason::Deadline,
@@ -353,7 +362,7 @@ void Engine::worker_loop() {
         registry_generation_.load(std::memory_order_acquire);
     if (gen == seen_generation) return;
     seen_generation = gen;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::erase_if(sessions, [&](const auto& kv) {
       for (const auto& [name, entry] : registry_) {
         if (entry->model.get() == kv.first) return false;
@@ -362,13 +371,20 @@ void Engine::worker_loop() {
     });
   };
 
-  std::unique_lock<std::mutex> lock(mu_);
+  // The loop holds mu_ across dequeue + batch assembly and drops it only
+  // around execute_batch. Explicit lock()/unlock() instead of an RAII guard
+  // because the hold spans the loop back-edge; the wait predicates are
+  // manual while-loops so every guarded read is in a provably-locked scope
+  // (a predicate lambda's body is opaque to the thread-safety analysis).
+  mu_.lock();
   for (;;) {
-    queue_cv_.wait(lock,
-                   [&] { return phase_ != Phase::running || queued_total_ > 0; });
+    while (phase_ == Phase::running && queued_total_ == 0) {
+      queue_cv_.wait(mu_);
+    }
     if (queued_total_ == 0) {
-      if (phase_ != Phase::running) return;  // drained or dropped: done
-      continue;
+      // Not running and nothing queued: drained or dropped, worker done.
+      mu_.unlock();
+      return;
     }
 
     Request head;
@@ -404,11 +420,11 @@ void Engine::worker_loop() {
     while (static_cast<int64_t>(batch.size()) < options_.batching.max_batch &&
            options_.batching.max_wait_us > 0 && phase_ == Phase::running &&
            Clock::now() < wait_deadline) {
-      queue_cv_.wait_until(lock, wait_deadline);
+      queue_cv_.wait_until(mu_, wait_deadline);
       if (entry != nullptr) gather_peers(*entry, batch);
     }
     if (entry != nullptr) retire_if_idle(entry.get());
-    lock.unlock();
+    mu_.unlock();
     prune_sessions();
 
     // Worker-side session lookup; creation is the plan-compile path and
@@ -434,7 +450,7 @@ void Engine::worker_loop() {
       }
     }
     execute_batch(batch, session, session_error);
-    lock.lock();
+    mu_.lock();
   }
 }
 
@@ -457,7 +473,7 @@ void Engine::execute_batch(std::vector<Request>& batch, Session* session,
     }
   }
   if (expired > 0) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     dropped_deadline_ += expired;
   }
   if (run.empty()) return;
@@ -508,8 +524,8 @@ void Engine::execute_batch(std::vector<Request>& batch, Session* session,
 }
 
 void Engine::record_latency_sample(double ms) {
-  // Fixed-size ring: the stats_window most recent completions. stats_mu_
-  // must be held.
+  // Fixed-size ring: the stats_window most recent completions. The
+  // NB_REQUIRES(stats_mu_) on the declaration enforces the caller holds it.
   if (latency_ring_.size() < options_.stats_window) {
     latency_ring_.push_back(ms);
   } else {
@@ -522,7 +538,7 @@ void Engine::record_latency_sample(double ms) {
 void Engine::record_batch(const std::vector<Request>& batch,
                           TimePoint launched, bool failed) {
   const auto done = Clock::now();
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   ++batches_;
   for (const Request& req : batch) {
     if (failed) {
@@ -545,10 +561,10 @@ void Engine::record_batch(const std::vector<Request>& batch,
 Engine::Stats Engine::stats() const {
   Stats s;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     s.queue_depth = queued_total_;
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   s.submitted = submitted_;
   s.accepted = accepted_;
   s.completed = completed_;

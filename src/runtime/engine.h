@@ -56,13 +56,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -72,6 +70,7 @@
 #include "runtime/fault_injector.h"
 #include "runtime/session.h"
 #include "tensor/tensor.h"
+#include "util/thread_safety.h"
 
 namespace nb::runtime {
 
@@ -268,23 +267,24 @@ class Engine {
 
   enum class Phase { running, draining, dropping };
 
-  void worker_loop();
+  void worker_loop() NB_EXCLUDES(mu_);
   bool matches(const Request& a, const Request& b) const;
   void execute_batch(std::vector<Request>& batch, Session* session,
-                     std::exception_ptr session_error);
+                     std::exception_ptr session_error) NB_EXCLUDES(mu_);
   void record_batch(const std::vector<Request>& batch, TimePoint launched,
-                    bool failed);
-  void record_latency_sample(double ms);
+                    bool failed) NB_EXCLUDES(stats_mu_);
+  void record_latency_sample(double ms) NB_REQUIRES(stats_mu_);
 
-  // mu_ must be held. Pops the next runnable request honoring lane
-  // priority and the round-robin cursor; resolves expired requests it
-  // walks past. Returns false when no runnable request exists.
-  bool pop_next(Request& out);
-  // mu_ must be held. Moves coalescible peers (same model object, same
-  // geometry; high lane first) from `entry`'s queues into `batch`.
-  void gather_peers(ModelEntry& entry, std::vector<Request>& batch);
-  // mu_ must be held. Drops entry from active_ when it has no queued work.
-  void retire_if_idle(ModelEntry* entry);
+  // Pops the next runnable request honoring lane priority and the
+  // round-robin cursor; resolves expired requests it walks past. Returns
+  // false when no runnable request exists.
+  bool pop_next(Request& out) NB_REQUIRES(mu_);
+  // Moves coalescible peers (same model object, same geometry; high lane
+  // first) from `entry`'s queues into `batch`.
+  void gather_peers(ModelEntry& entry, std::vector<Request>& batch)
+      NB_REQUIRES(mu_);
+  // Drops entry from active_ when it has no queued work.
+  void retire_if_idle(ModelEntry* entry) NB_REQUIRES(mu_);
   // Resolves a request with a typed rejection (no lock requirements).
   static void reject(Request& req, RejectReason reason,
                      const std::string& what);
@@ -294,38 +294,45 @@ class Engine {
   // One lock covers the registry AND the queues: model resolution, QoS
   // checks and enqueue happen in a single critical section, so hot-swap /
   // unregister can never interleave with admission (the register/submit
-  // race the old two-lock design had).
-  mutable std::mutex mu_;
-  std::condition_variable queue_cv_;
-  std::map<std::string, std::shared_ptr<ModelEntry>> registry_;
+  // race the old two-lock design had). Guarded members are declared so; a
+  // clang -Wthread-safety build rejects any access outside the lock.
+  mutable Mutex mu_;
+  CondVar queue_cv_;
+  std::map<std::string, std::shared_ptr<ModelEntry>> registry_
+      NB_GUARDED_BY(mu_);
   // Round-robin ring of entries with queued work (an unregistered entry
   // stays in the ring until drained). rr_ points at the next entry to
   // inspect, rotated after every dequeue for cross-model fairness.
-  std::vector<std::shared_ptr<ModelEntry>> active_;
-  size_t rr_ = 0;
-  int64_t queued_total_ = 0;
-  Phase phase_ = Phase::running;
+  std::vector<std::shared_ptr<ModelEntry>> active_ NB_GUARDED_BY(mu_);
+  size_t rr_ NB_GUARDED_BY(mu_) = 0;
+  int64_t queued_total_ NB_GUARDED_BY(mu_) = 0;
+  Phase phase_ NB_GUARDED_BY(mu_) = Phase::running;
   // Bumped on every register/unregister; workers re-check their local
   // session maps against the registry when it changes, so a replaced or
   // removed model's weight panels are released instead of staying pinned
   // for the Engine's lifetime.
   std::atomic<uint64_t> registry_generation_{0};
 
-  mutable std::mutex stats_mu_;
-  int64_t submitted_ = 0, accepted_ = 0, completed_ = 0, failed_ = 0;
-  int64_t rejected_queue_full_ = 0, rejected_deadline_ = 0,
-          rejected_shutdown_ = 0;
-  int64_t dropped_deadline_ = 0, dropped_shutdown_ = 0;
-  int64_t completed_within_deadline_ = 0;
-  int64_t batches_ = 0;
-  double queue_ms_sum_ = 0.0;
+  mutable Mutex stats_mu_;
+  int64_t submitted_ NB_GUARDED_BY(stats_mu_) = 0;
+  int64_t accepted_ NB_GUARDED_BY(stats_mu_) = 0;
+  int64_t completed_ NB_GUARDED_BY(stats_mu_) = 0;
+  int64_t failed_ NB_GUARDED_BY(stats_mu_) = 0;
+  int64_t rejected_queue_full_ NB_GUARDED_BY(stats_mu_) = 0;
+  int64_t rejected_deadline_ NB_GUARDED_BY(stats_mu_) = 0;
+  int64_t rejected_shutdown_ NB_GUARDED_BY(stats_mu_) = 0;
+  int64_t dropped_deadline_ NB_GUARDED_BY(stats_mu_) = 0;
+  int64_t dropped_shutdown_ NB_GUARDED_BY(stats_mu_) = 0;
+  int64_t completed_within_deadline_ NB_GUARDED_BY(stats_mu_) = 0;
+  int64_t batches_ NB_GUARDED_BY(stats_mu_) = 0;
+  double queue_ms_sum_ NB_GUARDED_BY(stats_mu_) = 0.0;
   // Fixed-size ring of the most recent completion latencies.
-  std::vector<double> latency_ring_;
-  size_t ring_next_ = 0;
-  int64_t ring_count_ = 0;
+  std::vector<double> latency_ring_ NB_GUARDED_BY(stats_mu_);
+  size_t ring_next_ NB_GUARDED_BY(stats_mu_) = 0;
+  int64_t ring_count_ NB_GUARDED_BY(stats_mu_) = 0;
 
-  std::mutex lifecycle_mu_;  // serializes join in shutdown()
-  std::vector<std::thread> workers_;
+  Mutex lifecycle_mu_;  // serializes join in shutdown()
+  std::vector<std::thread> workers_ NB_GUARDED_BY(lifecycle_mu_);
 };
 
 }  // namespace nb::runtime

@@ -1,12 +1,13 @@
 #include "runtime/session.h"
 
+#include "export/plan_verify.h"
 #include "tensor/threadpool.h"
 
 namespace nb::runtime {
 
 Session::Session(std::shared_ptr<const CompiledModel> model,
                  SessionOptions options)
-    : model_(std::move(model)), options_(options) {
+    : model_(std::move(model)), options_(std::move(options)) {
   NB_CHECK(model_ != nullptr, "session: null compiled model");
   NB_CHECK(options_.max_cached_plans >= 1,
            "session: max_cached_plans must be >= 1");
@@ -25,6 +26,7 @@ const exporter::InferPlan& Session::plan_for(int64_t batch, int64_t channels,
   if (options_.on_plan_build) options_.on_plan_build(batch);
   plans_.emplace_front(model_->program(), model_->panels(), batch, channels,
                        h, w, model_->backend());
+  if (options_.verify_plans) exporter::check_plan(plans_.front());
   while (plans_.size() > options_.max_cached_plans) {
     plans_.pop_back();
   }

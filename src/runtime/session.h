@@ -40,6 +40,13 @@ struct SessionOptions {
   /// (each distinct input geometry needs one plan).
   size_t max_cached_plans = 4;
 
+  /// Run the static plan verifier (export/plan_verify.h) on every plan this
+  /// session builds, in ANY build type; a violated arena invariant throws a
+  /// typed exporter::PlanVerifyError out of run() before the plan ever
+  /// executes. Debug builds verify at plan construction regardless; this
+  /// opts a Release serving process into the same proof.
+  bool verify_plans = false;
+
   /// Test seam: invoked right before a plan is built for a geometry this
   /// session has not cached (the plan-compile path). Throwing propagates
   /// out of run() exactly like a real planner rejection, so serving-layer

@@ -45,7 +45,7 @@ ThreadPool::ThreadPool(int64_t num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -55,7 +55,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::record_error() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!first_error_) {
     first_error_ = std::current_exception();
   }
@@ -87,7 +87,7 @@ void ThreadPool::run_chunks(uint64_t epoch,
     }
     tls_in_parallel_body = false;
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       done_.notify_all();
     }
     cur = cursor_.load(std::memory_order_acquire);
@@ -101,8 +101,13 @@ void ThreadPool::worker_loop() {
     int64_t total, chunk;
     uint64_t epoch;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      // Explicit wait loop (not the predicate overload): the guarded reads
+      // of stop_/epoch_ sit in a scope the analysis can prove holds mutex_,
+      // which a predicate lambda's operator() cannot express.
+      MutexLock lock(mutex_);
+      while (!stop_ && epoch_ == seen) {
+        wake_.wait(mutex_);
+      }
       if (stop_) return;
       seen = epoch_;
       epoch = epoch_;
@@ -132,10 +137,10 @@ void ThreadPool::parallel_for(
     return;
   }
 
-  std::lock_guard<std::mutex> submit(submit_mutex_);
+  MutexLock submit(submit_mutex_);
   uint64_t epoch;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     first_error_ = nullptr;
     job_fn_ = &fn;
     job_total_ = total;
@@ -150,12 +155,16 @@ void ThreadPool::parallel_for(
 
   run_chunks(epoch, fn, total, chunk);
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_.wait(lock, [&] { return pending_.load(std::memory_order_acquire) == 0; });
-  if (first_error_) {
-    std::exception_ptr err = first_error_;
+  std::exception_ptr err;
+  {
+    MutexLock lock(mutex_);
+    while (pending_.load(std::memory_order_acquire) != 0) {
+      done_.wait(mutex_);
+    }
+    err = first_error_;
     first_error_ = nullptr;
-    lock.unlock();
+  }
+  if (err) {
     std::rethrow_exception(err);
   }
 }

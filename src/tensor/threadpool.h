@@ -8,12 +8,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_safety.h"
 
 namespace nb {
 
@@ -59,22 +59,25 @@ class ThreadPool {
   /// exhausted or a newer job replaces it.
   void run_chunks(uint64_t epoch, const std::function<void(int64_t, int64_t)>& fn,
                   int64_t total, int64_t chunk);
-  void record_error();
+  void record_error() NB_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
 
-  // Job publication. Fields below mutex_ are written by the submitting
-  // thread under mutex_ and snapshotted by workers under the same lock.
-  std::mutex submit_mutex_;  // one job in flight at a time
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
-  uint64_t epoch_ = 0;
-  const std::function<void(int64_t, int64_t)>* job_fn_ = nullptr;
-  int64_t job_total_ = 0;
-  int64_t job_chunk_ = 1;
-  bool stop_ = false;
-  std::exception_ptr first_error_;
+  // Job publication. Fields guarded by mutex_ are written by the submitting
+  // thread under mutex_ and snapshotted by workers under the same lock —
+  // statically enforced via the capability annotations (clang CI builds
+  // with -Wthread-safety -Werror).
+  Mutex submit_mutex_;  // one job in flight at a time
+  Mutex mutex_;
+  CondVar wake_;
+  CondVar done_;
+  uint64_t epoch_ NB_GUARDED_BY(mutex_) = 0;
+  const std::function<void(int64_t, int64_t)>* job_fn_
+      NB_GUARDED_BY(mutex_) = nullptr;
+  int64_t job_total_ NB_GUARDED_BY(mutex_) = 0;
+  int64_t job_chunk_ NB_GUARDED_BY(mutex_) = 1;
+  bool stop_ NB_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ NB_GUARDED_BY(mutex_);
 
   // Chunk handout: the high bits of cursor_ carry the job epoch so a worker
   // holding a stale job snapshot can never claim a chunk of a newer job; the

@@ -3,10 +3,12 @@
 // and failure modes.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <functional>
 #include <iterator>
+#include <limits>
 
 #include "data/task_registry.h"
 #include "export/flat_writer.h"
@@ -376,8 +378,10 @@ TEST(FlatModelIoFuzz, RandomByteFlipsRejectOrLoadCleanly) {
       const FlatModel m =
           FlatModel::load_from_buffer(mutated.data(), mutated.size());
       // A structurally valid mutant must run end to end without fault
-      // (values may of course differ; NaN/Inf scales are data, as are the
-      // weight/bias payload bytes this mostly hits). Probe execution only
+      // (values may of course differ — the weight payload bytes this
+      // mostly hits are data; a flip landing a NaN/Inf into the float
+      // scale/bias tables instead rejects at the finiteness checks, the
+      // other clean outcome). Probe execution only
       // while every geometry field stayed small: a flip can legally inflate
       // pad/stride/channels within the loader's plausibility bounds, and
       // running such a program just burns minutes in giant (but well-
@@ -427,6 +431,37 @@ TEST(FlatModelIoFuzz, RejectsImplausibleGeometryWithoutOverflow) {
   });
   expect_load_rejects("nb_flat_bad_bits.nbm", [](FlatConv& c, FlatLinear&) {
     c.weight_bits = 0;
+  });
+}
+
+TEST(FlatModelIoFuzz, RejectsNonFiniteQuantizationTables) {
+  // Directed int8-era corruptions: the calibration fields (act_scale,
+  // weight_scales, bias) are what the integer backend trusts to requantize
+  // in place, so a NaN/Inf/negative value smuggled into them must die at
+  // load — not first poison activations three convs deep into a serving
+  // process. Each field class, conv and linear sides.
+  constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  expect_load_rejects("nb_flat_neg_ascale.nbm", [](FlatConv& c, FlatLinear&) {
+    c.act_scale = -1.0f;
+  });
+  expect_load_rejects("nb_flat_nan_ascale.nbm", [=](FlatConv& c, FlatLinear&) {
+    c.act_scale = kNan;
+  });
+  expect_load_rejects("nb_flat_inf_ascale.nbm", [=](FlatConv&, FlatLinear& l) {
+    l.act_scale = kInf;
+  });
+  expect_load_rejects("nb_flat_nan_wscale.nbm", [=](FlatConv& c, FlatLinear&) {
+    c.weight_scales.back() = kNan;
+  });
+  expect_load_rejects("nb_flat_inf_wscale.nbm", [=](FlatConv&, FlatLinear& l) {
+    l.weight_scales.front() = kInf;
+  });
+  expect_load_rejects("nb_flat_inf_bias.nbm", [=](FlatConv& c, FlatLinear&) {
+    c.bias.front() = -kInf;
+  });
+  expect_load_rejects("nb_flat_nan_lbias.nbm", [=](FlatConv&, FlatLinear& l) {
+    l.bias.back() = kNan;
   });
 }
 

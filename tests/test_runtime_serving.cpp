@@ -824,5 +824,50 @@ TEST(EngineOverload, ShedsTypedKeepsAcceptedTailBoundedAndDrains) {
                                done.dropped_deadline + done.dropped_shutdown);
 }
 
+TEST(EngineConcurrency, StartupTrafficShutdownHammer) {
+  // Regression for the lock-discipline bug the thread-safety annotation
+  // pass flagged: the Engine constructor populated lifecycle_mu_-guarded
+  // workers_ and stats_mu_-guarded latency_ring_ with no lock held, racing
+  // the worker threads it had already spawned (which take stats_mu_ in
+  // record_batch on their first completion). Repeatedly build an Engine and
+  // throw traffic + stats readers at it immediately, so the construction
+  // window overlaps worker activity — under TSan this is the schedule that
+  // caught the original bug, and it also drives every branch of the
+  // restructured worker_loop (wait, batch, drain-return).
+  const auto model = CompiledModel::compile(small_graph(116));
+  for (int round = 0; round < 6; ++round) {
+    EngineOptions opts;
+    opts.workers = 2;
+    opts.batching.max_wait_us = 50;
+    Engine engine(opts);
+    engine.register_model("m", model);
+
+    std::atomic<bool> stop{false};
+    std::thread reader([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const Engine::Stats st = engine.stats();
+        EXPECT_GE(st.submitted, st.completed);
+        (void)engine.model_names();
+      }
+    });
+
+    std::vector<std::future<Tensor>> futures;
+    futures.reserve(12);
+    for (int i = 0; i < 12; ++i) {
+      futures.push_back(engine.submit(
+          "m", random_input(600 + static_cast<uint64_t>(i), {3, 16, 16})));
+    }
+    for (auto& f : futures) {
+      EXPECT_EQ(f.get().size(1), 10);
+    }
+    engine.shutdown(DrainPolicy::drain);
+    stop.store(true, std::memory_order_release);
+    reader.join();
+    const Engine::Stats st = engine.stats();
+    EXPECT_EQ(st.completed, 12);
+    EXPECT_EQ(st.failed, 0);
+  }
+}
+
 }  // namespace
 }  // namespace nb::runtime

@@ -1,0 +1,104 @@
+// Runtime semantics of the annotated locking primitives in
+// src/util/thread_safety.h. The capability annotations themselves are
+// proven by clang (-Wthread-safety -Werror via tools/check_thread_safety.sh);
+// this test proves the wrappers still BEHAVE like the std primitives they
+// wrap — mutual exclusion, scoped release, try_lock, and cond-var wakeup —
+// under gcc and TSan where the attributes compile to nothing.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/thread_safety.h"
+
+namespace nb {
+namespace {
+
+// The canonical capability-annotated class from the header's doc block.
+class Account {
+ public:
+  void deposit(int amount) NB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance() const NB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int balance_ NB_GUARDED_BY(mu_) = 0;
+};
+
+TEST(ThreadSafety, MutexLockGivesMutualExclusion) {
+  Account account;
+  constexpr int kThreads = 4;
+  constexpr int kDeposits = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&account] {
+      for (int i = 0; i < kDeposits; ++i) account.deposit(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(account.balance(), kThreads * kDeposits);
+}
+
+TEST(ThreadSafety, TryLockRespectsHolder) {
+  Mutex mu;
+  ASSERT_TRUE(mu.try_lock());
+  // A DIFFERENT thread must fail to acquire while we hold it (try_lock
+  // from the owning thread would be UB on a non-recursive mutex).
+  bool other_acquired = true;
+  std::thread prober([&] {
+    other_acquired = mu.try_lock();
+    if (other_acquired) mu.unlock();
+  });
+  prober.join();
+  EXPECT_FALSE(other_acquired);
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(ThreadSafety, CondVarWakesExplicitWhileLoopWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;  // NB_GUARDED_BY(mu) in spirit; local to the test
+  int observed = 0;
+
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+    observed = 42;
+  });
+
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(ThreadSafety, CondVarWaitUntilTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  // Nobody notifies: the wait must return once the deadline passes instead
+  // of blocking forever (the Engine's batching window relies on this).
+  while (std::chrono::steady_clock::now() < deadline) {
+    cv.wait_until(mu, deadline);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace nb

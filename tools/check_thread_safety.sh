@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Proves the clang thread-safety capability analysis in BOTH directions:
+#
+#   1. every TU under src/ front-end-compiles clean with
+#      -Wthread-safety -Werror (the tree's locking discipline holds);
+#   2. the negative probe (tools/probes/thread_safety_probe.cpp) FAILS to
+#      compile when its seeded violations are enabled — i.e. removing a
+#      lock around an NB_REQUIRES call really is a compile error, so the
+#      green result from (1) is meaningful and the analysis is not
+#      silently disabled.
+#
+# The analysis runs entirely in the clang frontend, so -fsyntax-only is
+# enough — no link, no objects, fast enough for a per-PR CI leg. Under
+# GCC the annotations are no-ops (see src/util/thread_safety.h); this
+# script requires clang++ and exits 0 with a notice when it is absent so
+# gcc-only dev boxes aren't blocked.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CXX="${CLANGXX:-clang++}"
+
+if ! command -v "$CXX" >/dev/null 2>&1; then
+  echo "check_thread_safety: ${CXX} not found; skipping (analysis is clang-only)"
+  exit 0
+fi
+
+# -Wno-everything then -Wthread-safety: later flags win in clang, so ONLY
+# the thread-safety group is live — this leg checks lock discipline, the
+# gcc/tidy legs own everything else.
+FLAGS=(-std=c++20 -fsyntax-only "-I${ROOT}/src"
+       -Wno-everything -Wthread-safety -Werror)
+
+fail=0
+
+echo "== leg 1: src/ tree must be -Wthread-safety clean =="
+while IFS= read -r tu; do
+  extra=()
+  case "$tu" in
+    *_avx2.cpp) extra=(-mavx2) ;;
+  esac
+  if ! "$CXX" "${FLAGS[@]}" "${extra[@]}" "$tu"; then
+    echo "check_thread_safety: FAIL (thread-safety warning): $tu"
+    fail=1
+  fi
+done < <(find "${ROOT}/src" -name '*.cpp' | sort)
+
+echo "== leg 2: probe compiles clean, seeded violations must NOT =="
+PROBE="${ROOT}/tools/probes/thread_safety_probe.cpp"
+if ! "$CXX" "${FLAGS[@]}" "$PROBE"; then
+  echo "check_thread_safety: FAIL: probe should compile clean as-is"
+  fail=1
+fi
+if "$CXX" "${FLAGS[@]}" -DNB_TS_PROBE_BREAK "$PROBE" 2>/dev/null; then
+  echo "check_thread_safety: FAIL: seeded lock-discipline violations" \
+       "compiled — the analysis is not actually running"
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_thread_safety: FAILED"
+  exit 1
+fi
+echo "check_thread_safety: OK (tree clean, violations rejected)"

@@ -7,7 +7,12 @@
 //
 // Usage: flat_infer <model.nbfm> [--batch N] [--res R]
 //                   [--backend fast|int8|reference] [--repeat K]
-//                   [--sessions N] [--threads T]
+//                   [--sessions N] [--threads T] [--verify]
+//   --verify   runs the static plan verifier (export/plan_verify.h) over
+//              the built plan and prints each proven invariant (dataflow,
+//              live-range disjointness, bounds, epilogue legality, exact
+//              arena(batch) == batch*arena(1) scaling); exits nonzero if
+//              any obligation fails.
 //   --res      defaults to the resolution recorded in the artifact header.
 //   --backend  fast (float over dequantized panels), int8 (true integer
 //              path: quantized activations + packed s8 GEMM with fused
@@ -35,6 +40,7 @@
 
 #include "export/flat_model.h"
 #include "export/infer_plan.h"
+#include "export/plan_verify.h"
 #include "runtime/compiled_model.h"
 #include "runtime/percentile.h"
 #include "runtime/session.h"
@@ -55,11 +61,14 @@ int main(int argc, char** argv) {
   int repeat = 10;
   int64_t sessions = 1;
   int64_t threads = 0;  // 0 = leave the global pool as NB_THREADS sized it
+  bool verify = false;
   Backend backend = Backend::fast;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--batch" && i + 1 < argc) {
       batch = std::atoll(argv[++i]);
+    } else if (arg == "--verify") {
+      verify = true;
     } else if (arg == "--res" && i + 1 < argc) {
       res = std::atoll(argv[++i]);
     } else if (arg == "--repeat" && i + 1 < argc) {
@@ -86,7 +95,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: flat_infer <model.nbfm> [--batch N] [--res R] "
                    "[--backend fast|int8|reference] [--repeat K] "
-                   "[--sessions N] [--threads T]\n");
+                   "[--sessions N] [--threads T] [--verify]\n");
       return 2;
     }
   }
@@ -154,6 +163,35 @@ int main(int argc, char** argv) {
                 "kernel %s)\n",
                 static_cast<long long>(st.arena_int8_bytes),
                 gemm_s8_kernel_name());
+  }
+
+  if (verify) {
+    // Static proof over the built plan's tables, plus the exact-batch-
+    // scaling check against a freshly planned batch-1 twin.
+    VerifyReport report = verify_plan(plan);
+    if (report.ok() && batch > 1) {
+      const InferPlan unit(model, model.compiled_panels(), 1, channels, res,
+                           res, plan_backend);
+      VerifyReport scale =
+          verify_batch_scaling(plan_tables(plan), plan_tables(unit));
+      report.proved.insert(report.proved.end(), scale.proved.begin(),
+                           scale.proved.end());
+      report.findings.insert(report.findings.end(), scale.findings.begin(),
+                             scale.findings.end());
+    }
+    if (!report.ok()) {
+      for (const PlanFinding& f : report.findings) {
+        std::fprintf(stderr, "verify:       FAILED [%s%s%s] %s\n",
+                     to_string(f.diag), f.step >= 0 ? " @ step " : "",
+                     f.step >= 0 ? std::to_string(f.step).c_str() : "",
+                     f.detail.c_str());
+      }
+      ThreadPool::set_global_override(nullptr);
+      return 1;
+    }
+    for (const std::string& p : report.proved) {
+      std::printf("verify:       proven — %s\n", p.c_str());
+    }
   }
 
   Rng rng(1);

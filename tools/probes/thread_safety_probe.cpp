@@ -1,0 +1,78 @@
+// Negative-compile probe for the clang thread-safety analysis
+// (tools/check_thread_safety.sh). Compiled twice with
+// -Wthread-safety -Werror:
+//
+//   * as-is               — must compile CLEAN (the locking is correct);
+//   * -DNB_TS_PROBE_BREAK — must FAIL: the guarded member is touched and
+//     an NB_REQUIRES function is called with no lock held, exactly the
+//     bug class the annotations in src/runtime and src/tensor exist to
+//     make unrepresentable.
+//
+// If the broken variant ever compiles, the analysis is silently off
+// (wrong compiler, macro shim regressed, flags dropped) and the CI leg
+// proves nothing — so the script fails loudly on that case. This file is
+// deliberately outside the tools/*.cpp executable glob: it has no main
+// and never links.
+#include "util/thread_safety.h"
+
+namespace nb::probe {
+
+class Account {
+ public:
+  void deposit(int amount) NB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    deposit_locked(amount);
+  }
+
+  int balance() const NB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return balance_;
+  }
+
+  void deposit_locked(int amount) NB_REQUIRES(mu_) { balance_ += amount; }
+
+ private:
+  mutable Mutex mu_;
+  int balance_ NB_GUARDED_BY(mu_) = 0;
+};
+
+int use(Account& account) {
+  account.deposit(1);
+#if defined(NB_TS_PROBE_BREAK)
+  // The seeded violation: NB_REQUIRES callee invoked bare. Must be a
+  // -Wthread-safety-analysis error.
+  account.deposit_locked(1);
+#endif
+  return account.balance();
+}
+
+// The manual lock()/unlock() idiom Engine::worker_loop uses across its
+// loop back-edge: legal as long as the lock state is consistent at every
+// join point, which the analysis checks.
+class Queue {
+ public:
+  void drain() NB_EXCLUDES(mu_) {
+    mu_.lock();
+    while (pending_ > 0) {
+      while (pending_ == 0) cv_.wait(mu_);
+      --pending_;
+      mu_.unlock();
+      // ...work outside the lock...
+      mu_.lock();
+    }
+#if defined(NB_TS_PROBE_BREAK)
+    // Second seeded violation: returning with the capability still held.
+    return;
+#endif
+    mu_.unlock();
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  int pending_ NB_GUARDED_BY(mu_) = 0;
+};
+
+void use_queue(Queue& q) { q.drain(); }
+
+}  // namespace nb::probe

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# clang-tidy over the production tree (src/), using the curated profile in
+# .clang-tidy. Any finding fails the run (WarningsAsErrors: '*'), so the
+# merged tree must stay tidy-clean; the report is written to a file the CI
+# job uploads as an artifact.
+#
+# Usage:
+#   tools/run_tidy.sh [build-dir]      # default build dir: build
+#   tools/run_tidy.sh --self-test      # prove tidy catches a seeded
+#                                      # bugprone-use-after-move, i.e. the
+#                                      # green run is not vacuous
+#
+# Needs a configured build dir with compile_commands.json (the root
+# CMakeLists exports it unconditionally). Exits 0 with a notice when
+# clang-tidy is absent so gcc-only dev boxes aren't blocked — CI installs
+# it and the job fails there if it goes missing.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+TIDY="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_tidy: ${TIDY} not found; skipping"
+  exit 0
+fi
+
+if [ "${1:-}" = "--self-test" ]; then
+  # Feed tidy a textbook use-after-move; if it comes back clean the tool,
+  # profile, or WarningsAsErrors wiring is broken and every green run is
+  # meaningless.
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  cat > "${tmp}/use_after_move.cpp" <<'EOF'
+#include <string>
+#include <utility>
+std::size_t probe() {
+  std::string s = "seeded bugprone-use-after-move";
+  std::string t = std::move(s);
+  return s.size() + t.size();  // use of moved-from `s`
+}
+EOF
+  if "$TIDY" --quiet "--config-file=${ROOT}/.clang-tidy" \
+      "${tmp}/use_after_move.cpp" -- -std=c++20 >"${tmp}/out.txt" 2>&1; then
+    echo "run_tidy: SELF-TEST FAILED — seeded use-after-move not flagged:"
+    cat "${tmp}/out.txt"
+    exit 1
+  fi
+  if ! grep -q "bugprone-use-after-move" "${tmp}/out.txt"; then
+    echo "run_tidy: SELF-TEST FAILED — tidy errored without the expected check:"
+    cat "${tmp}/out.txt"
+    exit 1
+  fi
+  echo "run_tidy: self-test OK (seeded use-after-move rejected)"
+  exit 0
+fi
+
+BUILD_DIR="${1:-${ROOT}/build}"
+DB="${BUILD_DIR}/compile_commands.json"
+if [ ! -f "$DB" ]; then
+  echo "run_tidy: ${DB} not found — configure first:"
+  echo "  cmake -B ${BUILD_DIR} -S ${ROOT}"
+  exit 1
+fi
+
+REPORT="${TIDY_REPORT:-${BUILD_DIR}/clang-tidy-report.txt}"
+: > "$REPORT"
+
+# Only first-party TUs that are IN the compile database (generated/AVX2
+# variants keep their per-file flags that way).
+mapfile -t TUS < <(python3 - "$DB" "$ROOT" <<'EOF'
+import json, os, sys
+db, root = sys.argv[1], os.path.realpath(sys.argv[2])
+src = os.path.join(root, "src") + os.sep
+files = sorted({os.path.realpath(e["file"]) for e in json.load(open(db))})
+for f in files:
+    if f.startswith(src) and f.endswith(".cpp"):
+        print(f)
+EOF
+)
+if [ "${#TUS[@]}" -eq 0 ]; then
+  echo "run_tidy: no src/ TUs found in ${DB}" | tee -a "$REPORT"
+  exit 1
+fi
+
+echo "run_tidy: checking ${#TUS[@]} TUs (report: ${REPORT})"
+fail=0
+for tu in "${TUS[@]}"; do
+  if ! "$TIDY" --quiet -p "$BUILD_DIR" "$tu" >>"$REPORT" 2>&1; then
+    echo "run_tidy: findings in ${tu}"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "run_tidy: FAILED — see ${REPORT}"
+  exit 1
+fi
+echo "run_tidy: OK (no findings)"
