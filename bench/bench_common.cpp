@@ -42,6 +42,7 @@ train::TrainConfig pretrain_config(const Scale& s) {
   // (and its BN recalibration pass) cuts a double-digit share of the wall
   // clock. The trainer always evaluates after the last epoch.
   c.eval_every = 0;
+  c.data_workers = s.data_workers;
   return c;
 }
 

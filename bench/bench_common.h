@@ -26,6 +26,11 @@ struct Scale {
   int64_t tune_epochs = 4;         // stage-2 budget
   int64_t detect_epochs = 8;
   uint64_t seed = 1;
+  /// Decode/augment workers for every training run the bench launches
+  /// (TrainConfig::data_workers). The pipeline's determinism mode keeps
+  /// batches bitwise-identical to the synchronous loader, so a bench can
+  /// turn this on for wall-clock only — the table values do not move.
+  int64_t data_workers = 0;
 };
 
 /// Reads NB_BENCH_SCALE (fast | standard | full); default standard.

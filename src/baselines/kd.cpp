@@ -1,6 +1,7 @@
 #include "baselines/kd.h"
 
 #include <cmath>
+#include <memory>
 
 #include "data/dataloader.h"
 #include "nn/init.h"
@@ -159,9 +160,15 @@ train::TrainHistory train_rocket(models::MobileNetV2& light,
   boost_fc->bias().value.zero();
   auto light_pool = std::make_shared<nn::GlobalAvgPool>();
 
-  data::DataLoader loader(train_set, config.batch_size, /*shuffle=*/true,
-                          config.augment, config.seed);
-  const int64_t steps_per_epoch = loader.num_batches();
+  data::LoaderOptions loader_opts;
+  loader_opts.batch_size = config.batch_size;
+  loader_opts.shuffle = true;
+  loader_opts.augment = config.augment;
+  loader_opts.seed = config.seed;
+  loader_opts.workers = config.data_workers;
+  const std::unique_ptr<data::BatchSource> loader =
+      data::make_loader(train_set, loader_opts);
+  const int64_t steps_per_epoch = loader->num_batches();
   const int64_t total_steps = steps_per_epoch * config.epochs;
 
   std::vector<nn::Parameter*> params = light.parameters();
@@ -182,12 +189,12 @@ train::TrainHistory train_rocket(models::MobileNetV2& light,
     light.set_training(true);
     boost_head->set_training(true);
     boost_fc->set_training(true);
-    loader.start_epoch();
+    loader->start_epoch();
     data::Batch batch;
     double loss_sum = 0.0;
     double acc_sum = 0.0;
     int64_t batches = 0;
-    while (loader.next(batch)) {
+    while (loader->next(batch)) {
       sgd.set_lr(schedule.lr_at(step));
       zero_all();
 

@@ -2,7 +2,26 @@
 
 #include <numeric>
 
+#include "data/mix_augment.h"
+#include "data/pipeline.h"
+#include "data/sample_rng.h"
+
 namespace nb::data {
+
+void apply_batch_mix(Batch& batch, const MixPolicy& policy, Rng& rng) {
+  batch.labels_b.clear();
+  batch.mix_lam = 1.0f;
+  if (!policy.enabled()) return;
+  const bool have_both = policy.mixup_alpha > 0.0f && policy.cutmix_alpha > 0.0f;
+  const bool use_cutmix =
+      policy.cutmix_alpha > 0.0f && (!have_both || rng.bernoulli(0.5f));
+  const MixResult mix =
+      use_cutmix
+          ? cutmix_batch(batch.images, batch.labels, policy.cutmix_alpha, rng)
+          : mixup_batch(batch.images, batch.labels, policy.mixup_alpha, rng);
+  batch.labels_b = mix.labels_b;
+  batch.mix_lam = mix.lam;
+}
 
 DataLoader::DataLoader(const ClassificationDataset& dataset,
                        int64_t batch_size, bool shuffle, bool augment,
@@ -11,10 +30,18 @@ DataLoader::DataLoader(const ClassificationDataset& dataset,
       batch_size_(batch_size),
       shuffle_(shuffle),
       augment_(augment),
-      rng_(seed, 5),
+      base_seed_(seed),
+      order_rng_(seed, 5),
       order_(static_cast<size_t>(dataset.size())) {
   NB_CHECK(batch_size > 0, "batch size must be positive");
   std::iota(order_.begin(), order_.end(), 0);
+}
+
+DataLoader::DataLoader(const ClassificationDataset& dataset,
+                       const LoaderOptions& opts)
+    : DataLoader(dataset, opts.batch_size, opts.shuffle, opts.augment,
+                 opts.seed) {
+  mix_ = opts.mix;
 }
 
 int64_t DataLoader::num_batches() const {
@@ -22,8 +49,13 @@ int64_t DataLoader::num_batches() const {
 }
 
 void DataLoader::start_epoch() {
-  if (shuffle_) rng_.shuffle(order_);
+  if (shuffle_) order_rng_.shuffle(order_);
   cursor_ = 0;
+  ++epoch_;
+  // All augmentation randomness this epoch derives from (epoch_seed_,
+  // sample identity) — never from draw order — so the parallel pipeline
+  // can reproduce it exactly (see data/sample_rng.h).
+  epoch_seed_ = derive_epoch_seed(base_seed_, epoch_);
 }
 
 bool DataLoader::next(Batch& out) {
@@ -36,29 +68,27 @@ bool DataLoader::next(Batch& out) {
   for (int64_t i = 0; i < n; ++i) {
     const int64_t idx = order_[static_cast<size_t>(cursor_ + i)];
     Tensor img = dataset_.image(idx);
-    if (augment_) augment_standard_(img, rng_);
+    if (augment_) {
+      Rng sample_rng = make_sample_rng(epoch_seed_, idx);
+      augment_standard_(img, sample_rng);
+    }
     std::copy(img.data(), img.data() + img.numel(),
               out.images.data() + i * img.numel());
     out.labels[static_cast<size_t>(i)] = dataset_.label(idx);
   }
+  const int64_t batch_index = cursor_ / batch_size_;
   cursor_ += n;
+  Rng batch_rng = make_batch_rng(epoch_seed_, batch_index);
+  apply_batch_mix(out, mix_, batch_rng);
   return true;
 }
 
-Batch full_batch(const ClassificationDataset& dataset) {
-  const int64_t n = dataset.size();
-  const int64_t c = dataset.channels();
-  const int64_t r = dataset.resolution();
-  Batch b;
-  b.images = Tensor({n, c, r, r});
-  b.labels.resize(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) {
-    const Tensor img = dataset.image(i);
-    std::copy(img.data(), img.data() + img.numel(),
-              b.images.data() + i * img.numel());
-    b.labels[static_cast<size_t>(i)] = dataset.label(i);
+std::unique_ptr<BatchSource> make_loader(const ClassificationDataset& dataset,
+                                         const LoaderOptions& opts) {
+  if (opts.workers > 0) {
+    return std::make_unique<PipelineLoader>(dataset, opts);
   }
-  return b;
+  return std::make_unique<DataLoader>(dataset, opts);
 }
 
 }  // namespace nb::data

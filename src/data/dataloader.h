@@ -1,5 +1,12 @@
-// Mini-batch iterator over a ClassificationDataset with shuffling and
-// optional train-time augmentation.
+// Mini-batch iteration over a ClassificationDataset.
+//
+// Two implementations share one surface (BatchSource): the synchronous
+// single-threaded DataLoader below, and the prefetching PipelineLoader in
+// data/pipeline.h. Both derive every stochastic decision from the
+// per-sample / per-batch seeded RNG API in data/sample_rng.h, so for the
+// same (seed, start_epoch history) they produce bitwise-identical batches
+// — the pipeline at any worker count reproduces the synchronous loader
+// exactly. Construct either through make_loader().
 #pragma once
 
 #include <memory>
@@ -13,34 +20,94 @@ namespace nb::data {
 struct Batch {
   Tensor images;                 // [B, C, H, W]
   std::vector<int64_t> labels;   // B entries
+  // Filled when the loader applied a batch-level mix augmentation
+  // (MixPolicy): labels_b[i] is the label of the partner blended into
+  // image i, mix_lam the weight of the original image. labels_b is empty
+  // and mix_lam == 1 for unmixed batches.
+  std::vector<int64_t> labels_b;
+  float mix_lam = 1.0f;
+
+  bool mixed() const { return !labels_b.empty() && mix_lam < 1.0f; }
 };
 
-class DataLoader {
+/// Batch-level mixup/cutmix applied by the loader itself (so it runs inside
+/// the pipeline's decode workers, not on the consumer thread). When both
+/// alphas are set, each batch picks one of the two at random — the same
+/// policy the Trainer historically applied inline.
+struct MixPolicy {
+  float mixup_alpha = 0.0f;   // Beta(alpha, alpha) mixup when > 0
+  float cutmix_alpha = 0.0f;  // CutMix when > 0
+  bool enabled() const { return mixup_alpha > 0.0f || cutmix_alpha > 0.0f; }
+};
+
+/// Applies `policy` to a filled batch using the given per-batch RNG.
+/// Shared by DataLoader and PipelineLoader so the two agree bitwise.
+void apply_batch_mix(Batch& batch, const MixPolicy& policy, Rng& rng);
+
+/// The loader surface the training loops iterate: start_epoch() then
+/// next() until it returns false. Epochs are restartable at any point —
+/// start_epoch() mid-epoch abandons the rest of the current one.
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+
+  /// Number of batches per epoch (last partial batch included).
+  virtual int64_t num_batches() const = 0;
+  virtual int64_t batch_size() const = 0;
+
+  /// Reshuffles (if enabled) and resets the cursor.
+  virtual void start_epoch() = 0;
+
+  /// Fills `out`; returns false when the epoch is exhausted.
+  virtual bool next(Batch& out) = 0;
+};
+
+/// Configuration shared by both loader implementations.
+struct LoaderOptions {
+  int64_t batch_size = 32;
+  bool shuffle = false;
+  bool augment = false;
+  uint64_t seed = 11;
+  MixPolicy mix;
+  /// 0 = synchronous DataLoader; > 0 = PipelineLoader with that many
+  /// decode/augment workers.
+  int64_t workers = 0;
+  /// Pipeline only: deliver batches in epoch order (bitwise-equal to the
+  /// synchronous loader). false delivers in completion order — lower
+  /// latency jitter, same batch *contents*, possibly permuted sequence.
+  bool deterministic = true;
+  /// Pipeline only: depth of the bounded batch pool (2 = double buffer).
+  int64_t buffers = 2;
+};
+
+class DataLoader : public BatchSource {
  public:
   DataLoader(const ClassificationDataset& dataset, int64_t batch_size,
              bool shuffle, bool augment, uint64_t seed = 11);
+  DataLoader(const ClassificationDataset& dataset, const LoaderOptions& opts);
 
-  /// Number of batches per epoch (last partial batch included).
-  int64_t num_batches() const;
-  int64_t batch_size() const { return batch_size_; }
-
-  /// Reshuffles (if enabled) and resets the cursor.
-  void start_epoch();
-
-  /// Fills `out`; returns false when the epoch is exhausted.
-  bool next(Batch& out);
+  int64_t num_batches() const override;
+  int64_t batch_size() const override { return batch_size_; }
+  void start_epoch() override;
+  bool next(Batch& out) override;
 
  private:
   const ClassificationDataset& dataset_;
   int64_t batch_size_;
   bool shuffle_;
   bool augment_;
-  Rng rng_;
+  MixPolicy mix_;
+  uint64_t base_seed_;
+  Rng order_rng_;  // drives ONLY the shuffle; samples seed their own RNGs
   std::vector<int64_t> order_;
   int64_t cursor_ = 0;
+  int64_t epoch_ = -1;
+  uint64_t epoch_seed_ = 0;
 };
 
-/// Materializes the whole dataset as one batch (for evaluation).
-Batch full_batch(const ClassificationDataset& dataset);
+/// Builds the loader the options ask for: a synchronous DataLoader when
+/// opts.workers == 0, a PipelineLoader otherwise.
+std::unique_ptr<BatchSource> make_loader(const ClassificationDataset& dataset,
+                                         const LoaderOptions& opts);
 
 }  // namespace nb::data

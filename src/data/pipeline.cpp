@@ -1,0 +1,333 @@
+#include "data/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "data/sample_rng.h"
+
+namespace nb::data {
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+PipelineLoader::PipelineLoader(const ClassificationDataset& dataset,
+                               const LoaderOptions& opts)
+    : dataset_(dataset),
+      opts_(opts),
+      epoch_batches_total_((dataset.size() + opts.batch_size - 1) /
+                           opts.batch_size),
+      order_rng_(opts.seed, 5) {
+  NB_CHECK(opts_.batch_size > 0, "batch size must be positive");
+  NB_CHECK(opts_.workers > 0, "PipelineLoader needs at least one worker");
+  NB_CHECK(opts_.buffers > 0, "PipelineLoader needs at least one buffer");
+  {
+    // Guarded members are populated under the lock BEFORE any thread is
+    // spawned (the Engine ctor once raced exactly this initialization).
+    MutexLock lock(mu_);
+    order_.resize(static_cast<size_t>(dataset.size()));
+    std::iota(order_.begin(), order_.end(), 0);
+    slots_.resize(static_cast<size_t>(opts_.buffers));
+    for (int32_t i = 0; i < static_cast<int32_t>(slots_.size()); ++i) {
+      free_slots_.push_back(i);
+    }
+  }
+  reader_ = std::thread(&PipelineLoader::reader_loop, this);
+  pool_.reserve(static_cast<size_t>(opts_.workers));
+  for (int64_t w = 0; w < opts_.workers; ++w) {
+    pool_.emplace_back(&PipelineLoader::worker_loop, this);
+  }
+}
+
+PipelineLoader::~PipelineLoader() {
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+    tickets_.clear();
+    ticket_cv_.notify_all();
+    free_cv_.notify_all();
+    ready_cv_.notify_all();
+  }
+  reader_.join();
+  for (std::thread& t : pool_) t.join();
+}
+
+int64_t PipelineLoader::num_batches() const { return epoch_batches_total_; }
+
+void PipelineLoader::rethrow_error() {
+  std::exception_ptr err = error_;
+  std::rethrow_exception(err);
+}
+
+void PipelineLoader::quiesce() {
+  // Invalidate the in-flight epoch: pending tickets are dropped, in-flight
+  // decodes land against a dead generation (their slot writes are harmless
+  // — the slot is only reused after they finish), and the reader parks.
+  ++generation_;
+  epoch_active_ = false;
+  tickets_.clear();
+  free_cv_.notify_all();
+  while (!reader_idle_ || inflight_ > 0) idle_cv_.wait(mu_);
+  free_slots_.clear();
+  for (int32_t i = 0; i < static_cast<int32_t>(slots_.size()); ++i) {
+    Slot& slot = slots_[static_cast<size_t>(i)];
+    slot.seq = -1;
+    slot.count = 0;
+    slot.remaining = 0;
+    slot.ready = false;
+    slot.in_use = false;
+    free_slots_.push_back(i);
+  }
+}
+
+void PipelineLoader::start_epoch() {
+  MutexLock lock(mu_);
+  if (error_) rethrow_error();
+  quiesce();
+  ++epoch_;
+  if (opts_.shuffle) order_rng_.shuffle(order_);
+  epoch_seed_ = derive_epoch_seed(opts_.seed, epoch_);
+  produce_seq_ = 0;
+  delivered_ = 0;
+  next_deliver_seq_ = 0;
+  epoch_active_ = true;
+  ++stats_.epochs_started;
+  if (first_epoch_start_s_ < 0.0) first_epoch_start_s_ = now_s();
+  free_cv_.notify_all();  // wake the parked reader
+}
+
+bool PipelineLoader::next(Batch& out) {
+  MutexLock lock(mu_);
+  if (error_) rethrow_error();
+  if (!epoch_active_ || delivered_ >= epoch_batches_total_) return false;
+
+  // Wait for the batch to deliver: in deterministic mode the slot carrying
+  // exactly seq == next_deliver_seq_, otherwise any ready slot (lowest seq
+  // among the ready ones, to keep the sequence nearly sorted).
+  const uint64_t gen = generation_;
+  int32_t found = -1;
+  const double wait_start = now_s();
+  for (;;) {
+    if (error_) {
+      stats_.consumer_stall_ms += 1e3 * (now_s() - wait_start);
+      rethrow_error();
+    }
+    int64_t best_seq = -1;
+    for (int32_t i = 0; i < static_cast<int32_t>(slots_.size()); ++i) {
+      const Slot& slot = slots_[static_cast<size_t>(i)];
+      if (!slot.ready || slot.generation != gen) continue;
+      if (opts_.deterministic) {
+        if (slot.seq == next_deliver_seq_) {
+          found = i;
+          break;
+        }
+      } else if (best_seq < 0 || slot.seq < best_seq) {
+        best_seq = slot.seq;
+        found = i;
+      }
+    }
+    if (found >= 0) break;
+    ready_cv_.wait(mu_);
+  }
+  stats_.consumer_stall_ms += 1e3 * (now_s() - wait_start);
+
+  Slot& slot = slots_[static_cast<size_t>(found)];
+  std::swap(out.images, slot.batch.images);
+  out.labels.swap(slot.batch.labels);
+  out.labels_b.swap(slot.batch.labels_b);
+  out.mix_lam = slot.batch.mix_lam;
+  slot.seq = -1;
+  slot.ready = false;
+  slot.in_use = false;
+  free_slots_.push_back(found);
+  free_cv_.notify_all();
+
+  ++delivered_;
+  ++next_deliver_seq_;
+  ++stats_.batches_delivered;
+  if (first_epoch_start_s_ >= 0.0) {
+    const double elapsed = now_s() - first_epoch_start_s_;
+    if (elapsed > 0.0) {
+      stats_.batches_per_s =
+          static_cast<double>(stats_.batches_delivered) / elapsed;
+    }
+  }
+  if (delivered_ >= epoch_batches_total_) epoch_active_ = false;
+  return true;
+}
+
+PipelineStats PipelineLoader::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+void PipelineLoader::reader_loop() {
+  mu_.lock();
+  while (!shutdown_) {
+    if (!epoch_active_ || produce_seq_ >= epoch_batches_total_ ||
+        error_ != nullptr) {
+      reader_idle_ = true;
+      idle_cv_.notify_all();
+      free_cv_.wait(mu_);
+      continue;
+    }
+    reader_idle_ = false;
+
+    // Claim a free batch slot — this wait IS the backpressure: with every
+    // buffer in flight the reader (and thus ticket production) stalls.
+    const uint64_t gen = generation_;
+    const double wait_start = now_s();
+    while (!shutdown_ && generation_ == gen && free_slots_.empty()) {
+      free_cv_.wait(mu_);
+    }
+    stats_.reader_stall_ms += 1e3 * (now_s() - wait_start);
+    if (shutdown_ || generation_ != gen) continue;
+
+    const int32_t sid = free_slots_.front();
+    free_slots_.pop_front();
+    Slot& slot = slots_[static_cast<size_t>(sid)];
+    const int64_t seq = produce_seq_++;
+    const int64_t base = seq * opts_.batch_size;
+    const int64_t count = std::min(opts_.batch_size, dataset_.size() - base);
+    slot.seq = seq;
+    slot.count = count;
+    slot.remaining = count;
+    slot.generation = gen;
+    slot.ready = false;
+    slot.in_use = true;
+    const uint64_t seed = epoch_seed_;
+
+    // Size the buffer outside the lock (the slot is exclusively ours until
+    // its tickets exist): (re)allocation only actually happens for the
+    // first `buffers` batches and the partial tail — steady-state swaps
+    // recycle the consumer's previous full-size tensor.
+    mu_.unlock();
+    const int64_t c = dataset_.channels();
+    const int64_t r = dataset_.resolution();
+    if (slot.batch.images.dim() != 4 || slot.batch.images.size(0) != count ||
+        slot.batch.images.size(1) != c || slot.batch.images.size(2) != r ||
+        slot.batch.images.size(3) != r) {
+      slot.batch.images = Tensor({count, c, r, r});
+    }
+    slot.batch.labels.assign(static_cast<size_t>(count), 0);
+    slot.batch.labels_b.clear();
+    slot.batch.mix_lam = 1.0f;
+    mu_.lock();
+
+    if (shutdown_ || generation_ != gen) {
+      // Epoch cancelled while sizing: hand the slot back and park.
+      slot.seq = -1;
+      slot.remaining = 0;
+      slot.in_use = false;
+      free_slots_.push_back(sid);
+      continue;
+    }
+    for (int64_t i = 0; i < count; ++i) {
+      Ticket ticket;
+      ticket.slot = sid;
+      ticket.pos = static_cast<int32_t>(i);
+      ticket.idx = order_[static_cast<size_t>(base + i)];
+      ticket.epoch_seed = seed;
+      ticket.generation = gen;
+      tickets_.push_back(ticket);
+    }
+    stats_.max_ticket_depth = std::max(
+        stats_.max_ticket_depth, static_cast<int64_t>(tickets_.size()));
+    ticket_cv_.notify_all();
+  }
+  reader_idle_ = true;
+  idle_cv_.notify_all();
+  mu_.unlock();
+}
+
+void PipelineLoader::decode_ticket(const Ticket& ticket, float* dst,
+                                   int64_t* label_dst) {
+  Tensor img = dataset_.image(ticket.idx);
+  if (opts_.augment) {
+    Rng sample_rng = make_sample_rng(ticket.epoch_seed, ticket.idx);
+    augment_standard_(img, sample_rng);
+  }
+  std::copy(img.data(), img.data() + img.numel(), dst);
+  *label_dst = dataset_.label(ticket.idx);
+}
+
+void PipelineLoader::worker_loop() {
+  mu_.lock();
+  for (;;) {
+    const double wait_start = now_s();
+    while (!shutdown_ && tickets_.empty()) ticket_cv_.wait(mu_);
+    stats_.worker_stall_ms += 1e3 * (now_s() - wait_start);
+    if (shutdown_) break;
+
+    const Ticket ticket = tickets_.front();
+    tickets_.pop_front();
+    ++inflight_;
+    Slot& slot = slots_[static_cast<size_t>(ticket.slot)];
+    // The slice pointers stay valid while we are in flight: the slot's
+    // tensor is never reallocated before quiesce(), and quiesce() waits
+    // for inflight_ == 0.
+    float* dst =
+        slot.batch.images.data() +
+        ticket.pos * (slot.batch.images.numel() / std::max<int64_t>(
+                                                      slot.count, 1));
+    int64_t* label_dst = slot.batch.labels.data() + ticket.pos;
+    mu_.unlock();
+
+    std::exception_ptr err;
+    try {
+      decode_ticket(ticket, dst, label_dst);
+    } catch (...) {
+      err = std::current_exception();
+    }
+
+    mu_.lock();
+    if (err != nullptr) {
+      if (error_ == nullptr) error_ = err;
+      ready_cv_.notify_all();
+    } else if (ticket.generation == generation_) {
+      ++stats_.samples_decoded;
+      Slot& done = slots_[static_cast<size_t>(ticket.slot)];
+      if (--done.remaining == 0) {
+        bool publish = true;
+        if (opts_.mix.enabled()) {
+          // Batch complete — the finishing worker applies the batch-level
+          // mix here, in the pool, so the consumer never augments. The
+          // slot is exclusively ours (remaining == 0, not yet ready) and
+          // quiesce() waits on our inflight_ hold, so working unlocked on
+          // the retained reference is safe.
+          mu_.unlock();
+          Rng batch_rng = make_batch_rng(ticket.epoch_seed, done.seq);
+          std::exception_ptr mix_err;
+          try {
+            apply_batch_mix(done.batch, opts_.mix, batch_rng);
+          } catch (...) {
+            mix_err = std::current_exception();
+          }
+          mu_.lock();
+          if (mix_err != nullptr) {
+            if (error_ == nullptr) error_ = mix_err;
+            ready_cv_.notify_all();
+            publish = false;
+          }
+          if (ticket.generation != generation_) publish = false;
+        }
+        if (publish) {
+          done.ready = true;
+          ready_cv_.notify_all();
+        }
+      }
+    }
+    --inflight_;
+    if (inflight_ == 0) idle_cv_.notify_all();
+  }
+  mu_.unlock();
+}
+
+}  // namespace nb::data

@@ -1,0 +1,145 @@
+// Prefetching parallel data pipeline:
+//
+//   reader thread ──tickets──▶ decode/augment worker pool ──▶ batch slots
+//        │                          │                            │
+//        │  shuffled index order    │  dataset.image(idx) +      │  bounded,
+//        │  chopped into per-sample │  per-sample-seeded augment │  double-
+//        │  tickets, one batch slot │  written into its own      │  buffered;
+//        │  claimed per batch       │  non-overlapping slice     │  consumer
+//        ▼                          ▼                            ▼  swaps out
+//   backpressure: the reader blocks when every slot is in flight, so at
+//   most `buffers` batches (and buffers*batch_size tickets) ever exist.
+//
+// The last worker to finish a batch also applies the batch-level mix
+// augmentation (MixPolicy: mixup/cutmix) inside the pool, so the consumer
+// thread never does augmentation work.
+//
+// Determinism contract (LoaderOptions::deterministic, default on): every
+// random decision is derived from (seed, start_epoch history) through
+// data/sample_rng.h — the shuffle from the same Rng(seed, 5) stream the
+// synchronous DataLoader uses, each sample's augmentation from
+// (epoch_seed, dataset index), each batch's mix from (epoch_seed, batch
+// index) — and batches are delivered in epoch order. The result is
+// bitwise-identical (memcmp) to DataLoader at ANY worker count.
+// deterministic=false delivers batches in completion order instead: the
+// same batch contents, possibly permuted sequence, slightly lower jitter.
+//
+// Lifecycle: start_epoch() may be called at any time — mid-epoch it
+// cancels outstanding work (pending tickets dropped, in-flight samples
+// allowed to land harmlessly) and begins a fresh epoch. The destructor
+// drains the same way; neither deadlocks on a partially consumed epoch.
+// A worker/reader exception is captured and rethrown from the consumer's
+// next call into next() or start_epoch(); the loader is poisoned after.
+//
+// Locking discipline: ONE mutex (mu_) guards all shared state, with three
+// condition variables (tickets, free slots, ready slots). Everything is
+// annotated with the PR 8 capability vocabulary (nb::Mutex, NB_GUARDED_BY)
+// and proven under clang -Wthread-safety -Werror by
+// tools/check_thread_safety.sh; the seeded violation lives in
+// tools/probes/thread_safety_probe.cpp.
+#pragma once
+
+#include <deque>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "data/dataloader.h"
+#include "data/pipeline_stats.h"
+#include "util/thread_safety.h"
+
+namespace nb::data {
+
+class PipelineLoader : public BatchSource {
+ public:
+  PipelineLoader(const ClassificationDataset& dataset,
+                 const LoaderOptions& opts);
+  ~PipelineLoader() override;
+
+  PipelineLoader(const PipelineLoader&) = delete;
+  PipelineLoader& operator=(const PipelineLoader&) = delete;
+
+  int64_t num_batches() const override;
+  int64_t batch_size() const override { return opts_.batch_size; }
+  int64_t workers() const { return opts_.workers; }
+
+  void start_epoch() override NB_EXCLUDES(mu_);
+  bool next(Batch& out) override NB_EXCLUDES(mu_);
+
+  /// Cumulative per-stage counters (see pipeline_stats.h).
+  PipelineStats stats() const NB_EXCLUDES(mu_);
+
+ private:
+  /// One preallocated batch buffer. `seq` is the batch's position in the
+  /// epoch; `remaining` counts undecoded samples; `ready` flips when the
+  /// last worker (after applying the mix policy) publishes the batch.
+  struct Slot {
+    Batch batch;
+    int64_t seq = -1;
+    int64_t count = 0;
+    int64_t remaining = 0;
+    uint64_t generation = 0;
+    bool ready = false;
+    bool in_use = false;
+  };
+
+  /// One sample of one batch: decode dataset index `idx` into slice `pos`
+  /// of slot `slot`. Tickets never outlive their epoch generation.
+  struct Ticket {
+    int32_t slot = 0;
+    int32_t pos = 0;
+    int64_t idx = 0;
+    uint64_t epoch_seed = 0;
+    uint64_t generation = 0;
+  };
+
+  void reader_loop() NB_EXCLUDES(mu_);
+  void worker_loop() NB_EXCLUDES(mu_);
+  /// Decodes one ticket into its slot slice; called with mu_ NOT held.
+  void decode_ticket(const Ticket& ticket, float* dst, int64_t* label_dst);
+  /// Cancels the in-flight epoch and waits until reader + workers are
+  /// quiescent and every slot is reclaimed.
+  void quiesce() NB_REQUIRES(mu_);
+  [[noreturn]] void rethrow_error() NB_REQUIRES(mu_);
+
+  const ClassificationDataset& dataset_;
+  const LoaderOptions opts_;
+  const int64_t epoch_batches_total_;  // num_batches(), fixed per dataset
+
+  mutable Mutex mu_;
+  CondVar ticket_cv_;    // workers: tickets_ non-empty or shutdown/cancel
+  CondVar free_cv_;      // reader: a slot returned to free_slots_
+  CondVar ready_cv_;     // consumer: a slot became ready (or error)
+  CondVar idle_cv_;      // start_epoch/dtor: pipeline reached quiescence
+
+  std::vector<Slot> slots_ NB_GUARDED_BY(mu_);
+  std::deque<int32_t> free_slots_ NB_GUARDED_BY(mu_);
+  std::deque<Ticket> tickets_ NB_GUARDED_BY(mu_);
+
+  // Epoch state. `generation_` invalidates stale tickets/slots when an
+  // epoch is cancelled; `epoch_active_` tells the reader to produce.
+  uint64_t generation_ NB_GUARDED_BY(mu_) = 0;
+  bool epoch_active_ NB_GUARDED_BY(mu_) = false;
+  uint64_t epoch_seed_ NB_GUARDED_BY(mu_) = 0;
+  int64_t produce_seq_ NB_GUARDED_BY(mu_) = 0;    // next batch reader claims
+  int64_t delivered_ NB_GUARDED_BY(mu_) = 0;      // batches handed to next()
+  int64_t next_deliver_seq_ NB_GUARDED_BY(mu_) = 0;
+  int64_t inflight_ NB_GUARDED_BY(mu_) = 0;       // workers holding a ticket
+  bool reader_idle_ NB_GUARDED_BY(mu_) = true;
+  bool shutdown_ NB_GUARDED_BY(mu_) = false;
+  std::exception_ptr error_ NB_GUARDED_BY(mu_);
+
+  // Shuffle state: same stream the synchronous DataLoader uses, advanced
+  // only on start_epoch() from the consumer thread.
+  Rng order_rng_;
+  std::vector<int64_t> order_ NB_GUARDED_BY(mu_);
+  int64_t epoch_ = -1;  // consumer thread only
+
+  PipelineStats stats_ NB_GUARDED_BY(mu_);
+  double first_epoch_start_s_ NB_GUARDED_BY(mu_) = -1.0;
+
+  std::thread reader_;
+  std::vector<std::thread> pool_;
+};
+
+}  // namespace nb::data

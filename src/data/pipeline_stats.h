@@ -1,0 +1,34 @@
+// Per-stage counters for the PipelineLoader. A snapshot is returned by
+// PipelineLoader::stats(); all fields are cumulative since construction.
+// The three stall clocks are the tuning signal:
+//   reader_stall_ms   high -> consumer/decode too slow, add buffers/workers
+//   worker_stall_ms   high -> reader starved the pool (tiny batches) or
+//                     there are more workers than decode work
+//   consumer_stall_ms high -> decode-bound epoch, add workers
+#pragma once
+
+#include <cstdint>
+
+namespace nb::data {
+
+struct PipelineStats {
+  int64_t epochs_started = 0;
+  int64_t batches_delivered = 0;
+  int64_t samples_decoded = 0;
+
+  /// Reader time spent blocked on a free batch buffer (backpressure).
+  double reader_stall_ms = 0.0;
+  /// Worker time spent blocked waiting for sample tickets, summed over
+  /// the pool.
+  double worker_stall_ms = 0.0;
+  /// Consumer time spent blocked in next() waiting for a ready batch.
+  double consumer_stall_ms = 0.0;
+
+  /// High-water mark of the ticket queue (bounded by buffers*batch_size).
+  int64_t max_ticket_depth = 0;
+  /// Batches delivered per wall-second, measured across delivered epochs
+  /// (first start_epoch() to the most recent delivery).
+  double batches_per_s = 0.0;
+};
+
+}  // namespace nb::data

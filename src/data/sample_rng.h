@@ -1,0 +1,60 @@
+// Per-sample seeded augmentation RNG — the data tier's determinism contract.
+//
+// The old DataLoader drew every augmentation decision from ONE sequential
+// Rng, so the random stream a sample saw depended on how many draws every
+// sample before it consumed. That coupling makes a parallel pipeline
+// impossible to reproduce: with N decode workers the call order (and hence
+// every sample's augmentation) depends on the schedule.
+//
+// This header replaces call-order coupling with identity coupling: each
+// sample's RNG is seeded from (epoch_seed, dataset index) alone, and each
+// batch-level draw (mixup/cutmix) from (epoch_seed, batch index) alone.
+// Any loader — the synchronous DataLoader, the PipelineLoader at any
+// worker count — that derives its per-sample streams through these
+// functions produces bitwise-identical batches for the same base seed and
+// start_epoch() history. tests/test_data_pipeline.cpp property-tests that
+// equivalence under TSan.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/rng.h"
+
+namespace nb::data {
+
+/// SplitMix64-style finalizer over a (key, index) pair. Full-avalanche, so
+/// adjacent epochs / adjacent samples land in statistically independent
+/// PCG32 streams.
+inline uint64_t mix_seed(uint64_t key, uint64_t index) {
+  uint64_t z = key + 0x9e3779b97f4a7c15ULL * (index + 0x632be59bd9b4e019ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Seed for one epoch, derived from the loader's base seed. `epoch_index`
+/// counts start_epoch() calls (0 for the first), so re-running an epoch
+/// re-runs its exact augmentations.
+inline uint64_t derive_epoch_seed(uint64_t base_seed, int64_t epoch_index) {
+  return mix_seed(base_seed ^ 0x0a02bdbf7bb3c0a7ULL,
+                  static_cast<uint64_t>(epoch_index));
+}
+
+/// RNG for one sample's augmentation draws. `sample_index` is the sample's
+/// DATASET index (its identity), not its position in the shuffled order —
+/// shuffling therefore permutes which augmentation lands in which batch
+/// slot but never changes what augmentation a given sample receives.
+inline Rng make_sample_rng(uint64_t epoch_seed, int64_t sample_index) {
+  return Rng(mix_seed(epoch_seed, static_cast<uint64_t>(sample_index)),
+             /*stream=*/9);
+}
+
+/// RNG for one batch's batch-level draws (mixup/cutmix selection, Beta
+/// sample, partner permutation). Salted so batch 0 never aliases sample 0.
+inline Rng make_batch_rng(uint64_t epoch_seed, int64_t batch_index) {
+  return Rng(mix_seed(epoch_seed ^ 0x5851f42d4c957f2dULL,
+                      static_cast<uint64_t>(batch_index)),
+             /*stream=*/13);
+}
+
+}  // namespace nb::data

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "data/dataloader.h"
 #include "data/mix_augment.h"
@@ -37,9 +38,26 @@ TrainHistory train_classifier(nn::Module& model,
                               const TrainConfig& config, LossFn loss_fn,
                               IterationHook on_iteration) {
   NB_CHECK(config.epochs > 0, "epochs must be positive");
-  data::DataLoader loader(train_set, config.batch_size, /*shuffle=*/true,
-                          config.augment, config.seed);
-  const int64_t steps_per_epoch = loader.num_batches();
+  // Mixing applies only with the built-in criterion: a custom loss_fn (KD,
+  // detection) has no slot for the second label set.
+  const bool can_mix = !loss_fn && (config.mixup_alpha > 0.0f ||
+                                    config.cutmix_alpha > 0.0f);
+  data::LoaderOptions loader_opts;
+  loader_opts.batch_size = config.batch_size;
+  loader_opts.shuffle = true;
+  loader_opts.augment = config.augment;
+  loader_opts.seed = config.seed;
+  loader_opts.workers = config.data_workers;
+  if (can_mix) {
+    // The loader applies mixup/cutmix itself (inside the pipeline's decode
+    // workers when data_workers > 0) with per-batch seeded draws, so the
+    // result is identical at any worker count.
+    loader_opts.mix.mixup_alpha = config.mixup_alpha;
+    loader_opts.mix.cutmix_alpha = config.cutmix_alpha;
+  }
+  const std::unique_ptr<data::BatchSource> loader =
+      data::make_loader(train_set, loader_opts);
+  const int64_t steps_per_epoch = loader->num_batches();
   const int64_t total_steps = steps_per_epoch * config.epochs;
 
   std::unique_ptr<optim::Optimizer> optimizer =
@@ -58,46 +76,26 @@ TrainHistory train_classifier(nn::Module& model,
     ema = std::make_unique<optim::EmaWeights>(model.parameters(),
                                               config.ema_decay);
   }
-  // Mixing applies only with the built-in criterion: a custom loss_fn (KD,
-  // detection) has no slot for the second label set.
-  const bool can_mix = !loss_fn && (config.mixup_alpha > 0.0f ||
-                                    config.cutmix_alpha > 0.0f);
-  Rng mix_rng(config.seed ^ 0x9e3779b97f4a7c15ULL, 77);
-
   TrainHistory history;
   int64_t step = 0;
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
     model.set_training(true);
-    loader.start_epoch();
+    loader->start_epoch();
     data::Batch batch;
     double loss_sum = 0.0;
     double acc_sum = 0.0;
     int64_t batches = 0;
-    while (loader.next(batch)) {
+    while (loader->next(batch)) {
       optimizer->set_lr(schedule->lr_at(step));
       model.zero_grad();
-
-      data::MixResult mix;
-      bool mixed = false;
-      if (can_mix) {
-        const bool have_both =
-            config.mixup_alpha > 0.0f && config.cutmix_alpha > 0.0f;
-        const bool use_cutmix =
-            config.cutmix_alpha > 0.0f && (!have_both || mix_rng.bernoulli(0.5f));
-        mix = use_cutmix ? data::cutmix_batch(batch.images, batch.labels,
-                                              config.cutmix_alpha, mix_rng)
-                         : data::mixup_batch(batch.images, batch.labels,
-                                             config.mixup_alpha, mix_rng);
-        mixed = mix.lam < 1.0f;
-      }
 
       const Tensor logits = model.forward(batch.images);
       nn::LossResult lr_result;
       if (loss_fn) {
         lr_result = loss_fn(logits, batch.labels, batch.images);
-      } else if (mixed) {
+      } else if (batch.mixed()) {
         lr_result = data::mixed_cross_entropy(logits, batch.labels,
-                                              mix.labels_b, mix.lam,
+                                              batch.labels_b, batch.mix_lam,
                                               config.label_smoothing);
       } else {
         lr_result = nn::softmax_cross_entropy(logits, batch.labels,

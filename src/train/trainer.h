@@ -43,6 +43,11 @@ struct TrainConfig {
   float ema_decay = 0.0f;
   /// When > 0, rescales gradients to this global L2 norm before each step.
   float clip_grad_norm = 0.0f;
+  /// Decode/augment workers for the training data loader: 0 runs the
+  /// synchronous DataLoader on the training thread, > 0 the prefetching
+  /// PipelineLoader (data/pipeline.h) in its determinism mode — batches
+  /// are bitwise-identical either way, so this is purely a speed knob.
+  int64_t data_workers = 0;
 };
 
 struct EpochStats {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "data/dataloader.h"
@@ -113,11 +114,74 @@ TEST(Metrics, EvaluateMatchesManual) {
   ToyDataset test(8, 2, 10, 13);
   auto model = models::make_model("mbv2-tiny", 2);
   model->set_training(false);
-  // Manual: batch the whole set and count argmax hits.
-  data::Batch batch = data::full_batch(test);
+  // Manual: stream the set through a loader (eval never materializes the
+  // whole dataset as one tensor — see Metrics.EvalMemoryIsPerBatch) and
+  // count argmax hits.
+  data::DataLoader loader(test, test.size(), /*shuffle=*/false,
+                          /*augment=*/false);
+  loader.start_epoch();
+  data::Batch batch;
+  ASSERT_TRUE(loader.next(batch));
   const Tensor logits = model->forward(batch.images);
   const float manual = nn::accuracy(logits, batch.labels);
   EXPECT_NEAR(evaluate(*model, test), manual, 1e-6f);
+}
+
+// Regression for the old data::full_batch eval path, which materialized the
+// ENTIRE dataset as one [N, C, H, W] tensor. Eval must stream: between two
+// next() calls the loader may touch at most batch_size samples, and the
+// result must not depend on the batch size.
+TEST(Metrics, EvalMemoryIsPerBatch) {
+  class CountingDataset : public data::ClassificationDataset {
+   public:
+    explicit CountingDataset(const data::ClassificationDataset& base)
+        : base_(base) {}
+    int64_t size() const override { return base_.size(); }
+    int64_t num_classes() const override { return base_.num_classes(); }
+    int64_t resolution() const override { return base_.resolution(); }
+    Tensor image(int64_t idx) const override {
+      ++outstanding_;
+      max_outstanding_ = std::max(max_outstanding_, outstanding_);
+      return base_.image(idx);
+    }
+    int64_t label(int64_t idx) const override { return base_.label(idx); }
+    std::string name() const override { return base_.name(); }
+    void new_window() const { outstanding_ = 0; }
+    int64_t max_outstanding() const { return max_outstanding_; }
+
+   private:
+    const data::ClassificationDataset& base_;
+    mutable int64_t outstanding_ = 0;
+    mutable int64_t max_outstanding_ = 0;
+  };
+
+  ToyDataset base(24, 2, 10, 13);
+  auto model = models::make_model("mbv2-tiny", 2);
+  model->set_training(false);
+
+  // Window the image() calls per next(): a full-dataset materialization
+  // would request all 24 images inside one window.
+  CountingDataset spy(base);
+  data::DataLoader loader(spy, 7, /*shuffle=*/false, /*augment=*/false);
+  loader.start_epoch();
+  data::Batch batch;
+  int64_t total = 0;
+  while (true) {
+    spy.new_window();
+    if (!loader.next(batch)) break;
+    total += batch.images.size(0);
+  }
+  EXPECT_EQ(total, base.size());
+  EXPECT_LE(spy.max_outstanding(), 7) << "loader materialized more than one "
+                                         "batch of images at once";
+
+  // And the streamed metrics are batch-size invariant.
+  const float acc_full = evaluate(*model, base, base.size());
+  const float acc_7 = evaluate(*model, base, 7);
+  const float loss_full = evaluate_loss(*model, base, base.size());
+  const float loss_7 = evaluate_loss(*model, base, 7);
+  EXPECT_EQ(acc_full, acc_7);
+  EXPECT_NEAR(loss_full, loss_7, 1e-5f);
 }
 
 TEST(Metrics, EvalLossIsFinite) {

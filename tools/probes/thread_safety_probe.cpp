@@ -75,4 +75,41 @@ class Queue {
 
 void use_queue(Queue& q) { q.drain(); }
 
+// The PipelineLoader worker idiom (src/data/pipeline.cpp): claim a ticket
+// under the lock, decode outside it, re-acquire to publish the batch. The
+// publish — flipping guarded slot state and notifying the consumer — MUST
+// happen with the lock held; doing it after the unlock is the pipeline's
+// canonical race (a consumer could observe `ready` without the write to
+// the batch being ordered before it).
+class BatchPool {
+ public:
+  void worker() NB_EXCLUDES(mu_) {
+    mu_.lock();
+    while (tickets_ > 0) {
+      --tickets_;
+      mu_.unlock();
+      // ...decode/augment into the claimed slot, outside the lock...
+      mu_.lock();
+      ++ready_;
+#if defined(NB_TS_PROBE_BREAK)
+      // Third seeded violation: publishing guarded pipeline state after
+      // dropping the capability. Must be a -Wthread-safety-analysis error.
+      mu_.unlock();
+      ++ready_;
+      mu_.lock();
+#endif
+      ready_cv_.notify_all();
+    }
+    mu_.unlock();
+  }
+
+ private:
+  Mutex mu_;
+  CondVar ready_cv_;
+  int tickets_ NB_GUARDED_BY(mu_) = 0;
+  int ready_ NB_GUARDED_BY(mu_) = 0;
+};
+
+void use_pool(BatchPool& pool) { pool.worker(); }
+
 }  // namespace nb::probe
