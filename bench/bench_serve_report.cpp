@@ -17,6 +17,13 @@
 //     queue with deadlines, workers > 1: the engine must shed (typed
 //     rejections) while p99 of ACCEPTED requests stays within the SLO and
 //     every future resolves. This is the graceful-degradation contract.
+//   * mixed geometry — the same seeded arrival schedule drawing from eight
+//     near-32x32 geometries, run twice: once with a {32,32} bucket ladder
+//     (pad-to-bucket coalescing) and once without. Near capacity the
+//     bucketed engine forms cross-geometry batches inside the wait window
+//     while the unbucketed one fragments into per-geometry singles and
+//     thrashes its plan cache, so bucketed goodput must be strictly
+//     higher. CI guards the ratio.
 //
 // The headline numbers are micro-batch throughput over sequential
 // (mbv2_batching, unchanged) and the overload row's bounded-p99 + shed
@@ -255,7 +262,7 @@ OpenLoopRow bench_open_loop(const std::string& graph,
   spec.seed = seed;
   spec.bursts = bursts;
   const OpenLoopResult r = run_open_loop(
-      engine, {{"m", image}}, spec, slo_ms * 1000);
+      engine, {{"m", image, {}}}, spec, slo_ms * 1000);
   const Engine::Stats st = engine.stats();
 
   row.offered = r.offered;
@@ -271,6 +278,127 @@ OpenLoopRow bench_open_loop(const std::string& graph,
   row.p99_accepted_ms = st.p99_ms;
   row.max_lag_ms = r.max_lag_s * 1e3;
   return row;
+}
+
+/// One row of the mixed-geometry comparison: the same seeded open-loop
+/// schedule over eight near-32x32 geometries, with or without a bucket
+/// ladder. Both rows use identical engine/session knobs; only the ladder
+/// differs.
+struct MixedGeoRow {
+  bool bucketed = false;
+  int64_t workers = 0;
+  int64_t queue_depth = 0;
+  int64_t slo_ms = 0;
+  double offered_per_s = 0.0;
+  double capacity_per_s = 0.0;
+  int64_t offered = 0;
+  int64_t completed = 0;
+  int64_t shed = 0;
+  int64_t unresolved = 0;
+  int64_t padded_accepted = 0;
+  int64_t mixed_geometry_batches = 0;
+  int64_t batches = 0;
+  double avg_batch = 0.0;
+  double goodput_per_s = 0.0;
+  double shed_rate = 0.0;
+  double p50_accepted_ms = 0.0;
+  double p99_accepted_ms = 0.0;
+};
+
+/// Geometry mix for the bucketed-vs-unbucketed comparison: sixteen
+/// geometries within pad ratio 1.19 of the 32x32 rung, so every request
+/// is bucket-eligible and the pad waste stays honest. Sixteen distinct
+/// shapes means an unbucketed queue of comparable depth holds roughly one
+/// request per geometry — exactly the fragmentation buckets exist to fix.
+const std::vector<std::pair<int64_t, int64_t>> kMixedGeometries{
+    {27, 32}, {28, 31}, {28, 32}, {29, 30}, {29, 31}, {29, 32},
+    {30, 29}, {30, 30}, {30, 31}, {30, 32}, {31, 29}, {31, 30},
+    {31, 31}, {31, 32}, {32, 27}, {32, 32}};
+
+MixedGeoRow bench_mixed_geometry(std::shared_ptr<const CompiledModel> model,
+                                 bool bucketed, double offered_per_s,
+                                 double capacity_per_s, int64_t queue_depth,
+                                 int64_t slo_ms, double window_s,
+                                 uint64_t seed) {
+  EngineOptions opts;
+  opts.batching.max_batch = 8;
+  opts.batching.max_wait_us = 2000;
+  opts.workers = 1;
+  opts.default_qos.max_queue_depth = queue_depth;
+  // Same cache budget for both rows: the unbucketed row genuinely pays
+  // for eight geometry x batch-size plan families under this budget.
+  opts.session.max_cached_plans = 16;
+  if (bucketed) {
+    opts.default_qos.bucketing.ladder = {{32, 32}};
+    opts.default_qos.bucketing.max_pad_ratio = 1.2;
+  }
+
+  MixedGeoRow row;
+  row.bucketed = bucketed;
+  row.workers = opts.workers;
+  row.queue_depth = queue_depth;
+  row.slo_ms = slo_ms;
+  row.offered_per_s = offered_per_s;
+  row.capacity_per_s = capacity_per_s;
+
+  Engine engine(opts);
+  engine.register_model("m", model);
+  Rng rng(42);
+  std::vector<Tensor> geo_images;
+  for (const auto& [h, w] : kMixedGeometries) {
+    Tensor t({model->input_channels(), h, w});
+    fill_uniform(t, rng, -1.0f, 1.0f);
+    geo_images.push_back(std::move(t));
+  }
+  // Warm every geometry's batch-1 plan in BOTH rows so the measured
+  // window compares steady-state batching, not first-arrival compiles.
+  for (const Tensor& t : geo_images) (void)engine.submit("m", t).get();
+
+  OpenLoopSpec spec;
+  spec.rate_per_s = offered_per_s;
+  spec.duration_s = window_s;
+  spec.seed = seed;
+  spec.geo_weights.assign(kMixedGeometries.size(), 1.0);
+  const OpenLoopResult r = run_open_loop(
+      engine, {{"m", geo_images.front(), geo_images}}, spec, slo_ms * 1000);
+  const Engine::Stats st = engine.stats();
+
+  row.offered = r.offered;
+  row.completed = r.completed;
+  row.shed = r.shed();
+  row.unresolved = r.offered - r.completed - r.shed() - r.faulted;
+  row.padded_accepted = st.padded_accepted;
+  row.mixed_geometry_batches = st.mixed_geometry_batches;
+  row.batches = st.batches;
+  row.avg_batch = st.avg_batch;
+  row.goodput_per_s = r.goodput_per_s();
+  row.shed_rate = r.shed_rate();
+  row.p50_accepted_ms = st.p50_ms;
+  row.p99_accepted_ms = st.p99_ms;
+  return row;
+}
+
+void print_mixed_geo_row(FILE* f, const MixedGeoRow& r, const char* indent,
+                         const char* trailer) {
+  std::fprintf(
+      f,
+      "%s{\"bucketed\": %s, \"workers\": %lld, \"queue_depth\": %lld, "
+      "\"slo_ms\": %lld, \"offered_per_s\": %.2f, \"capacity_per_s\": %.2f, "
+      "\"offered\": %lld, \"completed\": %lld, \"shed\": %lld, "
+      "\"unresolved\": %lld, \"padded_accepted\": %lld, "
+      "\"mixed_geometry_batches\": %lld, \"batches\": %lld, "
+      "\"avg_batch\": %.2f, \"goodput_per_s\": %.2f, \"shed_rate\": %.4f, "
+      "\"p50_accepted_ms\": %.4f, \"p99_accepted_ms\": %.4f}%s\n",
+      indent, r.bucketed ? "true" : "false",
+      static_cast<long long>(r.workers),
+      static_cast<long long>(r.queue_depth),
+      static_cast<long long>(r.slo_ms), r.offered_per_s, r.capacity_per_s,
+      static_cast<long long>(r.offered), static_cast<long long>(r.completed),
+      static_cast<long long>(r.shed), static_cast<long long>(r.unresolved),
+      static_cast<long long>(r.padded_accepted),
+      static_cast<long long>(r.mixed_geometry_batches),
+      static_cast<long long>(r.batches), r.avg_batch, r.goodput_per_s,
+      r.shed_rate, r.p50_accepted_ms, r.p99_accepted_ms, trailer);
 }
 
 /// Per-graph batching headline: best micro-batching policy vs that same
@@ -326,7 +454,8 @@ void write_json(const std::string& path, bool quick,
                 const std::vector<SessionResult>& sessions,
                 const std::vector<EngineResult>& engines,
                 const std::vector<OpenLoopRow>& sweep,
-                const OpenLoopRow* overload) {
+                const OpenLoopRow* overload,
+                const std::vector<MixedGeoRow>& mixed_geometry) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -366,7 +495,7 @@ void write_json(const std::string& path, bool quick,
   }
 
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"nb-bench-serve-v2\",\n");
+  std::fprintf(f, "  \"schema\": \"nb-bench-serve-v3\",\n");
   std::fprintf(f, "  \"bench\": \"serve\",\n");
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
@@ -377,6 +506,30 @@ void write_json(const std::string& path, bool quick,
   if (overload != nullptr) {
     std::fprintf(f, "  \"overload\":\n");
     print_open_loop_row(f, *overload, "    ", ",");
+  }
+  if (!mixed_geometry.empty()) {
+    const MixedGeoRow* with = nullptr;
+    const MixedGeoRow* without = nullptr;
+    for (const MixedGeoRow& r : mixed_geometry) {
+      (r.bucketed ? with : without) = &r;
+    }
+    std::fprintf(f, "  \"mixed_geometry\": {\n");
+    std::fprintf(f, "    \"graph\": \"mbv2_w035_r32\",\n");
+    std::fprintf(f, "    \"bucket_ladder\": \"32x32\",\n");
+    std::fprintf(f, "    \"geometries\": %zu,\n", kMixedGeometries.size());
+    if (with != nullptr && without != nullptr &&
+        without->goodput_per_s > 0.0) {
+      std::fprintf(f,
+                   "    \"goodput_ratio_bucketed_vs_unbucketed\": %.4f,\n",
+                   with->goodput_per_s / without->goodput_per_s);
+    }
+    std::fprintf(f, "    \"rows\": [\n");
+    for (size_t i = 0; i < mixed_geometry.size(); ++i) {
+      print_mixed_geo_row(f, mixed_geometry[i], "      ",
+                          i + 1 < mixed_geometry.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  },\n");
   }
   std::fprintf(f, "  \"workers_sweep\": [\n");
   for (size_t i = 0; i < sweep.size(); ++i) {
@@ -572,12 +725,41 @@ int main(int argc, char** argv) {
                static_cast<long long>(ol_slo_ms),
                static_cast<long long>(overload.unresolved));
 
+  // Mixed geometry: the same seeded schedule over eight near-32x32
+  // geometries at 90% of capacity — enough pressure that batch formation
+  // inside the wait window decides goodput. The bucketed row coalesces
+  // everything onto the 32x32 rung; the unbucketed row fragments into
+  // per-geometry singles and churns eight plan families through the
+  // shared 16-entry cache.
+  const int64_t mg_depth = 16;
+  const int64_t mg_slo_ms = std::max<int64_t>(
+      100, static_cast<int64_t>(4.0 * 1000.0 *
+                                static_cast<double>(mg_depth) /
+                                std::max(capacity, 1.0)));
+  std::vector<MixedGeoRow> mixed_geometry;
+  for (const bool bucketed : {true, false}) {
+    MixedGeoRow r =
+        bench_mixed_geometry(ol_model, bucketed, 1.1 * capacity, capacity,
+                             mg_depth, mg_slo_ms, open_loop_window_s,
+                             seed + 2);
+    mixed_geometry.push_back(r);
+    std::fprintf(stderr,
+                 "  mixed-geometry %s %.0f/s: goodput %.1f/s shed %.1f%% "
+                 "avg batch %.2f (%lld padded, %lld mixed batches, "
+                 "unresolved %lld)\n",
+                 bucketed ? "BUCKETED" : "unbucketed", 1.1 * capacity,
+                 r.goodput_per_s, r.shed_rate * 100.0, r.avg_batch,
+                 static_cast<long long>(r.padded_accepted),
+                 static_cast<long long>(r.mixed_geometry_batches),
+                 static_cast<long long>(r.unresolved));
+  }
+
   write_json(out_path, quick, session_results, engine_results, sweep,
-             &overload);
+             &overload, mixed_geometry);
   std::fprintf(stderr,
                "wrote %s (%zu session rows, %zu engine rows, %zu open-loop "
-               "rows + overload)\n",
+               "rows + overload + %zu mixed-geometry rows)\n",
                out_path.c_str(), session_results.size(),
-               engine_results.size(), sweep.size());
+               engine_results.size(), sweep.size(), mixed_geometry.size());
   return 0;
 }

@@ -598,4 +598,47 @@ Tensor InferPlan::run(const Tensor& input) const {
   return out;
 }
 
+PlanValidRegion InferPlan::valid_output_region(int64_t valid_h,
+                                               int64_t valid_w) const {
+  NB_CHECK(valid_h >= 1 && valid_h <= stats_.in_h && valid_w >= 1 &&
+               valid_w <= stats_.in_w,
+           "infer plan: valid region must be within the planned geometry");
+  PlanValidRegion v{valid_h, valid_w, true};
+  for (const Step& s : steps_) {
+    switch (s.kind) {
+      case OpKind::conv: {
+        // Output index x reads input taps [x*stride - pad,
+        // x*stride - pad + kernel). Taps below 0 land in the conv's own
+        // zero padding (model semantics, identical at any bucket); taps at
+        // or past the valid extent may be bucket zeros, so x contributes
+        // iff x*stride - pad + kernel - 1 < valid, i.e.
+        // x <= (valid + pad - kernel) / stride. Clamped to the planned
+        // output extent.
+        auto shrink = [&](int64_t valid, int64_t out) {
+          const int64_t top = valid + s.pad - s.kernel;
+          const int64_t n = top < 0 ? 0 : top / s.stride + 1;
+          return std::min(n, out);
+        };
+        v.h = shrink(v.h, s.out_h);
+        v.w = shrink(v.w, s.out_w);
+        if (v.h <= 0 || v.w <= 0) {
+          return PlanValidRegion{0, 0, true};
+        }
+        break;
+      }
+      case OpKind::gap:
+      case OpKind::linear:
+        // GAP averages (and linear then mixes) the WHOLE plane, padding
+        // included — no sub-region of the output is padding-free.
+        return PlanValidRegion{0, 0, false};
+      case OpKind::save:
+      case OpKind::add_saved:
+        // Elementwise over matching geometries: the valid extent carries
+        // through unchanged (the saved operand shares the same history).
+        break;
+    }
+  }
+  return v;
+}
+
 }  // namespace nb::exporter

@@ -82,6 +82,18 @@ struct PlanTables;
 /// can snapshot the region/step tables it proves safe.
 PlanTables plan_tables(const InferPlan& plan);
 
+/// The output spatial extent provably untouched by bucket padding — see
+/// InferPlan::valid_output_region. `spatial` flips false once a GAP or
+/// linear collapses the plane (their outputs aggregate the WHOLE padded
+/// plane, so no sub-region of them is padding-free; the pad-to-bucket
+/// contract for such programs is exactness w.r.t. the padded geometry,
+/// not the original one).
+struct PlanValidRegion {
+  int64_t h = 0;
+  int64_t w = 0;
+  bool spatial = false;
+};
+
 /// Memory-planner accounting, all in float counts (4 bytes each).
 struct PlanStats {
   /// Which execution mode this plan was built for (fast or int8; a plan is
@@ -153,6 +165,19 @@ class InferPlan {
   Tensor run(const Tensor& input) const;
 
   const PlanStats& stats() const { return stats_; }
+
+  /// Valid-region epilogue arithmetic for pad-to-bucket serving: given
+  /// that only the top-left (valid_h, valid_w) window of the planned
+  /// (in_h, in_w) input holds real pixels (the rest is bucket-introduced
+  /// zero padding), returns the output extent whose every element is a
+  /// pure function of the valid window — i.e. no conv tap of any
+  /// contributing window ever read a bucket-padding element. Taps in a
+  /// conv's OWN zero padding (pad > 0) are model semantics and don't
+  /// count. Conservative by construction: at valid == planned geometry it
+  /// can still report fewer columns than the full output (the model's
+  /// right-edge padding credit is not claimable without knowing the
+  /// padding is semantic), and it is monotone in (valid_h, valid_w).
+  PlanValidRegion valid_output_region(int64_t valid_h, int64_t valid_w) const;
 
   /// The shared weight panels this plan borrows (identity comparable:
   /// two plans on one compiled model return the same pointer).

@@ -29,6 +29,8 @@ const char* to_string(PlanDiag diag) {
       return "stats_inconsistent";
     case PlanDiag::batch_scaling_broken:
       return "batch_scaling_broken";
+    case PlanDiag::bucket_plan_mismatch:
+      return "bucket_plan_mismatch";
   }
   return "?";
 }
@@ -416,6 +418,89 @@ VerifyReport verify_batch_scaling(const PlanTables& t,
   if (r.ok()) {
     r.proved.push_back("batch scaling: arena(" + std::to_string(b) +
                        ") == " + std::to_string(b) + " * arena(1), exactly");
+  }
+  return r;
+}
+
+VerifyReport verify_bucket_plan(const PlanTables& bucket,
+                                const PlanTables& exact,
+                                double max_pad_ratio) {
+  VerifyReport r;
+  const auto fail = [&](int64_t step, std::string detail) {
+    r.findings.push_back({PlanDiag::bucket_plan_mismatch, step,
+                          std::move(detail)});
+  };
+  if (max_pad_ratio < 1.0) {
+    fail(-1, "max_pad_ratio must be >= 1");
+    return r;
+  }
+  if (bucket.backend != exact.backend || bucket.batch != exact.batch ||
+      bucket.channels != exact.channels) {
+    fail(-1, "bucket plan and exact plan disagree on backend/batch/channels");
+    return r;
+  }
+  if (bucket.steps.size() != exact.steps.size()) {
+    fail(-1, "bucket plan has " + std::to_string(bucket.steps.size()) +
+                 " steps, exact plan has " +
+                 std::to_string(exact.steps.size()) +
+                 " — not the same program");
+    return r;
+  }
+  if (bucket.in_h < exact.in_h || bucket.in_w < exact.in_w) {
+    fail(-1, "bucket rung " + std::to_string(bucket.in_h) + "x" +
+                 std::to_string(bucket.in_w) +
+                 " does not cover the exact geometry " +
+                 std::to_string(exact.in_h) + "x" +
+                 std::to_string(exact.in_w));
+  }
+  const double padded_area =
+      static_cast<double>(bucket.in_h) * static_cast<double>(bucket.in_w);
+  const double exact_area =
+      static_cast<double>(exact.in_h) * static_cast<double>(exact.in_w);
+  if (padded_area > max_pad_ratio * exact_area) {
+    fail(-1, "padded area " + std::to_string(bucket.in_h) + "x" +
+                 std::to_string(bucket.in_w) + " exceeds " +
+                 std::to_string(max_pad_ratio) + "x the exact area " +
+                 std::to_string(exact.in_h) + "x" +
+                 std::to_string(exact.in_w) + " — waste cap violated");
+  }
+  for (size_t i = 0; i < bucket.steps.size(); ++i) {
+    const StepTable& b = bucket.steps[i];
+    const StepTable& e = exact.steps[i];
+    const int64_t step = static_cast<int64_t>(i);
+    if (b.kind != e.kind || b.stride != e.stride || b.pad != e.pad ||
+        b.kernel != e.kernel || b.groups != e.groups || b.cout != e.cout ||
+        b.cin != e.cin || b.depthwise != e.depthwise) {
+      fail(step, "step structure diverges between bucket and exact plan — "
+                 "padding must never change the program, only the planes");
+      continue;
+    }
+    if (b.in_h < e.in_h || b.in_w < e.in_w || b.out_h < e.out_h ||
+        b.out_w < e.out_w || b.in_floats < e.in_floats ||
+        b.out_floats < e.out_floats) {
+      fail(step, "bucket-plan activation geometry does not dominate the "
+                 "exact plan's (padding shrank a plane)");
+    }
+  }
+  if (bucket.arena_floats < exact.arena_floats ||
+      bucket.arena_int8_bytes < exact.arena_int8_bytes) {
+    fail(-1, "bucket plan arena (" + std::to_string(bucket.arena_floats) +
+                 " floats) is smaller than the exact plan's (" +
+                 std::to_string(exact.arena_floats) +
+                 ") — rung serving would under-allocate");
+  }
+  if (r.ok()) {
+    r.proved.push_back(
+        "bucket plan: identical program structure step for step");
+    r.proved.push_back("bucket plan: rung " + std::to_string(bucket.in_h) +
+                       "x" + std::to_string(bucket.in_w) + " covers " +
+                       std::to_string(exact.in_h) + "x" +
+                       std::to_string(exact.in_w) +
+                       " and every activation plane dominates");
+    r.proved.push_back("bucket plan: padded area within " +
+                       std::to_string(max_pad_ratio) + "x waste cap");
+    r.proved.push_back(
+        "bucket plan: arena monotone — rung serving never under-allocates");
   }
   return r;
 }

@@ -63,6 +63,7 @@ enum class PlanDiag {
   qarena_out_of_bounds,  // byte-arena interval escapes arena_int8_bytes
   stats_inconsistent,    // PlanStats disagrees with the step tables
   batch_scaling_broken,  // arena(batch) != batch * arena(1)
+  bucket_plan_mismatch,  // bucket-rung plan is not a sound padded twin
 };
 
 const char* to_string(PlanDiag diag);
@@ -135,6 +136,23 @@ VerifyReport verify_plan(const InferPlan& plan);
 /// Exact arena(batch) == batch * arena(1) scaling, `unit` being the tables
 /// of a batch-1 plan for the same program/geometry/backend.
 VerifyReport verify_batch_scaling(const PlanTables& t, const PlanTables& unit);
+
+/// Bucket-plan invariants for pad-to-bucket serving (runtime/bucketing.h):
+/// `bucket` must be the tables of the plan an Engine actually executes at a
+/// bucket rung, `exact` the tables at some request's exact geometry that
+/// was assigned to that rung. Proves the rung plan is a sound padded twin:
+///   * same backend / batch / channels and step-for-step identical program
+///     structure (kind, stride, pad, kernel, groups, cout, cin, depthwise);
+///   * the rung covers the exact geometry and every step's activation
+///     geometry dominates the exact plan's (padding can only grow planes);
+///   * the padded input area stays within `max_pad_ratio` x the exact area
+///     (the admission-side waste cap really held);
+///   * arena monotonicity — the rung plan's arena is at least the exact
+///     plan's, so serving from buckets never under-allocates.
+/// Violations carry PlanDiag::bucket_plan_mismatch.
+VerifyReport verify_bucket_plan(const PlanTables& bucket,
+                                const PlanTables& exact,
+                                double max_pad_ratio);
 
 /// Throws PlanVerifyError on the first finding; no-op on a sound plan.
 /// Debug plan builds call this automatically.

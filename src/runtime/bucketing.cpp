@@ -1,0 +1,75 @@
+#include "runtime/bucketing.h"
+
+#include <cstring>
+#include <string>
+
+namespace nb::runtime {
+
+void validate_bucketing(const BucketingConfig& config) {
+  NB_CHECK(config.max_pad_ratio >= 1.0,
+           "bucketing: max_pad_ratio must be >= 1");
+  for (size_t i = 0; i < config.ladder.size(); ++i) {
+    const BucketSpec& b = config.ladder[i];
+    NB_CHECK(b.h > 0 && b.w > 0,
+             "bucketing: rung " + std::to_string(i) +
+                 " must have positive dimensions");
+    if (i > 0) {
+      const BucketSpec& prev = config.ladder[i - 1];
+      // Strictly increasing in BOTH dimensions, so the covering rungs of
+      // any request form a suffix and assignment is monotone.
+      NB_CHECK(b.h > prev.h && b.w > prev.w,
+               "bucketing: ladder must be strictly increasing in both h "
+               "and w at rung " +
+                   std::to_string(i));
+    }
+  }
+}
+
+BucketSpec assign_bucket(const BucketingConfig& config, int64_t h,
+                         int64_t w) {
+  NB_CHECK(h > 0 && w > 0, "bucketing: geometry must be positive");
+  // First (smallest) rung covering the request. Any later rung has a
+  // strictly larger area, so if this one busts the waste cap every other
+  // covering rung does too — the request runs at its exact geometry.
+  for (const BucketSpec& b : config.ladder) {
+    if (b.h < h || b.w < w) continue;
+    const double padded = static_cast<double>(b.h) * static_cast<double>(b.w);
+    const double area = static_cast<double>(h) * static_cast<double>(w);
+    if (padded <= config.max_pad_ratio * area) return b;
+    break;
+  }
+  return {};
+}
+
+void pad_block_into(const float* src, int64_t c, int64_t h, int64_t w,
+                    float* dst, int64_t bh, int64_t bw) {
+  NB_CHECK(bh >= h && bw >= w, "bucketing: pad target must cover source");
+  if (bh == h && bw == w) {
+    std::memcpy(dst, src, static_cast<size_t>(c * h * w) * sizeof(float));
+    return;
+  }
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* splane = src + ch * h * w;
+    float* dplane = dst + ch * bh * bw;
+    for (int64_t y = 0; y < h; ++y) {
+      std::memcpy(dplane + y * bw, splane + y * w,
+                  static_cast<size_t>(w) * sizeof(float));
+    }
+  }
+}
+
+Tensor pad_to_geometry(const Tensor& input, int64_t bh, int64_t bw) {
+  NB_CHECK(input.dim() == 4, "bucketing: pad_to_geometry expects NCHW, got " +
+                                 input.shape_str());
+  const int64_t n = input.size(0), c = input.size(1);
+  const int64_t h = input.size(2), w = input.size(3);
+  if (bh == h && bw == w) return input.clone();
+  Tensor padded({n, c, bh, bw});  // Tensor() zero-fills
+  for (int64_t i = 0; i < n; ++i) {
+    pad_block_into(input.data() + i * c * h * w, c, h, w,
+                   padded.data() + i * c * bh * bw, bh, bw);
+  }
+  return padded;
+}
+
+}  // namespace nb::runtime

@@ -1,0 +1,84 @@
+// Resolution buckets for cross-geometry micro-batching.
+//
+// The Engine coalesces queued single-image requests into one batched plan
+// only when they execute at the SAME geometry. A fleet serving
+// mixed-resolution traffic (jittered crops, per-camera aspect ratios, the
+// resolution-scaled tiny models the paper targets) therefore never batches
+// and loses the batched-GEMM win. Buckets fix that: a per-model ladder of
+// geometries such that any request whose (h, w) falls under a rung is
+// ZERO-PADDED (bottom/right) to the rung's geometry and batched with every
+// other request of the same rung.
+//
+// The exactness contract (enforced in tests/test_bucketing.cpp):
+//
+//   * Padding is a DOCUMENTED semantics change, applied at admission: a
+//     request admitted into bucket (BH, BW) is answered with the model
+//     evaluated on its zero-padded (BH, BW) image — the same normalization
+//     a resolution-bucketing deployment applies client-side.
+//   * Given that padded image, execution is bitwise exact: the batched
+//     run's output for each request is memcmp-identical to running its
+//     padded image alone through a batch-1 plan (the PR 5 batched-lowering
+//     invariance, now carried across geometries).
+//   * Assignment is deterministic and monotone: the same (h, w) always
+//     lands in the same rung, and growing a request never shrinks its rung.
+//   * Assignment never pads beyond the configured waste cap: a request the
+//     ladder would inflate past `max_pad_ratio` executes at its exact
+//     geometry instead (it simply doesn't cross-batch).
+//
+// The ladder must be strictly increasing in BOTH dimensions. That makes
+// the set of rungs covering a request a suffix of the ladder, so "the
+// smallest covering rung" is well defined and assignment is monotone in
+// (h, w) by construction — the property tests pin this down.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace nb::runtime {
+
+/// One rung of the ladder. h == w for square buckets; {0, 0} means "no
+/// bucket" (the sentinel assign_bucket returns when nothing applies).
+struct BucketSpec {
+  int64_t h = 0;
+  int64_t w = 0;
+  bool valid() const { return h > 0 && w > 0; }
+};
+
+/// Per-model bucketing policy, carried by ModelQos. An empty ladder
+/// disables bucketing (requests coalesce only at their exact geometry,
+/// the pre-bucketing behavior).
+struct BucketingConfig {
+  /// Rungs, strictly increasing in BOTH h and w (validated at
+  /// register_model time; see validate_bucketing).
+  std::vector<BucketSpec> ladder;
+  /// Waste cap: a request is only padded while
+  /// bucket_area <= max_pad_ratio * request_area. Beyond it the request
+  /// executes at its exact geometry.
+  double max_pad_ratio = 1.5;
+
+  bool enabled() const { return !ladder.empty(); }
+};
+
+/// Throws (NB_CHECK) unless the ladder is strictly increasing in both h
+/// and w, every rung is positive, and max_pad_ratio >= 1.
+void validate_bucketing(const BucketingConfig& config);
+
+/// The smallest rung covering (h, w) within the waste cap, or {0, 0} when
+/// none applies (empty ladder, nothing covers, or padding would exceed
+/// max_pad_ratio). Pure function: deterministic, and monotone in (h, w)
+/// over assigned requests for a valid ladder.
+BucketSpec assign_bucket(const BucketingConfig& config, int64_t h, int64_t w);
+
+/// Copies a [c, h, w] plane block into a [c, bh, bw] destination laid out
+/// row-major, placing the source at the top-left and leaving the
+/// bottom/right padding untouched (callers pass zero-initialized storage).
+void pad_block_into(const float* src, int64_t c, int64_t h, int64_t w,
+                    float* dst, int64_t bh, int64_t bw);
+
+/// Zero-pads an [n, c, h, w] batch to [n, c, bh, bw] (bottom/right). The
+/// no-op geometry returns a clone, so the result never aliases `input`.
+Tensor pad_to_geometry(const Tensor& input, int64_t bh, int64_t bw);
+
+}  // namespace nb::runtime

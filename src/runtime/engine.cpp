@@ -108,6 +108,7 @@ void Engine::register_model(const std::string& name,
            "engine: max_queue_depth must be >= 1 for '" + name + "'");
   NB_CHECK(qos.default_deadline_us >= 0,
            "engine: default_deadline_us must be >= 0 for '" + name + "'");
+  validate_bucketing(qos.bucketing);
   MutexLock lock(mu_);
   const auto it = registry_.find(name);
   if (it == registry_.end()) {
@@ -182,6 +183,7 @@ std::future<Tensor> Engine::submit(const std::string& name,
   std::future<Tensor> fut = req.promise.get_future();
 
   bool rejected = false;
+  bool padded = false;
   RejectReason reason = RejectReason::Unknown;
   std::string what;
   {
@@ -222,6 +224,18 @@ std::future<Tensor> Engine::submit(const std::string& name,
                  std::to_string(entry.qos.max_queue_depth) + ")";
         } else {
           req.model = entry.model;
+          // Execution geometry: the bucket rung when the model's ladder
+          // covers this (h, w) within the waste cap, the exact geometry
+          // otherwise. Fixed at admission so queued peers key off it.
+          req.exec_h = req.input.size(2);
+          req.exec_w = req.input.size(3);
+          const BucketSpec rung = assign_bucket(
+              entry.qos.bucketing, req.exec_h, req.exec_w);
+          if (rung.valid()) {
+            req.exec_h = rung.h;
+            req.exec_w = rung.w;
+          }
+          padded = req.padded();
           entry.lanes[static_cast<int>(opts.lane)].push_back(std::move(req));
           ++queued_total_;
           if (!entry.in_active) {
@@ -237,6 +251,7 @@ std::future<Tensor> Engine::submit(const std::string& name,
     ++submitted_;
     if (!rejected) {
       ++accepted_;
+      if (padded) ++padded_accepted_;
     } else if (reason == RejectReason::QueueFull) {
       ++rejected_queue_full_;
     } else if (reason == RejectReason::Deadline) {
@@ -253,10 +268,13 @@ std::future<Tensor> Engine::submit(const std::string& name,
 }
 
 bool Engine::matches(const Request& a, const Request& b) const {
+  // Coalesce on the EXECUTION geometry (the bucket rung for bucketed
+  // models, the submitted geometry otherwise): two requests of one rung
+  // batch together even when their exact inputs differ — each is padded
+  // to the rung when the batch is stacked.
   return a.model.get() == b.model.get() &&
-         a.input.size(1) == b.input.size(1) &&
-         a.input.size(2) == b.input.size(2) &&
-         a.input.size(3) == b.input.size(3);
+         a.input.size(1) == b.input.size(1) && a.exec_h == b.exec_h &&
+         a.exec_w == b.exec_w;
 }
 
 void Engine::retire_if_idle(ModelEntry* entry) {
@@ -485,14 +503,20 @@ void Engine::execute_batch(std::vector<Request>& batch, Session* session,
     }
     if (session_error != nullptr) std::rethrow_exception(session_error);
     NB_CHECK(session != nullptr, "engine: no session for batch");
-    const Tensor& first = run.front().input;
+    // Stack at the batch's EXECUTION geometry (all peers share it — that's
+    // what matches() keys on). A request whose exact input is smaller was
+    // bucketed: its pixels land top-left, the rest of its block keeps the
+    // tensor's zero fill — the pad-to-bucket contract.
+    const Request& head = run.front();
     const int64_t b = static_cast<int64_t>(run.size());
-    const int64_t chw = first.numel();
-    Tensor stacked({b, first.size(1), first.size(2), first.size(3)});
+    const int64_t c = head.input.size(1);
+    const int64_t bh = head.exec_h, bw = head.exec_w;
+    const int64_t chw = c * bh * bw;
+    Tensor stacked({b, c, bh, bw});  // Tensor() zero-fills
     for (int64_t i = 0; i < b; ++i) {
-      std::memcpy(stacked.data() + i * chw,
-                  run[static_cast<size_t>(i)].input.data(),
-                  static_cast<size_t>(chw) * sizeof(float));
+      const Tensor& img = run[static_cast<size_t>(i)].input;
+      pad_block_into(img.data(), c, img.size(2), img.size(3),
+                     stacked.data() + i * chw, bh, bw);
     }
     Tensor out = session->run(stacked);
     NB_CHECK(out.dim() >= 1 && out.size(0) == b,
@@ -538,8 +562,19 @@ void Engine::record_latency_sample(double ms) {
 void Engine::record_batch(const std::vector<Request>& batch,
                           TimePoint launched, bool failed) {
   const auto done = Clock::now();
+  // A batch mixing distinct exact geometries exists only through bucketing
+  // (unbucketed peers match on their exact size).
+  bool mixed = false;
+  for (const Request& req : batch) {
+    if (req.input.size(2) != batch.front().input.size(2) ||
+        req.input.size(3) != batch.front().input.size(3)) {
+      mixed = true;
+      break;
+    }
+  }
   MutexLock lock(stats_mu_);
   ++batches_;
+  if (mixed) ++mixed_geometry_batches_;
   for (const Request& req : batch) {
     if (failed) {
       ++failed_;
@@ -575,6 +610,8 @@ Engine::Stats Engine::stats() const {
   s.dropped_deadline = dropped_deadline_;
   s.dropped_shutdown = dropped_shutdown_;
   s.completed_within_deadline = completed_within_deadline_;
+  s.padded_accepted = padded_accepted_;
+  s.mixed_geometry_batches = mixed_geometry_batches_;
   s.batches = batches_;
   s.avg_batch = batches_ > 0 ? static_cast<double>(completed_ + failed_) /
                                    static_cast<double>(batches_)

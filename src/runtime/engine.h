@@ -29,12 +29,20 @@
 //     ShuttingDown) per policy; (3) join the workers. No future is ever
 //     left unresolved. The destructor runs shutdown(options.on_shutdown).
 //
-// Dispatcher workers still coalesce queued requests that target the same
-// (model, geometry) into one batched run — the head request waits at most
-// `max_wait_us` for peers (never past its own deadline), batches cap at
-// `max_batch` — and the whole batch executes as ONE plan (see
-// infer_plan.h), bitwise identical to running each request alone, so
-// batching remains purely a throughput/latency policy.
+// Dispatcher workers coalesce queued requests that target the same
+// (model, execution geometry) into one batched run — the head request
+// waits at most `max_wait_us` for peers (never past its own deadline),
+// batches cap at `max_batch` — and the whole batch executes as ONE plan
+// (see infer_plan.h), bitwise identical to running each request alone, so
+// batching remains purely a throughput/latency policy. The execution
+// geometry is normally the submitted (h, w); a model whose ModelQos
+// carries a resolution-bucket ladder (runtime/bucketing.h) instead maps
+// each submit to its bucket rung at admission, and mixed-resolution
+// requests of one rung batch together: each image is zero-padded
+// (bottom/right) to the rung geometry when the batch is stacked, and the
+// reply is the model evaluated on that padded image — bitwise identical
+// to running the padded image alone (the documented pad-to-bucket
+// exactness contract; see bucketing.h and tests/test_bucketing.cpp).
 //
 //   Engine engine({.batching = {.max_batch = 8, .max_wait_us = 500},
 //                  .workers = 4});
@@ -66,6 +74,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/bucketing.h"
 #include "runtime/compiled_model.h"
 #include "runtime/fault_injector.h"
 #include "runtime/session.h"
@@ -114,6 +123,14 @@ struct ModelQos {
   /// Deadline applied to submits that don't carry their own; 0 = none.
   /// Measured from admission.
   int64_t default_deadline_us = 0;
+  /// Resolution-bucket ladder for cross-geometry batching (see
+  /// runtime/bucketing.h). A submit whose (h, w) lands in a rung is
+  /// zero-padded to the rung geometry AT ADMISSION (the bucket is the
+  /// request's execution geometry from then on) and coalesces with every
+  /// other request of that rung, regardless of exact input size. Empty
+  /// ladder = exact-geometry coalescing only (pre-bucketing behavior).
+  /// Validated at register_model time.
+  BucketingConfig bucketing;
 };
 
 /// Per-submit overrides.
@@ -227,6 +244,14 @@ class Engine {
     /// Completions that had a deadline and beat it (the goodput numerator;
     /// deadline-less completions count in completed only).
     int64_t completed_within_deadline = 0;
+    /// Admissions whose geometry was assigned to a LARGER bucket rung (the
+    /// request executes zero-padded; see ModelQos::bucketing). Exact-fit
+    /// rung hits don't count — no padding happened.
+    int64_t padded_accepted = 0;
+    /// Launched batches that mixed two or more distinct EXACT input
+    /// geometries — the batches bucketing created that same-geometry
+    /// coalescing never could.
+    int64_t mixed_geometry_batches = 0;
     int64_t batches = 0;
     double avg_batch = 0.0;     // (completed + failed) / batches
     double p50_ms = 0.0;        // total submit -> resolve latency, over the
@@ -243,13 +268,20 @@ class Engine {
 
   struct Request {
     std::promise<Tensor> promise;
-    Tensor input;  // [1, C, H, W]
+    Tensor input;  // [1, C, H, W] at the EXACT submitted geometry
     std::shared_ptr<const CompiledModel> model;
     std::string model_name;
+    // Execution geometry: the assigned bucket rung, or the exact input
+    // geometry when no rung applies. Requests coalesce on (model,
+    // channels, exec_h, exec_w); padded iff it differs from the input.
+    int64_t exec_h = 0, exec_w = 0;
     TimePoint enqueued;
     TimePoint deadline{};  // epoch = no deadline
     Lane lane = Lane::normal;
     bool has_deadline() const { return deadline != TimePoint{}; }
+    bool padded() const {
+      return exec_h != input.size(2) || exec_w != input.size(3);
+    }
   };
 
   /// Registry entry + its admission queues. Hot-swap replaces `model` in
@@ -324,6 +356,8 @@ class Engine {
   int64_t dropped_deadline_ NB_GUARDED_BY(stats_mu_) = 0;
   int64_t dropped_shutdown_ NB_GUARDED_BY(stats_mu_) = 0;
   int64_t completed_within_deadline_ NB_GUARDED_BY(stats_mu_) = 0;
+  int64_t padded_accepted_ NB_GUARDED_BY(stats_mu_) = 0;
+  int64_t mixed_geometry_batches_ NB_GUARDED_BY(stats_mu_) = 0;
   int64_t batches_ NB_GUARDED_BY(stats_mu_) = 0;
   double queue_ms_sum_ NB_GUARDED_BY(stats_mu_) = 0.0;
   // Fixed-size ring of the most recent completion latencies.

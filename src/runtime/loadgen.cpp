@@ -61,6 +61,13 @@ std::vector<Arrival> make_open_loop_schedule(const OpenLoopSpec& spec) {
   }
   NB_CHECK(spec.mix_weights.empty() || weight_total > 0,
            "loadgen: mix weights must not all be zero");
+  double geo_total = 0.0;
+  for (const double w : spec.geo_weights) {
+    NB_CHECK(w >= 0, "loadgen: geo weights must be >= 0");
+    geo_total += w;
+  }
+  NB_CHECK(spec.geo_weights.empty() || geo_total > 0,
+           "loadgen: geo weights must not all be zero");
   for (const BurstSpec& b : spec.bursts) {
     NB_CHECK(b.multiplier > 0, "loadgen: burst multiplier must be > 0");
     NB_CHECK(b.duration_s >= 0, "loadgen: burst duration must be >= 0");
@@ -89,6 +96,9 @@ std::vector<Arrival> make_open_loop_schedule(const OpenLoopSpec& spec) {
     a.lane = static_cast<double>(rng.uniform()) < spec.high_lane_fraction
                  ? Lane::high
                  : Lane::normal;
+    // Drawn only when a geometry mix exists, so every pre-geometry
+    // (spec, seed) pair replays its exact historical schedule.
+    a.geo = pick_stream(rng, spec.geo_weights, geo_total);
     schedule.push_back(a);
   }
   return schedule;
@@ -102,6 +112,11 @@ OpenLoopResult run_open_loop(Engine& engine,
                ? mix.size() == 1
                : mix.size() == spec.mix_weights.size(),
            "loadgen: mix size must match mix_weights");
+  for (const ModelTraffic& traffic : mix) {
+    NB_CHECK(traffic.geo_images.empty() ||
+                 traffic.geo_images.size() == spec.geo_weights.size(),
+             "loadgen: geo_images must be empty or match geo_weights");
+  }
   const std::vector<Arrival> schedule = make_open_loop_schedule(spec);
 
   OpenLoopResult r;
@@ -118,6 +133,10 @@ OpenLoopResult run_open_loop(Engine& engine,
     if (lag_s > r.max_lag_s) r.max_lag_s = lag_s;
 
     const ModelTraffic& traffic = mix[static_cast<size_t>(a.stream)];
+    const Tensor& image =
+        traffic.geo_images.empty()
+            ? traffic.image
+            : traffic.geo_images[static_cast<size_t>(a.geo)];
     SubmitOptions opts;
     opts.lane = a.lane;
     if (slo_us > 0) {
@@ -127,7 +146,7 @@ OpenLoopResult run_open_loop(Engine& engine,
     }
     ++r.offered;
     try {
-      futures.push_back(engine.submit(traffic.name, traffic.image, opts));
+      futures.push_back(engine.submit(traffic.name, image, opts));
     } catch (const RejectedError& e) {
       switch (e.reason()) {
         case RejectReason::QueueFull:

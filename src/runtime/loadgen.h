@@ -52,12 +52,20 @@ struct OpenLoopSpec {
   std::vector<double> mix_weights;
   /// Probability an arrival rides Lane::high (interactive traffic share).
   double high_lane_fraction = 0.0;
+  /// Relative weight per input GEOMETRY within every stream; empty = each
+  /// arrival uses its stream's single `image` (Arrival::geo stays 0 and no
+  /// extra rng draw happens, so pre-geometry schedules replay
+  /// bit-identically). Non-empty = each arrival additionally picks
+  /// ModelTraffic::geo_images[geo] — the mixed-resolution traffic the
+  /// bucketing bench and overload tests replay.
+  std::vector<double> geo_weights;
 };
 
 struct Arrival {
   double t_s = 0.0;    // offset from run start
   int32_t stream = 0;  // index into the model mix
   Lane lane = Lane::normal;
+  int32_t geo = 0;  // index into the geometry mix (0 when geo_weights empty)
 };
 
 /// Instantaneous rate multiplier at time t (1.0 outside every burst).
@@ -68,10 +76,14 @@ double rate_multiplier_at(const OpenLoopSpec& spec, double t_s);
 std::vector<Arrival> make_open_loop_schedule(const OpenLoopSpec& spec);
 
 /// One model stream of an open-loop mix: every arrival on this stream
-/// submits `image` ([C, H, W]) against `name`.
+/// submits `image` ([C, H, W]) against `name` — or, when the spec carries
+/// geo_weights, `geo_images[Arrival::geo]` (one [C, H, W] tensor per
+/// geometry weight; geometries may differ per entry, which is the whole
+/// point). `geo_images` must be empty or match geo_weights in size.
 struct ModelTraffic {
   std::string name;
   Tensor image;
+  std::vector<Tensor> geo_images;
 };
 
 struct OpenLoopResult {

@@ -1,6 +1,7 @@
 #include "runtime/session.h"
 
 #include "export/plan_verify.h"
+#include "runtime/bucketing.h"
 #include "tensor/threadpool.h"
 
 namespace nb::runtime {
@@ -43,6 +44,17 @@ Tensor Session::run(const Tensor& input) {
     return plan.run(input);
   }
   return plan.run(input);
+}
+
+Tensor Session::run_padded(const Tensor& input, int64_t target_h,
+                           int64_t target_w) {
+  NB_CHECK(input.dim() == 4, "session: input must be NCHW");
+  NB_CHECK(target_h >= input.size(2) && target_w >= input.size(3),
+           "session: pad target must cover the input geometry");
+  if (target_h == input.size(2) && target_w == input.size(3)) {
+    return run(input);
+  }
+  return run(pad_to_geometry(input, target_h, target_w));
 }
 
 Session::MemoryStats Session::memory() const {

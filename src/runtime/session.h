@@ -68,6 +68,15 @@ class Session {
   /// in, of the thread budget, and of other sessions.
   Tensor run(const Tensor& input);
 
+  /// Zero-pads `input` ([N, C, H, W]) bottom/right to (target_h, target_w)
+  /// and runs the padded batch; the plan cache is keyed at the TARGET
+  /// geometry, so a stream serving one bucket rung reuses a single plan
+  /// across every exact input size under it. This is the sequential half
+  /// of the Engine's pad-to-bucket exactness contract: a bucketed batched
+  /// submit resolves bitwise-identically to run_padded of the same image
+  /// at the rung geometry (see runtime/bucketing.h).
+  Tensor run_padded(const Tensor& input, int64_t target_h, int64_t target_w);
+
   const CompiledModel& model() const { return *model_; }
   const SessionOptions& options() const { return options_; }
 

@@ -406,7 +406,9 @@ TEST(EngineAdmission, QueueFullRejectionIsTyped) {
   opts.batching.max_wait_us = 0;
   opts.fault_injector = gate;
   Engine engine(opts);
-  engine.register_model("m", model, ModelQos{.max_queue_depth = 2});
+  ModelQos qos;
+  qos.max_queue_depth = 2;
+  engine.register_model("m", model, qos);
 
   // First request occupies the worker (held at the gate), the next two
   // fill the bounded queue exactly.
@@ -485,8 +487,9 @@ TEST(EngineAdmission, ModelDefaultDeadlineApplies) {
   opts.batching.max_wait_us = 0;
   opts.fault_injector = gate;
   Engine engine(opts);
-  engine.register_model("m", model,
-                        ModelQos{.default_deadline_us = 15'000});
+  ModelQos qos;
+  qos.default_deadline_us = 15'000;
+  engine.register_model("m", model, qos);
 
   auto blocker = engine.submit("m", random_input(1, {3, 16, 16}),
                                SubmitOptions{.deadline_us = 5'000'000});
@@ -785,7 +788,9 @@ TEST(EngineOverload, ShedsTypedKeepsAcceptedTailBoundedAndDrains) {
   opts.fault_injector = slow;
   Engine engine(opts);
   const int64_t kDepth = 32;
-  engine.register_model("m", model, ModelQos{.max_queue_depth = kDepth});
+  ModelQos qos;
+  qos.max_queue_depth = kDepth;
+  engine.register_model("m", model, qos);
 
   Rng rng(9, 1);
   Tensor image({3, 16, 16});
@@ -798,7 +803,7 @@ TEST(EngineOverload, ShedsTypedKeepsAcceptedTailBoundedAndDrains) {
   spec.seed = 20260807;
   const int64_t kSloMs = 300;
   const OpenLoopResult r =
-      run_open_loop(engine, {{"m", image}}, spec, kSloMs * 1000);
+      run_open_loop(engine, {{"m", image, {}}}, spec, kSloMs * 1000);
 
   // Overload was real and the engine shed it with typed rejections.
   EXPECT_GT(r.offered, 300);
@@ -816,6 +821,86 @@ TEST(EngineOverload, ShedsTypedKeepsAcceptedTailBoundedAndDrains) {
   EXPECT_LE(st.p99_ms, static_cast<double>(kSloMs));
   EXPECT_GE(st.completed_within_deadline,
             (st.completed - 1) / 2);  // -1: the deadline-less warmup
+
+  engine.shutdown(DrainPolicy::drain);
+  const Engine::Stats done = engine.stats();
+  EXPECT_EQ(done.queue_depth, 0);
+  EXPECT_EQ(done.accepted, done.completed + done.failed +
+                               done.dropped_deadline + done.dropped_shutdown);
+}
+
+// The same overload contract, under a mixed-RESOLUTION open-loop stream
+// served through a bucket ladder: four geometries all mapping to one
+// 16x16 rung must coalesce into cross-geometry batches while the engine
+// still sheds typed, keeps accepted p99 within the SLO, resolves every
+// future and drains cleanly — buckets change throughput, never the
+// overload guarantees.
+TEST(EngineOverload, BucketedMixedGeometryOverloadKeepsTheContract) {
+  const auto model = CompiledModel::compile(small_graph(117));
+  // 2 ms per batch of <= 4 images on 2 workers -> capacity <= 4000
+  // images/s on ANY machine; the offered 8000/s is >= 2x that.
+  auto slow = std::make_shared<SleepInjector>(2'000);
+  EngineOptions opts;
+  opts.batching.max_batch = 4;
+  opts.batching.max_wait_us = 200;
+  opts.workers = 2;
+  opts.fault_injector = slow;
+  // The p99 assertion below is about steady state, not cold start: each
+  // worker builds plans for four batch sizes inline during the first
+  // moments of the run, and on a heavily instrumented build (TSan) those
+  // builds are slow enough to push the earliest completions past the
+  // SLO. A ring smaller than the steady-state completion count means the
+  // reported percentiles cover only the post-warmup regime.
+  opts.stats_window = 128;
+  Engine engine(opts);
+  ModelQos qos;
+  // Shallow queue: under saturation a completed request's latency is
+  // roughly full-queue drain time plus one batch execution, and the
+  // drain must stay far below the SLO even when instrumentation (TSan)
+  // inflates per-batch execution to tens of milliseconds — otherwise the
+  // queue ages requests up to the deadline and the p99 assertion
+  // measures the instrumentation, not the engine.
+  qos.max_queue_depth = 8;
+  qos.bucketing.ladder = {{16, 16}};
+  qos.bucketing.max_pad_ratio = 1.6;
+  engine.register_model("m", model, qos);
+
+  Rng rng(10, 1);
+  std::vector<Tensor> geo_images;
+  for (const auto& [h, w] : {std::pair<int64_t, int64_t>{13, 15},
+                             {14, 16},
+                             {15, 14},
+                             {16, 16}}) {
+    Tensor image({3, h, w});
+    fill_uniform(image, rng, -1.0f, 1.0f);
+    geo_images.push_back(std::move(image));
+  }
+  (void)engine.submit("m", geo_images.back()).get();  // warmup: plan built
+
+  OpenLoopSpec spec;
+  spec.rate_per_s = 8000.0;
+  spec.duration_s = 0.4;
+  spec.seed = 20260807;
+  spec.geo_weights = {1.0, 1.0, 1.0, 1.0};
+  const int64_t kSloMs = 500;
+  const OpenLoopResult r = run_open_loop(
+      engine, {{"m", geo_images.back(), geo_images}}, spec, kSloMs * 1000);
+
+  // Overload was real, the shed was typed, and every future resolved.
+  EXPECT_GT(r.offered, 1000);
+  EXPECT_GT(r.rejected_queue_full, 0);
+  EXPECT_GT(r.completed, 20);
+  EXPECT_EQ(r.faulted, 0);
+  EXPECT_EQ(r.offered, r.completed + r.shed() + r.faulted);
+
+  const Engine::Stats st = engine.stats();
+  EXPECT_GT(st.completed, 0);
+  EXPECT_LE(st.p99_ms, static_cast<double>(kSloMs));
+  // The bucket path really carried the load: sub-rung geometries were
+  // padded at admission and launched batches mixed exact geometries.
+  EXPECT_GT(st.padded_accepted, 0);
+  EXPECT_GT(st.mixed_geometry_batches, 0);
+  EXPECT_GT(st.avg_batch, 1.0);
 
   engine.shutdown(DrainPolicy::drain);
   const Engine::Stats done = engine.stats();

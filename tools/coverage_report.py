@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Per-subsystem line-coverage report over an lcov tracefile.
+
+Reads the SF:/LF:/LH: records lcov emits, groups files by their src/
+subsystem (src/runtime/engine.cpp -> runtime), prints a table, and
+enforces a hard floor on src/runtime — the serving stack whose exactness
+and shedding contracts the test suite exists to prove. A soft target is
+printed for every subsystem so drift is visible before it becomes a
+failure.
+
+Usage:
+  coverage_report.py <tracefile> [--strip-prefix PREFIX]
+  coverage_report.py --self-test
+
+The tracefile must already be filtered to first-party sources (the CI job
+runs `lcov --extract ... 'src/*'` first); anything that still doesn't
+start with src/ after --strip-prefix is ignored rather than miscounted.
+"""
+
+import argparse
+import sys
+import tempfile
+
+RUNTIME_HARD_FLOOR = 0.60  # src/runtime below this fails the job
+SOFT_TARGET = 0.80         # printed as aspiration for every subsystem
+
+
+def parse_tracefile(path):
+    """Return {source_path: (lines_found, lines_hit)}.
+
+    LF:/LH: are authoritative when present; otherwise the DA: records of
+    the block are counted directly (older lcov omits LF/LH with
+    --rc settings some distros patch in).
+    """
+    per_file = {}
+    current = None
+    da_found = 0
+    da_hit = 0
+    lf = None
+    lh = None
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.strip()
+            if line.startswith("SF:"):
+                current = line[3:]
+                da_found = da_hit = 0
+                lf = lh = None
+            elif line.startswith("DA:"):
+                da_found += 1
+                if int(line[3:].split(",")[1]) > 0:
+                    da_hit += 1
+            elif line.startswith("LF:"):
+                lf = int(line[3:])
+            elif line.startswith("LH:"):
+                lh = int(line[3:])
+            elif line == "end_of_record" and current is not None:
+                found = lf if lf is not None else da_found
+                hit = lh if lh is not None else da_hit
+                prev = per_file.get(current, (0, 0))
+                # Same file from several test binaries: keep the max —
+                # lcov --capture over one build dir already merges, this
+                # is belt-and-braces for concatenated tracefiles.
+                per_file[current] = (max(prev[0], found), max(prev[1], hit))
+                current = None
+    return per_file
+
+
+def subsystem_of(path):
+    """src/runtime/engine.cpp -> 'runtime'; None for non-src files."""
+    parts = path.split("/")
+    if "src" not in parts:
+        return None
+    i = parts.index("src")
+    if i == len(parts) - 1:
+        return None  # the path ends at src/ itself
+    if i + 1 == len(parts) - 1:
+        return "(src root)"  # a file directly under src/
+    return parts[i + 1]
+
+
+def report(per_file, strip_prefix=""):
+    groups = {}
+    for path, (found, hit) in per_file.items():
+        p = path
+        if strip_prefix and p.startswith(strip_prefix):
+            p = p[len(strip_prefix):]
+        sub = subsystem_of(p)
+        if sub is None:
+            continue
+        g = groups.setdefault(sub, [0, 0])
+        g[0] += found
+        g[1] += hit
+    return groups
+
+
+def print_table(groups):
+    total_found = sum(g[0] for g in groups.values())
+    total_hit = sum(g[1] for g in groups.values())
+    print(f"{'subsystem':<16} {'lines':>8} {'hit':>8} {'coverage':>9}  note")
+    print("-" * 60)
+    for sub in sorted(groups):
+        found, hit = groups[sub]
+        pct = hit / found if found else 0.0
+        note = "" if pct >= SOFT_TARGET else f"below soft target {SOFT_TARGET:.0%}"
+        print(f"src/{sub:<12} {found:>8} {hit:>8} {pct:>8.1%}  {note}")
+    pct = total_hit / total_found if total_found else 0.0
+    print("-" * 60)
+    print(f"{'total src/':<16} {total_found:>8} {total_hit:>8} {pct:>8.1%}")
+    return total_found
+
+
+def enforce(groups):
+    found, hit = groups.get("runtime", (0, 0))
+    if found == 0:
+        print("FAIL: no src/runtime lines in the tracefile — "
+              "instrumentation or extraction is broken", file=sys.stderr)
+        return 1
+    pct = hit / found
+    if pct < RUNTIME_HARD_FLOOR:
+        print(f"FAIL: src/runtime coverage {pct:.1%} is below the hard "
+              f"floor {RUNTIME_HARD_FLOOR:.0%}", file=sys.stderr)
+        return 1
+    print(f"src/runtime {pct:.1%} >= hard floor {RUNTIME_HARD_FLOOR:.0%}: ok")
+    return 0
+
+
+SELF_TEST_TRACE = """\
+TN:
+SF:/work/src/runtime/engine.cpp
+DA:1,5
+DA:2,0
+LF:10
+LH:9
+end_of_record
+SF:/work/src/runtime/session.cpp
+LF:10
+LH:4
+end_of_record
+SF:/work/src/tensor/tensor.cpp
+DA:1,1
+DA:2,1
+DA:3,0
+end_of_record
+SF:/usr/include/c++/12/vector
+LF:100
+LH:1
+end_of_record
+"""
+
+
+def self_test():
+    with tempfile.NamedTemporaryFile("w", suffix=".info", delete=False) as f:
+        f.write(SELF_TEST_TRACE)
+        path = f.name
+    per_file = parse_tracefile(path)
+    assert per_file["/work/src/runtime/engine.cpp"] == (10, 9), per_file
+    assert per_file["/work/src/runtime/session.cpp"] == (10, 4), per_file
+    # No LF/LH -> fall back to counting DA records.
+    assert per_file["/work/src/tensor/tensor.cpp"] == (3, 2), per_file
+
+    groups = report(per_file, strip_prefix="/work/")
+    assert groups["runtime"] == [20, 13], groups
+    assert groups["tensor"] == [3, 2], groups
+    # System headers never make it into a subsystem bucket.
+    assert len(groups) == 2, groups
+
+    # 13/20 = 65% clears the 60% floor; drop engine.cpp hits and it fails.
+    assert enforce(groups) == 0
+    bad = {"runtime": [20, 8]}
+    assert enforce(bad) == 1
+    assert enforce({"tensor": [3, 2]}) == 1  # runtime missing entirely
+    print("coverage_report self-test: ok")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("tracefile", nargs="?")
+    ap.add_argument("--strip-prefix", default="")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.tracefile:
+        ap.error("tracefile required unless --self-test")
+    per_file = parse_tracefile(args.tracefile)
+    groups = report(per_file, strip_prefix=args.strip_prefix)
+    if print_table(groups) == 0:
+        print("FAIL: tracefile has no src/ lines", file=sys.stderr)
+        return 1
+    return enforce(groups)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

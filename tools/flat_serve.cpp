@@ -15,7 +15,8 @@
 //          [--workers W] [--res R] [--queue-depth D] [--deadline-ms MS]
 //          [--open-loop --rate R [--seed S] [--slo-ms MS]
 //           [--burst START:DUR:MULT]... [--high-lane-frac F]]
-//          [--drop-on-shutdown] [--save <path>]
+//          [--geo-mix GEO:W,GEO:W,...] [--buckets GEO,GEO,...]
+//          [--bucket-waste F] [--drop-on-shutdown] [--save <path>]
 //
 //   --clients         closed-loop clients (default 8)
 //   --seconds         measurement window (default 3)
@@ -32,6 +33,16 @@
 //   --burst           rate multiplier window, e.g. 1.0:0.5:4 = 4x offered
 //                     load for 0.5 s starting at t=1 s; repeatable
 //   --high-lane-frac  fraction of arrivals on Lane::high (default 0)
+//   --geo-mix         weighted input-geometry mix, e.g.
+//                     30x32:1,31x32:1,32:2 — every stream draws each
+//                     request's geometry from this distribution (GEO is
+//                     HxW or a square R). Overrides --res.
+//   --buckets         resolution-bucket ladder applied to every model,
+//                     e.g. 32,64x48,96 (GEO as above, strictly increasing
+//                     in both dims): same-rung requests of different
+//                     geometries are padded and batched together
+//   --bucket-waste    bucket waste cap, max padded/exact area ratio
+//                     (default 1.5)
 //   --drop-on-shutdown  resolve still-queued requests with ShuttingDown
 //                     instead of draining them
 //   --synth           serve a synthetic MobileNetV2-flat (w0.35, r96, 100
@@ -71,8 +82,57 @@ int usage() {
       "         [--queue-depth D] [--deadline-ms MS] [--drop-on-shutdown]\n"
       "         [--open-loop --rate R [--seed S] [--slo-ms MS]\n"
       "          [--burst START:DUR:MULT]... [--high-lane-frac F]]\n"
-      "         [--save <path>]\n");
+      "         [--geo-mix GEO:W,GEO:W,...] [--buckets GEO,GEO,...]\n"
+      "         [--bucket-waste F] [--save <path>]\n");
   return 2;
+}
+
+/// GEO is "HxW" or a square "R".
+bool parse_geometry(const std::string& s, int64_t& h, int64_t& w) {
+  const size_t x = s.find('x');
+  if (x == std::string::npos) {
+    h = w = std::atoll(s.c_str());
+  } else {
+    h = std::atoll(s.substr(0, x).c_str());
+    w = std::atoll(s.substr(x + 1).c_str());
+  }
+  return h > 0 && w > 0;
+}
+
+/// "GEO:W,GEO:W,..." -> parallel geometry / weight lists.
+bool parse_geo_mix(const std::string& s,
+                   std::vector<std::pair<int64_t, int64_t>>& geos,
+                   std::vector<double>& weights) {
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string item = s.substr(pos, comma - pos);
+    const size_t colon = item.rfind(':');
+    if (colon == std::string::npos) return false;
+    int64_t h = 0, w = 0;
+    if (!parse_geometry(item.substr(0, colon), h, w)) return false;
+    const double weight = std::atof(item.substr(colon + 1).c_str());
+    if (weight <= 0) return false;
+    geos.emplace_back(h, w);
+    weights.push_back(weight);
+    pos = comma + 1;
+  }
+  return !geos.empty();
+}
+
+/// "GEO,GEO,..." -> bucket ladder rungs (validated at register time).
+bool parse_buckets(const std::string& s, std::vector<BucketSpec>& ladder) {
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    int64_t h = 0, w = 0;
+    if (!parse_geometry(s.substr(pos, comma - pos), h, w)) return false;
+    ladder.push_back({h, w});
+    pos = comma + 1;
+  }
+  return !ladder.empty();
 }
 
 bool parse_burst(const std::string& s, BurstSpec& out) {
@@ -102,6 +162,8 @@ int main(int argc, char** argv) {
   int64_t slo_ms = 0;
   double high_lane_frac = 0.0;
   std::vector<BurstSpec> bursts;
+  std::vector<std::pair<int64_t, int64_t>> geo_mix;
+  std::vector<double> geo_weights;
   EngineOptions opts;
   opts.batching.max_batch = 8;
   opts.batching.max_wait_us = 1000;
@@ -141,6 +203,21 @@ int main(int argc, char** argv) {
         return 2;
       }
       bursts.push_back(b);
+    } else if (arg == "--geo-mix" && i + 1 < argc) {
+      if (!parse_geo_mix(argv[++i], geo_mix, geo_weights)) {
+        std::fprintf(stderr, "flat_serve: bad --geo-mix '%s' "
+                     "(want GEO:W,GEO:W,... with GEO = HxW or R)\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (arg == "--buckets" && i + 1 < argc) {
+      if (!parse_buckets(argv[++i], opts.default_qos.bucketing.ladder)) {
+        std::fprintf(stderr, "flat_serve: bad --buckets '%s' "
+                     "(want GEO,GEO,... with GEO = HxW or R)\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--bucket-waste" && i + 1 < argc) {
+      opts.default_qos.bucketing.max_pad_ratio = std::atof(argv[++i]);
     } else if (arg == "--drop-on-shutdown") {
       drop_on_shutdown = true;
     } else if (arg == "--synth") {
@@ -214,7 +291,13 @@ int main(int argc, char** argv) {
     Rng rng(77);
     Tensor image({s.model->input_channels(), r, r});
     fill_uniform(image, rng, -1.0f, 1.0f);
-    traffic.push_back({s.name, std::move(image)});
+    std::vector<Tensor> geo_images;
+    for (const auto& [gh, gw] : geo_mix) {
+      Tensor gi({s.model->input_channels(), gh, gw});
+      fill_uniform(gi, rng, -1.0f, 1.0f);
+      geo_images.push_back(std::move(gi));
+    }
+    traffic.push_back({s.name, std::move(image), std::move(geo_images)});
     std::printf("model %-9s %s (%lld ops, %lld B shared weight panels)\n",
                 s.name.c_str(),
                 synth ? "synthetic mbv2-flat w0.35" : path.c_str(),
@@ -229,6 +312,24 @@ int main(int argc, char** argv) {
               opts.workers == 1 ? "" : "s",
               static_cast<long long>(opts.default_qos.max_queue_depth),
               drop_on_shutdown ? ", drop-on-shutdown" : "");
+  if (opts.default_qos.bucketing.enabled()) {
+    std::printf("buckets:      ");
+    for (const BucketSpec& b : opts.default_qos.bucketing.ladder) {
+      std::printf(" %lldx%lld", static_cast<long long>(b.h),
+                  static_cast<long long>(b.w));
+    }
+    std::printf(" (waste cap %.2fx)\n",
+                opts.default_qos.bucketing.max_pad_ratio);
+  }
+  if (!geo_mix.empty()) {
+    std::printf("geo mix:      ");
+    for (size_t g = 0; g < geo_mix.size(); ++g) {
+      std::printf(" %lldx%lld:%.3g",
+                  static_cast<long long>(geo_mix[g].first),
+                  static_cast<long long>(geo_mix[g].second), geo_weights[g]);
+    }
+    std::printf("\n");
+  }
 
   if (open_loop) {
     OpenLoopSpec spec;
@@ -237,6 +338,7 @@ int main(int argc, char** argv) {
     spec.seed = seed;
     spec.bursts = bursts;
     spec.high_lane_fraction = high_lane_frac;
+    spec.geo_weights = geo_weights;
     if (served.size() > 1) {
       for (const Served& s : served) spec.mix_weights.push_back(s.weight);
     }
@@ -271,6 +373,12 @@ int main(int argc, char** argv) {
                 st.p50_ms, st.p99_ms, st.max_ms, st.avg_queue_ms);
     std::printf("batching:      %lld batches, avg batch %.2f\n",
                 static_cast<long long>(st.batches), st.avg_batch);
+    if (opts.default_qos.bucketing.enabled()) {
+      std::printf("buckets:       %lld padded admissions, %lld "
+                  "mixed-geometry batches\n",
+                  static_cast<long long>(st.padded_accepted),
+                  static_cast<long long>(st.mixed_geometry_batches));
+    }
     return 0;
   }
 
@@ -284,9 +392,14 @@ int main(int argc, char** argv) {
     threads.emplace_back([&, c] {
       const ModelTraffic& mine =
           traffic[static_cast<size_t>(c) % traffic.size()];
+      size_t next_geo = static_cast<size_t>(c);
       while (!stop.load(std::memory_order_relaxed)) {
+        const Tensor& image =
+            mine.geo_images.empty()
+                ? mine.image
+                : mine.geo_images[next_geo++ % mine.geo_images.size()];
         try {
-          (void)engine.submit(mine.name, mine.image).get();
+          (void)engine.submit(mine.name, image).get();
           done.fetch_add(1, std::memory_order_relaxed);
         } catch (const RejectedError&) {
           // Bounded queue + many clients can reject at the edge; closed
@@ -311,6 +424,12 @@ int main(int argc, char** argv) {
               st.p50_ms, st.p99_ms, st.max_ms, st.avg_queue_ms);
   std::printf("batching:      %lld batches, avg batch %.2f\n",
               static_cast<long long>(st.batches), st.avg_batch);
+  if (opts.default_qos.bucketing.enabled()) {
+    std::printf("buckets:       %lld padded admissions, %lld "
+                "mixed-geometry batches\n",
+                static_cast<long long>(st.padded_accepted),
+                static_cast<long long>(st.mixed_geometry_batches));
+  }
   engine.shutdown();
   return 0;
 }
